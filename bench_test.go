@@ -1,0 +1,241 @@
+package vodalloc_test
+
+// One benchmark per table/figure of the paper's evaluation. Each runs
+// the same generator cmd/vodbench uses (in quick mode, so a -bench=.
+// pass stays tractable) and reports domain-specific metrics alongside
+// ns/op: model-vs-simulation error for Figure 7, streams saved for
+// Example 1, and so on. Regenerate the full-fidelity artifacts with
+//
+//	go run ./cmd/vodbench -exp all
+//
+// and see EXPERIMENTS.md for paper-vs-measured numbers.
+
+import (
+	"math"
+	"testing"
+
+	"vodalloc"
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/experiments"
+)
+
+func benchFig7(b *testing.B, v experiments.Fig7Variant) {
+	b.ReportAllocs()
+	var maxErr, sumErr float64
+	var count int
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig7(v, experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			for _, p := range s.Points {
+				e := math.Abs(p.Model - p.Sim)
+				sumErr += e
+				count++
+				if e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	b.ReportMetric(maxErr, "maxAbsErr")
+	b.ReportMetric(sumErr/float64(count), "meanAbsErr")
+}
+
+// BenchmarkFig7a regenerates Figure 7(a): P(hit) vs n, FF-only workload.
+func BenchmarkFig7a(b *testing.B) { benchFig7(b, experiments.Fig7FF) }
+
+// BenchmarkFig7b regenerates Figure 7(b): RW-only workload.
+func BenchmarkFig7b(b *testing.B) { benchFig7(b, experiments.Fig7RW) }
+
+// BenchmarkFig7c regenerates Figure 7(c): PAU-only workload.
+func BenchmarkFig7c(b *testing.B) { benchFig7(b, experiments.Fig7PAU) }
+
+// BenchmarkFig7d regenerates Figure 7(d): the 0.2/0.2/0.6 mixed workload.
+func BenchmarkFig7d(b *testing.B) { benchFig7(b, experiments.Fig7Mixed) }
+
+// BenchmarkFig8 regenerates Figure 8: the Example 1 movies' feasible
+// (B, n) sets at 5-minute buffer steps.
+func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
+	feasible := 0
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Fig8(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		feasible = 0
+		for _, r := range results {
+			for _, p := range r.Points {
+				if p.Feasible {
+					feasible++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(feasible), "feasiblePts")
+}
+
+// BenchmarkExample1 regenerates Example 1: the minimum-buffer plan and
+// its stream savings against 1230-stream pure batching.
+func BenchmarkExample1(b *testing.B) {
+	b.ReportAllocs()
+	var r experiments.Example1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Example1(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.StreamsSaved), "streamsSaved")
+	b.ReportMetric(r.Plan.TotalBuffer, "bufferMin")
+}
+
+// BenchmarkFig9 regenerates Figure 9: cost curves for φ ∈ {3,4,6,10,11,16}.
+func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
+	var curves []experiments.Fig9Curve
+	var err error
+	for i := 0; i < b.N; i++ {
+		curves, err = experiments.Fig9(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(curves[len(curves)-1].Min.TotalStreams), "optStreamsPhi16")
+	b.ReportMetric(float64(curves[0].Min.TotalStreams), "optStreamsPhi3")
+}
+
+// BenchmarkExample2 regenerates Example 2: the hardware-derived cost
+// model (Cb=$750, Cn=$70, φ≈11) applied to the Example 1 system.
+func BenchmarkExample2(b *testing.B) {
+	b.ReportAllocs()
+	var r experiments.Example2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Example2(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Phi, "phi")
+	b.ReportMetric(r.DollarMin, "dollars")
+}
+
+// BenchmarkModelVsSim regenerates the §4 validation grid and reports the
+// worst model-vs-simulation disagreement.
+func BenchmarkModelVsSim(b *testing.B) {
+	b.ReportAllocs()
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.VerifyTable(experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = 0
+		for _, r := range rows {
+			if r.AbsError > maxErr {
+				maxErr = r.AbsError
+			}
+		}
+	}
+	b.ReportMetric(maxErr, "maxAbsErr")
+}
+
+// --- micro-benchmarks of the core primitives -----------------------------
+
+// BenchmarkModelHitFF times one analytic P(hit|FF) evaluation at the
+// paper's §4 scale.
+func BenchmarkModelHitFF(b *testing.B) {
+	m := analytic.MustNew(analytic.Config{L: 120, B: 60, N: 30, RatePB: 1, RateFF: 3, RateRW: 3})
+	d := dist.MustGamma(2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.HitFF(d)
+	}
+}
+
+// BenchmarkModelHitMixLargeN times the mixed-workload evaluation at the
+// largest stream count Figure 7 sweeps (n = 480, pure batching scale).
+func BenchmarkModelHitMixLargeN(b *testing.B) {
+	m := analytic.MustNew(analytic.Config{L: 120, B: 24, N: 384, RatePB: 1, RateFF: 3, RateRW: 3})
+	d := dist.MustGamma(2, 4)
+	mix := analytic.Mix{PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: d, RW: d, PAU: d}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.HitMix(mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulation times one thousand simulated minutes of the §4
+// reference workload.
+func BenchmarkSimulation(b *testing.B) {
+	gam, _ := vodalloc.NewGamma(2, 4)
+	think, _ := vodalloc.NewExponential(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := vodalloc.Simulate(vodalloc.SimConfig{
+			L: 120, B: 60, N: 30,
+			Rates:       vodalloc.Rates{PB: 1, FF: 3, RW: 3},
+			ArrivalRate: 0.5,
+			Profile:     vodalloc.MixedProfile(gam, think),
+			Horizon:     1000,
+			Warmup:      100,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivity regenerates the duration-shape sensitivity table
+// (the extension experiment in EXPERIMENTS.md), reporting the largest
+// model-vs-sim gap among the smooth families and the deterministic
+// resonance gap separately.
+func BenchmarkSensitivity(b *testing.B) {
+	b.ReportAllocs()
+	var smoothMax, detGap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sensitivity(experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		smoothMax, detGap = 0, 0
+		for _, r := range rows {
+			gap := math.Abs(r.Model - r.Sim)
+			if r.Family == "deterministic" {
+				if gap > detGap {
+					detGap = gap
+				}
+			} else if gap > smoothMax {
+				smoothMax = gap
+			}
+		}
+	}
+	b.ReportMetric(smoothMax, "smoothMaxErr")
+	b.ReportMetric(detGap, "detResonanceGap")
+}
+
+// BenchmarkEndToEnd runs the full §5 pipeline — plan, deploy on the
+// multi-movie server, verify — reporting the reserve-model accuracy.
+func BenchmarkEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EndToEnd(experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = math.Abs(r.PredictedDedicated-r.MeasuredDedicated) / r.MeasuredDedicated
+	}
+	b.ReportMetric(rel, "reserveRelErr")
+}

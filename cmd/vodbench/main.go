@@ -1,0 +1,131 @@
+// Command vodbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vodbench -exp all            # every experiment
+//	vodbench -exp fig7a          # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e)
+//	vodbench -exp fig7d -quick   # smaller simulation horizons
+//
+// Output is the textual form of each figure: the same rows/series the
+// paper plots, with model and simulation side by side where applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vodalloc/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig7a|fig7b|fig7c|fig7d|fig8|fig9|ex1|ex2|verify|sens|piggyback|e2e|all")
+	quick := flag.Bool("quick", false, "shrink simulation horizons for a fast pass")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == name || s == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	fig7 := map[string]experiments.Fig7Variant{
+		"fig7a": experiments.Fig7FF,
+		"fig7b": experiments.Fig7RW,
+		"fig7c": experiments.Fig7PAU,
+		"fig7d": experiments.Fig7Mixed,
+	}
+	for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d"} {
+		if !want(name) {
+			continue
+		}
+		series, err := experiments.Fig7(fig7[name], opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig7(os.Stdout, fig7[name], series)
+		ran++
+	}
+	if want("fig8") {
+		results, err := experiments.Fig8(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig8(os.Stdout, results)
+		ran++
+	}
+	if want("ex1") {
+		r, err := experiments.Example1(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintExample1(os.Stdout, r)
+		ran++
+	}
+	if want("fig9") {
+		curves, err := experiments.Fig9(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig9(os.Stdout, curves)
+		ran++
+	}
+	if want("ex2") {
+		r, err := experiments.Example2(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintExample2(os.Stdout, r)
+		ran++
+	}
+	if want("sens") {
+		rows, err := experiments.Sensitivity(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintSensitivity(os.Stdout, rows)
+		ran++
+	}
+	if want("piggyback") {
+		rows, err := experiments.Piggyback(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintPiggyback(os.Stdout, rows)
+		ran++
+	}
+	if want("e2e") {
+		r, err := experiments.EndToEnd(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintEndToEnd(os.Stdout, r)
+		ran++
+	}
+	if want("verify") {
+		rows, err := experiments.VerifyTable(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintVerifyTable(os.Stdout, rows)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vodbench:", err)
+	os.Exit(1)
+}

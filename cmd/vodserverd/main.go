@@ -1,0 +1,74 @@
+// Command vodserverd serves the model, optimizer and simulator over a
+// JSON/HTTP API (see internal/httpapi for the endpoint catalogue), so
+// the reproduction is scriptable from any language.
+//
+// Usage:
+//
+//	vodserverd -addr :8080
+//
+//	curl -s localhost:8080/v1/hit -d '{
+//	    "config": {"l": 120, "b": 60, "n": 30},
+//	    "profile": {"dur": "gamma:2:4"}
+//	}'
+//
+// The process shuts down cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vodalloc/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(httpapi.NewMux()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("vodserverd listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "vodserverd:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

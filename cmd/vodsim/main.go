@@ -1,0 +1,164 @@
+// Command vodsim runs the discrete-event VOD server simulator once and
+// prints the measured hit probability, waiting times and resource
+// occupancy, optionally next to the analytic model's prediction.
+//
+// Usage:
+//
+//	vodsim -l 120 -b 60 -n 30 -lambda 0.5 -horizon 6000
+//	vodsim -l 120 -w 1 -n 60 -dur gamma:2:4 -piggyback -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/cliutil"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/trace"
+	"vodalloc/internal/vcr"
+)
+
+func main() {
+	l := flag.Float64("l", 120, "movie length, minutes")
+	b := flag.Float64("b", -1, "total playback buffer, movie-minutes")
+	w := flag.Float64("w", -1, "maximum waiting time (alternative to -b)")
+	n := flag.Int("n", 30, "number of I/O streams / partitions")
+	lambda := flag.Float64("lambda", 0.5, "Poisson arrival rate, viewers/minute")
+	durSpec := flag.String("dur", "gamma:2:4", "VCR duration distribution spec")
+	thinkSpec := flag.String("think", "exp:15", "think-time distribution spec")
+	pFF := flag.Float64("pff", 0.2, "mix probability of FF")
+	pRW := flag.Float64("prw", 0.2, "mix probability of RW")
+	pPAU := flag.Float64("ppau", 0.6, "mix probability of PAU")
+	rFF := flag.Float64("rff", 3, "fast-forward rate (multiples of playback)")
+	rRW := flag.Float64("rrw", 3, "rewind rate (multiples of playback)")
+	horizon := flag.Float64("horizon", 6000, "simulated minutes")
+	warmup := flag.Float64("warmup", 500, "measurement warmup, minutes")
+	seed := flag.Int64("seed", 1, "random seed")
+	piggyback := flag.Bool("piggyback", false, "enable piggyback merging after misses")
+	slew := flag.Float64("slew", 0.05, "piggyback display-rate slew fraction")
+	maxDed := flag.Int("maxdedicated", 0, "cap on dedicated streams (0 = unlimited)")
+	compare := flag.Bool("compare", true, "print the analytic model prediction alongside")
+	tracePath := flag.String("trace", "", "write a structured event trace to this file (\"-\" for stdout)")
+	reps := flag.Int("replications", 1, "independent replications (seeds seed..seed+R-1, run concurrently)")
+	flag.Parse()
+
+	var buf float64
+	switch {
+	case *b >= 0 && *w >= 0:
+		fatal(fmt.Errorf("give only one of -b and -w"))
+	case *w >= 0:
+		buf = *l - float64(*n)**w
+		if buf < 0 {
+			fatal(fmt.Errorf("infeasible -w/-n pair: B = l − n·w = %.2f", buf))
+		}
+	case *b >= 0:
+		buf = *b
+	default:
+		fatal(fmt.Errorf("give one of -b or -w"))
+	}
+
+	dur, err := cliutil.ParseDist(*durSpec)
+	if err != nil {
+		fatal(err)
+	}
+	think, err := cliutil.ParseDist(*thinkSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tracer trace.Tracer
+	if *tracePath != "" {
+		sink := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		tw := &trace.Writer{W: sink}
+		defer func() {
+			if tw.Err != nil {
+				fmt.Fprintln(os.Stderr, "vodsim: trace write:", tw.Err)
+			}
+		}()
+		tracer = tw
+	}
+
+	cfg := sim.Config{
+		L: *l, B: buf, N: *n,
+		Tracer:      tracer,
+		Rates:       vcr.Rates{PB: 1, FF: *rFF, RW: *rRW},
+		ArrivalRate: *lambda,
+		Profile: vcr.Profile{
+			PFF: *pFF, PRW: *pRW, PPAU: *pPAU,
+			DurFF: dur, DurRW: dur, DurPAU: dur,
+			Think: think,
+		},
+		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
+		Piggyback: *piggyback, Slew: *slew,
+		MaxDedicated: *maxDed,
+	}
+	if *reps > 1 {
+		if cfg.Tracer != nil {
+			fatal(fmt.Errorf("-trace is incompatible with -replications"))
+		}
+		rep, err := sim.Replicate(cfg, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replicated %d × %g min of l=%g B=%.1f n=%d (w=%.3f)\n",
+			*reps, *horizon, *l, buf, *n, (*l-buf)/float64(*n))
+		fmt.Printf("pooled hit=%.4f over %d resumes; replication CI95 ±%.4f\n",
+			rep.HitProbability(), rep.PooledHits.N(), rep.HitCI95())
+		fmt.Printf("dedicated avg=%.2f; batch avg=%.2f; max wait=%.3f\n",
+			rep.AvgDedicated.Mean(), rep.AvgBatch.Mean(), rep.MaxWait)
+		if *compare {
+			printModelComparison(*l, buf, *n, *rFF, *rRW, *pFF, *pRW, *pPAU, dur, rep.HitProbability())
+		}
+		return
+	}
+
+	s, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %g min of l=%g B=%.1f n=%d (w=%.3f)\n",
+		*horizon, *l, buf, *n, (*l-buf)/float64(*n))
+	fmt.Print(res.Summary())
+
+	if *compare {
+		printModelComparison(*l, buf, *n, *rFF, *rRW, *pFF, *pRW, *pPAU, dur, res.HitProbability())
+	}
+}
+
+// printModelComparison prints the analytic prediction next to a measured
+// hit probability.
+func printModelComparison(l, b float64, n int, rFF, rRW, pFF, pRW, pPAU float64, dur dist.Distribution, measured float64) {
+	model, err := analytic.New(analytic.Config{
+		L: l, B: b, N: n, RatePB: 1, RateFF: rFF, RateRW: rRW,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p, err := model.HitMix(analytic.Mix{
+		PFF: pFF, PRW: pRW, PPAU: pPAU, FF: dur, RW: dur, PAU: dur,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("analytic model: P(hit) = %.4f (sim %.4f, Δ %+.4f)\n", p, measured, measured-p)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vodsim:", err)
+	os.Exit(1)
+}

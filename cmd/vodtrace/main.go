@@ -1,0 +1,66 @@
+// Command vodtrace analyzes a simulator event trace (produced with
+// vodsim -trace) offline: per-movie arrival/departure flows, resume hit
+// rates, phase-1 durations, merges and blocking.
+//
+// Usage:
+//
+//	vodsim -b 60 -n 30 -trace run.log
+//	vodtrace run.log           # or: vodtrace - < run.log
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vodalloc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vodtrace <file|->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	an := trace.NewAnalyzer()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lines, skipped := 0, 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		ev, err := trace.ParseLine(line)
+		if err != nil {
+			skipped++
+			continue
+		}
+		an.Add(ev)
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if lines == 0 {
+		fatal(fmt.Errorf("no parseable trace lines (skipped %d)", skipped))
+	}
+	fmt.Printf("parsed %d events (%d unparseable lines skipped)\n", lines, skipped)
+	fmt.Print(an.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vodtrace:", err)
+	os.Exit(1)
+}

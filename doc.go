@@ -1,0 +1,35 @@
+// Package vodalloc reproduces "Buffer and I/O Resource Pre-allocation
+// for Implementing Batching and Buffering Techniques for Video-on-Demand
+// Systems" (Leung, Lui & Golubchik, ICDE 1997) as a Go library.
+//
+// A VOD server that serves popular movies with batching (periodic
+// restarts sharing one I/O stream) and static partitioned buffering
+// (each stream retains a window of recent frames in memory) supports VCR
+// operations — fast-forward, rewind, pause — by temporarily moving the
+// viewer onto dedicated resources. When the viewer resumes, the
+// dedicated I/O stream can be released only if the resume position lands
+// inside some partition's buffered window: a hit. This package provides
+//
+//   - the paper's analytic model of the hit probability
+//     P(hit) = ξ(l, B, n, w, R_FF, R_PB, R_RW) under arbitrary
+//     VCR-duration distributions (Eqs. 1–22), via NewModel;
+//   - a discrete-event simulator of the full server — batch scheduling,
+//     enrollment windows, VCR phases, piggyback merging — that validates
+//     the model as in the paper's §4, via NewSimulator;
+//   - the §5 resource pre-allocation and system-sizing optimizer:
+//     per-movie feasible sets, minimum-buffer multi-movie plans, and
+//     dollar-cost curves under a buffer/stream price ratio φ, via
+//     PlanMinBuffer, FeasibleSet and CostCurve.
+//
+// # Quick start
+//
+//	cfg := vodalloc.Config{L: 120, B: 60, N: 30, RatePB: 1, RateFF: 3, RateRW: 3}
+//	model, err := vodalloc.NewModel(cfg)
+//	if err != nil { ... }
+//	gamma, _ := vodalloc.NewGamma(2, 4) // the paper's skewed gamma, mean 8
+//	p := model.HitFF(gamma)             // P(hit | FF)
+//
+// Units follow the paper: movie time and buffer sizes are expressed in
+// minutes of video; an "I/O stream" is the bandwidth needed to play one
+// movie in real time.
+package vodalloc

@@ -1,0 +1,93 @@
+package vodalloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"vodalloc"
+)
+
+// ExampleNewModel evaluates the hit probability for the paper's §4
+// reference configuration.
+func ExampleNewModel() {
+	model, err := vodalloc.NewModel(vodalloc.Config{
+		L: 120, B: 60, N: 30,
+		RatePB: 1, RateFF: 3, RateRW: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamma, err := vodalloc.NewGamma(2, 4) // skewed gamma, mean 8 minutes
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(hit|FF)  = %.4f\n", model.HitFF(gamma))
+	fmt.Printf("P(hit|PAU) = %.4f\n", model.HitPAU(gamma))
+	// Output:
+	// P(hit|FF)  = 0.5137
+	// P(hit|PAU) = 0.4903
+}
+
+// ExampleConfigForWait derives the buffer size from a waiting-time
+// target via Eq. (2).
+func ExampleConfigForWait() {
+	cfg, err := vodalloc.ConfigForWait(120, 1, 60, 1, 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B = %.0f movie-minutes, partition span = %.0f\n", cfg.B, cfg.PartitionSize())
+	// Output:
+	// B = 60 movie-minutes, partition span = 1
+}
+
+// ExamplePlanMinBuffer reproduces the paper's Example 1 optimization.
+func ExamplePlanMinBuffer() {
+	movies := vodalloc.Example1Movies()
+	plan, err := vodalloc.PlanMinBuffer(movies, vodalloc.DefaultRates, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("movies planned: %d\n", len(plan.Allocs))
+	fmt.Printf("streams saved vs pure batching: %d\n", 1230-plan.TotalStreams)
+	// Output:
+	// movies planned: 3
+	// streams saved vs pure batching: 616
+}
+
+// ExampleHardwareCostModel rederives the paper's Example 2 prices.
+func ExampleHardwareCostModel() {
+	cm, err := vodalloc.HardwareCostModel(700, 5, 4, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cb = $%.0f per movie-minute\n", cm.Cb)
+	fmt.Printf("Cn = $%.0f per stream\n", cm.Cn)
+	fmt.Printf("phi = %.2f\n", cm.Phi())
+	// Output:
+	// Cb = $750 per movie-minute
+	// Cn = $70 per stream
+	// phi = 10.71
+}
+
+// ExampleModel_BreakdownOf decomposes a hit probability into the
+// paper's hit_w / hit_j / P(end) terms.
+func ExampleModel_BreakdownOf() {
+	model, err := vodalloc.NewModel(vodalloc.Config{
+		L: 120, B: 60, N: 30, RatePB: 1, RateFF: 3, RateRW: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamma, err := vodalloc.NewGamma(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd := model.BreakdownOf(vodalloc.FF, gamma)
+	fmt.Printf("within own partition: %.4f\n", bd.Within)
+	fmt.Printf("ran off the end:      %.4f\n", bd.End)
+	fmt.Printf("jump terms:           %d\n", len(bd.Jumps))
+	// Output:
+	// within own partition: 0.0646
+	// ran off the end:      0.0667
+	// jump terms:           20
+}

@@ -1,0 +1,86 @@
+// Capacity: find the smallest dedicated-stream reservation that keeps
+// VCR service healthy — the admission-control question the paper's
+// resource pre-allocation feeds ("less resources need to be reserved"
+// when the hit probability is high).
+//
+// The example sweeps the dedicated-stream budget for two configurations
+// of the same movie — a low-hit one (small buffer) and a high-hit one
+// (the model-chosen buffer) — and reports the budget each needs to keep
+// rejected VCR requests below 1%. The high-hit configuration needs far
+// fewer reserved streams, which is the paper's core economic argument.
+//
+// Run with:
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vodalloc"
+)
+
+func main() {
+	dur, _ := vodalloc.NewGamma(2, 4)
+	think, _ := vodalloc.NewExponential(10)
+
+	type scenario struct {
+		name string
+		b    float64
+		n    int
+	}
+	// Same maximum wait w = 2 for both: B = 120 − 2n.
+	scenarios := []scenario{
+		{"low-hit (B=20, n=50)", 20, 50},
+		{"high-hit (B=80, n=20)", 80, 20},
+	}
+
+	for _, sc := range scenarios {
+		model, err := vodalloc.NewModel(vodalloc.Config{
+			L: 120, B: sc.b, N: sc.n, RatePB: 1, RateFF: 3, RateRW: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hit, err := model.HitMix(vodalloc.Mix{
+			PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: dur, RW: dur, PAU: dur,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — model P(hit) = %.3f\n", sc.name, hit)
+		fmt.Printf("%12s %10s %12s %12s\n", "budget", "blocked%", "avg-ded", "peak-ded")
+
+		needed := -1
+		for _, budget := range []int{5, 10, 15, 20, 30, 40, 60, 80} {
+			res, err := vodalloc.Simulate(vodalloc.SimConfig{
+				L: 120, B: sc.b, N: sc.n,
+				Rates:        vodalloc.Rates{PB: 1, FF: 3, RW: 3},
+				ArrivalRate:  0.5,
+				Profile:      vodalloc.MixedProfile(dur, think),
+				Horizon:      4000,
+				Warmup:       400,
+				Seed:         7,
+				MaxDedicated: budget,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			attempts := res.Hits.N() + res.BlockedOps
+			blocked := 100 * float64(res.BlockedOps+res.BlockedResumes) / float64(attempts)
+			fmt.Printf("%12d %9.2f%% %12.1f %12d\n",
+				budget, blocked, res.AvgDedicated, res.PeakDedicated)
+			if blocked < 1 && needed < 0 {
+				needed = budget
+			}
+		}
+		if needed >= 0 {
+			fmt.Printf("→ smallest swept budget with <1%% rejections: %d streams\n\n", needed)
+		} else {
+			fmt.Printf("→ no swept budget kept rejections below 1%%\n\n")
+		}
+	}
+	fmt.Println("a high hit probability lets the operator reserve far fewer dedicated")
+	fmt.Println("streams for VCR service — the buffer pays for itself twice (paper §5).")
+}

@@ -1,0 +1,112 @@
+// Cinema: size a multi-movie VOD service the way the paper's §5 does.
+//
+// A provider fronts eight popular titles with Zipf-skewed demand and
+// different lengths and service targets. The example computes each
+// movie's feasible (buffer, streams) frontier, the minimum-buffer
+// pre-allocation across the catalog, the savings over pure batching,
+// and the dollar cost under the paper's Example 2 hardware prices.
+//
+// Run with:
+//
+//	go run ./examples/cinema
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vodalloc"
+)
+
+func main() {
+	dur8, _ := vodalloc.NewGamma(2, 4)    // blockbusters: longer VCR ops
+	dur3, _ := vodalloc.NewExponential(3) // casual titles: short ones
+	think, _ := vodalloc.NewExponential(15)
+
+	lengths := []float64{118, 95, 132, 104, 88, 141, 97, 110}
+	waits := []float64{0.1, 0.2, 0.25, 0.3, 0.5, 0.5, 1, 1}
+	targets := []float64{0.6, 0.6, 0.5, 0.5, 0.5, 0.4, 0.4, 0.4}
+
+	pops, err := vodalloc.ZipfWeights(len(lengths), 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	movies := make([]vodalloc.Movie, len(lengths))
+	for i := range movies {
+		dur := dur8
+		if i >= 4 {
+			dur = dur3
+		}
+		movies[i] = vodalloc.Movie{
+			Name:       fmt.Sprintf("title-%d", i+1),
+			Length:     lengths[i],
+			Wait:       waits[i],
+			TargetHit:  targets[i],
+			Profile:    vodalloc.MixedProfile(dur, think),
+			Popularity: pops[i],
+		}
+	}
+
+	rates, err := vodalloc.SplitRate(4.0, movies) // 4 arrivals/min total
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("catalog (Zipf 0.8 popularity):")
+	for i, m := range movies {
+		fmt.Printf("  %-8s l=%5.0f  w=%4.2f  P*=%.2f  λ=%.3f/min\n",
+			m.Name, m.Length, m.Wait, m.TargetHit, rates[i])
+	}
+
+	// Pure batching baseline.
+	pure := 0
+	for _, m := range movies {
+		pure += vodalloc.PureBatchingStreams(m.Length, m.Wait)
+	}
+
+	// Minimum-buffer pre-allocation meeting every (w, P*) pair.
+	plan, err := vodalloc.PlanMinBuffer(movies, vodalloc.DefaultRates, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nminimum-buffer pre-allocation:")
+	for _, a := range plan.Allocs {
+		fmt.Printf("  %-8s B*=%6.1f min  n*=%4d  P(hit)=%.4f\n", a.Movie, a.B, a.N, a.Hit)
+	}
+	fmt.Printf("  totals: ΣB=%.1f movie-min, Σn=%d streams (pure batching needs %d → %d saved)\n",
+		plan.TotalBuffer, plan.TotalStreams, pure, pure-plan.TotalStreams)
+
+	// Dollar cost under Example 2 hardware: $700 disks at 5 MB/s,
+	// 4 Mbps MPEG-2, $25/MB memory.
+	cm, err := vodalloc.HardwareCostModel(700, 5, 4, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhardware prices: Cb=$%.0f per movie-min, Cn=$%.2f per stream (φ=%.2f)\n",
+		cm.Cb, cm.Cn, cm.Phi())
+	fmt.Printf("plan cost: $%.0f\n", cm.PlanCost(plan))
+
+	// Where on the frontier is the cost optimum at this φ?
+	curve, err := vodalloc.CostCurve(movies, vodalloc.DefaultRates, cm.Phi(), 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := vodalloc.MinCostPoint(curve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost-optimal sizing: Σn=%d, ΣB=%.1f min, $%.0f\n",
+		best.TotalStreams, best.TotalBuffer, best.RelativeCost*cm.Cn)
+
+	// And if memory prices fell 4×?
+	cheap := vodalloc.CostModel{Cb: cm.Cb / 4, Cn: cm.Cn}
+	curve2, err := vodalloc.CostCurve(movies, vodalloc.DefaultRates, cheap.Phi(), 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best2, err := vodalloc.MinCostPoint(curve2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with 4× cheaper memory (φ=%.2f): Σn=%d, ΣB=%.1f min, $%.0f\n",
+		cheap.Phi(), best2.TotalStreams, best2.TotalBuffer, best2.RelativeCost*cheap.Cn)
+}

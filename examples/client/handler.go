@@ -1,0 +1,11 @@
+package main
+
+import (
+	"net/http"
+
+	"vodalloc"
+)
+
+// vodHandler indirects through the public facade so the example exercises
+// exactly what a downstream embedder would import.
+func vodHandler() http.Handler { return vodalloc.NewHTTPHandler() }

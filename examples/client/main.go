@@ -1,0 +1,78 @@
+// Client: embed the JSON/HTTP service in-process and drive it the way an
+// external (non-Go) consumer would — useful both as an integration smoke
+// test and as a template for language-agnostic scripting.
+//
+// Run with:
+//
+//	go run ./examples/client
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+)
+
+func main() {
+	// Serve the API on an ephemeral local port.
+	srv := httptest.NewServer(vodHandler())
+	defer srv.Close()
+	fmt.Printf("service at %s\n\n", srv.URL)
+
+	// 1. Evaluate the model.
+	hit := post(srv.URL+"/v1/hit", `{
+	  "config": {"l": 120, "b": 60, "n": 30},
+	  "profile": {"dur": "gamma:2:4"}
+	}`)
+	fmt.Printf("model: P(hit)=%.4f (FF %.4f, RW %.4f, PAU %.4f)\n",
+		hit["hit"], hit["hitFF"], hit["hitRW"], hit["hitPAU"])
+
+	// 2. Plan the Example 1 system.
+	plan := post(srv.URL+"/v1/plan", `{
+	  "movies": [
+	    {"name": "movie1", "length": 75, "wait": 0.1,  "targetHit": 0.5, "dur": "gamma:2:4"},
+	    {"name": "movie2", "length": 60, "wait": 0.5,  "targetHit": 0.5, "dur": "exp:5"},
+	    {"name": "movie3", "length": 90, "wait": 0.25, "targetHit": 0.5, "dur": "exp:2"}
+	  ]
+	}`)
+	fmt.Printf("plan: Σn=%.0f streams, ΣB=%.1f min (pure batching %.0f)\n",
+		plan["totalStreams"], plan["totalBuffer"], plan["pureBatchingStreams"])
+
+	// 3. Size the VCR reserve.
+	res := post(srv.URL+"/v1/reserve", `{
+	  "config": {"l": 120, "b": 60, "n": 30},
+	  "profile": {"dur": "gamma:2:4"},
+	  "lambda": 0.5
+	}`)
+	fmt.Printf("reserve: expected %.1f dedicated streams, reserve %d (2σ)\n",
+		res["total"], int(res["reserve"].(float64)))
+
+	// 4. Validate by simulation.
+	sim := post(srv.URL+"/v1/simulate", `{
+	  "config": {"l": 120, "b": 60, "n": 30},
+	  "profile": {"dur": "gamma:2:4"},
+	  "lambda": 0.5, "horizon": 2000, "seed": 1
+	}`)
+	fmt.Printf("simulated: hit %.4f vs model %.4f (|Δ| %.4f) over %.0f resumes\n",
+		sim["hit"], sim["modelHit"], sim["modelAbsError"], sim["resumes"])
+}
+
+// post sends a JSON request and decodes the generic response.
+func post(url, body string) map[string]any {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %v", url, out["error"])
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Endtoend: the complete paper pipeline on the Example 1 catalog —
+// (1) size the system with the analytic model (minimum buffer meeting
+// every movie's wait and hit targets), (2) deploy the plan on the
+// multi-movie discrete-event server, (3) verify by simulation that the
+// delivered waits and hit probabilities meet the targets the model
+// promised.
+//
+// Run with:
+//
+//	go run ./examples/endtoend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vodalloc"
+)
+
+func main() {
+	movies := vodalloc.Example1Movies()
+
+	// --- 1. plan: the §5 optimization -------------------------------
+	plan, err := vodalloc.PlanMinBuffer(movies, vodalloc.DefaultRates, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pure := 0
+	for _, m := range movies {
+		pure += vodalloc.PureBatchingStreams(m.Length, m.Wait)
+	}
+	fmt.Println("plan (minimum buffer meeting w and P* per movie):")
+	for _, a := range plan.Allocs {
+		fmt.Printf("  %-8s B*=%5.1f min  n*=%4d  predicted P(hit)=%.4f\n",
+			a.Movie, a.B, a.N, a.Hit)
+	}
+	fmt.Printf("  ΣB=%.1f movie-min, Σn=%d streams (pure batching: %d)\n\n",
+		plan.TotalBuffer, plan.TotalStreams, pure)
+
+	// --- 2. deploy: run the planned server --------------------------
+	cfg := vodalloc.ServerConfig{
+		Rates:   vodalloc.Rates{PB: 1, FF: 3, RW: 3},
+		Horizon: 5000,
+		Warmup:  500,
+		Seed:    2024,
+	}
+	for i, m := range movies {
+		cfg.Movies = append(cfg.Movies, vodalloc.MovieSetup{
+			Name: m.Name, L: m.Length,
+			B: plan.Allocs[i].B, N: plan.Allocs[i].N,
+			ArrivalRate: 0.5,
+			Profile:     m.Profile,
+		})
+	}
+	res, err := vodalloc.SimulateServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 3. verify: targets vs delivered ----------------------------
+	fmt.Println("delivered (5000 simulated minutes, shared dedicated pool):")
+	fmt.Printf("  %-8s %10s %10s %12s %12s %10s\n",
+		"movie", "target-w", "max-wait", "target-hit", "sim-hit", "resumes")
+	allOK := true
+	for i, m := range movies {
+		r := res.Movies[m.Name]
+		okWait := r.MaxWait <= m.Wait+1e-9
+		okHit := r.HitProbability() >= m.TargetHit-0.05
+		if !okWait || !okHit {
+			allOK = false
+		}
+		fmt.Printf("  %-8s %10.2f %10.3f %12.2f %12.4f %10d\n",
+			m.Name, m.Wait, r.MaxWait, m.TargetHit, r.HitProbability(), r.Hits.N())
+		_ = i
+	}
+	fmt.Printf("\nshared resources: dedicated avg=%.1f peak=%d, buffer peak=%.1f movie-min\n",
+		res.AvgDedicated, res.PeakDedicated, res.BufferPeak)
+	if allOK {
+		fmt.Println("✓ every movie met its wait bound and (within noise) its hit target")
+	} else {
+		fmt.Println("✗ some target missed — see rows above")
+	}
+}

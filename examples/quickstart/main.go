@@ -1,0 +1,72 @@
+// Quickstart: evaluate the paper's hit-probability model for one movie
+// and see the buffer/stream tradeoff it quantifies.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vodalloc"
+)
+
+func main() {
+	// A two-hour movie served with batching + buffering: 30 I/O streams
+	// (a restart every 4 minutes) and 60 movie-minutes of server buffer,
+	// so each stream's partition retains the last 2 minutes of frames
+	// and the worst-case wait is (120−60)/30 = 2 minutes.
+	cfg := vodalloc.Config{
+		L: 120, B: 60, N: 30,
+		RatePB: 1, RateFF: 3, RateRW: 3, // FF/RW at 3× playback
+	}
+	model, err := vodalloc.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// VCR operation durations: the paper's skewed gamma with mean 8 min.
+	dur, err := vodalloc.NewGamma(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("movie: l=%g min, buffer B=%g movie-min, n=%d streams, max wait w=%g min\n",
+		cfg.L, cfg.B, cfg.N, cfg.Wait())
+	fmt.Printf("P(hit | FF)  = %.4f\n", model.HitFF(dur))
+	fmt.Printf("P(hit | RW)  = %.4f\n", model.HitRW(dur))
+	fmt.Printf("P(hit | PAU) = %.4f\n", model.HitPAU(dur))
+
+	// The mixed workload of the paper's experiments (Eq. 22).
+	p, err := model.HitMix(vodalloc.Mix{
+		PFF: 0.2, PRW: 0.2, PPAU: 0.6,
+		FF: dur, RW: dur, PAU: dur,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(hit)       = %.4f under the 0.2/0.2/0.6 mix\n\n", p)
+
+	// The tradeoff the model quantifies: holding the wait at 2 minutes,
+	// more buffer means fewer streams AND a higher chance that VCR users
+	// release their dedicated stream on resume.
+	fmt.Println("holding w = 2 min: buffer vs streams vs P(hit)")
+	fmt.Printf("%10s %8s %10s\n", "B (min)", "n", "P(hit)")
+	for _, n := range []int{60, 45, 30, 15, 5} {
+		c, err := vodalloc.ConfigForWait(120, 2, n, 1, 3, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := vodalloc.NewModel(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hit, err := m.HitMix(vodalloc.Mix{PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: dur, RW: dur, PAU: dur})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0f %8d %10.4f\n", c.B, c.N, hit)
+	}
+}

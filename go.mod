@@ -1,0 +1,3 @@
+module vodalloc
+
+go 1.22

@@ -1,0 +1,142 @@
+package analytic
+
+import (
+	"math"
+
+	"vodalloc/internal/dist"
+)
+
+// durFn bundles the two functionals of a VCR-duration distribution that
+// the model needs: the CDF F and its running integral G(x) = ∫₀ˣ F(t) dt.
+// G appears when the uniform viewer-position integral is evaluated in
+// closed form (see the package comment). Closed forms of G are used for
+// the families the paper evaluates; any other distribution falls back to
+// a dense precomputed grid (G is C¹, so linear interpolation of a fine
+// grid is accurate to O(h²)).
+type durFn struct {
+	F func(x float64) float64
+	G func(x float64) float64
+}
+
+// gridPoints is the resolution of the generic G fallback grid over [0, l].
+const gridPoints = 8192
+
+// newDurFn builds the (F, G) pair for d, specializing the families with
+// closed-form ∫F. The grid fallback only ever needs G on [0, l]: every
+// G argument in the model is clamped to the movie length before use.
+func newDurFn(d dist.Distribution, l float64) durFn {
+	F := d.CDF
+	switch t := d.(type) {
+	case dist.Exponential:
+		m := t.Mean()
+		return durFn{F: F, G: func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			// ∫₀ˣ (1 − e^{−t/m}) dt = x − m(1 − e^{−x/m}).
+			return x + m*math.Expm1(-x/m)
+		}}
+	case dist.Gamma:
+		k, th := t.Shape(), t.Scale()
+		up := dist.MustGamma(k+1, th) // P(k+1, x/θ) = Gamma(k+1,θ).CDF(x)
+		return durFn{F: F, G: func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			// ∫₀ˣ F = x·P(k, x/θ) − kθ·P(k+1, x/θ).
+			return x*t.CDF(x) - k*th*up.CDF(x)
+		}}
+	case dist.Uniform:
+		lo, hi := t.Support()
+		return durFn{F: F, G: func(x float64) float64 {
+			switch {
+			case x <= lo:
+				return 0
+			case x >= hi:
+				return x - 0.5*(lo+hi)
+			default:
+				return (x - lo) * (x - lo) / (2 * (hi - lo))
+			}
+		}}
+	case dist.Deterministic:
+		v := t.Mean()
+		return durFn{F: F, G: func(x float64) float64 {
+			if x <= v {
+				return 0
+			}
+			return x - v
+		}}
+	default:
+		return durFn{F: F, G: gridG(d, l)}
+	}
+}
+
+// gridG precomputes G(x) = ∫₀ˣ F on [0, l] by cumulative trapezoid over a
+// uniform grid and returns a linear interpolant. Beyond l it extends with
+// the trapezoid of the actual CDF from the last grid point (G' = F ≤ 1),
+// though the model never asks for x > l.
+func gridG(d dist.Distribution, l float64) func(float64) float64 {
+	if !(l > 0) {
+		return func(float64) float64 { return 0 }
+	}
+	h := l / gridPoints
+	cum := make([]float64, gridPoints+1)
+	prev := d.CDF(0)
+	for i := 1; i <= gridPoints; i++ {
+		cur := d.CDF(float64(i) * h)
+		cum[i] = cum[i-1] + 0.5*(prev+cur)*h
+		prev = cur
+	}
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		if x >= l {
+			return cum[gridPoints] + 0.5*(d.CDF(l)+d.CDF(x))*(x-l)
+		}
+		pos := x / h
+		i := int(pos)
+		if i >= gridPoints {
+			i = gridPoints - 1
+		}
+		frac := pos - float64(i)
+		return cum[i] + frac*(cum[i+1]-cum[i])
+	}
+}
+
+// clippedMass computes ∫₀ˡ [F(min(b,c)) − F(min(a,c))] dc for 0 ≤ a ≤ b:
+// the closed-form unconditioning of a hit interval [a, b] over a uniform
+// clip boundary c ~ U[0, l] (times l). This single function realizes the
+// paper's case (a)/(b) split (complete vs. partial hits, Eqs. 4–18): the
+// clip c plays the role of the catch-up horizon.
+func (f durFn) clippedMass(a, b, l float64) float64 {
+	if b <= a || a >= l {
+		return 0
+	}
+	if a < 0 {
+		a = 0
+	}
+	fa := f.F(a)
+	if b >= l {
+		// ∫_a^l (F(c) − F(a)) dc
+		return f.G(l) - f.G(a) - (l-a)*fa
+	}
+	// ∫_a^b (F(c) − F(a)) dc + (l − b)(F(b) − F(a))
+	return f.G(b) - f.G(a) - (b-a)*fa + (l-b)*(f.F(b)-fa)
+}
+
+// mass returns the unclipped probability F(b) − F(a) of the interval,
+// clamped to [0, 1].
+func (f durFn) mass(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	if a < 0 {
+		a = 0
+	}
+	p := f.F(b) - f.F(a)
+	if p < 0 {
+		return 0
+	}
+	return p
+}

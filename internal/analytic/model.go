@@ -1,0 +1,450 @@
+package analytic
+
+import (
+	"math"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/quad"
+)
+
+// Model evaluates the paper's hit-probability equations for one
+// static-partitioning configuration. The zero value is not usable; build
+// with New. Model is immutable after construction and safe for concurrent
+// use.
+type Model struct {
+	cfg     Config
+	uPanels int
+}
+
+// DefaultUPanels is the number of Gauss–Legendre panels used for the
+// remaining one-dimensional quadrature over the partition offset
+// u = Vf − Vc. The integrand is C¹, so 16 panels (320 nodes) deliver
+// ~1e-9 accuracy on the paper's parameter ranges.
+const DefaultUPanels = 16
+
+// New validates cfg and returns a Model for it.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, uPanels: DefaultUPanels}, nil
+}
+
+// MustNew is New that panics on invalid configurations; for tests and
+// package-level tables.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// WithUPanels returns a copy of the model using the given number of
+// quadrature panels (values below 1 select DefaultUPanels).
+func (m *Model) WithUPanels(p int) *Model {
+	c := *m
+	if p < 1 {
+		p = DefaultUPanels
+	}
+	c.uPanels = p
+	return &c
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Op identifies a VCR operation type.
+type Op int
+
+// The three interactive operations the paper models (§2).
+const (
+	FF  Op = iota // fast-forward with viewing
+	RW            // rewind with viewing
+	PAU           // pause
+)
+
+// String returns the conventional abbreviation used in the paper.
+func (o Op) String() string {
+	switch o {
+	case FF:
+		return "FF"
+	case RW:
+		return "RW"
+	case PAU:
+		return "PAU"
+	default:
+		return "Op(?)"
+	}
+}
+
+// intervals describes, for one candidate partition index i and offset u,
+// the duration interval [a, b] that yields a hit, before clipping.
+// ok=false terminates the partition scan.
+type intervalFn func(i int, u float64) (a, b float64, ok bool)
+
+// HitFF returns P(hit | FF) — paper Eq. (21): the probability that a
+// fast-forward of duration drawn from d ends in a hit, either within the
+// viewer's own partition (hit_w, Eqs. 3–8), in a partition ahead
+// (hit_j^i, Eqs. 9–18), or by running off the end of the movie
+// (P(end), Eq. 20). d is the distribution of the movie-time distance
+// swept by the FF operation.
+func (m *Model) HitFF(d dist.Distribution) float64 {
+	f := newDurFn(d, m.cfg.L)
+	end := m.pEnd(f)
+	if m.cfg.B == 0 {
+		// Pure batching: partitions have zero width; only the
+		// ran-off-the-end release remains.
+		return end
+	}
+	return m.clippedSum(f, m.ffIntervals()) + end
+}
+
+// HitRW returns P(hit | RW): the probability that a rewind of duration
+// drawn from d (movie-time distance swept backwards) lands inside a
+// partition behind the viewer. Rewinding past the start of the movie
+// counts as a miss, matching the conservative boundary treatment the
+// paper adopts (§4 discusses the resulting slight underestimate).
+func (m *Model) HitRW(d dist.Distribution) float64 {
+	if m.cfg.B == 0 {
+		return 0
+	}
+	f := newDurFn(d, m.cfg.L)
+	return m.clippedSum(f, m.rwIntervals())
+}
+
+// HitPAU returns P(hit | PAU): the probability that after a pause of
+// wall-clock duration drawn from d some later batch's partition covers
+// the viewer's position. Because the movie restarts every L/N minutes
+// for ever, the hit set is periodic and pauses longer than L need no
+// special handling (the paper's "x mod l" equivalence, §2.1).
+func (m *Model) HitPAU(d dist.Distribution) float64 {
+	if m.cfg.B == 0 {
+		return 0
+	}
+	f := newDurFn(d, m.cfg.L)
+	c := m.cfg
+	span := c.PartitionSize()
+	period := c.RestartInterval()
+	coverage := span / period // long-run fraction of time a position is buffered
+	integrand := func(u float64) float64 {
+		var sum float64
+		for i := 0; ; i++ {
+			a := float64(i)*period - u
+			b := a + span
+			if a < 0 {
+				a = 0
+			}
+			tail := 1 - f.F(a)
+			if tail < pauTailEps {
+				break
+			}
+			if i >= pauExactScan {
+				// Far out in the tail the CDF is nearly constant across
+				// one restart period, so the remaining hit mass is the
+				// long-run coverage fraction of the remaining tail. This
+				// bounds the scan for heavy-tailed pauses (e.g. Pareto)
+				// whose support stretches over millions of periods.
+				sum += tail * coverage
+				break
+			}
+			sum += f.mass(a, b)
+		}
+		return sum
+	}
+	return float64(c.N) / c.B * quad.GaussPanels(integrand, 0, span, m.uPanels)
+}
+
+// pauTailEps terminates the pause partition scan once the remaining tail
+// mass of the duration distribution is negligible.
+const pauTailEps = 1e-12
+
+// pauExactScan bounds the exact per-partition pause scan; beyond it the
+// remaining tail is folded in via the long-run coverage ratio.
+const pauExactScan = 2048
+
+// ffIntervals yields the FF hit intervals: catching the i-th partition
+// ahead (i = 0 is the viewer's own) requires sweeping
+// x ∈ [α·(i·L/N + u − B/N)⁺, α·(i·L/N + u)] movie-minutes (Eq. 1 applied
+// to Δ_jump_l and Δ_jump_f of §3.1.2); the movie-end clip is applied by
+// clippedSum.
+func (m *Model) ffIntervals() intervalFn {
+	c := m.cfg
+	alpha := c.Alpha()
+	period := c.RestartInterval()
+	span := c.PartitionSize()
+	return func(i int, u float64) (float64, float64, bool) {
+		base := float64(i)*period + u
+		a := alpha * (base - span)
+		if a < 0 {
+			a = 0
+		}
+		if a >= c.L {
+			return 0, 0, false
+		}
+		return a, alpha * base, true
+	}
+}
+
+// rwIntervals yields the RW hit intervals: landing in the i-th partition
+// behind requires rewinding x ∈ [γ·(i·L/N − u)⁺, γ·(i·L/N − u + B/N)];
+// the position-0 clip is applied by clippedSum.
+func (m *Model) rwIntervals() intervalFn {
+	c := m.cfg
+	gamma := c.GammaRW()
+	period := c.RestartInterval()
+	span := c.PartitionSize()
+	return func(i int, u float64) (float64, float64, bool) {
+		base := float64(i)*period - u
+		a := gamma * base
+		if a < 0 {
+			a = 0
+		}
+		if a >= c.L {
+			return 0, 0, false
+		}
+		return a, gamma * (base + span), true
+	}
+}
+
+// clippedSum evaluates
+//
+//	N/(L·B) ∫₀^{B/N} Σ_i ∫₀ᴸ [F(min(bᵢ,c)) − F(min(aᵢ,c))] dc du
+//
+// — the hit probability unconditioned over the uniform viewer position
+// (clip boundary c) and the uniform first-viewer offset u.
+func (m *Model) clippedSum(f durFn, iv intervalFn) float64 {
+	c := m.cfg
+	span := c.PartitionSize()
+	integrand := func(u float64) float64 {
+		var sum float64
+		for i := 0; i <= maxPartitionScan; i++ {
+			a, b, ok := iv(i, u)
+			if !ok {
+				break
+			}
+			// The intervals are disjoint and ascending, so everything
+			// still ahead carries at most the duration tail beyond a;
+			// stop once that is negligible. This bounds the scan for
+			// configurations with astronomically many partitions.
+			if 1-f.F(a) < pauTailEps {
+				break
+			}
+			sum += f.clippedMass(a, b, c.L)
+		}
+		return sum
+	}
+	return float64(c.N) / (c.L * c.B) * quad.GaussPanels(integrand, 0, span, m.uPanels)
+}
+
+// pEnd evaluates P(end) = 1 − G(L)/L (paper Eq. 20): the probability a
+// fast-forward carries the viewer past the end of the movie, releasing
+// the phase-1 resources outright.
+func (m *Model) pEnd(f durFn) float64 {
+	p := 1 - f.G(m.cfg.L)/m.cfg.L
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Hit returns the op-specific hit probability.
+func (m *Model) Hit(op Op, d dist.Distribution) float64 {
+	switch op {
+	case FF:
+		return m.HitFF(d)
+	case RW:
+		return m.HitRW(d)
+	default:
+		return m.HitPAU(d)
+	}
+}
+
+// Mix describes the VCR workload mix of paper Eq. (22): the probability
+// that an interactive request is of each type, with a duration
+// distribution per type. Distributions for zero-probability operations
+// may be nil.
+type Mix struct {
+	PFF, PRW, PPAU float64
+	FF, RW, PAU    dist.Distribution
+}
+
+// Validate checks that the probabilities are nonnegative, sum to 1
+// (within 1e-9), and that every positive-probability operation carries a
+// distribution.
+func (x Mix) Validate() error {
+	for _, p := range []float64{x.PFF, x.PRW, x.PPAU} {
+		if p < 0 || math.IsNaN(p) {
+			return cfgErr("mix probability %v must be nonnegative", p)
+		}
+	}
+	if s := x.PFF + x.PRW + x.PPAU; math.Abs(s-1) > 1e-9 {
+		return cfgErr("mix probabilities sum to %v, want 1", s)
+	}
+	if x.PFF > 0 && x.FF == nil {
+		return cfgErr("mix has PFF=%v but no FF distribution", x.PFF)
+	}
+	if x.PRW > 0 && x.RW == nil {
+		return cfgErr("mix has PRW=%v but no RW distribution", x.PRW)
+	}
+	if x.PPAU > 0 && x.PAU == nil {
+		return cfgErr("mix has PPAU=%v but no PAU distribution", x.PPAU)
+	}
+	return nil
+}
+
+// SingleOp returns a Mix that issues only the given operation with
+// duration distribution d.
+func SingleOp(op Op, d dist.Distribution) Mix {
+	switch op {
+	case FF:
+		return Mix{PFF: 1, FF: d}
+	case RW:
+		return Mix{PRW: 1, RW: d}
+	default:
+		return Mix{PPAU: 1, PAU: d}
+	}
+}
+
+// HitMix returns the expected hit probability of paper Eq. (22):
+// P(hit) = P(hit|FF)·P_FF + P(hit|RW)·P_RW + P(hit|PAU)·P_PAU.
+func (m *Model) HitMix(x Mix) (float64, error) {
+	if err := x.Validate(); err != nil {
+		return 0, err
+	}
+	var p float64
+	if x.PFF > 0 {
+		p += x.PFF * m.HitFF(x.FF)
+	}
+	if x.PRW > 0 {
+		p += x.PRW * m.HitRW(x.RW)
+	}
+	if x.PPAU > 0 {
+		p += x.PPAU * m.HitPAU(x.PAU)
+	}
+	return clampProb(p), nil
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Breakdown decomposes a hit probability into the paper's terms: the
+// within-partition component (hit_w), per-partition jump components
+// (hit_j^i for i = 1, 2, …), and for FF the ran-off-the-end component
+// P(end). Total is their sum.
+type Breakdown struct {
+	Op     Op
+	Within float64
+	Jumps  []float64
+	End    float64
+	Total  float64
+}
+
+// BreakdownOf computes the per-term decomposition of Hit(op, d). The
+// sum of the parts equals the corresponding Hit value to quadrature
+// accuracy; tests rely on this identity.
+func (m *Model) BreakdownOf(op Op, d dist.Distribution) Breakdown {
+	bd := Breakdown{Op: op}
+	f := newDurFn(d, m.cfg.L)
+	if op == FF {
+		bd.End = m.pEnd(f)
+	}
+	if m.cfg.B == 0 {
+		bd.Total = bd.End
+		return bd
+	}
+	c := m.cfg
+	span := c.PartitionSize()
+	period := c.RestartInterval()
+	scale := float64(c.N) / (c.L * c.B)
+
+	if op == PAU {
+		// Pause intervals are unclipped and periodic; scan exactly up to
+		// pauExactScan partitions, then lump the remaining tail in via
+		// the long-run coverage ratio (one final jump entry), mirroring
+		// HitPAU.
+		scale = float64(c.N) / c.B
+		coverage := span / period
+		for i := 0; i <= pauExactScan; i++ {
+			var contrib float64
+			if i == pauExactScan {
+				contrib = scale * quad.GaussPanels(func(u float64) float64 {
+					a := math.Max(0, float64(i)*period-u)
+					return (1 - f.F(a)) * coverage
+				}, 0, span, m.uPanels)
+			} else {
+				contrib = scale * quad.GaussPanels(func(u float64) float64 {
+					a := float64(i)*period - u
+					b := a + span
+					if a < 0 {
+						a = 0
+					}
+					return f.mass(a, b)
+				}, 0, span, m.uPanels)
+			}
+			if i == 0 {
+				bd.Within = contrib
+			} else if contrib < 1e-15 {
+				break
+			} else {
+				bd.Jumps = append(bd.Jumps, contrib)
+			}
+		}
+		bd.Total = bd.Within + sum(bd.Jumps)
+		return bd
+	}
+
+	var iv intervalFn
+	switch op {
+	case FF:
+		iv = m.ffIntervals()
+	default:
+		iv = m.rwIntervals()
+	}
+
+	// Hit intervals move strictly right as i grows, so once a partition
+	// index contributes nothing the remainder cannot contribute either.
+	for i := 0; i <= maxPartitionScan; i++ {
+		contrib := scale * quad.GaussPanels(func(u float64) float64 {
+			a, b, ok := iv(i, u)
+			if !ok || 1-f.F(a) < pauTailEps {
+				return 0
+			}
+			return f.clippedMass(a, b, c.L)
+		}, 0, span, m.uPanels)
+		if i == 0 {
+			bd.Within = contrib
+		} else if contrib == 0 {
+			break
+		} else {
+			bd.Jumps = append(bd.Jumps, contrib)
+		}
+	}
+	bd.Total = bd.Within + sum(bd.Jumps) + bd.End
+	return bd
+}
+
+// maxPartitionScan caps every per-partition scan. Real configurations
+// terminate via the movie-end / duration-tail breaks after at most a few
+// thousand iterations (n partitions fit in one movie length); the cap
+// only bounds adversarial parameterizations (astronomical n with
+// degenerate duration distributions) to a predictable worst case.
+const maxPartitionScan = 1 << 16
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"vodalloc/internal/dist"
+)
+
+// Cross-validation of the tech-report-style case derivations for RW and
+// PAU against the unified interval model — the same role
+// TestPaperEquationsMatchUnified plays for FF.
+
+func paperCrossConfigs() []Config {
+	return []Config{
+		cfg(120, 60, 30),
+		cfg(120, 90, 60),
+		cfg(120, 30, 10),
+		cfg(75, 39, 60),
+		cfg(60, 30, 60),
+		cfg(90, 45, 180),
+	}
+}
+
+func TestPaperRWMatchesUnified(t *testing.T) {
+	gam := dist.MustGamma(2, 4)
+	exp := dist.MustExponential(5)
+	for _, c := range paperCrossConfigs() {
+		for _, d := range []dist.Distribution{gam, exp} {
+			m := MustNew(c)
+			unified := m.HitRW(d)
+			paper := m.PaperRW(d)
+			if diff := math.Abs(unified - paper.Total()); diff > 2e-5 {
+				t.Errorf("cfg %+v %T: unified %.8f vs paper %.8f (Δ=%.2e)",
+					c, d, unified, paper.Total(), diff)
+			}
+			// The term split matches the unified breakdown.
+			bd := m.BreakdownOf(RW, d)
+			if diff := math.Abs(bd.Within - paper.HitW); diff > 2e-5 {
+				t.Errorf("cfg %+v: within %.8f vs paper hit_w %.8f", c, bd.Within, paper.HitW)
+			}
+			if diff := math.Abs(sum(bd.Jumps) - paper.Jump); diff > 2e-5 {
+				t.Errorf("cfg %+v: jumps %.8f vs paper %.8f", c, sum(bd.Jumps), paper.Jump)
+			}
+		}
+	}
+}
+
+func TestPaperPAUMatchesUnified(t *testing.T) {
+	gam := dist.MustGamma(2, 4)
+	long := dist.MustExponential(300) // mass well past l exercises periodicity
+	for _, c := range paperCrossConfigs() {
+		for _, d := range []dist.Distribution{gam, long} {
+			m := MustNew(c)
+			unified := m.HitPAU(d)
+			paper := m.PaperPAU(d)
+			if diff := math.Abs(unified - paper.Total()); diff > 2e-5 {
+				t.Errorf("cfg %+v %T: unified %.8f vs paper %.8f (Δ=%.2e)",
+					c, d, unified, paper.Total(), diff)
+			}
+			bd := m.BreakdownOf(PAU, d)
+			if diff := math.Abs(bd.Within - paper.HitW); diff > 2e-5 {
+				t.Errorf("cfg %+v: within %.8f vs paper hit_w %.8f", c, bd.Within, paper.HitW)
+			}
+		}
+	}
+}
+
+func TestPaperRWPureBatching(t *testing.T) {
+	m := MustNew(cfg(120, 0, 240))
+	gam := dist.MustGamma(2, 4)
+	if r := m.PaperRW(gam); r.Total() != 0 {
+		t.Errorf("pure batching RW should be 0, got %+v", r)
+	}
+	if r := m.PaperPAU(gam); r.Total() != 0 {
+		t.Errorf("pure batching PAU should be 0, got %+v", r)
+	}
+}
+
+func TestPaperDerivationsAgainstMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo oracle is slow")
+	}
+	// Close the triangle: case-based derivations against the geometric
+	// Monte-Carlo oracle directly (unified model already matches both).
+	c := cfg(120, 60, 24)
+	m := MustNew(c)
+	gam := dist.MustGamma(2, 4)
+	const trials = 300000
+	rw := m.PaperRW(gam).Total()
+	if mc := mcHit(c, RW, gam, trials, 17); math.Abs(rw-mc) > 0.005 {
+		t.Errorf("RW: paper %.4f vs MC %.4f", rw, mc)
+	}
+	pau := m.PaperPAU(gam).Total()
+	if mc := mcHit(c, PAU, gam, trials, 18); math.Abs(pau-mc) > 0.005 {
+		t.Errorf("PAU: paper %.4f vs MC %.4f", pau, mc)
+	}
+}
+
+func TestPauseHeavyTailUsesCoverageApproximation(t *testing.T) {
+	// A Pareto pause has support over millions of restart periods; the
+	// exact-scan bound plus the coverage-ratio remainder must stay both
+	// fast and accurate against the geometric Monte-Carlo oracle.
+	c := cfg(120, 60, 30)
+	m := MustNew(c)
+	pareto := dist.MustPareto(8*(2.2-1)/2.2, 2.2)
+	got := m.HitPAU(pareto)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("hit %g out of range", got)
+	}
+	if testing.Short() {
+		return
+	}
+	want := mcHit(c, PAU, pareto, 400000, 31)
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("pareto pause: model %.4f vs MC %.4f", got, want)
+	}
+	// The case-based transcription agrees too.
+	if paper := m.PaperPAU(pareto).Total(); math.Abs(got-paper) > 1e-4 {
+		t.Errorf("pareto pause: unified %.5f vs paper %.5f", got, paper)
+	}
+	// And the breakdown still sums.
+	bd := m.BreakdownOf(PAU, pareto)
+	if math.Abs(bd.Total-got) > 1e-9 {
+		t.Errorf("breakdown %.6f vs hit %.6f", bd.Total, got)
+	}
+}
+
+// TestPauseExponentialClosedForm checks HitPAU against an independently
+// derived closed form for exponential pause durations. With period
+// P = L/N, span s = B/N and rate 1/μ, the hit mass given offset u is
+//
+//	F(s−u) + Σ_{i≥1} e^{−(iP−u)/μ}(1 − e^{−s/μ})
+//	  = 1 − e^{−(s−u)/μ} + e^{(u−P)/μ}(1 − e^{−s/μ})/(1 − e^{−P/μ})
+//
+// and integrating u over [0, s] with density 1/s gives
+//
+//	P(hit|PAU) = 1 − (μ/s)(1 − e^{−s/μ})·[e^{−(P−s)/μ}·(-1)… ]
+//
+// — evaluated below without simplification to keep the derivation
+// auditable.
+func TestPauseExponentialClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		c  Config
+		mu float64
+	}{
+		{cfg(120, 60, 30), 8},
+		{cfg(120, 40, 20), 5},
+		{cfg(90, 45, 45), 2},
+		{cfg(120, 30, 10), 40},
+	} {
+		P := tc.c.RestartInterval()
+		s := tc.c.PartitionSize()
+		mu := tc.mu
+		// ∫₀ˢ (1/s)·[1 − e^{−(s−u)/μ}] du = 1 − (μ/s)(1 − e^{−s/μ})
+		within := 1 - mu/s*(1-math.Exp(-s/mu))
+		// ∫₀ˢ (1/s)·e^{(u−P)/μ} du · (1 − e^{−s/μ})/(1 − e^{−P/μ})
+		jumps := (mu / s) * (math.Exp(s/mu) - 1) * math.Exp(-P/mu) *
+			(1 - math.Exp(-s/mu)) / (1 - math.Exp(-P/mu))
+		want := within + jumps
+
+		m := MustNew(tc.c)
+		got := m.HitPAU(dist.MustExponential(mu))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("cfg %+v μ=%g: model %.10f vs closed form %.10f",
+				tc.c, mu, got, want)
+		}
+	}
+}

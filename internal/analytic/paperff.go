@@ -1,0 +1,200 @@
+package analytic
+
+import (
+	"math"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/quad"
+)
+
+// This file transcribes the paper's fast-forward derivation —
+// Eqs. (3) through (21) — case by case, exactly as printed, using direct
+// numerical quadrature. It exists to cross-validate the unified interval
+// formulation in model.go: TestPaperEquationsMatchUnified asserts the two
+// agree to quadrature tolerance.
+//
+// One deliberate nuance: the paper truncates the jump sum at
+// i ≤ ⌊(n(l+wα) − lα)/(lα)⌋ (Eq. 19), which is the largest i whose
+// *complete*-hit region (Eq. 15) is nonempty. Partitions slightly beyond
+// that index can still be reached by *partial* hits (Eqs. 16–18 with their
+// Vc ranges clamped to [0, l]); the unified model includes them. PaperFF
+// therefore exposes both the literal Eq.-19 sum and the extended sum; the
+// extended one matches the unified model, and the difference is the tiny
+// tail the printed equations drop.
+
+// PaperFFResult carries the term-by-term evaluation of the paper's FF
+// equations.
+type PaperFFResult struct {
+	// HitW is P(hit_w | FF), Eqs. (7)+(8).
+	HitW float64
+	// JumpLiteral is Σ_i P(hit_j^i | FF) for i within the Eq. (19) bound.
+	JumpLiteral float64
+	// JumpExtended additionally includes the partial-hit contributions of
+	// partitions beyond the Eq. (19) bound (ranges clamped to [0, l]).
+	JumpExtended float64
+	// End is P(end), Eq. (20).
+	End float64
+}
+
+// TotalLiteral is Eq. (21) exactly as printed.
+func (r PaperFFResult) TotalLiteral() float64 { return r.HitW + r.JumpLiteral + r.End }
+
+// TotalExtended is Eq. (21) with the clamped-range jump sum; it equals
+// Model.HitFF to quadrature accuracy.
+func (r PaperFFResult) TotalExtended() float64 { return r.HitW + r.JumpExtended + r.End }
+
+// paperQuadPanels controls the fixed Gauss panels used for the literal
+// integrals; accuracy ~1e-9 on the paper's smooth integrands.
+const paperQuadPanels = 24
+
+// PaperFF evaluates the paper's FF equations for the model's
+// configuration and the FF-distance distribution d.
+func (m *Model) PaperFF(d dist.Distribution) PaperFFResult {
+	c := m.cfg
+	l := c.L
+	alpha := c.Alpha()
+	span := c.PartitionSize() // B/n
+	F := d.CDF
+
+	var res PaperFFResult
+
+	// P(end), Eq. (20): ∫₀ˡ ∫_{l−Vc}^{∞} f(x) dx · (1/l) dVc.
+	res.End = quad.GaussPanels(func(vc float64) float64 {
+		return 1 - F(l-vc)
+	}, 0, l, paperQuadPanels) / l
+
+	if c.B == 0 {
+		return res
+	}
+
+	pVf := 1 / span // P(V_f) = 1/(B/n)
+	pVc := 1 / l    // P(V_c) = 1/l
+
+	// --- P(hit_w | FF), §3.1.1 ---
+
+	// Eq. (4): case (a), the viewer can catch every possible V_f.
+	paGiven := func(vc float64) float64 {
+		return quad.GaussPanels(func(vf float64) float64 {
+			return F(alpha*(vf-vc)) * pVf // Eq. (3) inside
+		}, vc, vc+span, paperQuadPanels)
+	}
+	// Eq. (6): case (b), catch-up bounded by V_t = (l + (α−1)Vc)/α.
+	pbGiven := func(vc float64) float64 {
+		vt := (l + (alpha-1)*vc) / alpha
+		hi := math.Min(vt, vc+span)
+		var v float64
+		if hi > vc {
+			v += quad.GaussPanels(func(vf float64) float64 {
+				return F(alpha*(vf-vc)) * pVf
+			}, vc, hi, paperQuadPanels)
+		}
+		if vt < vc+span {
+			v += F(alpha*(vt-vc)) * pVf * (vc + span - vt)
+		}
+		return v
+	}
+	split := l - span*alpha // boundary between Eq. (7) and Eq. (8) regions
+	if split < 0 {
+		split = 0
+	}
+	// Eq. (7).
+	res.HitW = quad.GaussPanels(func(vc float64) float64 {
+		return paGiven(vc) * pVc
+	}, 0, split, paperQuadPanels)
+	// Eq. (8).
+	res.HitW += quad.GaussPanels(func(vc float64) float64 {
+		return pbGiven(vc) * pVc
+	}, split, l, paperQuadPanels)
+
+	// --- P(hit_j^i | FF), §3.1.2 ---
+
+	w := c.Wait()
+	iMaxLiteral := int(math.Floor((float64(c.N)*(l+w*alpha) - l*alpha) / (l * alpha))) // Eq. (19)
+
+	jumpTerm := func(i int) float64 {
+		il := float64(i) * l / float64(c.N)
+		// Eq. (9): complete hit given (Vc, Vf).
+		complete := func(vc, vf float64) float64 {
+			djl := il + vf - vc - span // Δ_jump_l
+			djf := il + vf - vc        // Δ_jump_f
+			return F(alpha*djf) - F(alpha*djl)
+		}
+		// Eq. (10): partial hit given (Vc, Vf).
+		partial := func(vc, vf float64) float64 {
+			djl := il + vf - vc - span
+			v := F(l-vc) - F(alpha*djl)
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+		vtOf := func(vc float64) float64 { // below Eq. (10)
+			return (l + (alpha-1)*vc - il*alpha) / alpha
+		}
+		vtpOf := func(vc float64) float64 { // V_t′, below Eq. (14)
+			return (l + (alpha-1)*vc - alpha*(il-c.B/float64(c.N))) / alpha
+		}
+
+		clamp := func(v float64) float64 { return math.Min(l, math.Max(0, v)) }
+		// Region boundaries of Eqs. (15)–(18), clamped to [0, l].
+		b1 := clamp(l - span*alpha - il*alpha) // end of P1 region
+		b2 := clamp(l - il*alpha)              // end of P2/P3 region
+		b3 := clamp(l - (il-span)*alpha)       // end of P4 region
+
+		var total float64
+		// Eq. (15): Vc ∈ [0, b1], Vf over the whole partition, Eq. (11).
+		total += quad.GaussPanels(func(vc float64) float64 {
+			inner := quad.GaussPanels(func(vf float64) float64 {
+				return complete(vc, vf) * pVf
+			}, vc, vc+span, paperQuadPanels)
+			return inner * pVc
+		}, 0, b1, paperQuadPanels)
+		// Eqs. (16)+(17): Vc ∈ [b1, b2]; complete for Vf ≤ V_t (Eq. 12),
+		// partial for Vf ∈ [V_t, Vc + B/n] (Eq. 13).
+		total += quad.GaussPanels(func(vc float64) float64 {
+			vt := vtOf(vc)
+			hi := math.Min(vt, vc+span)
+			var inner float64
+			if hi > vc {
+				inner += quad.GaussPanels(func(vf float64) float64 {
+					return complete(vc, vf) * pVf
+				}, vc, hi, paperQuadPanels)
+			}
+			if vt < vc+span {
+				lo := math.Max(vc, vt)
+				inner += quad.GaussPanels(func(vf float64) float64 {
+					return partial(vc, vf) * pVf
+				}, lo, vc+span, paperQuadPanels)
+			}
+			return inner * pVc
+		}, b1, b2, paperQuadPanels)
+		// Eq. (18): Vc ∈ [b2, b3], partial only, Vf ∈ [Vc, V_t′] (Eq. 14).
+		total += quad.GaussPanels(func(vc float64) float64 {
+			hi := math.Min(vtpOf(vc), vc+span)
+			if hi <= vc {
+				return 0
+			}
+			inner := quad.GaussPanels(func(vf float64) float64 {
+				return partial(vc, vf) * pVf
+			}, vc, hi, paperQuadPanels)
+			return inner * pVc
+		}, b2, b3, paperQuadPanels)
+		return total
+	}
+
+	for i := 1; ; i++ {
+		term := jumpTerm(i)
+		if i <= iMaxLiteral {
+			res.JumpLiteral += term
+		}
+		res.JumpExtended += term
+		// Beyond this index every region is empty: b3 ≤ 0.
+		if l-(float64(i)*l/float64(c.N)-span)*alpha <= 0 {
+			break
+		}
+		if i > maxPartitionScan {
+			break
+		}
+	}
+	return res
+}

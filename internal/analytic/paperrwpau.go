@@ -1,0 +1,181 @@
+package analytic
+
+import (
+	"math"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/quad"
+)
+
+// This file carries the rewind and pause derivations the paper defers to
+// its technical report (CS-TR-96-03, reference [10]): "we derive
+// P(hit|RW) and P(hit|PAU) in a manner similar to the derivation of
+// P(hit|FF)". The case analysis below mirrors the FF structure —
+// complete/partial hits per candidate partition, unconditioned over the
+// first-viewer offset and the viewer position — and serves as a second
+// independent oracle for the unified interval model (model.go), exactly
+// like paperff.go does for fast-forward.
+//
+// Geometry. With γ = R_RW/(R_PB + R_RW) (Eq. 1), a viewer at Vc whose
+// own partition's first viewer is at Vf = Vc + Δ lands in the i-th
+// partition behind (i = 0 is his own) iff the rewind distance x falls in
+//
+//	[γ·(i·l/n − Δ), γ·(i·l/n − Δ + B/n)]
+//
+// truncated above by Vc: rewinding past the start of the movie parks the
+// viewer at position 0, which this model conservatively counts as a miss
+// (§4 discusses the resulting underestimate versus simulation).
+//
+// A pause of duration x is covered by the i-th partition behind iff
+//
+//	x ∈ [i·l/n − Δ, i·l/n − Δ + B/n]
+//
+// with no further truncation: restarts continue for ever and a
+// partition's buffered window survives the end-of-movie drain long
+// enough for any viewer position Vc ≤ l, so the pause hit set is
+// independent of Vc.
+
+// PaperRWResult carries the term-by-term rewind evaluation.
+type PaperRWResult struct {
+	// HitW is P(hit_w | RW): resuming in the viewer's own partition.
+	HitW float64
+	// Jump is Σ_{i≥1} P(hit_j^i | RW): resuming in a partition behind.
+	Jump float64
+}
+
+// Total is P(hit | RW).
+func (r PaperRWResult) Total() float64 { return r.HitW + r.Jump }
+
+// PaperRW evaluates the case-based rewind equations for the model's
+// configuration and rewind-distance distribution d.
+func (m *Model) PaperRW(d dist.Distribution) PaperRWResult {
+	c := m.cfg
+	if c.B == 0 {
+		return PaperRWResult{}
+	}
+	l := c.L
+	gamma := c.GammaRW()
+	span := c.PartitionSize()
+	F := d.CDF
+	pVf := 1 / span
+	pVc := 1 / l
+
+	var res PaperRWResult
+
+	// --- P(hit_w | RW) ---
+	//
+	// Given (Vc, Δ) the hit needs x ≤ min(γ(B/n − Δ), Vc). Case (a):
+	// Vc ≥ γ·B/n, no truncation for any Δ. Case (b): Vc < γ·B/n, the
+	// Vc truncation bites for Δ below Δ* = B/n − Vc/γ.
+	hitWGiven := func(vc float64) float64 {
+		return quad.GaussPanels(func(delta float64) float64 {
+			bound := math.Min(gamma*(span-delta), vc)
+			if bound <= 0 {
+				return 0
+			}
+			return F(bound) * pVf
+		}, 0, span, paperQuadPanels)
+	}
+	split := math.Min(l, gamma*span)
+	// Case (b) region [0, γB/n): integrand has the min() kink, so keep
+	// the regions separate as the report's case analysis does.
+	res.HitW = quad.GaussPanels(func(vc float64) float64 {
+		return hitWGiven(vc) * pVc
+	}, 0, split, paperQuadPanels)
+	res.HitW += quad.GaussPanels(func(vc float64) float64 {
+		return hitWGiven(vc) * pVc
+	}, split, l, paperQuadPanels)
+
+	// --- P(hit_j^i | RW), i ≥ 1 ---
+	for i := 1; ; i++ {
+		il := float64(i) * l / float64(c.N)
+		// Beyond this index even Vc = l cannot reach the partition:
+		// lower bound γ(il/n − B/n)… with Δ ≤ B/n the most reachable
+		// case is Δ = B/n: a = γ(il/n − B/n) must be < l.
+		if gamma*(il-span) >= l {
+			break
+		}
+		term := quad.GaussPanels(func(vc float64) float64 {
+			inner := quad.GaussPanels(func(delta float64) float64 {
+				a := gamma * (il - delta)
+				b := gamma * (il - delta + span)
+				// Complete hit: Vc ≥ b. Partial: a ≤ Vc < b integrates
+				// f up to Vc. Unreachable: Vc < a.
+				hi := math.Min(b, vc)
+				if hi <= a {
+					return 0
+				}
+				return (F(hi) - F(a)) * pVf
+			}, 0, span, paperQuadPanels)
+			return inner * pVc
+		}, 0, l, paperQuadPanels)
+		res.Jump += term
+		if i > maxPartitionScan {
+			break
+		}
+	}
+	return res
+}
+
+// PaperPAUResult carries the term-by-term pause evaluation.
+type PaperPAUResult struct {
+	// HitW is P(hit_w | PAU): the viewer's own partition sweeps back
+	// over him before its window passes.
+	HitW float64
+	// Jump is Σ_{i≥1} P(hit_j^i | PAU): a later batch covers him.
+	Jump float64
+}
+
+// Total is P(hit | PAU).
+func (r PaperPAUResult) Total() float64 { return r.HitW + r.Jump }
+
+// PaperPAU evaluates the case-based pause equations. Durations may be
+// unbounded: the partition pattern is periodic (the paper's "x mod l"
+// remark, §2.1), and the sum over i runs until the tail mass vanishes.
+func (m *Model) PaperPAU(d dist.Distribution) PaperPAUResult {
+	c := m.cfg
+	if c.B == 0 {
+		return PaperPAUResult{}
+	}
+	span := c.PartitionSize()
+	F := d.CDF
+	pVf := 1 / span
+
+	var res PaperPAUResult
+	// hit_w: x ∈ [0, B/n − Δ].
+	res.HitW = quad.GaussPanels(func(delta float64) float64 {
+		return F(span-delta) * pVf
+	}, 0, span, paperQuadPanels)
+
+	// hit_j^i: x ∈ [i·l/n − Δ, i·l/n − Δ + B/n]. Beyond the exact scan
+	// bound the remaining tail is lumped in via the long-run coverage
+	// ratio, mirroring the unified model's heavy-tail handling.
+	period := c.RestartInterval()
+	coverage := span / period
+	for i := 1; i <= maxPartitionScan; i++ {
+		il := float64(i) * period
+		if 1-F(math.Max(0, il-span)) < pauTailEps {
+			break
+		}
+		if i >= pauExactScan {
+			res.Jump += quad.GaussPanels(func(delta float64) float64 {
+				a := math.Max(0, il-delta)
+				return (1 - F(a)) * coverage * pVf
+			}, 0, span, paperQuadPanels)
+			break
+		}
+		res.Jump += quad.GaussPanels(func(delta float64) float64 {
+			a := il - delta
+			b := a + span
+			if a < 0 {
+				a = 0
+			}
+			v := F(b) - F(a)
+			if v < 0 {
+				return 0
+			}
+			return v * pVf
+		}, 0, span, paperQuadPanels)
+	}
+	return res
+}

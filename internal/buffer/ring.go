@@ -1,0 +1,123 @@
+package buffer
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrameRing models one partition's memory at frame granularity: a
+// circular buffer the batch I/O stream produces into (one block of
+// frames per disk round) and enrolled viewers consume from at their own
+// offsets. It makes the paper's δ reserve concrete (§3.1): "when the
+// first viewer in a partition replaces the frames in the buffer, the
+// system will not overwrite the frames not yet viewed by the last
+// viewer" — production happens in bursts of a disk round's worth of
+// frames, so a partition sized exactly to the viewer window overruns
+// the slowest viewer unless δ ≥ one production burst is reserved.
+type FrameRing struct {
+	slots   []int64 // frame number held in each slot, -1 when empty
+	head    int64   // next frame number to produce
+	readers map[int]int64
+	nextID  int
+}
+
+// ErrOverrun is returned by Produce when writing would evict a frame a
+// registered reader has not consumed yet.
+var ErrOverrun = fmt.Errorf("%w: would overwrite an unconsumed frame", ErrBadParam)
+
+// NewFrameRing creates a ring holding capacity frames.
+func NewFrameRing(capacity int) (*FrameRing, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: ring capacity %d", ErrBadParam, capacity)
+	}
+	slots := make([]int64, capacity)
+	for i := range slots {
+		slots[i] = -1
+	}
+	return &FrameRing{slots: slots, readers: map[int]int64{}}, nil
+}
+
+// Capacity returns the ring's frame capacity.
+func (r *FrameRing) Capacity() int { return len(r.slots) }
+
+// Head returns the next frame number the producer will write.
+func (r *FrameRing) Head() int64 { return r.head }
+
+// minReader returns the smallest unconsumed frame across readers, or
+// MaxInt64 with no readers.
+func (r *FrameRing) minReader() int64 {
+	min := int64(math.MaxInt64)
+	for _, at := range r.readers {
+		if at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+// Produce appends n consecutive frames (one disk-round burst). It fails
+// with ErrOverrun — writing nothing — if any of them would evict a frame
+// a reader still needs.
+func (r *FrameRing) Produce(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: produce %d", ErrBadParam, n)
+	}
+	// After writing, frames [head+n−capacity, head+n) remain. Every
+	// reader must sit at or beyond the new tail.
+	newTail := r.head + int64(n) - int64(len(r.slots))
+	if mr := r.minReader(); mr < newTail && mr != int64(math.MaxInt64) {
+		return fmt.Errorf("%w (reader at frame %d, new tail %d)", ErrOverrun, mr, newTail)
+	}
+	for i := int64(0); i < int64(n); i++ {
+		f := r.head + i
+		r.slots[f%int64(len(r.slots))] = f
+	}
+	r.head += int64(n)
+	return nil
+}
+
+// Contains reports whether frame f is currently buffered.
+func (r *FrameRing) Contains(f int64) bool {
+	if f < 0 || f >= r.head {
+		return false
+	}
+	return r.slots[f%int64(len(r.slots))] == f
+}
+
+// AddReader registers a viewer whose next frame is at. It fails if the
+// frame is not buffered (the viewer cannot join this partition).
+func (r *FrameRing) AddReader(at int64) (int, error) {
+	if !r.Contains(at) {
+		return 0, fmt.Errorf("%w: frame %d not buffered", ErrBadParam, at)
+	}
+	id := r.nextID
+	r.nextID++
+	r.readers[id] = at
+	return id, nil
+}
+
+// RemoveReader deregisters a viewer; unknown ids are a no-op.
+func (r *FrameRing) RemoveReader(id int) {
+	delete(r.readers, id)
+}
+
+// ReadNext consumes and returns the reader's next frame. ok=false means
+// the frame is not available (either not yet produced, or the reader was
+// overrun — impossible while producers respect ErrOverrun).
+func (r *FrameRing) ReadNext(id int) (int64, bool) {
+	at, known := r.readers[id]
+	if !known || !r.Contains(at) {
+		return 0, false
+	}
+	r.readers[id] = at + 1
+	return at, true
+}
+
+// Readers returns the number of registered readers.
+func (r *FrameRing) Readers() int { return len(r.readers) }
+
+// DeltaFrames returns the reserve the paper's δ must cover for a
+// production burst of burstFrames: the partition needs
+// window + burst frames of memory so that refreshing a full burst never
+// touches the slowest viewer's window (δ = burst, expressed in frames).
+func DeltaFrames(burstFrames int) int { return burstFrames }

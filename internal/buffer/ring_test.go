@@ -1,0 +1,165 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRingProduceAndContains(t *testing.T) {
+	r, err := NewFrameRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capacity() != 10 || r.Head() != 0 {
+		t.Fatal("fresh ring state")
+	}
+	if err := r.Produce(4); err != nil {
+		t.Fatal(err)
+	}
+	for f := int64(0); f < 4; f++ {
+		if !r.Contains(f) {
+			t.Errorf("frame %d missing", f)
+		}
+	}
+	if r.Contains(4) || r.Contains(-1) {
+		t.Error("phantom frames")
+	}
+	// Wrap beyond capacity evicts the oldest (no readers registered).
+	if err := r.Produce(10); err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(3) {
+		t.Error("frame 3 should be evicted")
+	}
+	if !r.Contains(13) || !r.Contains(4) {
+		t.Error("window [4, 14) should be buffered")
+	}
+	if _, err := NewFrameRing(0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero capacity must fail")
+	}
+	if err := r.Produce(-1); !errors.Is(err, ErrBadParam) {
+		t.Error("negative produce must fail")
+	}
+}
+
+func TestFrameRingReaders(t *testing.T) {
+	r, _ := NewFrameRing(8)
+	_ = r.Produce(5)
+	id, err := r.AddReader(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddReader(7); !errors.Is(err, ErrBadParam) {
+		t.Error("joining at an unbuffered frame must fail")
+	}
+	for want := int64(2); want < 5; want++ {
+		f, ok := r.ReadNext(id)
+		if !ok || f != want {
+			t.Fatalf("read %d ok=%v want %d", f, ok, want)
+		}
+	}
+	// Caught up with the producer: nothing to read.
+	if _, ok := r.ReadNext(id); ok {
+		t.Error("reading past the head should fail")
+	}
+	_ = r.Produce(1)
+	if f, ok := r.ReadNext(id); !ok || f != 5 {
+		t.Errorf("after produce: %d ok=%v", f, ok)
+	}
+	r.RemoveReader(id)
+	if r.Readers() != 0 {
+		t.Error("reader not removed")
+	}
+	if _, ok := r.ReadNext(id); ok {
+		t.Error("removed reader must not read")
+	}
+}
+
+func TestFrameRingOverrunProtection(t *testing.T) {
+	// This is the paper's δ in miniature. Window of 6 frames, reader at
+	// the tail, producer delivering bursts of 3: without slack the burst
+	// would overwrite the reader's frames.
+	r, _ := NewFrameRing(6)
+	_ = r.Produce(6) // frames 0..5 fill the ring
+	id, _ := r.AddReader(0)
+	if err := r.Produce(3); !errors.Is(err, ErrOverrun) {
+		t.Fatalf("burst over an unconsumed tail must fail, got %v", err)
+	}
+	// The failed produce must not have written anything.
+	if !r.Contains(0) || r.Head() != 6 {
+		t.Error("failed produce mutated the ring")
+	}
+	// After the reader advances past the burst span, production succeeds.
+	for i := 0; i < 3; i++ {
+		if _, ok := r.ReadNext(id); !ok {
+			t.Fatal("read failed")
+		}
+	}
+	if err := r.Produce(3); err != nil {
+		t.Fatalf("produce after drain: %v", err)
+	}
+}
+
+func TestDeltaReserveSizesTheRing(t *testing.T) {
+	// With capacity = window + DeltaFrames(burst), a producer delivering
+	// `burst` frames per round never overruns a reader that consumes at
+	// playback rate (one frame per frame-time), exactly the paper's
+	// B′ = B + n·δ accounting.
+	window, burst := 12, 4
+	r, _ := NewFrameRing(window + DeltaFrames(burst))
+	_ = r.Produce(window) // fill the viewer window
+	id, _ := r.AddReader(0)
+	for round := 0; round < 200; round++ {
+		if err := r.Produce(burst); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// The viewer consumes the same number of frames per round.
+		for i := 0; i < burst; i++ {
+			if _, ok := r.ReadNext(id); !ok {
+				t.Fatalf("round %d: viewer starved", round)
+			}
+		}
+	}
+	// Without the δ reserve the very first burst fails.
+	tight, _ := NewFrameRing(window)
+	_ = tight.Produce(window)
+	_, _ = tight.AddReader(0)
+	if err := tight.Produce(burst); !errors.Is(err, ErrOverrun) {
+		t.Errorf("δ-less ring should overrun, got %v", err)
+	}
+}
+
+// Property: a ring never loses frames inside [head−capacity, head) when
+// producers respect the overrun error, and readers only ever see
+// consecutive frames.
+func TestPropertyFrameRingSequentialReads(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		r, err := NewFrameRing(16)
+		if err != nil {
+			return false
+		}
+		_ = r.Produce(8)
+		id, err := r.AddReader(0)
+		if err != nil {
+			return false
+		}
+		expect := int64(0)
+		for _, op := range ops {
+			if op%3 == 0 {
+				_ = r.Produce(int(op % 7)) // may fail with overrun; fine
+			} else {
+				if f, ok := r.ReadNext(id); ok {
+					if f != expect {
+						return false
+					}
+					expect++
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

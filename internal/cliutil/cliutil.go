@@ -1,0 +1,8 @@
+// Package cliutil holds helpers shared by the command-line tools.
+package cliutil
+
+import "vodalloc/internal/dist"
+
+// ParseDist builds a distribution from a "family:params" spec; it
+// delegates to dist.Parse.
+func ParseDist(spec string) (dist.Distribution, error) { return dist.Parse(spec) }

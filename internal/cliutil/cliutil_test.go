@@ -1,0 +1,38 @@
+package cliutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseDistFamilies(t *testing.T) {
+	cases := []struct {
+		spec string
+		mean float64
+	}{
+		{"exp:8", 8},
+		{"gamma:2:4", 8},
+		{"uniform:2:6", 4},
+		{"det:5", 5},
+		{"weibull:1:3", 3},
+	}
+	for _, c := range cases {
+		d, err := ParseDist(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if math.Abs(d.Mean()-c.mean) > 1e-9 {
+			t.Errorf("%s: mean %g want %g", c.spec, d.Mean(), c.mean)
+		}
+	}
+}
+
+func TestParseDistErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "nope:1", "exp", "exp:1:2", "gamma:2", "exp:abc", "uniform:5:1", "gamma:-1:2",
+	} {
+		if _, err := ParseDist(spec); err == nil {
+			t.Errorf("%q: want error", spec)
+		}
+	}
+}

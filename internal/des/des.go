@@ -1,0 +1,158 @@
+// Package des provides a minimal discrete-event simulation kernel: a
+// priority queue of timestamped events, a simulation clock, and
+// deterministic FIFO tie-breaking for simultaneous events.
+//
+// The VOD simulator (internal/sim) runs entirely on this kernel; keeping
+// the kernel free of domain knowledge makes its ordering guarantees easy
+// to test in isolation.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The callback receives the simulation so
+// it can schedule further events.
+type Event struct {
+	time   float64
+	seq    uint64 // FIFO tie-break for equal timestamps
+	index  int    // heap index; -1 once popped or canceled
+	Action func(now float64)
+	// Label optionally names the event for tracing and diagnostics.
+	Label string
+}
+
+// Time returns the event's scheduled time.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether the event has been canceled or already fired.
+func (e *Event) Canceled() bool { return e.index < 0 }
+
+// ErrPastEvent is returned when scheduling before the current clock.
+var ErrPastEvent = errors.New("des: cannot schedule event in the past")
+
+// Kernel is the simulation driver. The zero value is ready to use with a
+// clock at 0. Kernel is not safe for concurrent use; a simulation is a
+// single logical thread of control.
+type Kernel struct {
+	now    float64
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// ScheduleAt registers action to run at absolute time t. Events at equal
+// times fire in scheduling order. It returns the event handle, usable
+// with Cancel.
+func (k *Kernel) ScheduleAt(t float64, label string, action func(now float64)) (*Event, error) {
+	if math.IsNaN(t) || t < k.now {
+		return nil, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, k.now, label)
+	}
+	e := &Event{time: t, seq: k.seq, Action: action, Label: label}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e, nil
+}
+
+// Schedule registers action to run delay time units from now.
+func (k *Kernel) Schedule(delay float64, label string, action func(now float64)) (*Event, error) {
+	return k.ScheduleAt(k.now+delay, label, action)
+}
+
+// Cancel removes a pending event. Canceling a fired or already-canceled
+// event is a no-op returning false.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, e.index)
+	e.index = -1
+	return true
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event returns.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	e.index = -1
+	k.now = e.time
+	k.fired++
+	e.Action(k.now)
+	return true
+}
+
+// RunUntil executes events in timestamp order until the queue empties,
+// the next event lies beyond horizon, or Halt is called. The clock is
+// left at the last executed event (or advanced to horizon when the queue
+// outlives it).
+func (k *Kernel) RunUntil(horizon float64) {
+	k.halted = false
+	for !k.halted && k.queue.Len() > 0 {
+		if k.queue[0].time > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon && (k.queue.Len() == 0 || k.queue[0].time > horizon) {
+		k.now = horizon
+	}
+}
+
+// Run executes events until the queue empties or Halt is called.
+func (k *Kernel) Run() {
+	k.halted = false
+	for !k.halted && k.Step() {
+	}
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,228 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var k Kernel
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		if _, err := k.ScheduleAt(tm, "e", func(now float64) {
+			got = append(got, now)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != 5 || k.Fired() != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+	if k.Now() != 5 {
+		t.Errorf("clock = %g want 5", k.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := k.ScheduleAt(7, "tie", func(float64) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	var k Kernel
+	var at float64
+	if _, err := k.ScheduleAt(10, "outer", func(now float64) {
+		if _, err := k.Schedule(5, "inner", func(now float64) { at = now }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if at != 15 {
+		t.Errorf("relative event at %g want 15", at)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	var k Kernel
+	if _, err := k.ScheduleAt(10, "x", func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if _, err := k.ScheduleAt(5, "past", func(float64) {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("want ErrPastEvent, got %v", err)
+	}
+	if _, err := k.ScheduleAt(math.NaN(), "nan", func(float64) {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("NaN time: want ErrPastEvent, got %v", err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var k Kernel
+	fired := false
+	e, err := k.ScheduleAt(3, "victim", func(float64) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Cancel(e) {
+		t.Error("first cancel should succeed")
+	}
+	if k.Cancel(e) {
+		t.Error("second cancel should be a no-op")
+	}
+	if k.Cancel(nil) {
+		t.Error("nil cancel should be a no-op")
+	}
+	k.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("event should report canceled")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var k Kernel
+	var got []float64
+	events := make([]*Event, 0, 20)
+	for i := 0; i < 20; i++ {
+		tm := float64(i)
+		e, err := k.ScheduleAt(tm, "e", func(now float64) { got = append(got, now) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	// Cancel every third event.
+	want := 0
+	for i, e := range events {
+		if i%3 == 1 {
+			k.Cancel(e)
+		} else {
+			want++
+		}
+	}
+	k.Run()
+	if len(got) != want {
+		t.Errorf("fired %d events, want %d", len(got), want)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("order violated after cancels: %v", got)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var k Kernel
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 10, 20} {
+		tm := tm
+		if _, err := k.ScheduleAt(tm, "e", func(now float64) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(5)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events before horizon, want 3", len(fired))
+	}
+	if k.Now() != 5 {
+		t.Errorf("clock = %g want horizon 5", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Errorf("pending = %d want 2", k.Pending())
+	}
+	k.RunUntil(100)
+	if len(fired) != 5 {
+		t.Errorf("fired %d total, want 5", len(fired))
+	}
+}
+
+func TestHalt(t *testing.T) {
+	var k Kernel
+	count := 0
+	for i := 0; i < 10; i++ {
+		if _, err := k.ScheduleAt(float64(i), "e", func(float64) {
+			count++
+			if count == 4 {
+				k.Halt()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	if count != 4 {
+		t.Errorf("halt after 4: fired %d", count)
+	}
+	// Resume.
+	k.Run()
+	if count != 10 {
+		t.Errorf("resume: fired %d want 10", count)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	var k Kernel
+	if k.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+}
+
+// Property: any random schedule (with nested re-scheduling and cancels)
+// fires events in nondecreasing time order.
+func TestPropertyRandomScheduleOrdered(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var k Kernel
+		var fired []float64
+		var pending []*Event
+		for i := 0; i < 50; i++ {
+			tm := rng.Float64() * 100
+			e, err := k.ScheduleAt(tm, "p", func(now float64) {
+				fired = append(fired, now)
+				if rng.Float64() < 0.3 {
+					_, _ = k.Schedule(rng.Float64()*10, "child", func(now float64) {
+						fired = append(fired, now)
+					})
+				}
+			})
+			if err != nil {
+				return false
+			}
+			pending = append(pending, e)
+		}
+		for _, e := range pending {
+			if rng.Float64() < 0.2 {
+				k.Cancel(e)
+			}
+		}
+		k.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

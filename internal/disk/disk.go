@@ -1,0 +1,180 @@
+// Package disk models the VOD server's disk subsystem as an array of
+// disks, each able to sustain a bounded number of concurrent video
+// streams. An I/O stream — the unit the paper economizes — is a slot on
+// one disk sized by the ratio of disk bandwidth to the video bit rate
+// (paper §5, Example 2: a 5 MB/s SCSI disk carries ten 4 Mbps MPEG-2
+// streams).
+//
+// The array supports a fixed provisioned capacity (allocation fails when
+// exhausted, modeling admission control) or elastic mode (capacity grows
+// on demand and the peak is recorded, used when an experiment measures
+// how many streams a policy needs rather than enforcing a budget).
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrExhausted is returned by Allocate when every provisioned stream slot
+// is in use.
+var ErrExhausted = errors.New("disk: stream slots exhausted")
+
+// ErrBadParam reports invalid constructor parameters.
+var ErrBadParam = errors.New("disk: invalid parameter")
+
+// StreamsPerDisk returns how many streams of rate streamMbps (megabits
+// per second) one disk with bandwidth diskMBps (megabytes per second)
+// sustains: ⌊diskMBps · 8 / streamMbps⌋.
+func StreamsPerDisk(diskMBps, streamMbps float64) int {
+	if !(diskMBps > 0) || !(streamMbps > 0) {
+		return 0
+	}
+	return int(math.Floor(diskMBps * 8 / streamMbps))
+}
+
+// Slot is a lease on one I/O stream. Release it back to the array when
+// the stream ends.
+type Slot struct {
+	disk  int
+	arr   *Array
+	freed bool
+}
+
+// Disk returns the index of the disk carrying this stream.
+func (s *Slot) Disk() int { return s.disk }
+
+// Release returns the slot to the array. Releasing twice is a no-op.
+func (s *Slot) Release() {
+	if s == nil || s.freed {
+		return
+	}
+	s.freed = true
+	s.arr.release(s.disk)
+}
+
+// Array is a collection of identical disks with per-disk stream slots.
+// Not safe for concurrent use; the simulator is single-threaded.
+type Array struct {
+	perDisk int
+	load    []int // streams in use per disk
+	inUse   int
+	peak    int
+	elastic bool
+	limit   int // total stream cap (0 = slots only)
+	// lifetime counters
+	allocs, failures uint64
+}
+
+// NewArray builds an array of numDisks disks, each sustaining perDisk
+// concurrent streams.
+func NewArray(numDisks, perDisk int) (*Array, error) {
+	if numDisks < 1 || perDisk < 1 {
+		return nil, fmt.Errorf("%w: numDisks=%d perDisk=%d must be positive", ErrBadParam, numDisks, perDisk)
+	}
+	return &Array{perDisk: perDisk, load: make([]int, numDisks)}, nil
+}
+
+// NewElastic builds an array that adds disks (of perDisk slots each) as
+// demand requires, never failing allocation. Peak() reports the
+// high-water stream count, the quantity sizing experiments measure.
+func NewElastic(perDisk int) (*Array, error) {
+	if perDisk < 1 {
+		return nil, fmt.Errorf("%w: perDisk=%d must be positive", ErrBadParam, perDisk)
+	}
+	return &Array{perDisk: perDisk, elastic: true}, nil
+}
+
+// NewLimited builds an array provisioned with exactly limit stream slots
+// spread over ⌈limit/perDisk⌉ disks; allocation fails once limit streams
+// are in use even if the last disk has spare slots (the budget, not the
+// spindles, is the constraint being modeled).
+func NewLimited(perDisk, limit int) (*Array, error) {
+	if perDisk < 1 || limit < 1 {
+		return nil, fmt.Errorf("%w: perDisk=%d limit=%d must be positive", ErrBadParam, perDisk, limit)
+	}
+	disks := (limit + perDisk - 1) / perDisk
+	return &Array{perDisk: perDisk, load: make([]int, disks), limit: limit}, nil
+}
+
+// Capacity returns the currently provisioned stream capacity.
+func (a *Array) Capacity() int {
+	c := len(a.load) * a.perDisk
+	if a.limit > 0 && a.limit < c {
+		c = a.limit
+	}
+	return c
+}
+
+// Disks returns the number of disks currently provisioned.
+func (a *Array) Disks() int { return len(a.load) }
+
+// InUse returns the number of allocated streams.
+func (a *Array) InUse() int { return a.inUse }
+
+// Peak returns the maximum concurrent streams observed.
+func (a *Array) Peak() int { return a.peak }
+
+// Allocations returns the lifetime number of successful allocations.
+func (a *Array) Allocations() uint64 { return a.allocs }
+
+// Failures returns the lifetime number of rejected allocations.
+func (a *Array) Failures() uint64 { return a.failures }
+
+// Allocate leases a stream slot on the least-loaded disk, balancing load
+// across spindles. In elastic mode a new disk is provisioned when all
+// are full; otherwise ErrExhausted is returned.
+func (a *Array) Allocate() (*Slot, error) {
+	if a.limit > 0 && a.inUse >= a.limit {
+		a.failures++
+		return nil, fmt.Errorf("%w: %d streams at the provisioned limit", ErrExhausted, a.inUse)
+	}
+	best := -1
+	for i, l := range a.load {
+		if l < a.perDisk && (best == -1 || l < a.load[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		if !a.elastic {
+			a.failures++
+			return nil, fmt.Errorf("%w: %d streams on %d disks", ErrExhausted, a.inUse, len(a.load))
+		}
+		a.load = append(a.load, 0)
+		best = len(a.load) - 1
+	}
+	a.load[best]++
+	a.inUse++
+	a.allocs++
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+	return &Slot{disk: best, arr: a}, nil
+}
+
+func (a *Array) release(diskID int) {
+	a.load[diskID]--
+	a.inUse--
+}
+
+// Utilization returns the fraction of provisioned slots in use
+// (0 when nothing is provisioned).
+func (a *Array) Utilization() float64 {
+	c := a.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(a.inUse) / float64(c)
+}
+
+// MaxDiskLoad returns the highest per-disk stream count, for skew checks.
+func (a *Array) MaxDiskLoad() int {
+	m := 0
+	for _, l := range a.load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -1,0 +1,185 @@
+package disk
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamsPerDiskExample2(t *testing.T) {
+	// Paper Example 2: 5 MB/s disk, 4 Mbps MPEG-2 → 10 streams per disk.
+	if got := StreamsPerDisk(5, 4); got != 10 {
+		t.Errorf("StreamsPerDisk(5,4) = %d want 10", got)
+	}
+	if got := StreamsPerDisk(5, 3); got != 13 { // floor(40/3)
+		t.Errorf("StreamsPerDisk(5,3) = %d want 13", got)
+	}
+	if StreamsPerDisk(0, 4) != 0 || StreamsPerDisk(5, 0) != 0 {
+		t.Error("degenerate rates must give 0")
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(0, 10); !errors.Is(err, ErrBadParam) {
+		t.Error("zero disks must fail")
+	}
+	if _, err := NewArray(3, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero per-disk must fail")
+	}
+	if _, err := NewElastic(0); !errors.Is(err, ErrBadParam) {
+		t.Error("elastic zero per-disk must fail")
+	}
+}
+
+func TestAllocateUntilExhausted(t *testing.T) {
+	a, err := NewArray(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 6 {
+		t.Fatalf("capacity %d want 6", a.Capacity())
+	}
+	var slots []*Slot
+	for i := 0; i < 6; i++ {
+		s, err := a.Allocate()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		slots = append(slots, s)
+	}
+	if a.InUse() != 6 || a.Utilization() != 1 {
+		t.Errorf("in use %d util %g", a.InUse(), a.Utilization())
+	}
+	if _, err := a.Allocate(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("want ErrExhausted, got %v", err)
+	}
+	if a.Failures() != 1 {
+		t.Errorf("failures %d want 1", a.Failures())
+	}
+	slots[0].Release()
+	if a.InUse() != 5 {
+		t.Errorf("after release: in use %d want 5", a.InUse())
+	}
+	if _, err := a.Allocate(); err != nil {
+		t.Errorf("alloc after release failed: %v", err)
+	}
+	if a.Peak() != 6 {
+		t.Errorf("peak %d want 6", a.Peak())
+	}
+}
+
+func TestDoubleReleaseIsNoop(t *testing.T) {
+	a, _ := NewArray(1, 2)
+	s, _ := a.Allocate()
+	s.Release()
+	s.Release()
+	if a.InUse() != 0 {
+		t.Errorf("double release corrupted count: %d", a.InUse())
+	}
+	var nilSlot *Slot
+	nilSlot.Release() // must not panic
+}
+
+func TestLoadBalancing(t *testing.T) {
+	a, _ := NewArray(4, 10)
+	for i := 0; i < 8; i++ {
+		if _, err := a.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Least-loaded placement spreads 8 streams as 2 per disk.
+	if a.MaxDiskLoad() != 2 {
+		t.Errorf("max disk load %d want 2", a.MaxDiskLoad())
+	}
+}
+
+func TestElasticGrows(t *testing.T) {
+	a, err := NewElastic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := a.Allocate(); err != nil {
+			t.Fatalf("elastic alloc %d failed: %v", i, err)
+		}
+	}
+	if a.Disks() != 3 {
+		t.Errorf("disks %d want 3", a.Disks())
+	}
+	if a.Peak() != 25 {
+		t.Errorf("peak %d want 25", a.Peak())
+	}
+	if a.Failures() != 0 {
+		t.Error("elastic must never fail")
+	}
+}
+
+// Property: allocations minus releases always equals InUse, never exceeds
+// capacity in fixed mode, and slots balance across disks within one.
+func TestPropertyConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := NewArray(3, 4)
+		if err != nil {
+			return false
+		}
+		var live []*Slot
+		for op := 0; op < 200; op++ {
+			if rng.Float64() < 0.6 {
+				s, err := a.Allocate()
+				if err == nil {
+					live = append(live, s)
+				} else if a.InUse() != a.Capacity() {
+					return false // failed while slots were free
+				}
+			} else if len(live) > 0 {
+				i := rng.Intn(len(live))
+				live[i].Release()
+				live = append(live[:i], live[i+1:]...)
+			}
+			if a.InUse() != len(live) || a.InUse() > a.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLimitedEnforcesExactCap(t *testing.T) {
+	a, err := NewLimited(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 3 {
+		t.Fatalf("capacity %d want 3", a.Capacity())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Allocate(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Allocate(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("want ErrExhausted at limit, got %v", err)
+	}
+	if a.Peak() != 3 {
+		t.Errorf("peak %d want 3", a.Peak())
+	}
+	// Limit spanning multiple disks.
+	b, err := NewLimited(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Disks() != 3 || b.Capacity() != 5 {
+		t.Errorf("disks=%d capacity=%d want 3, 5", b.Disks(), b.Capacity())
+	}
+	if _, err := NewLimited(0, 5); !errors.Is(err, ErrBadParam) {
+		t.Error("zero perDisk must fail")
+	}
+	if _, err := NewLimited(5, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero limit must fail")
+	}
+}

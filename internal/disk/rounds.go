@@ -1,0 +1,196 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file refines the array's "streams per disk" constant into a
+// first-principles round-based retrieval model — the standard VOD disk
+// scheduling discipline the paper's substrate assumes: time is divided
+// into service rounds; each admitted stream receives one block per round
+// sized to its playback rate; within a round the disk serves requests in
+// SCAN (elevator) order so seek overhead stays bounded. A stream count
+// is admissible when the worst-case round service time fits the round.
+//
+// The paper's Example 2 uses the naive bandwidth ratio (5 MB/s / 0.5 MB/s
+// = 10 streams); the round model shows how mechanical overheads erode
+// that and what round length recovers it.
+
+// Geometry describes a disk's mechanical parameters.
+type Geometry struct {
+	// SeekMinMs is the single-cylinder seek time; SeekMaxMs the
+	// full-stroke seek time, both in milliseconds.
+	SeekMinMs, SeekMaxMs float64
+	// RPM is the spindle speed.
+	RPM float64
+	// TransferMBps is the sustained media transfer rate.
+	TransferMBps float64
+	// Cylinders is the number of cylinders.
+	Cylinders int
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case !(g.SeekMinMs >= 0) || !(g.SeekMaxMs >= g.SeekMinMs):
+		return fmt.Errorf("%w: seek curve [%v, %v]", ErrBadParam, g.SeekMinMs, g.SeekMaxMs)
+	case !(g.RPM > 0):
+		return fmt.Errorf("%w: RPM %v", ErrBadParam, g.RPM)
+	case !(g.TransferMBps > 0):
+		return fmt.Errorf("%w: transfer %v", ErrBadParam, g.TransferMBps)
+	case g.Cylinders < 1:
+		return fmt.Errorf("%w: cylinders %d", ErrBadParam, g.Cylinders)
+	}
+	return nil
+}
+
+// Example2Geometry approximates the paper's 2-GB SCSI disk: 5 MB/s
+// sustained transfer, 5400 RPM, 1–18 ms seek curve, 2000 cylinders.
+func Example2Geometry() Geometry {
+	return Geometry{SeekMinMs: 1, SeekMaxMs: 18, RPM: 5400, TransferMBps: 5, Cylinders: 2000}
+}
+
+// SeekTimeMs returns the time to seek across dist cylinders using the
+// standard square-root seek curve: min + (max−min)·√(d/C).
+func (g Geometry) SeekTimeMs(dist int) float64 {
+	if dist <= 0 {
+		return 0
+	}
+	if dist > g.Cylinders {
+		dist = g.Cylinders
+	}
+	return g.SeekMinMs + (g.SeekMaxMs-g.SeekMinMs)*math.Sqrt(float64(dist)/float64(g.Cylinders))
+}
+
+// RotationMs returns one full rotation in milliseconds (the worst-case
+// rotational latency per request).
+func (g Geometry) RotationMs() float64 {
+	return 60000 / g.RPM
+}
+
+// TransferMs returns the time to transfer kb kilobytes.
+func (g Geometry) TransferMs(kb float64) float64 {
+	return kb / (g.TransferMBps * 1024) * 1000
+}
+
+// RoundConfig couples a geometry with the service-round discipline.
+type RoundConfig struct {
+	G Geometry
+	// RoundSec is the service round length in seconds; each admitted
+	// stream consumes exactly one block per round.
+	RoundSec float64
+	// StreamMbps is the per-stream playback rate in megabits/second.
+	StreamMbps float64
+}
+
+// Validate checks the configuration.
+func (rc RoundConfig) Validate() error {
+	if err := rc.G.Validate(); err != nil {
+		return err
+	}
+	if !(rc.RoundSec > 0) || !(rc.StreamMbps > 0) {
+		return fmt.Errorf("%w: round %v, stream %v", ErrBadParam, rc.RoundSec, rc.StreamMbps)
+	}
+	return nil
+}
+
+// BlockKB returns the per-stream block retrieved each round:
+// rate × round length. (S Mbps = S·125000 bytes/s; / 1024 → KB.)
+func (rc RoundConfig) BlockKB() float64 {
+	return rc.StreamMbps * 125000 * rc.RoundSec / 1024
+}
+
+// WorstRoundMs returns the worst-case service time of a round carrying n
+// streams under SCAN, assuming each round is one monotone sweep (rounds
+// alternate direction, so the head starts at an end): the n seek
+// distances then sum to at most the full stroke, and with the concave
+// square-root seek curve the total seek time is maximized by equal
+// splits — n·seek(C/n) — plus a worst-case rotation and the block
+// transfer per request.
+func (rc RoundConfig) WorstRoundMs(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	per := rc.G.SeekTimeMs(rc.G.Cylinders/n+1) + rc.G.RotationMs() + rc.G.TransferMs(rc.BlockKB())
+	return float64(n) * per
+}
+
+// Admissible reports whether n streams fit the round.
+func (rc RoundConfig) Admissible(n int) bool {
+	return rc.WorstRoundMs(n) <= rc.RoundSec*1000
+}
+
+// MaxStreams returns the largest admissible stream count (0 when even a
+// single stream cannot be served).
+func (rc RoundConfig) MaxStreams() int {
+	if !rc.Admissible(1) {
+		return 0
+	}
+	// WorstRoundMs grows strictly with n; binary search the boundary.
+	lo, hi := 1, 2
+	for rc.Admissible(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1<<20 {
+			return lo // transfer-dominated degenerate geometry
+		}
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if rc.Admissible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Request is one per-stream block retrieval within a round.
+type Request struct {
+	Stream   uint64
+	Cylinder int
+}
+
+// PlanRound orders the round's requests by SCAN (ascending cylinder from
+// the current head position, one sweep) and returns the order together
+// with the round's actual service time in milliseconds. It returns
+// ErrBadParam for requests off the disk.
+func (rc RoundConfig) PlanRound(headCyl int, reqs []Request) ([]Request, float64, error) {
+	for _, r := range reqs {
+		if r.Cylinder < 0 || r.Cylinder >= rc.G.Cylinders {
+			return nil, 0, fmt.Errorf("%w: cylinder %d outside disk", ErrBadParam, r.Cylinder)
+		}
+	}
+	ordered := make([]Request, len(reqs))
+	copy(ordered, reqs)
+	// One-directional sweep: serve everything at or ahead of the head
+	// first (ascending), then wrap to the lowest remaining.
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i].Cylinder, ordered[j].Cylinder
+		aheadA, aheadB := a >= headCyl, b >= headCyl
+		if aheadA != aheadB {
+			return aheadA
+		}
+		return a < b
+	})
+	var ms float64
+	cur := headCyl
+	for _, r := range ordered {
+		d := r.Cylinder - cur
+		if d < 0 {
+			d = -d
+		}
+		ms += rc.G.SeekTimeMs(d) + rc.G.RotationMs() + rc.G.TransferMs(rc.BlockKB())
+		cur = r.Cylinder
+	}
+	return ordered, ms, nil
+}
+
+// NaiveStreams is the paper's Example 2 accounting — the pure bandwidth
+// ratio with no mechanical overhead (StreamsPerDisk).
+func (rc RoundConfig) NaiveStreams() int {
+	return StreamsPerDisk(rc.G.TransferMBps, rc.StreamMbps)
+}

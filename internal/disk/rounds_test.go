@@ -1,0 +1,204 @@
+package disk
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func example2RC(roundSec float64) RoundConfig {
+	return RoundConfig{G: Example2Geometry(), RoundSec: roundSec, StreamMbps: 4}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := Example2Geometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Geometry{
+		{SeekMinMs: 5, SeekMaxMs: 1, RPM: 5400, TransferMBps: 5, Cylinders: 100},
+		{SeekMinMs: 1, SeekMaxMs: 18, RPM: 0, TransferMBps: 5, Cylinders: 100},
+		{SeekMinMs: 1, SeekMaxMs: 18, RPM: 5400, TransferMBps: 0, Cylinders: 100},
+		{SeekMinMs: 1, SeekMaxMs: 18, RPM: 5400, TransferMBps: 5, Cylinders: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); !errors.Is(err, ErrBadParam) {
+			t.Errorf("case %d: want ErrBadParam, got %v", i, err)
+		}
+	}
+}
+
+func TestSeekCurve(t *testing.T) {
+	g := Example2Geometry()
+	if g.SeekTimeMs(0) != 0 {
+		t.Error("zero-distance seek must be free")
+	}
+	if got := g.SeekTimeMs(g.Cylinders); math.Abs(got-18) > 1e-9 {
+		t.Errorf("full stroke %g want 18", got)
+	}
+	if got := g.SeekTimeMs(2 * g.Cylinders); math.Abs(got-18) > 1e-9 {
+		t.Errorf("beyond full stroke must clamp: %g", got)
+	}
+	// Concave: doubling distance less than doubles time.
+	if 2*g.SeekTimeMs(500) <= g.SeekTimeMs(1000) {
+		t.Error("seek curve should be concave")
+	}
+	// One rotation at 5400 RPM is 11.1 ms.
+	if got := g.RotationMs(); math.Abs(got-60000.0/5400) > 1e-9 {
+		t.Errorf("rotation %g", got)
+	}
+}
+
+func TestBlockAndTransferArithmetic(t *testing.T) {
+	rc := example2RC(1)
+	// 4 Mbps for 1 s = 500000 bytes ≈ 488.28 KB.
+	if got := rc.BlockKB(); math.Abs(got-488.28125) > 1e-6 {
+		t.Errorf("block %g KB want 488.28", got)
+	}
+	// Transferring it at 5 MB/s takes ≈ 95.4 ms.
+	if got := rc.G.TransferMs(rc.BlockKB()); math.Abs(got-95.367) > 0.01 {
+		t.Errorf("transfer %g ms want ≈95.4", got)
+	}
+}
+
+func TestMaxStreamsVsNaive(t *testing.T) {
+	// The naive bandwidth ratio (paper Example 2) admits 10 streams; the
+	// round model pays seeks and rotations, so it admits fewer at a
+	// 1-second round, and approaches the naive bound as rounds lengthen
+	// (overhead amortizes).
+	rc := example2RC(1)
+	if rc.NaiveStreams() != 10 {
+		t.Fatalf("naive %d want 10", rc.NaiveStreams())
+	}
+	short := rc.MaxStreams()
+	if short <= 0 || short >= 10 {
+		t.Errorf("1s round admits %d streams; want within (0, 10)", short)
+	}
+	long := example2RC(10).MaxStreams()
+	if long <= short {
+		t.Errorf("longer rounds must admit more: %d vs %d", long, short)
+	}
+	if long > 10 {
+		t.Errorf("round model cannot beat the bandwidth bound: %d", long)
+	}
+	// Consistency with the admissibility predicate.
+	if !rc.Admissible(short) || rc.Admissible(short+1) {
+		t.Error("MaxStreams inconsistent with Admissible")
+	}
+}
+
+func TestMaxStreamsDegenerate(t *testing.T) {
+	// A stream faster than the disk admits nothing.
+	rc := RoundConfig{G: Example2Geometry(), RoundSec: 1, StreamMbps: 100}
+	if got := rc.MaxStreams(); got != 0 {
+		t.Errorf("over-rate stream admitted %d", got)
+	}
+	if err := rc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RoundConfig{G: Example2Geometry(), RoundSec: 0, StreamMbps: 4}).Validate(); !errors.Is(err, ErrBadParam) {
+		t.Error("zero round must fail")
+	}
+}
+
+func TestPlanRoundSCANOrder(t *testing.T) {
+	rc := example2RC(1)
+	reqs := []Request{
+		{Stream: 1, Cylinder: 1500},
+		{Stream: 2, Cylinder: 100},
+		{Stream: 3, Cylinder: 900},
+		{Stream: 4, Cylinder: 1999},
+		{Stream: 5, Cylinder: 400},
+	}
+	ordered, ms, err := rc.PlanRound(800, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending sweep from 800, then wrap: 900, 1500, 1999, 100, 400.
+	want := []uint64{3, 1, 4, 2, 5}
+	for i, r := range ordered {
+		if r.Stream != want[i] {
+			t.Fatalf("SCAN order wrong at %d: got stream %d want %d", i, r.Stream, want[i])
+		}
+	}
+	if ms <= 0 {
+		t.Error("service time must be positive")
+	}
+	// Empty round.
+	_, ms0, err := rc.PlanRound(0, nil)
+	if err != nil || ms0 != 0 {
+		t.Errorf("empty round: %g, %v", ms0, err)
+	}
+	// Off-disk request.
+	if _, _, err := rc.PlanRound(0, []Request{{Cylinder: 2000}}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("off-disk: want ErrBadParam, got %v", err)
+	}
+}
+
+func TestPlanRoundBeatsFCFSOnSeeks(t *testing.T) {
+	// SCAN's seek total must not exceed serving the same requests in
+	// arbitrary arrival order.
+	rc := example2RC(1)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		reqs := make([]Request, 8)
+		for i := range reqs {
+			reqs[i] = Request{Stream: uint64(i), Cylinder: rng.Intn(2000)}
+		}
+		_, scanMs, err := rc.PlanRound(rng.Intn(2000), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FCFS cost of the unsorted order.
+		cur := 0
+		var fcfs float64
+		for _, r := range reqs {
+			d := r.Cylinder - cur
+			if d < 0 {
+				d = -d
+			}
+			fcfs += rc.G.SeekTimeMs(d) + rc.G.RotationMs() + rc.G.TransferMs(rc.BlockKB())
+			cur = r.Cylinder
+		}
+		if scanMs > fcfs+1e-9 {
+			t.Fatalf("trial %d: SCAN %g ms worse than FCFS %g ms", trial, scanMs, fcfs)
+		}
+	}
+}
+
+// Property: admissibility is monotone — if n streams fit, n−1 fit too —
+// and the planned round for MaxStreams requests really fits the round.
+func TestPropertyRoundAdmissionConsistent(t *testing.T) {
+	prop := func(roundDeciSec uint8, mbpsRaw uint8) bool {
+		rc := RoundConfig{
+			G:          Example2Geometry(),
+			RoundSec:   float64(roundDeciSec%40+2) / 10, // 0.2 .. 4.1 s
+			StreamMbps: float64(mbpsRaw%6) + 1,          // 1 .. 6 Mbps
+		}
+		n := rc.MaxStreams()
+		if n == 0 {
+			return true
+		}
+		if !rc.Admissible(n) || (n > 1 && !rc.Admissible(n-1)) {
+			return false
+		}
+		if rc.Admissible(n + 1) {
+			return false
+		}
+		// A worst-case-spread round of n requests, served as one sweep
+		// from the disk's edge (the WorstRoundMs model), fits the bound.
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{Stream: uint64(i), Cylinder: (i + 1) * (rc.G.Cylinders / (n + 1))}
+		}
+		_, ms, err := rc.PlanRound(0, reqs)
+		if err != nil {
+			return false
+		}
+		return ms <= rc.WorstRoundMs(n)+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

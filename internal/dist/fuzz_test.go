@@ -1,0 +1,44 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the spec parser: it must never panic, and any
+// accepted distribution must satisfy the basic CDF contract.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"exp:8", "gamma:2:4", "uniform:0:10", "det:5", "weibull:2:3",
+		"lognormal:0:1", "pareto:2:3",
+		"", "exp", "exp:", "exp:abc", "gamma:2", "::::", "exp:1e308",
+		"uniform:5:1", "pareto:-1:2", "exp:NaN", "exp:Inf", "exp:-0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := Parse(spec)
+		if err != nil {
+			return // rejected specs are fine; panics are not
+		}
+		// Accepted distributions must behave.
+		if d.PDF(1) < 0 {
+			t.Fatalf("%q: negative density", spec)
+		}
+		c0, c1 := d.CDF(0), d.CDF(1e9)
+		if math.IsNaN(c0) || math.IsNaN(c1) || c0 < 0 || c1 > 1 || c0 > c1 {
+			t.Fatalf("%q: CDF contract broken: F(0)=%v F(1e9)=%v", spec, c0, c1)
+		}
+		lo, _ := d.Support()
+		if d.CDF(lo-1) != 0 {
+			t.Fatalf("%q: mass below support", spec)
+		}
+		// Parse must reject anything with non-finite parameters.
+		if strings.ContainsAny(spec, "ni") { // NaN / Inf spellings
+			if m := d.Mean(); math.IsNaN(m) {
+				t.Fatalf("%q: accepted NaN parameterization", spec)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLognormalBasics(t *testing.T) {
+	d := MustLognormal(0, 1)
+	// Median of lognormal(0,1) is e^0 = 1.
+	approx(t, "cdf@median", d.CDF(1), 0.5, 1e-12)
+	approx(t, "mean", d.Mean(), math.Exp(0.5), 1e-12)
+	if d.PDF(-1) != 0 || d.CDF(0) != 0 {
+		t.Error("support must be positive")
+	}
+	m, v := sampleMoments(d, 300000, 21)
+	approx(t, "sample mean", m, d.Mean(), 0.03)
+	// Lognormal kurtosis is enormous, so the sample variance converges
+	// slowly; allow a wide band.
+	approx(t, "sample var", v, d.Variance(), 0.6)
+	// pdf integrates to cdf increment.
+	h := 0.0005
+	var acc float64
+	for x := h; x < 3; x += h {
+		acc += 0.5 * (d.PDF(x) + d.PDF(x+h)) * h
+	}
+	approx(t, "∫pdf", acc, d.CDF(3+h)-d.CDF(h), 1e-4)
+}
+
+func TestLognormalFromMoments(t *testing.T) {
+	d, err := LognormalFromMoments(8, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "mean", d.Mean(), 8, 1e-9)
+	cv := math.Sqrt(d.Variance()) / d.Mean()
+	approx(t, "cv", cv, 0.7, 1e-9)
+	if _, err := LognormalFromMoments(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("zero mean must fail")
+	}
+	if _, err := NewLognormal(0, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero sigma must fail")
+	}
+	if _, err := NewLognormal(math.NaN(), 1); !errors.Is(err, ErrBadParam) {
+		t.Error("NaN mu must fail")
+	}
+}
+
+func TestParetoBasics(t *testing.T) {
+	d := MustPareto(2, 3)
+	approx(t, "mean", d.Mean(), 3, 1e-12)
+	approx(t, "var", d.Variance(), 2*2*3.0/(4*1), 1e-12)
+	if d.CDF(1.9) != 0 || d.PDF(1.9) != 0 {
+		t.Error("below xm must be empty")
+	}
+	approx(t, "cdf", d.CDF(4), 1-math.Pow(0.5, 3), 1e-12)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		approx(t, "quantile inverse", d.CDF(d.Quantile(p)), p, 1e-12)
+	}
+	m, _ := sampleMoments(d, 300000, 22)
+	approx(t, "sample mean", m, 3, 0.05)
+}
+
+func TestParetoInfiniteMoments(t *testing.T) {
+	if !math.IsInf(MustPareto(1, 1).Mean(), 1) {
+		t.Error("alpha=1 mean must be infinite")
+	}
+	if !math.IsInf(MustPareto(1, 2).Variance(), 1) {
+		t.Error("alpha=2 variance must be infinite")
+	}
+	if _, err := NewPareto(0, 2); !errors.Is(err, ErrBadParam) {
+		t.Error("zero xm must fail")
+	}
+	if _, err := NewPareto(1, 0); !errors.Is(err, ErrBadParam) {
+		t.Error("zero alpha must fail")
+	}
+}
+
+func TestHeavyTailSamplesInSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ln := MustLognormal(1, 0.5)
+	pa := MustPareto(2, 2.5)
+	for i := 0; i < 5000; i++ {
+		if v := ln.Sample(rng); v <= 0 {
+			t.Fatalf("lognormal sample %g", v)
+		}
+		if v := pa.Sample(rng); v < 2 {
+			t.Fatalf("pareto sample %g below xm", v)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse builds a distribution from a compact "family:params" spec:
+// exp:mean, gamma:shape:scale, uniform:a:b, det:v, weibull:shape:scale,
+// lognormal:mu:sigma, pareto:xm:alpha. Used by the CLI tools and the
+// JSON catalog format.
+func Parse(spec string) (Distribution, error) {
+	parts := strings.Split(spec, ":")
+	nums := make([]float64, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, badParam("bad parameter %q in %q: %v", p, spec, err)
+		}
+		nums = append(nums, v)
+	}
+	need := func(k int) error {
+		if len(nums) != k {
+			return badParam("%q needs %d parameters, got %d", parts[0], k, len(nums))
+		}
+		return nil
+	}
+	switch parts[0] {
+	case "exp":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewExponential(nums[0])
+	case "gamma":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewGamma(nums[0], nums[1])
+	case "uniform":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewUniform(nums[0], nums[1])
+	case "det":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewDeterministic(nums[0])
+	case "weibull":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewWeibull(nums[0], nums[1])
+	case "lognormal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewLognormal(nums[0], nums[1])
+	case "pareto":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewPareto(nums[0], nums[1])
+	default:
+		return nil, badParam("unknown distribution family %q", parts[0])
+	}
+}

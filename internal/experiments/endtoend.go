@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/workload"
+)
+
+// The end-to-end experiment closes the paper's §5 loop: size the
+// Example 1 system with the analytic model, deploy the plan on the
+// multi-movie simulator, and verify that every movie delivers its wait
+// bound and hit target — including the dedicated-stream reserve the
+// plan implies (EstimateDedicated) against the measured occupancy.
+
+// EndToEndRow is one movie's planned-vs-delivered record.
+type EndToEndRow struct {
+	Movie      string
+	PlannedB   float64
+	PlannedN   int
+	TargetWait float64
+	MaxWait    float64
+	TargetHit  float64
+	PlannedHit float64
+	SimHit     float64
+	Resumes    uint64
+}
+
+// EndToEndResult is the whole deployment's outcome.
+type EndToEndResult struct {
+	Rows []EndToEndRow
+	// PredictedDedicated sums the per-movie reserve estimates;
+	// MeasuredDedicated is the simulator's shared-pool average.
+	PredictedDedicated float64
+	MeasuredDedicated  float64
+	PeakDedicated      int
+	BufferPeak         float64
+}
+
+// EndToEnd runs the full pipeline on the Example 1 catalog with each
+// movie receiving Poisson arrivals at the §4 rate.
+func EndToEnd(o Options) (EndToEndResult, error) {
+	movies := workload.Example1Movies()
+	plan, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, 0, 0)
+	if err != nil {
+		return EndToEndResult{}, err
+	}
+
+	cfg := sim.ServerConfig{
+		Rates:   paperRates,
+		Horizon: o.horizon(),
+		Warmup:  o.warmup(),
+		Seed:    o.seed(),
+	}
+	var predicted float64
+	for i, m := range movies {
+		cfg.Movies = append(cfg.Movies, sim.MovieSetup{
+			Name: m.Name, L: m.Length,
+			B: plan.Allocs[i].B, N: plan.Allocs[i].N,
+			ArrivalRate: arrivalRate,
+			Profile:     m.Profile,
+		})
+		est, err := sizing.EstimateDedicated(analytic.Config{
+			L: m.Length, B: plan.Allocs[i].B, N: plan.Allocs[i].N,
+			RatePB: paperRates.PB, RateFF: paperRates.FF, RateRW: paperRates.RW,
+		}, m.Profile, arrivalRate)
+		if err != nil {
+			return EndToEndResult{}, err
+		}
+		predicted += est.Total
+	}
+
+	srv, err := sim.NewServer(cfg)
+	if err != nil {
+		return EndToEndResult{}, err
+	}
+	sr, err := srv.Run()
+	if err != nil {
+		return EndToEndResult{}, err
+	}
+
+	res := EndToEndResult{
+		PredictedDedicated: predicted,
+		MeasuredDedicated:  sr.AvgDedicated,
+		PeakDedicated:      sr.PeakDedicated,
+		BufferPeak:         sr.BufferPeak,
+	}
+	for i, m := range movies {
+		mr := sr.Movies[m.Name]
+		res.Rows = append(res.Rows, EndToEndRow{
+			Movie:      m.Name,
+			PlannedB:   plan.Allocs[i].B,
+			PlannedN:   plan.Allocs[i].N,
+			TargetWait: m.Wait,
+			MaxWait:    mr.MaxWait,
+			TargetHit:  m.TargetHit,
+			PlannedHit: plan.Allocs[i].Hit,
+			SimHit:     mr.HitProbability(),
+			Resumes:    mr.Hits.N(),
+		})
+	}
+	return res, nil
+}
+
+// PrintEndToEnd renders the verification table.
+func PrintEndToEnd(w io.Writer, r EndToEndResult) {
+	fmt.Fprintln(w, "e2e — Example 1 plan deployed on the multi-movie simulator")
+	fmt.Fprintf(w, "  %-8s %8s %6s %9s %9s %9s %9s %9s\n",
+		"movie", "B*", "n*", "w-target", "w-max", "P*-model", "P-sim", "resumes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8s %8.1f %6d %9.2f %9.3f %9.4f %9.4f %9d\n",
+			row.Movie, row.PlannedB, row.PlannedN, row.TargetWait, row.MaxWait,
+			row.PlannedHit, row.SimHit, row.Resumes)
+	}
+	fmt.Fprintf(w, "  dedicated streams: predicted %.1f, measured %.1f (%.0f%% error), peak %d\n",
+		r.PredictedDedicated, r.MeasuredDedicated,
+		100*math.Abs(r.PredictedDedicated-r.MeasuredDedicated)/math.Max(1e-9, r.MeasuredDedicated),
+		r.PeakDedicated)
+	fmt.Fprintf(w, "  buffer peak: %.1f movie-minutes\n", r.BufferPeak)
+}

@@ -1,0 +1,436 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Figure 7(a)–(d) (model vs. simulation hit probabilities),
+// Figure 8 (feasible buffer/stream pairs), Example 1 (the three-movie
+// minimum-buffer plan against the 1230-stream pure-batching baseline),
+// Figure 9 (cost curves over φ) and Example 2 (the hardware-derived cost
+// model). cmd/vodbench renders them as text; bench_test.go wraps them in
+// testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// Options tunes experiment fidelity. The zero value selects the full
+// paper-scale settings; Quick shrinks simulation horizons for smoke runs
+// and benchmarks.
+type Options struct {
+	// Quick shortens simulations (smaller horizons, fewer sweep points).
+	Quick bool
+	// Seed seeds all simulations (default 1).
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) horizon() float64 {
+	if o.Quick {
+		return 1500
+	}
+	return 6000
+}
+
+func (o Options) warmup() float64 {
+	if o.Quick {
+		return 200
+	}
+	return 500
+}
+
+// Paper-wide §4 parameters.
+const (
+	movieLen    = 120
+	arrivalRate = 0.5 // 1/λ = 2 minutes
+	thinkMean   = 15
+)
+
+var paperRates = vcr.Rates{PB: 1, FF: 3, RW: 3}
+
+// fig7Waits are the maximum-wait curves plotted in Figure 7. The exact
+// values are not legible from the text-only source; these representative
+// values are documented in EXPERIMENTS.md.
+var fig7Waits = []float64{0.25, 0.5, 1, 2}
+
+// gammaDur is the §4 duration distribution: skewed gamma, mean 8
+// (shape 2, scale 4).
+func gammaDur() dist.Distribution { return dist.MustGamma(2, 4) }
+
+// Fig7Point is one (n, model, sim) sample of a Figure 7 curve.
+type Fig7Point struct {
+	N     int
+	B     float64
+	Model float64
+	Sim   float64
+	SimN  uint64 // resumes behind the Sim estimate
+}
+
+// Fig7Series is one constant-w curve.
+type Fig7Series struct {
+	Wait   float64
+	Points []Fig7Point
+}
+
+// Fig7Variant selects the workload of one Figure 7 panel.
+type Fig7Variant int
+
+// The four panels of Figure 7.
+const (
+	Fig7FF Fig7Variant = iota
+	Fig7RW
+	Fig7PAU
+	Fig7Mixed
+)
+
+// String names the panel as in the paper.
+func (v Fig7Variant) String() string {
+	switch v {
+	case Fig7FF:
+		return "fig7a (FF only)"
+	case Fig7RW:
+		return "fig7b (RW only)"
+	case Fig7PAU:
+		return "fig7c (PAU only)"
+	case Fig7Mixed:
+		return "fig7d (mixed 0.2/0.2/0.6)"
+	default:
+		return "fig7?"
+	}
+}
+
+func (v Fig7Variant) profile(dur dist.Distribution) vcr.Profile {
+	think := dist.MustExponential(thinkMean)
+	switch v {
+	case Fig7FF:
+		return vcr.Uniform(vcr.FF, dur, think)
+	case Fig7RW:
+		return vcr.Uniform(vcr.RW, dur, think)
+	case Fig7PAU:
+		return vcr.Uniform(vcr.PAU, dur, think)
+	default:
+		return workload.MixedProfile(dur, think)
+	}
+}
+
+func (v Fig7Variant) modelHit(m *analytic.Model, dur dist.Distribution) float64 {
+	switch v {
+	case Fig7FF:
+		return m.HitFF(dur)
+	case Fig7RW:
+		return m.HitRW(dur)
+	case Fig7PAU:
+		return m.HitPAU(dur)
+	default:
+		p, err := m.HitMix(analytic.Mix{PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: dur, RW: dur, PAU: dur})
+		if err != nil {
+			panic(err) // mix is statically valid
+		}
+		return p
+	}
+}
+
+// nSweep picks the stream counts sampled along one w-curve.
+func nSweep(w float64, quick bool) []int {
+	nMax := int(math.Floor(movieLen / w))
+	points := 12
+	if quick {
+		points = 5
+	}
+	var ns []int
+	for i := 0; i < points; i++ {
+		n := 1 + int(math.Round(float64(i)/float64(points-1)*float64(nMax-1)))
+		if len(ns) > 0 && n == ns[len(ns)-1] {
+			continue
+		}
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// Fig7 regenerates one panel of Figure 7: hit probability versus the
+// number of partitions n, one curve per maximum wait w, analytic model
+// against simulation.
+func Fig7(v Fig7Variant, o Options) ([]Fig7Series, error) {
+	dur := gammaDur()
+	var out []Fig7Series
+	for _, w := range fig7Waits {
+		s := Fig7Series{Wait: w}
+		for _, n := range nSweep(w, o.Quick) {
+			cfg, err := analytic.FromWait(movieLen, w, n, paperRates.PB, paperRates.FF, paperRates.RW)
+			if err != nil {
+				return nil, err
+			}
+			model, err := analytic.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig7Point{N: n, B: cfg.B, Model: v.modelHit(model, dur)}
+
+			sc := sim.Config{
+				L: cfg.L, B: cfg.B, N: cfg.N,
+				Rates:       paperRates,
+				ArrivalRate: arrivalRate,
+				Profile:     v.profile(dur),
+				Horizon:     o.horizon(),
+				Warmup:      o.warmup(),
+				Seed:        o.seed(),
+			}
+			simr, err := sim.New(sc)
+			if err != nil {
+				return nil, err
+			}
+			res, err := simr.Run()
+			if err != nil {
+				return nil, err
+			}
+			pt.Sim = res.HitProbability()
+			pt.SimN = res.Hits.N()
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PrintFig7 renders a panel in the paper's row form.
+func PrintFig7(w io.Writer, v Fig7Variant, series []Fig7Series) {
+	fmt.Fprintf(w, "%s — P(hit) vs n, l=%d, 1/λ=2, dur=Gamma(2,4) mean 8, R_FF=R_RW=3·R_PB\n",
+		v, movieLen)
+	for _, s := range series {
+		fmt.Fprintf(w, "  w = %g min\n", s.Wait)
+		fmt.Fprintf(w, "  %8s %10s %10s %10s %8s\n", "n", "B(min)", "model", "sim", "|Δ|")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  %8d %10.2f %10.4f %10.4f %8.4f\n",
+				p.N, p.B, p.Model, p.Sim, math.Abs(p.Model-p.Sim))
+		}
+	}
+}
+
+// Fig8Result is the feasible set of one Example 1 movie.
+type Fig8Result struct {
+	Movie  workload.Movie
+	Points []sizing.Point
+}
+
+// Fig8 regenerates Figure 8: the (B, n) pairs of the three Example 1
+// movies at 5-minute buffer steps, flagged by the P* = 0.5 target.
+func Fig8(o Options) ([]Fig8Result, error) {
+	var out []Fig8Result
+	for _, m := range workload.Example1Movies() {
+		pts, err := sizing.FeasibleByBufferStep(m, sizing.DefaultRates, 5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Result{Movie: m, Points: pts})
+	}
+	return out, nil
+}
+
+// PrintFig8 renders the feasible sets.
+func PrintFig8(w io.Writer, results []Fig8Result) {
+	fmt.Fprintln(w, "fig8 — feasible (B, n) pairs per movie, 5-minute buffer steps, P* = 0.5")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %s: l=%g w=%g dur-mean=%g\n",
+			r.Movie.Name, r.Movie.Length, r.Movie.Wait, r.Movie.Profile.DurFF.Mean())
+		fmt.Fprintf(w, "  %10s %8s %10s %9s\n", "B(min)", "n", "P(hit)", "feasible")
+		for _, p := range r.Points {
+			mark := ""
+			if p.Feasible {
+				mark = "✓"
+			}
+			fmt.Fprintf(w, "  %10.1f %8d %10.4f %9s\n", p.B, p.N, p.Hit, mark)
+		}
+	}
+}
+
+// Example1Result compares the optimized plan with pure batching.
+type Example1Result struct {
+	Plan         sizing.Plan
+	PureStreams  int
+	StreamsSaved int
+}
+
+// Example1 regenerates the paper's Example 1 optimization.
+func Example1(o Options) (Example1Result, error) {
+	movies := workload.Example1Movies()
+	pure := sizing.PureBatchingStreams(movies)
+	plan, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, pure, 0)
+	if err != nil {
+		return Example1Result{}, err
+	}
+	return Example1Result{Plan: plan, PureStreams: pure, StreamsSaved: pure - plan.TotalStreams}, nil
+}
+
+// PrintExample1 renders the plan in the paper's [(B*,n*), …] form.
+func PrintExample1(w io.Writer, r Example1Result) {
+	fmt.Fprintf(w, "example1 — minimum-buffer pre-allocation, P*=0.5 each (paper: [(39,360),(30,60),(44.5,182)], ΣB=113.5, Σn=602, 628 saved)\n")
+	fmt.Fprintf(w, "  pure batching baseline: %d streams (paper: 1230)\n", r.PureStreams)
+	for _, a := range r.Plan.Allocs {
+		fmt.Fprintf(w, "  %s: (B*=%.1f, n*=%d)  P(hit)=%.4f  w=%g\n", a.Movie, a.B, a.N, a.Hit, a.Wait)
+	}
+	fmt.Fprintf(w, "  totals: ΣB=%.1f movie-minutes, Σn=%d streams, saved=%d streams\n",
+		r.Plan.TotalBuffer, r.Plan.TotalStreams, r.StreamsSaved)
+}
+
+// fig9Phis are the price ratios the paper sweeps in Figure 9.
+var fig9Phis = []float64{3, 4, 6, 10, 11, 16}
+
+// Fig9Curve is one φ panel.
+type Fig9Curve struct {
+	Phi    float64
+	Points []sizing.CurvePoint
+	Min    sizing.CurvePoint
+}
+
+// Fig9 regenerates the six cost-versus-streams curves.
+func Fig9(o Options) ([]Fig9Curve, error) {
+	movies := workload.Example1Movies()
+	maxPts := 40
+	if o.Quick {
+		maxPts = 12
+	}
+	var out []Fig9Curve
+	for _, phi := range fig9Phis {
+		pts, err := sizing.CostCurve(movies, sizing.DefaultRates, phi, maxPts)
+		if err != nil {
+			return nil, err
+		}
+		min, err := sizing.MinCostPoint(pts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig9Curve{Phi: phi, Points: pts, Min: min})
+	}
+	return out, nil
+}
+
+// PrintFig9 renders the curves.
+func PrintFig9(w io.Writer, curves []Fig9Curve) {
+	fmt.Fprintln(w, "fig9 — system cost (units of Cn) vs total I/O streams, φ ∈ {3,4,6,10,11,16}")
+	for _, c := range curves {
+		fmt.Fprintf(w, "  φ = %g  (min cost %.0f at Σn=%d, ΣB=%.1f)\n",
+			c.Phi, c.Min.RelativeCost, c.Min.TotalStreams, c.Min.TotalBuffer)
+		fmt.Fprintf(w, "  %10s %12s %14s\n", "Σn", "ΣB(min)", "cost/Cn")
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "  %10d %12.1f %14.1f\n", p.TotalStreams, p.TotalBuffer, p.RelativeCost)
+		}
+	}
+}
+
+// Example2Result carries the hardware-derived prices.
+type Example2Result struct {
+	Model     sizing.CostModel
+	Phi       float64
+	BestPlan  sizing.CurvePoint
+	DollarMin float64
+}
+
+// Example2 regenerates the paper's Example 2 cost derivation and applies
+// it to the Example 1 system.
+func Example2(o Options) (Example2Result, error) {
+	cm, err := sizing.HardwareCostModel(700, 5, 4, 25)
+	if err != nil {
+		return Example2Result{}, err
+	}
+	pts, err := sizing.CostCurve(workload.Example1Movies(), sizing.DefaultRates, cm.Phi(), 0)
+	if err != nil {
+		return Example2Result{}, err
+	}
+	best, err := sizing.MinCostPoint(pts)
+	if err != nil {
+		return Example2Result{}, err
+	}
+	return Example2Result{
+		Model:     cm,
+		Phi:       cm.Phi(),
+		BestPlan:  best,
+		DollarMin: best.RelativeCost * cm.Cn,
+	}, nil
+}
+
+// PrintExample2 renders the derivation.
+func PrintExample2(w io.Writer, r Example2Result) {
+	fmt.Fprintln(w, "example2 — hardware cost model (paper: Cb=$750, Cn=$70, φ≈11)")
+	fmt.Fprintf(w, "  Cb = $%.0f per buffered movie-minute, Cn = $%.2f per I/O stream, φ = %.2f\n",
+		r.Model.Cb, r.Model.Cn, r.Phi)
+	fmt.Fprintf(w, "  optimal sizing of the Example 1 system: Σn=%d, ΣB=%.1f min, cost=$%.0f\n",
+		r.BestPlan.TotalStreams, r.BestPlan.TotalBuffer, r.DollarMin)
+}
+
+// VerifyRow is one row of the §4 model-vs-simulation agreement table.
+type VerifyRow struct {
+	Variant  Fig7Variant
+	N        int
+	B        float64
+	Model    float64
+	Sim      float64
+	AbsError float64
+}
+
+// VerifyTable runs a compact model-vs-simulation grid across the four
+// workloads — the quantitative form of the paper's §4 validation claim.
+func VerifyTable(o Options) ([]VerifyRow, error) {
+	dur := gammaDur()
+	var rows []VerifyRow
+	configs := []struct {
+		n int
+		b float64
+	}{{30, 90}, {60, 60}, {90, 30}}
+	for _, v := range []Fig7Variant{Fig7FF, Fig7RW, Fig7PAU, Fig7Mixed} {
+		for _, c := range configs {
+			model, err := analytic.New(analytic.Config{
+				L: movieLen, B: c.b, N: c.n,
+				RatePB: paperRates.PB, RateFF: paperRates.FF, RateRW: paperRates.RW,
+			})
+			if err != nil {
+				return nil, err
+			}
+			want := v.modelHit(model, dur)
+			s, err := sim.New(sim.Config{
+				L: movieLen, B: c.b, N: c.n,
+				Rates:       paperRates,
+				ArrivalRate: arrivalRate,
+				Profile:     v.profile(dur),
+				Horizon:     o.horizon(),
+				Warmup:      o.warmup(),
+				Seed:        o.seed(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, VerifyRow{
+				Variant: v, N: c.n, B: c.b,
+				Model: want, Sim: res.HitProbability(),
+				AbsError: math.Abs(want - res.HitProbability()),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintVerifyTable renders the agreement grid.
+func PrintVerifyTable(w io.Writer, rows []VerifyRow) {
+	fmt.Fprintln(w, "verify — model vs simulation (§4), l=120, Gamma(2,4) durations")
+	fmt.Fprintf(w, "  %-28s %6s %8s %9s %9s %9s\n", "workload", "n", "B", "model", "sim", "|Δ|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s %6d %8.0f %9.4f %9.4f %9.4f\n",
+			r.Variant, r.N, r.B, r.Model, r.Sim, r.AbsError)
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 3}
+
+func TestFig7FFShapeAndAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	series, err := Fig7(Fig7FF, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(fig7Waits) {
+		t.Fatalf("want %d curves, got %d", len(fig7Waits), len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) < 3 {
+			t.Fatalf("w=%g: too few points", s.Wait)
+		}
+		// Shape: the model curve decreases along n (B = l − n·w shrinks).
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Model > s.Points[i-1].Model+1e-9 {
+				t.Errorf("w=%g: model hit rose from n=%d to n=%d", s.Wait, s.Points[i-1].N, s.Points[i].N)
+			}
+		}
+		// Agreement: simulation within a few points of the model.
+		for _, p := range s.Points {
+			if math.Abs(p.Model-p.Sim) > 0.06 {
+				t.Errorf("w=%g n=%d: model %.4f vs sim %.4f", s.Wait, p.N, p.Model, p.Sim)
+			}
+		}
+		// Pure-batching right end: hit collapses toward P(end) ≈ 0.07.
+		last := s.Points[len(s.Points)-1]
+		if last.B < 1 && last.Model > 0.15 {
+			t.Errorf("w=%g: right end model %.4f should be near P(end)", s.Wait, last.Model)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, Fig7FF, series)
+	if !strings.Contains(buf.String(), "fig7a") {
+		t.Error("render missing panel name")
+	}
+}
+
+func TestFig8FeasibleSetsExample1(t *testing.T) {
+	results, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 movies, got %d", len(results))
+	}
+	for _, r := range results {
+		feasible := 0
+		for _, p := range r.Points {
+			if p.Feasible {
+				feasible++
+			}
+		}
+		if feasible == 0 {
+			t.Errorf("%s: no feasible points", r.Movie.Name)
+		}
+		// Feasibility is monotone along the frontier: once B is large
+		// enough, it stays feasible.
+		seenFeasible := false
+		for _, p := range r.Points {
+			if p.Feasible {
+				seenFeasible = true
+			} else if seenFeasible {
+				t.Errorf("%s: feasibility not monotone in B", r.Movie.Name)
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, results)
+	if !strings.Contains(buf.String(), "movie3") {
+		t.Error("render missing movie3")
+	}
+}
+
+func TestExample1ReproducesSavingsShape(t *testing.T) {
+	r, err := Example1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PureStreams != 1230 {
+		t.Errorf("pure batching %d want 1230", r.PureStreams)
+	}
+	if r.StreamsSaved < 300 {
+		t.Errorf("saved %d streams; the paper saves 628", r.StreamsSaved)
+	}
+	if r.Plan.TotalBuffer < 30 || r.Plan.TotalBuffer > 225 {
+		t.Errorf("ΣB=%.1f outside the plausible band around the paper's 113.5", r.Plan.TotalBuffer)
+	}
+	var buf bytes.Buffer
+	PrintExample1(&buf, r)
+	if !strings.Contains(buf.String(), "pure batching baseline: 1230") {
+		t.Error("render missing baseline")
+	}
+}
+
+func TestFig9CrossoverShape(t *testing.T) {
+	curves, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 6 {
+		t.Fatalf("want 6 phis, got %d", len(curves))
+	}
+	// Optima migrate rightwards (more streams) as φ grows: expensive
+	// memory favours streams.
+	for i := 1; i < len(curves); i++ {
+		if curves[i].Min.TotalStreams < curves[i-1].Min.TotalStreams {
+			t.Errorf("φ=%g optimum (%d streams) left of φ=%g's (%d)",
+				curves[i].Phi, curves[i].Min.TotalStreams,
+				curves[i-1].Phi, curves[i-1].Min.TotalStreams)
+		}
+	}
+	// φ=11 and 16: memory dominates, optimum at the max-stream end
+	// (paper Fig. 9(e)(f) narrative).
+	for _, c := range curves {
+		right := c.Points[len(c.Points)-1]
+		if c.Phi >= 11 && c.Min.TotalStreams != right.TotalStreams {
+			t.Errorf("φ=%g: optimum should be the right end", c.Phi)
+		}
+		if c.Phi <= 4 && c.Min.TotalStreams == right.TotalStreams {
+			t.Errorf("φ=%g: optimum should move off the right end", c.Phi)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig9(&buf, curves)
+	if !strings.Contains(buf.String(), "φ = 11") {
+		t.Error("render missing phi=11 panel")
+	}
+}
+
+func TestExample2HardwareNumbers(t *testing.T) {
+	r, err := Example2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Model.Cb-750) > 1e-9 || math.Abs(r.Model.Cn-70) > 1e-9 {
+		t.Errorf("prices Cb=%g Cn=%g want 750, 70", r.Model.Cb, r.Model.Cn)
+	}
+	if r.Phi < 10 || r.Phi > 11 {
+		t.Errorf("phi %g want ≈ 11", r.Phi)
+	}
+	if r.DollarMin <= 0 {
+		t.Error("dollar minimum must be positive")
+	}
+	var buf bytes.Buffer
+	PrintExample2(&buf, r)
+	if !strings.Contains(buf.String(), "φ = 10.7") {
+		t.Errorf("render missing phi: %s", buf.String())
+	}
+}
+
+func TestVerifyTableAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	rows, err := VerifyTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("want 12 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper reports close agreement with known RW/PAU
+		// underestimation; 0.08 absolute bounds the quick-mode grid.
+		if r.AbsError > 0.08 {
+			t.Errorf("%v n=%d: |Δ| = %.4f too large (model %.4f, sim %.4f)",
+				r.Variant, r.N, r.AbsError, r.Model, r.Sim)
+		}
+	}
+	var buf bytes.Buffer
+	PrintVerifyTable(&buf, rows)
+	if !strings.Contains(buf.String(), "verify") {
+		t.Error("render missing header")
+	}
+}
+
+func TestPiggybackRecoversDedicatedStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, err := Piggyback(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Slew != 0 {
+		t.Fatalf("rows %+v", rows)
+	}
+	base := rows[0]
+	if base.Merges != 0 {
+		t.Error("disabled piggybacking must not merge")
+	}
+	// Larger slews recover more dedicated-stream occupancy.
+	last := rows[len(rows)-1]
+	if last.AvgDedicated >= base.AvgDedicated {
+		t.Errorf("slew %.2f did not reduce occupancy: %.2f vs %.2f",
+			last.Slew, last.AvgDedicated, base.AvgDedicated)
+	}
+	if last.Merges == 0 {
+		t.Error("no merges at the largest slew")
+	}
+	// The per-resume hit probability itself is policy-independent.
+	for _, r := range rows[1:] {
+		if d := r.Hit - base.Hit; d > 0.05 || d < -0.05 {
+			t.Errorf("slew %.2f moved hit probability: %.4f vs %.4f", r.Slew, r.Hit, base.Hit)
+		}
+	}
+	var buf bytes.Buffer
+	PrintPiggyback(&buf, rows)
+	if !strings.Contains(buf.String(), "piggyback") {
+		t.Error("render missing header")
+	}
+}
+
+func TestEndToEndDeliversTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long pipeline run")
+	}
+	r, err := EndToEnd(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 movies, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MaxWait > row.TargetWait+1e-9 {
+			t.Errorf("%s: wait %.4f exceeds target %.4f", row.Movie, row.MaxWait, row.TargetWait)
+		}
+		if row.SimHit < row.TargetHit-0.05 {
+			t.Errorf("%s: sim hit %.4f far below target %.2f", row.Movie, row.SimHit, row.TargetHit)
+		}
+		if row.PlannedHit < row.TargetHit {
+			t.Errorf("%s: planned hit below target", row.Movie)
+		}
+	}
+	if r.MeasuredDedicated <= 0 {
+		t.Fatal("no dedicated-stream usage measured")
+	}
+	rel := math.Abs(r.PredictedDedicated-r.MeasuredDedicated) / r.MeasuredDedicated
+	if rel > 0.3 {
+		t.Errorf("reserve prediction %.1f vs measured %.1f (%.0f%% off)",
+			r.PredictedDedicated, r.MeasuredDedicated, rel*100)
+	}
+	var buf bytes.Buffer
+	PrintEndToEnd(&buf, r)
+	if !strings.Contains(buf.String(), "e2e") {
+		t.Error("render missing header")
+	}
+}

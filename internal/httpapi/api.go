@@ -1,0 +1,189 @@
+// Package httpapi exposes the model, the sizing optimizer, the reserve
+// estimator and the simulator over a JSON/HTTP interface, so the
+// reproduction is usable from any language. All endpoints are POST with
+// JSON bodies (GET /v1/healthz excepted); errors return status 400 with
+// {"error": "..."}.
+//
+// Endpoints:
+//
+//	POST /v1/hit      — hit probabilities for one configuration
+//	POST /v1/plan     — minimum-buffer multi-movie pre-allocation
+//	POST /v1/curve    — a Figure-9 cost curve
+//	POST /v1/reserve  — dedicated-stream reserve estimate
+//	POST /v1/simulate — one discrete-event simulation run
+//	POST /v1/replicate — R independent replications with pooled CIs
+//	GET  /v1/healthz  — liveness probe
+package httpapi
+
+import (
+	"vodalloc/internal/workload"
+)
+
+// ConfigJSON is the static-partitioning configuration in requests.
+// Rates default to the paper's (1, 3, 3) when zero.
+type ConfigJSON struct {
+	L      float64 `json:"l"`
+	B      float64 `json:"b"`
+	N      int     `json:"n"`
+	RatePB float64 `json:"ratePB,omitempty"`
+	RateFF float64 `json:"rateFF,omitempty"`
+	RateRW float64 `json:"rateRW,omitempty"`
+}
+
+// ProfileJSON is the VCR behaviour in requests; distribution fields use
+// the dist.Parse syntax. The probabilities default to the paper's
+// 0.2/0.2/0.6 mix when all zero; Think defaults to "exp:15".
+type ProfileJSON struct {
+	PFF    float64 `json:"pff,omitempty"`
+	PRW    float64 `json:"prw,omitempty"`
+	PPAU   float64 `json:"ppau,omitempty"`
+	Dur    string  `json:"dur,omitempty"`
+	DurFF  string  `json:"durFF,omitempty"`
+	DurRW  string  `json:"durRW,omitempty"`
+	DurPAU string  `json:"durPAU,omitempty"`
+	Think  string  `json:"think,omitempty"`
+}
+
+// HitRequest asks for the hit probabilities of one configuration.
+type HitRequest struct {
+	Config  ConfigJSON  `json:"config"`
+	Profile ProfileJSON `json:"profile"`
+	// Breakdown additionally returns the hit_w/hit_j/P(end) terms.
+	Breakdown bool `json:"breakdown,omitempty"`
+}
+
+// HitResponse carries the model evaluation.
+type HitResponse struct {
+	HitFF  float64 `json:"hitFF"`
+	HitRW  float64 `json:"hitRW"`
+	HitPAU float64 `json:"hitPAU"`
+	Hit    float64 `json:"hit"`
+	Wait   float64 `json:"maxWait"`
+	// Breakdowns are present when requested, keyed FF/RW/PAU.
+	Breakdowns map[string]BreakdownJSON `json:"breakdowns,omitempty"`
+}
+
+// BreakdownJSON is the per-term decomposition.
+type BreakdownJSON struct {
+	Within float64   `json:"within"`
+	Jumps  []float64 `json:"jumps"`
+	End    float64   `json:"end"`
+	Total  float64   `json:"total"`
+}
+
+// PlanRequest asks for a minimum-buffer pre-allocation.
+type PlanRequest struct {
+	Movies     []workload.MovieSpec `json:"movies"`
+	MaxStreams int                  `json:"maxStreams,omitempty"`
+	MaxBuffer  float64              `json:"maxBuffer,omitempty"`
+}
+
+// PlanResponse carries the plan.
+type PlanResponse struct {
+	Allocs       []AllocJSON `json:"allocs"`
+	TotalStreams int         `json:"totalStreams"`
+	TotalBuffer  float64     `json:"totalBuffer"`
+	PureBatching int         `json:"pureBatchingStreams"`
+}
+
+// AllocJSON is one movie's allocation.
+type AllocJSON struct {
+	Movie string  `json:"movie"`
+	N     int     `json:"n"`
+	B     float64 `json:"b"`
+	Hit   float64 `json:"hit"`
+	Wait  float64 `json:"wait"`
+}
+
+// CurveRequest asks for a cost curve.
+type CurveRequest struct {
+	Movies    []workload.MovieSpec `json:"movies"`
+	Phi       float64              `json:"phi"`
+	MaxPoints int                  `json:"maxPoints,omitempty"`
+}
+
+// CurveResponse carries the curve and its optimum.
+type CurveResponse struct {
+	Points []CurvePointJSON `json:"points"`
+	Min    CurvePointJSON   `json:"min"`
+}
+
+// CurvePointJSON is one curve sample.
+type CurvePointJSON struct {
+	TotalStreams int     `json:"totalStreams"`
+	TotalBuffer  float64 `json:"totalBuffer"`
+	RelativeCost float64 `json:"relativeCost"`
+}
+
+// ReserveRequest asks for a dedicated-stream reserve estimate.
+type ReserveRequest struct {
+	Config  ConfigJSON  `json:"config"`
+	Profile ProfileJSON `json:"profile"`
+	Lambda  float64     `json:"lambda"`
+	// Z is the sizing quantile multiplier (default 2).
+	Z float64 `json:"z,omitempty"`
+}
+
+// ReserveResponse carries the estimate.
+type ReserveResponse struct {
+	Hit          float64 `json:"hit"`
+	OpsPerMinute float64 `json:"opsPerMinute"`
+	Phase1       float64 `json:"phase1"`
+	MissHold     float64 `json:"missHold"`
+	Total        float64 `json:"total"`
+	Reserve      int     `json:"reserve"`
+}
+
+// SimulateRequest asks for one simulation run.
+type SimulateRequest struct {
+	Config    ConfigJSON  `json:"config"`
+	Profile   ProfileJSON `json:"profile"`
+	Lambda    float64     `json:"lambda"`
+	Horizon   float64     `json:"horizon,omitempty"` // default 3000, capped
+	Warmup    float64     `json:"warmup,omitempty"`  // default horizon/10
+	Seed      int64       `json:"seed,omitempty"`
+	Piggyback bool        `json:"piggyback,omitempty"`
+	Slew      float64     `json:"slew,omitempty"`
+}
+
+// SimulateResponse summarizes the run.
+type SimulateResponse struct {
+	Hit            float64            `json:"hit"`
+	HitCI          [2]float64         `json:"hitCI"`
+	Resumes        uint64             `json:"resumes"`
+	HitByKind      map[string]float64 `json:"hitByKind"`
+	MeanWait       float64            `json:"meanWait"`
+	MaxWait        float64            `json:"maxWait"`
+	AvgDedicated   float64            `json:"avgDedicated"`
+	PeakDedicated  int                `json:"peakDedicated"`
+	AvgBatch       float64            `json:"avgBatch"`
+	Arrivals       uint64             `json:"arrivals"`
+	Departures     uint64             `json:"departures"`
+	Merges         uint64             `json:"merges"`
+	ModelHit       float64            `json:"modelHit"`
+	ModelAgreement float64            `json:"modelAbsError"`
+}
+
+// ReplicateRequest asks for R independent replications of a simulation.
+type ReplicateRequest struct {
+	SimulateRequest
+	Replications int `json:"replications"`
+}
+
+// ReplicateResponse summarizes the replication study.
+type ReplicateResponse struct {
+	PooledHit    float64   `json:"pooledHit"`
+	PooledTrials uint64    `json:"pooledTrials"`
+	PerRun       []float64 `json:"perRun"`
+	// CI95 is the replication-based half-width of the hit estimate.
+	CI95         float64 `json:"ci95"`
+	AvgDedicated float64 `json:"avgDedicated"`
+	AvgBatch     float64 `json:"avgBatch"`
+	MaxWait      float64 `json:"maxWait"`
+	ModelHit     float64 `json:"modelHit"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

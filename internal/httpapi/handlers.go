@@ -1,0 +1,409 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// maxSimHorizon bounds simulation requests so one call cannot pin the
+// server arbitrarily long.
+const maxSimHorizon = 50000
+
+// maxBodyBytes bounds request bodies.
+const maxBodyBytes = 1 << 20
+
+// maxStreamsPerMovie bounds n in service requests; the model's cost is
+// linear in n and nothing physical exceeds this.
+const maxStreamsPerMovie = 1 << 20
+
+// NewMux returns the service's routing table.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", handleHealth)
+	mux.HandleFunc("/v1/hit", jsonHandler(handleHit))
+	mux.HandleFunc("/v1/plan", jsonHandler(handlePlan))
+	mux.HandleFunc("/v1/curve", jsonHandler(handleCurve))
+	mux.HandleFunc("/v1/reserve", jsonHandler(handleReserve))
+	mux.HandleFunc("/v1/simulate", jsonHandler(handleSimulate))
+	mux.HandleFunc("/v1/replicate", jsonHandler(handleReplicate))
+	return mux
+}
+
+// maxReplications bounds one replication request.
+const maxReplications = 64
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// jsonHandler adapts a typed POST handler.
+func jsonHandler[Req any, Resp any](fn func(Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		var req Req
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %v", err))
+			return
+		}
+		resp, err := fn(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// toConfig materializes a ConfigJSON with paper-default rates.
+func (c ConfigJSON) toConfig() (analytic.Config, error) {
+	if c.N > maxStreamsPerMovie {
+		return analytic.Config{}, fmt.Errorf("n=%d exceeds the service cap %d", c.N, maxStreamsPerMovie)
+	}
+	cfg := analytic.Config{
+		L: c.L, B: c.B, N: c.N,
+		RatePB: c.RatePB, RateFF: c.RateFF, RateRW: c.RateRW,
+	}
+	if cfg.RatePB == 0 {
+		cfg.RatePB = 1
+	}
+	if cfg.RateFF == 0 {
+		cfg.RateFF = 3 * cfg.RatePB
+	}
+	if cfg.RateRW == 0 {
+		cfg.RateRW = 3 * cfg.RatePB
+	}
+	return cfg, cfg.Validate()
+}
+
+// toProfile materializes a ProfileJSON with paper defaults.
+func (p ProfileJSON) toProfile() (vcr.Profile, error) {
+	parse := func(spec, fallback string) (dist.Distribution, error) {
+		if spec == "" {
+			spec = fallback
+		}
+		if spec == "" {
+			return nil, nil
+		}
+		return dist.Parse(spec)
+	}
+	durDefault := p.Dur
+	if durDefault == "" {
+		durDefault = "gamma:2:4"
+	}
+	durFF, err := parse(p.DurFF, durDefault)
+	if err != nil {
+		return vcr.Profile{}, err
+	}
+	durRW, err := parse(p.DurRW, durDefault)
+	if err != nil {
+		return vcr.Profile{}, err
+	}
+	durPAU, err := parse(p.DurPAU, durDefault)
+	if err != nil {
+		return vcr.Profile{}, err
+	}
+	think, err := parse(p.Think, "exp:15")
+	if err != nil {
+		return vcr.Profile{}, err
+	}
+	pff, prw, ppau := p.PFF, p.PRW, p.PPAU
+	if pff == 0 && prw == 0 && ppau == 0 {
+		pff, prw, ppau = 0.2, 0.2, 0.6
+	}
+	profile := vcr.Profile{
+		PFF: pff, PRW: prw, PPAU: ppau,
+		DurFF: durFF, DurRW: durRW, DurPAU: durPAU,
+		Think: think,
+	}
+	return profile, profile.Validate()
+}
+
+func specsToMovies(specs []workload.MovieSpec) ([]workload.Movie, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no movies in request")
+	}
+	movies := make([]workload.Movie, 0, len(specs))
+	for _, s := range specs {
+		m, err := s.ToMovie()
+		if err != nil {
+			return nil, err
+		}
+		movies = append(movies, m)
+	}
+	return movies, nil
+}
+
+func handleHit(req HitRequest) (HitResponse, error) {
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		return HitResponse{}, err
+	}
+	profile, err := req.Profile.toProfile()
+	if err != nil {
+		return HitResponse{}, err
+	}
+	model, err := analytic.New(cfg)
+	if err != nil {
+		return HitResponse{}, err
+	}
+	resp := HitResponse{
+		HitFF:  model.HitFF(profile.DurFF),
+		HitRW:  model.HitRW(profile.DurRW),
+		HitPAU: model.HitPAU(profile.DurPAU),
+		Wait:   cfg.Wait(),
+	}
+	resp.Hit, err = model.HitMix(sizing.MixFromProfile(profile))
+	if err != nil {
+		return HitResponse{}, err
+	}
+	if req.Breakdown {
+		resp.Breakdowns = map[string]BreakdownJSON{}
+		for op, d := range map[analytic.Op]dist.Distribution{
+			analytic.FF: profile.DurFF, analytic.RW: profile.DurRW, analytic.PAU: profile.DurPAU,
+		} {
+			bd := model.BreakdownOf(op, d)
+			resp.Breakdowns[op.String()] = BreakdownJSON{
+				Within: bd.Within, Jumps: bd.Jumps, End: bd.End, Total: bd.Total,
+			}
+		}
+	}
+	return resp, nil
+}
+
+func handlePlan(req PlanRequest) (PlanResponse, error) {
+	movies, err := specsToMovies(req.Movies)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	plan, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, req.MaxStreams, req.MaxBuffer)
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	resp := PlanResponse{
+		TotalStreams: plan.TotalStreams,
+		TotalBuffer:  plan.TotalBuffer,
+		PureBatching: sizing.PureBatchingStreams(movies),
+	}
+	for _, a := range plan.Allocs {
+		resp.Allocs = append(resp.Allocs, AllocJSON{
+			Movie: a.Movie, N: a.N, B: a.B, Hit: a.Hit, Wait: a.Wait,
+		})
+	}
+	return resp, nil
+}
+
+func handleCurve(req CurveRequest) (CurveResponse, error) {
+	movies, err := specsToMovies(req.Movies)
+	if err != nil {
+		return CurveResponse{}, err
+	}
+	maxPts := req.MaxPoints
+	if maxPts == 0 {
+		maxPts = 100
+	}
+	pts, err := sizing.CostCurve(movies, sizing.DefaultRates, req.Phi, maxPts)
+	if err != nil {
+		return CurveResponse{}, err
+	}
+	min, err := sizing.MinCostPoint(pts)
+	if err != nil {
+		return CurveResponse{}, err
+	}
+	resp := CurveResponse{Min: curvePoint(min)}
+	for _, p := range pts {
+		resp.Points = append(resp.Points, curvePoint(p))
+	}
+	return resp, nil
+}
+
+func curvePoint(p sizing.CurvePoint) CurvePointJSON {
+	return CurvePointJSON{
+		TotalStreams: p.TotalStreams,
+		TotalBuffer:  p.TotalBuffer,
+		RelativeCost: p.RelativeCost,
+	}
+}
+
+func handleReserve(req ReserveRequest) (ReserveResponse, error) {
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		return ReserveResponse{}, err
+	}
+	profile, err := req.Profile.toProfile()
+	if err != nil {
+		return ReserveResponse{}, err
+	}
+	est, err := sizing.EstimateDedicated(cfg, profile, req.Lambda)
+	if err != nil {
+		return ReserveResponse{}, err
+	}
+	z := req.Z
+	if z == 0 {
+		z = 2
+	}
+	return ReserveResponse{
+		Hit:          est.Hit,
+		OpsPerMinute: est.OpsPerMinute,
+		Phase1:       est.Phase1,
+		MissHold:     est.MissHold,
+		Total:        est.Total,
+		Reserve:      est.ReserveFor(z),
+	}, nil
+}
+
+func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	profile, err := req.Profile.toProfile()
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = 3000
+	}
+	if horizon > maxSimHorizon {
+		return SimulateResponse{}, fmt.Errorf("horizon %g exceeds the service cap %d", horizon, maxSimHorizon)
+	}
+	warmup := req.Warmup
+	if warmup == 0 {
+		warmup = horizon / 10
+	}
+	s, err := sim.New(sim.Config{
+		L: cfg.L, B: cfg.B, N: cfg.N,
+		Rates:       vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
+		ArrivalRate: req.Lambda,
+		Profile:     profile,
+		Horizon:     horizon,
+		Warmup:      warmup,
+		Seed:        req.Seed,
+		Piggyback:   req.Piggyback,
+		Slew:        req.Slew,
+	})
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	model, err := analytic.New(cfg)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	modelHit, err := model.HitMix(sizing.MixFromProfile(profile))
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	lo, hi := res.Hits.Wilson95()
+	resp := SimulateResponse{
+		Hit:            res.HitProbability(),
+		HitCI:          [2]float64{lo, hi},
+		Resumes:        res.Hits.N(),
+		HitByKind:      map[string]float64{},
+		MeanWait:       res.Waits.Mean(),
+		MaxWait:        res.MaxWait,
+		AvgDedicated:   res.AvgDedicated,
+		PeakDedicated:  res.PeakDedicated,
+		AvgBatch:       res.AvgBatch,
+		Arrivals:       res.Arrivals,
+		Departures:     res.Departures,
+		Merges:         res.Merges,
+		ModelHit:       modelHit,
+		ModelAgreement: math.Abs(modelHit - res.HitProbability()),
+	}
+	for k, p := range res.HitsByKind {
+		if p.N() > 0 {
+			resp.HitByKind[k.String()] = p.Estimate()
+		}
+	}
+	return resp, nil
+}
+
+func handleReplicate(req ReplicateRequest) (ReplicateResponse, error) {
+	if req.Replications < 2 || req.Replications > maxReplications {
+		return ReplicateResponse{}, fmt.Errorf("replications %d outside [2, %d]", req.Replications, maxReplications)
+	}
+	cfg, err := req.Config.toConfig()
+	if err != nil {
+		return ReplicateResponse{}, err
+	}
+	profile, err := req.Profile.toProfile()
+	if err != nil {
+		return ReplicateResponse{}, err
+	}
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = 3000
+	}
+	if horizon*float64(req.Replications) > maxSimHorizon {
+		return ReplicateResponse{}, fmt.Errorf("replications × horizon %g exceeds the service cap %d",
+			horizon*float64(req.Replications), maxSimHorizon)
+	}
+	warmup := req.Warmup
+	if warmup == 0 {
+		warmup = horizon / 10
+	}
+	rep, err := sim.Replicate(sim.Config{
+		L: cfg.L, B: cfg.B, N: cfg.N,
+		Rates:       vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
+		ArrivalRate: req.Lambda,
+		Profile:     profile,
+		Horizon:     horizon,
+		Warmup:      warmup,
+		Seed:        req.Seed,
+		Piggyback:   req.Piggyback,
+		Slew:        req.Slew,
+	}, req.Replications)
+	if err != nil {
+		return ReplicateResponse{}, err
+	}
+	model, err := analytic.New(cfg)
+	if err != nil {
+		return ReplicateResponse{}, err
+	}
+	modelHit, err := model.HitMix(sizing.MixFromProfile(profile))
+	if err != nil {
+		return ReplicateResponse{}, err
+	}
+	return ReplicateResponse{
+		PooledHit:    rep.HitProbability(),
+		PooledTrials: rep.PooledHits.N(),
+		PerRun:       rep.PerRun,
+		CI95:         rep.HitCI95(),
+		AvgDedicated: rep.AvgDedicated.Mean(),
+		AvgBatch:     rep.AvgBatch.Mean(),
+		MaxWait:      rep.MaxWait,
+		ModelHit:     modelHit,
+	}, nil
+}

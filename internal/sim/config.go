@@ -1,0 +1,132 @@
+// Package sim implements the discrete-event simulator of the paper's VOD
+// server (§4): a static-partitioning batch scheduler with per-partition
+// buffering, Poisson viewer arrivals, interactive VCR behaviour, and the
+// phase-1/phase-2 resource lifecycle of VCR requests. It measures the
+// empirical hit probability the analytic model predicts, along with the
+// resource occupancy statistics used by the system-sizing experiments.
+//
+// Faithfulness notes (the same boundary semantics the paper discusses in
+// §4's model-vs-simulation comparison):
+//
+//   - Viewers arriving after an enrollment window closes queue up and all
+//     join the next restart at position 0 ("become part of the first
+//     viewer"), so member offsets are not perfectly uniform.
+//   - A resume at position 0 is a hit when the youngest partition's
+//     enrollment window is still open, which the analytic model
+//     conservatively counts as a miss.
+//   - A partition's buffered window survives span minutes after its
+//     stream head passes the movie end (the drain phase) while trailing
+//     viewers finish.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vodalloc/internal/trace"
+	"vodalloc/internal/vcr"
+)
+
+// ErrBadConfig reports an invalid simulator configuration.
+var ErrBadConfig = errors.New("sim: invalid configuration")
+
+// Config parameterizes one simulation run of a single popular movie.
+type Config struct {
+	// L is the movie length in minutes; B the total playback buffer in
+	// movie-minutes; N the number of batch I/O streams (the movie
+	// restarts every L/N minutes). These mirror analytic.Config.
+	L, B float64
+	N    int
+	// Delta is the per-partition reserve δ charged to the buffer pool but
+	// unusable for enrollment (paper §3.1). Usually 0 in experiments
+	// because the paper nets it out of B.
+	Delta float64
+	// Rates are the display rates (PB, FF, RW).
+	Rates vcr.Rates
+	// ArrivalRate is the Poisson arrival rate λ of viewers per minute
+	// (the paper's §4 experiments use 1/λ = 2 minutes).
+	ArrivalRate float64
+	// Profile describes VCR behaviour. A profile with nil Think issues no
+	// VCR requests (pure normal playback).
+	Profile vcr.Profile
+	// Horizon is the simulated duration in minutes; Warmup discards
+	// measurements before that time.
+	Horizon, Warmup float64
+	// Seed seeds the run's random number generator.
+	Seed int64
+	// Piggyback enables rate-slewing merges after a miss [7]; Slew is the
+	// display-rate adjustment fraction (default 0.05 when Piggyback).
+	Piggyback bool
+	Slew      float64
+	// MaxDedicated caps concurrent dedicated (phase-1) I/O streams;
+	// 0 means unlimited (the experiments measure demand rather than
+	// enforce a budget).
+	MaxDedicated int
+	// StreamsPerDisk controls placement granularity of dedicated streams
+	// on the simulated disk array (default 10, Example 2's figure).
+	StreamsPerDisk int
+	// Tracer, when non-nil, receives a structured event at every viewer
+	// and stream transition (see internal/trace).
+	Tracer trace.Tracer
+	// AbandonMean, when positive, gives viewers exponential patience with
+	// this mean; impatient viewers leave early (failure injection).
+	AbandonMean float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case !(c.L > 0) || math.IsInf(c.L, 0):
+		return fmt.Errorf("%w: movie length %v", ErrBadConfig, c.L)
+	case math.IsNaN(c.B) || c.B < 0 || c.B > c.L:
+		return fmt.Errorf("%w: buffer %v outside [0, %v]", ErrBadConfig, c.B, c.L)
+	case c.N < 1:
+		return fmt.Errorf("%w: stream count %d", ErrBadConfig, c.N)
+	case c.Delta < 0 || math.IsNaN(c.Delta):
+		return fmt.Errorf("%w: delta %v", ErrBadConfig, c.Delta)
+	case !(c.ArrivalRate > 0):
+		return fmt.Errorf("%w: arrival rate %v", ErrBadConfig, c.ArrivalRate)
+	case !(c.Horizon > 0):
+		return fmt.Errorf("%w: horizon %v", ErrBadConfig, c.Horizon)
+	case c.Warmup < 0 || c.Warmup >= c.Horizon:
+		return fmt.Errorf("%w: warmup %v outside [0, horizon)", ErrBadConfig, c.Warmup)
+	case c.MaxDedicated < 0:
+		return fmt.Errorf("%w: max dedicated %d", ErrBadConfig, c.MaxDedicated)
+	case c.Piggyback && !(c.slew() > 0 && c.slew() < 1):
+		return fmt.Errorf("%w: slew %v outside (0, 1)", ErrBadConfig, c.Slew)
+	case c.AbandonMean < 0 || math.IsNaN(c.AbandonMean):
+		return fmt.Errorf("%w: abandon mean %v", ErrBadConfig, c.AbandonMean)
+	}
+	if err := c.Rates.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if c.Profile.Interactive() {
+		if err := c.Profile.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	return nil
+}
+
+// span returns the per-partition window B/N.
+func (c Config) span() float64 { return c.B / float64(c.N) }
+
+// period returns the restart interval L/N.
+func (c Config) period() float64 { return c.L / float64(c.N) }
+
+// slew returns the effective piggyback slew fraction.
+func (c Config) slew() float64 {
+	if c.Slew == 0 {
+		return 0.05
+	}
+	return c.Slew
+}
+
+// streamsPerDisk returns the effective disk placement granularity.
+func (c Config) streamsPerDisk() int {
+	if c.StreamsPerDisk <= 0 {
+		return 10
+	}
+	return c.StreamsPerDisk
+}

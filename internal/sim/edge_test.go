@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/vcr"
+)
+
+// Edge configurations of the static-partitioning scheme.
+
+func TestFullBufferEliminatesWaitingAndPauseMisses(t *testing.T) {
+	// B = L: partitions tile the whole movie; every arrival enrolls
+	// immediately (w = 0) and every pause resumes inside a window.
+	c := baseConfig()
+	c.B = c.L // w = 0
+	c.Profile = vcr.Uniform(vcr.PAU, dist.MustGamma(2, 4), dist.MustExponential(15))
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QueuedArrivals != 0 {
+		t.Errorf("full buffer queued %d arrivals", r.QueuedArrivals)
+	}
+	if r.MaxWait != 0 {
+		t.Errorf("full buffer max wait %g", r.MaxWait)
+	}
+	if hit := r.HitProbability(); hit < 0.995 {
+		t.Errorf("full-buffer pause hit %.4f want ≈1", hit)
+	}
+}
+
+func TestSinglePartitionMovie(t *testing.T) {
+	// N = 1: one stream, a single B-minute window, restart every L
+	// minutes. The degenerate end of every formula.
+	c := baseConfig()
+	c.N = 1
+	c.B = 30 // w = 90
+	c.Horizon = 4000
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := (c.L - c.B) / 1
+	if r.MaxWait > w+1e-9 {
+		t.Errorf("max wait %.2f exceeds %g", r.MaxWait, w)
+	}
+	// Batch streams alternate between 1 (reading) and 0 — average < 1...
+	// the stream reads for L of every L minutes, so ≈ 1.
+	if r.AvgBatch < 0.9 || r.AvgBatch > 1.1 {
+		t.Errorf("avg batch %.3f want ≈1", r.AvgBatch)
+	}
+	model := analytic.MustNew(analytic.Config{L: c.L, B: c.B, N: 1, RatePB: 1, RateFF: 3, RateRW: 3})
+	gam := dist.MustGamma(2, 4)
+	want, err := model.HitMix(analytic.Mix{PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: gam, RW: gam, PAU: gam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 1 with B = 30 is where the paper's uniform-offset approximation
+	// is weakest: 75% of arrivals queue and coalesce at lag 0 ("become
+	// part of the first viewer", §4), where within-partition hits are
+	// impossible. Lock in the documented direction and magnitude: the
+	// simulator sits well below the model, but not absurdly so.
+	got := r.HitProbability()
+	if got >= want {
+		t.Errorf("n=1 coalescing should depress the simulated hit: sim %.4f vs model %.4f", got, want)
+	}
+	if want-got > 0.40 {
+		t.Errorf("n=1 gap %.4f implausibly large", want-got)
+	}
+}
+
+func TestPureBatchingWithVCRHoldsStreamsToTheEnd(t *testing.T) {
+	// B = 0 with interactive viewers: every non-end resume misses, so a
+	// viewer's first FF/RW pins a dedicated stream until the movie ends.
+	c := baseConfig()
+	c.B = 0
+	c.N = 60
+	c.Profile = vcr.Uniform(vcr.FF, dist.MustGamma(2, 4), dist.MustExponential(15))
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hits can only be end-runs.
+	if r.Hits.Successes() != r.EndRuns {
+		t.Errorf("pure batching hits %d != end runs %d", r.Hits.Successes(), r.EndRuns)
+	}
+	model := analytic.MustNew(analytic.Config{L: c.L, B: 0, N: 60, RatePB: 1, RateFF: 3, RateRW: 3})
+	want := model.HitFF(dist.MustGamma(2, 4)) // = P(end) only
+	if math.Abs(r.HitProbability()-want) > 0.02 {
+		t.Errorf("pure batching: sim %.4f vs model P(end) %.4f", r.HitProbability(), want)
+	}
+	// Dedicated occupancy is heavy: misses hold to the end.
+	if r.AvgDedicated < 20 {
+		t.Errorf("avg dedicated %.1f suspiciously light for hold-to-end", r.AvgDedicated)
+	}
+}
+
+func TestShortMovieManyRestarts(t *testing.T) {
+	// A 10-minute clip restarted every 30 seconds: exercises fine-grained
+	// partitions and frequent expiry handling.
+	gam := dist.MustGamma(1, 1) // mean 1 minute ops
+	c := Config{
+		L: 10, B: 5, N: 20,
+		Rates:       testRates,
+		ArrivalRate: 2,
+		Profile:     vcr.Profile{PFF: 0.5, PRW: 0.5, DurFF: gam, DurRW: gam, Think: dist.MustExponential(2)},
+		Horizon:     2000,
+		Warmup:      100,
+		Seed:        4,
+	}
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals != r.Departures+r.InSystem {
+		t.Error("conservation broken on short movie")
+	}
+	model := analytic.MustNew(analytic.Config{L: 10, B: 5, N: 20, RatePB: 1, RateFF: 3, RateRW: 3})
+	want, err := model.HitMix(analytic.Mix{PFF: 0.5, PRW: 0.5, FF: gam, RW: gam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RW boundary bias is large on a short movie (mean op = 10% of it).
+	if diff := r.HitProbability() - want; diff < -0.02 || diff > 0.09 {
+		t.Errorf("short movie: sim %.4f vs model %.4f", r.HitProbability(), want)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"vodalloc/internal/metrics"
+)
+
+// Replication runs R independent replications of one configuration
+// (seeds seed+0 … seed+R−1) concurrently and pools the measurements.
+// Independent replications give clean confidence intervals for the hit
+// probability — each run's estimate is an i.i.d. sample — unlike the
+// within-run Wilson interval, which ignores the mild autocorrelation of
+// consecutive resumes by the same viewer.
+type Replication struct {
+	// PooledHits pools every resume event across replications.
+	PooledHits metrics.Proportion
+	// PerRun collects each replication's hit estimate; Runs summarizes
+	// them (its CI95 is the replication-based interval).
+	PerRun []float64
+	Runs   metrics.Welford
+	// AvgDedicated and AvgBatch average the per-run occupancies.
+	AvgDedicated metrics.Welford
+	AvgBatch     metrics.Welford
+	// MaxWait is the largest wait seen in any replication.
+	MaxWait float64
+}
+
+// HitProbability returns the pooled estimate.
+func (r *Replication) HitProbability() float64 { return r.PooledHits.Estimate() }
+
+// HitCI95 returns the replication-based 95% confidence half-width.
+func (r *Replication) HitCI95() float64 { return r.Runs.CI95() }
+
+// Replicate runs cfg R times with seeds cfg.Seed … cfg.Seed+R−1, up to
+// GOMAXPROCS replications in flight at once. Each replication gets its
+// own Simulator; the shared cfg is copied by value.
+func Replicate(cfg Config, runs int) (*Replication, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("%w: replications %d", ErrBadConfig, runs)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tracer != nil {
+		// A shared tracer would interleave events from concurrent runs.
+		return nil, fmt.Errorf("%w: tracing is per-run; replicate without a Tracer", ErrBadConfig)
+	}
+
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			s, err := New(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = s.Run()
+		}(i)
+	}
+	wg.Wait()
+
+	rep := &Replication{}
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("replication %d: %w", i, errs[i])
+		}
+		res := results[i]
+		rep.PooledHits.Merge(res.Hits)
+		est := res.HitProbability()
+		rep.PerRun = append(rep.PerRun, est)
+		rep.Runs.Add(est)
+		rep.AvgDedicated.Add(res.AvgDedicated)
+		rep.AvgBatch.Add(res.AvgBatch)
+		rep.MaxWait = math.Max(rep.MaxWait, res.MaxWait)
+	}
+	return rep, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,706 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vodalloc/internal/buffer"
+	"vodalloc/internal/des"
+	"vodalloc/internal/disk"
+	"vodalloc/internal/metrics"
+	"vodalloc/internal/stream"
+	"vodalloc/internal/trace"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// MovieSetup is the per-movie deployment inside a multi-movie server:
+// its static-partitioning parameters and its own arrival stream.
+type MovieSetup struct {
+	Name string
+	// L, B, N, Delta mirror Config.
+	L, B  float64
+	N     int
+	Delta float64
+	// ArrivalRate is the movie's Poisson arrival rate (viewers/minute).
+	// Ignored when Arrivals is set.
+	ArrivalRate float64
+	// Arrivals optionally replaces the Poisson process with an arbitrary
+	// arrival process (e.g. a renewal process), for sensitivity studies
+	// beyond the paper's Poisson assumption (§2.1).
+	Arrivals workload.ArrivalProcess
+	// Profile is this movie's viewer behaviour.
+	Profile vcr.Profile
+	// AbandonMean, when positive, gives viewers an exponential patience:
+	// a viewer whose total time in the system exceeds his patience draw
+	// leaves early, releasing whatever he holds (failure injection for
+	// resource-accounting robustness).
+	AbandonMean float64
+}
+
+// Validate checks the setup.
+func (m MovieSetup) Validate() error {
+	switch {
+	case !(m.L > 0) || math.IsInf(m.L, 0):
+		return fmt.Errorf("%w: movie %q length %v", ErrBadConfig, m.Name, m.L)
+	case math.IsNaN(m.B) || m.B < 0 || m.B > m.L:
+		return fmt.Errorf("%w: movie %q buffer %v outside [0, %v]", ErrBadConfig, m.Name, m.B, m.L)
+	case m.N < 1:
+		return fmt.Errorf("%w: movie %q stream count %d", ErrBadConfig, m.Name, m.N)
+	case m.Delta < 0 || math.IsNaN(m.Delta):
+		return fmt.Errorf("%w: movie %q delta %v", ErrBadConfig, m.Name, m.Delta)
+	case m.Arrivals == nil && !(m.ArrivalRate > 0):
+		return fmt.Errorf("%w: movie %q arrival rate %v", ErrBadConfig, m.Name, m.ArrivalRate)
+	case m.AbandonMean < 0 || math.IsNaN(m.AbandonMean):
+		return fmt.Errorf("%w: movie %q abandon mean %v", ErrBadConfig, m.Name, m.AbandonMean)
+	}
+	if m.Profile.Interactive() {
+		if err := m.Profile.Validate(); err != nil {
+			return fmt.Errorf("%w: movie %q: %v", ErrBadConfig, m.Name, err)
+		}
+	}
+	return nil
+}
+
+func (m MovieSetup) span() float64   { return m.B / float64(m.N) }
+func (m MovieSetup) period() float64 { return m.L / float64(m.N) }
+
+// ServerConfig parameterizes a whole VOD server hosting several popular
+// movies on shared dedicated-stream and buffer resources — the system
+// the paper's §5 sizing question provisions.
+type ServerConfig struct {
+	Movies []MovieSetup
+	// Rates are the display rates shared by all movies.
+	Rates vcr.Rates
+	// Horizon and Warmup as in Config.
+	Horizon, Warmup float64
+	Seed            int64
+	// Piggyback/Slew as in Config, applied to every movie.
+	Piggyback bool
+	Slew      float64
+	// MaxDedicated caps the shared pool of dedicated (phase-1/miss)
+	// streams across all movies; 0 = unlimited.
+	MaxDedicated int
+	// StreamsPerDisk is the dedicated-array placement granularity.
+	StreamsPerDisk int
+	// BufferCapacity bounds the shared buffer pool in movie-minutes;
+	// 0 = elastic (peak demand is recorded). A fixed capacity below the
+	// batch partitions' requirement surfaces as a run error.
+	BufferCapacity float64
+	// Tracer, when non-nil, receives a structured event at every viewer
+	// and stream transition (see internal/trace).
+	Tracer trace.Tracer
+}
+
+// Validate checks the configuration.
+func (c ServerConfig) Validate() error {
+	if len(c.Movies) == 0 {
+		return fmt.Errorf("%w: no movies", ErrBadConfig)
+	}
+	names := map[string]bool{}
+	for _, m := range c.Movies {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if names[m.Name] {
+			return fmt.Errorf("%w: duplicate movie name %q", ErrBadConfig, m.Name)
+		}
+		names[m.Name] = true
+	}
+	switch {
+	case !(c.Horizon > 0):
+		return fmt.Errorf("%w: horizon %v", ErrBadConfig, c.Horizon)
+	case c.Warmup < 0 || c.Warmup >= c.Horizon:
+		return fmt.Errorf("%w: warmup %v outside [0, horizon)", ErrBadConfig, c.Warmup)
+	case c.MaxDedicated < 0:
+		return fmt.Errorf("%w: max dedicated %d", ErrBadConfig, c.MaxDedicated)
+	case c.BufferCapacity < 0 || math.IsNaN(c.BufferCapacity):
+		return fmt.Errorf("%w: buffer capacity %v", ErrBadConfig, c.BufferCapacity)
+	case c.Piggyback && !(c.slew() > 0 && c.slew() < 1):
+		return fmt.Errorf("%w: slew %v outside (0, 1)", ErrBadConfig, c.Slew)
+	}
+	if err := c.Rates.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+func (c ServerConfig) slew() float64 {
+	if c.Slew == 0 {
+		return 0.05
+	}
+	return c.Slew
+}
+
+func (c ServerConfig) streamsPerDisk() int {
+	if c.StreamsPerDisk <= 0 {
+		return 10
+	}
+	return c.StreamsPerDisk
+}
+
+// Server simulates the full multi-movie VOD system. Build with
+// NewServer, execute once with Run.
+type Server struct {
+	cfg      ServerConfig
+	k        des.Kernel
+	rng      *rand.Rand
+	dedicate *disk.Array
+	pool     *buffer.Pool
+	movies   []*movieState
+	nextID   uint64
+	tr       trace.Tracer
+
+	dedicatedTW metrics.TimeWeighted
+	viewersTW   metrics.TimeWeighted
+
+	bufferErr error // fixed-pool exhaustion captured mid-run
+	ran       bool
+}
+
+// movieState carries one movie's batch machinery and measurements.
+type movieState struct {
+	setup MovieSetup
+	sched stream.Schedule
+
+	parts []*activePart // oldest first
+	waitq []*viewer
+
+	viewers []*viewer
+
+	hits       metrics.Proportion
+	hitsByKind map[vcr.Kind]*metrics.Proportion
+	endRuns    uint64
+	waits      metrics.Welford
+	waitRes    *metrics.Reservoir
+	maxWait    float64
+	queuedArr  uint64
+
+	batchTW metrics.TimeWeighted
+
+	// opPos records the movie position at which each VCR request is
+	// issued, to audit the model's uniform-position assumption.
+	opPos *metrics.Histogram
+
+	arrivals, departures uint64
+	abandons             uint64
+	blockedOps           uint64
+	blockedResumes       uint64
+	parkEvents           uint64
+	merges, mergeFails   uint64
+}
+
+// NewServer validates cfg and builds the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var arr *disk.Array
+	var err error
+	if cfg.MaxDedicated > 0 {
+		arr, err = disk.NewLimited(cfg.streamsPerDisk(), cfg.MaxDedicated)
+	} else {
+		arr, err = disk.NewElastic(cfg.streamsPerDisk())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	var pool *buffer.Pool
+	if cfg.BufferCapacity > 0 {
+		pool, err = buffer.NewPool(cfg.BufferCapacity)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	} else {
+		pool = buffer.NewElasticPool()
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = trace.Nop{}
+	}
+	srv := &Server{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		dedicate: arr,
+		pool:     pool,
+		tr:       tr,
+	}
+	for _, ms := range cfg.Movies {
+		sched, err := stream.NewSchedule(ms.period())
+		if err != nil {
+			return nil, fmt.Errorf("%w: movie %q: %v", ErrBadConfig, ms.Name, err)
+		}
+		opPos, err := metrics.NewHistogram(0, ms.L, 24)
+		if err != nil {
+			return nil, fmt.Errorf("%w: movie %q: %v", ErrBadConfig, ms.Name, err)
+		}
+		waitRes, err := metrics.NewReservoir(4096, cfg.Seed+int64(len(srv.movies))+1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: movie %q: %v", ErrBadConfig, ms.Name, err)
+		}
+		srv.movies = append(srv.movies, &movieState{
+			setup:   ms,
+			sched:   sched,
+			opPos:   opPos,
+			waitRes: waitRes,
+			hitsByKind: map[vcr.Kind]*metrics.Proportion{
+				vcr.FF: {}, vcr.RW: {}, vcr.PAU: {},
+			},
+		})
+	}
+	return srv, nil
+}
+
+// Run executes the simulation to the horizon and returns the per-movie
+// and shared measurements. Single use.
+func (s *Server) Run() (*ServerResult, error) {
+	if s.ran {
+		return nil, fmt.Errorf("%w: server already ran", ErrBadConfig)
+	}
+	s.ran = true
+	s.dedicatedTW.Set(0, 0)
+	s.viewersTW.Set(0, 0)
+	for _, mv := range s.movies {
+		mv.batchTW.Set(0, 0)
+		s.scheduleRestart(mv, 0)
+		s.scheduleArrival(mv, s.expGap(mv))
+	}
+	s.k.RunUntil(s.cfg.Horizon)
+	if s.bufferErr != nil {
+		return nil, s.bufferErr
+	}
+	return s.collectServer(), nil
+}
+
+func (s *Server) expGap(mv *movieState) float64 {
+	if mv.setup.Arrivals != nil {
+		return mv.setup.Arrivals.NextGap(s.rng)
+	}
+	return s.rng.ExpFloat64() / mv.setup.ArrivalRate
+}
+
+func (s *Server) measuring(now float64) bool { return now >= s.cfg.Warmup }
+
+// emit sends a trace event; a Nop tracer makes this nearly free.
+func (s *Server) emit(now float64, kind trace.Kind, movie string, viewer uint64, pos float64, detail string) {
+	s.tr.Trace(trace.Event{Time: now, Kind: kind, Movie: movie, Viewer: viewer, Pos: pos, Detail: detail})
+}
+
+// --- batch stream lifecycle -------------------------------------------
+
+func (s *Server) scheduleRestart(mv *movieState, at float64) {
+	if at > s.cfg.Horizon {
+		return
+	}
+	mustSchedule(&s.k, at, "restart", func(now float64) { s.onRestart(mv, now) })
+}
+
+func (s *Server) onRestart(mv *movieState, now float64) {
+	ms := mv.setup
+	part, err := buffer.NewPartition(now, ms.span(), ms.Delta, ms.L)
+	if err != nil {
+		panic(fmt.Sprintf("sim: partition construction failed: %v", err)) // validated config makes this unreachable
+	}
+	if err := s.pool.Reserve(part.Gross()); err != nil {
+		// A fixed buffer pool too small for the batch partitions is a
+		// configuration error; stop the run and surface it.
+		s.bufferErr = fmt.Errorf("%w: movie %q at t=%.2f: %v", ErrBadConfig, ms.Name, now, err)
+		s.k.Halt()
+		return
+	}
+	ap := &activePart{id: s.nextID, part: part}
+	s.nextID++
+	mv.parts = append(mv.parts, ap)
+	mv.batchTW.Add(now, 1)
+	s.emit(now, trace.BatchStart, ms.Name, 0, 0, fmt.Sprintf("partition=%d", ap.id))
+
+	// Admit the queued type-1 viewers at position 0 (they all coalesce
+	// into the partition's first viewer).
+	for _, v := range mv.waitq {
+		wait := now - v.arrived
+		if s.measuring(now) {
+			mv.waits.Add(wait)
+			mv.waitRes.Observe(wait)
+			if wait > mv.maxWait {
+				mv.maxWait = wait
+			}
+		}
+		s.joinPartition(mv, now, v, ap, 0)
+	}
+	mv.waitq = mv.waitq[:0]
+
+	mustSchedule(&s.k, part.ReadEndTime(), "readEnd", func(t float64) {
+		mv.batchTW.Add(t, -1)
+		s.emit(t, trace.BatchEnd, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
+	})
+	mustSchedule(&s.k, part.ExpireTime(), "expire", func(t float64) {
+		ap.gone = true
+		s.emit(t, trace.PartitionExpire, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
+		if err := s.pool.Release(part.Gross()); err != nil {
+			panic(fmt.Sprintf("sim: pool release failed: %v", err))
+		}
+		for i, p := range mv.parts {
+			if p == ap {
+				mv.parts = append(mv.parts[:i], mv.parts[i+1:]...)
+				break
+			}
+		}
+	})
+	s.scheduleRestart(mv, now+ms.period())
+}
+
+// mustSchedule wraps Kernel.ScheduleAt for internally generated times
+// that are never in the past by construction.
+func mustSchedule(k *des.Kernel, at float64, label string, fn func(float64)) *des.Event {
+	e, err := k.ScheduleAt(at, label, fn)
+	if err != nil {
+		panic(fmt.Sprintf("sim: schedule %s: %v", label, err))
+	}
+	return e
+}
+
+// --- arrivals ----------------------------------------------------------
+
+func (s *Server) scheduleArrival(mv *movieState, at float64) {
+	if at > s.cfg.Horizon {
+		return
+	}
+	mustSchedule(&s.k, at, "arrival", func(now float64) { s.onArrival(mv, now) })
+}
+
+func (s *Server) onArrival(mv *movieState, now float64) {
+	mv.arrivals++
+	v := &viewer{id: s.nextID, arrived: now}
+	s.nextID++
+	mv.viewers = append(mv.viewers, v)
+	s.viewersTW.Add(now, 1)
+	s.emit(now, trace.Arrive, mv.setup.Name, v.id, 0, "")
+	if mv.setup.AbandonMean > 0 {
+		patience := s.rng.ExpFloat64() * mv.setup.AbandonMean
+		v.abandonEv = mustSchedule(&s.k, now+patience, "abandon", func(t float64) {
+			v.abandonEv = nil
+			if v.state == stateDone {
+				return
+			}
+			mv.abandons++
+			if v.state == stateWaiting {
+				// Remove from the restart queue before departing.
+				for i, q := range mv.waitq {
+					if q == v {
+						mv.waitq = append(mv.waitq[:i], mv.waitq[i+1:]...)
+						break
+					}
+				}
+			}
+			s.depart(mv, t, v)
+		})
+	}
+
+	if ap := s.newestOpenPartition(mv, now); ap != nil {
+		if s.measuring(now) {
+			mv.waits.Add(0)
+			mv.waitRes.Observe(0)
+		}
+		s.joinPartition(mv, now, v, ap, ap.part.Head(now))
+	} else {
+		v.state = stateWaiting
+		mv.waitq = append(mv.waitq, v)
+		mv.queuedArr++
+		s.emit(now, trace.Queue, mv.setup.Name, v.id, 0, "")
+	}
+	s.scheduleArrival(mv, now+s.expGap(mv))
+}
+
+// newestOpenPartition returns the youngest partition whose enrollment
+// window is open, or nil.
+func (s *Server) newestOpenPartition(mv *movieState, now float64) *activePart {
+	for i := len(mv.parts) - 1; i >= 0; i-- {
+		ap := mv.parts[i]
+		if ap.part.Head(now) < 0 {
+			continue
+		}
+		if ap.part.EnrollmentOpen(now) {
+			return ap
+		}
+		return nil // older partitions are even further along
+	}
+	return nil
+}
+
+// --- partition membership ---------------------------------------------
+
+func (s *Server) joinPartition(mv *movieState, now float64, v *viewer, ap *activePart, lag float64) {
+	v.state = stateWatching
+	v.part = ap
+	v.lag = lag
+	ap.members++
+	pos := ap.part.Head(now) - lag
+	s.emit(now, trace.Enroll, mv.setup.Name, v.id, pos, fmt.Sprintf("partition=%d lag=%.3f", ap.id, lag))
+	v.finishEv = mustSchedule(&s.k, now+(mv.setup.L-pos), "finish", func(t float64) { s.onFinish(mv, t, v) })
+	s.scheduleThink(mv, now, v)
+}
+
+func (s *Server) leavePartition(v *viewer) {
+	if v.part != nil {
+		v.part.members--
+		v.part = nil
+	}
+}
+
+func (s *Server) onFinish(mv *movieState, now float64, v *viewer) {
+	v.finishEv = nil
+	s.depart(mv, now, v)
+}
+
+func (s *Server) depart(mv *movieState, now float64, v *viewer) {
+	s.leavePartition(v)
+	s.releaseDedicated(now, v)
+	v.cancelTimers(&s.k)
+	v.state = stateDone
+	mv.departures++
+	s.viewersTW.Add(now, -1)
+	s.emit(now, trace.Depart, mv.setup.Name, v.id, 0, "")
+}
+
+// --- dedicated streams --------------------------------------------------
+
+func (s *Server) acquireDedicated(now float64, v *viewer) bool {
+	slot, err := s.dedicate.Allocate()
+	if err != nil {
+		return false
+	}
+	v.slot = slot
+	s.dedicatedTW.Add(now, 1)
+	return true
+}
+
+func (s *Server) releaseDedicated(now float64, v *viewer) {
+	if v.slot != nil {
+		v.slot.Release()
+		v.slot = nil
+		s.dedicatedTW.Add(now, -1)
+	}
+}
+
+// --- VCR lifecycle -------------------------------------------------------
+
+func (s *Server) scheduleThink(mv *movieState, now float64, v *viewer) {
+	if !mv.setup.Profile.Interactive() {
+		return
+	}
+	think := mv.setup.Profile.SampleThink(s.rng)
+	v.thinkEv = mustSchedule(&s.k, now+think, "think", func(t float64) { s.onThink(mv, t, v) })
+}
+
+func (s *Server) onThink(mv *movieState, now float64, v *viewer) {
+	v.thinkEv = nil
+	if v.state != stateWatching && v.state != stateDedicated {
+		return
+	}
+	pos := v.position(now)
+	if pos >= mv.setup.L {
+		return // finish event fires momentarily
+	}
+	req := mv.setup.Profile.Sample(s.rng)
+	if s.measuring(now) {
+		mv.opPos.Observe(pos)
+	}
+
+	// Phase 1 resources: FF/RW display the VCR-version of the movie and
+	// need an I/O stream; a paused viewer displays nothing. A viewer
+	// already on a dedicated stream keeps it (or releases it to pause).
+	if req.Kind == vcr.PAU {
+		s.releaseDedicated(now, v)
+	} else if v.slot == nil {
+		if !s.acquireDedicated(now, v) {
+			mv.blockedOps++
+			s.emit(now, trace.Blocked, mv.setup.Name, v.id, pos, "vcr request")
+			s.scheduleThink(mv, now, v) // request rejected; stay in the batch
+			return
+		}
+	}
+	s.leavePartition(v)
+	s.k.Cancel(v.finishEv)
+	v.finishEv = nil
+	v.state = stateVCR
+	v.pending = req
+	v.outcome = vcr.Apply(req, pos, mv.setup.L, s.cfg.Rates)
+	s.emit(now, trace.VCRStart, mv.setup.Name, v.id, pos, fmt.Sprintf("%s amount=%.2f", req.Kind, req.Amount))
+	v.resumeEv = mustSchedule(&s.k, now+v.outcome.Wall, "resume", func(t float64) { s.onResume(mv, t, v) })
+}
+
+func (s *Server) onResume(mv *movieState, now float64, v *viewer) {
+	v.resumeEv = nil
+	v.vcrOps++
+	kind := v.pending.Kind
+	out := v.outcome
+
+	if out.RanOffEnd {
+		// Fast-forward to the end: the viewer departs and phase-1
+		// resources are released — the P(end) term of Eq. (20)/(21).
+		s.emit(now, trace.ResumeHit, mv.setup.Name, v.id, out.Pos, "ran off end")
+		s.recordResume(mv, now, kind, true)
+		if s.measuring(now) {
+			mv.endRuns++ // documented as a subset of the measured hits
+		}
+		s.depart(mv, now, v)
+		return
+	}
+
+	if ap := s.coveringPartition(mv, now, out.Pos); ap != nil {
+		lag, ok := ap.part.LagOf(now, out.Pos)
+		if !ok {
+			panic("sim: covering partition refused join")
+		}
+		s.emit(now, trace.ResumeHit, mv.setup.Name, v.id, out.Pos, kind.String())
+		s.recordResume(mv, now, kind, true)
+		s.releaseDedicated(now, v)
+		s.joinPartition(mv, now, v, ap, lag)
+		return
+	}
+
+	// Miss: no partition buffer holds the resume position.
+	s.emit(now, trace.ResumeMiss, mv.setup.Name, v.id, out.Pos, kind.String())
+	s.recordResume(mv, now, kind, false)
+	if v.slot == nil { // pause held no stream through phase 1
+		if !s.acquireDedicated(now, v) {
+			mv.blockedResumes++
+			s.emit(now, trace.Blocked, mv.setup.Name, v.id, out.Pos, "resume")
+			s.park(mv, now, v, out.Pos)
+			return
+		}
+	}
+	s.continueDedicated(mv, now, v, out.Pos)
+}
+
+// continueDedicated resumes normal playback on the viewer's private
+// stream, optionally planning a piggyback merge.
+func (s *Server) continueDedicated(mv *movieState, now float64, v *viewer, pos float64) {
+	v.state = stateDedicated
+	v.str = stream.New(v.id, now, pos, 1) // normal playback: 1 movie-min per sim-min
+	if s.cfg.Piggyback {
+		if plan, ok := s.planMerge(mv, now, pos); ok {
+			v.state = stateMerging
+			rate := 1 - s.cfg.slew()
+			if plan.Ahead {
+				rate = 1 + s.cfg.slew()
+			}
+			v.str.SetRate(now, rate)
+			v.mergeEv = mustSchedule(&s.k, now+plan.Wall, "merge", func(t float64) { s.onMergeDone(mv, t, v, plan) })
+			return
+		}
+	}
+	v.finishEv = mustSchedule(&s.k, now+(mv.setup.L-pos), "dedFinish", func(t float64) { s.onFinish(mv, t, v) })
+	s.scheduleThink(mv, now, v)
+}
+
+func (s *Server) planMerge(mv *movieState, now, pos float64) (stream.MergePlan, bool) {
+	gapAhead, gapBehind := math.Inf(1), math.Inf(1)
+	for _, ap := range mv.parts {
+		lo, hi, ok := ap.part.Window(now)
+		if !ok {
+			continue
+		}
+		if lo > pos && lo-pos < gapAhead {
+			gapAhead = lo - pos
+		}
+		if hi < pos && pos-hi < gapBehind {
+			gapBehind = pos - hi
+		}
+	}
+	return stream.PlanMerge(pos, mv.setup.L, gapAhead, gapBehind, s.cfg.slew())
+}
+
+func (s *Server) onMergeDone(mv *movieState, now float64, v *viewer, plan stream.MergePlan) {
+	v.mergeEv = nil
+	pos := plan.MergePos
+	if ap := s.coveringPartition(mv, now, pos); ap != nil {
+		if lag, ok := ap.part.LagOf(now, pos); ok {
+			mv.merges++
+			s.emit(now, trace.MergeDone, mv.setup.Name, v.id, pos, fmt.Sprintf("ahead=%t", plan.Ahead))
+			s.releaseDedicated(now, v)
+			s.joinPartition(mv, now, v, ap, lag)
+			return
+		}
+	}
+	// The target window vanished (end-of-movie edge); hold the stream.
+	mv.mergeFails++
+	v.state = stateDedicated
+	v.str.SetRate(now, 1)
+	v.finishEv = mustSchedule(&s.k, now+(mv.setup.L-pos), "dedFinish", func(t float64) { s.onFinish(mv, t, v) })
+	s.scheduleThink(mv, now, v)
+}
+
+// park suspends a viewer whose resume was blocked on the dedicated
+// stream cap until a partition window sweeps his position.
+func (s *Server) park(mv *movieState, now float64, v *viewer, pos float64) {
+	v.state = stateParked
+	mv.parkEvents++
+	at, ok := s.nextCoverTime(mv, now, pos)
+	if !ok {
+		return // nothing will cover him before the horizon
+	}
+	v.parkEv = mustSchedule(&s.k, at, "unpark", func(t float64) { s.onUnpark(mv, t, v, pos) })
+}
+
+func (s *Server) onUnpark(mv *movieState, now float64, v *viewer, pos float64) {
+	v.parkEv = nil
+	if ap := s.coveringPartition(mv, now, pos); ap != nil {
+		if lag, ok := ap.part.LagOf(now, pos); ok {
+			s.joinPartition(mv, now, v, ap, lag)
+			return
+		}
+	}
+	if s.acquireDedicated(now, v) {
+		s.continueDedicated(mv, now, v, pos)
+		return
+	}
+	s.park(mv, now, v, pos)
+}
+
+// nextCoverTime returns the earliest time ≥ now at which some current or
+// future partition's window covers pos.
+func (s *Server) nextCoverTime(mv *movieState, now, pos float64) (float64, bool) {
+	best := math.Inf(1)
+	for _, ap := range mv.parts {
+		h := ap.part.Head(now)
+		if h < pos {
+			if t := ap.part.Start + pos; t < best {
+				best = t
+			}
+		}
+	}
+	r := mv.sched.NextRestart(now)
+	if r == now {
+		r = now + mv.sched.Period()
+	}
+	if r <= s.cfg.Horizon && r+pos < best {
+		best = r + pos
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	// Nudge past the exact boundary so Covers holds strictly.
+	return best + 1e-9, true
+}
+
+// coveringPartition returns a partition whose buffered window covers pos
+// at time now, or nil. Windows of distinct partitions are disjoint for
+// w > 0, so the first match is the only match.
+func (s *Server) coveringPartition(mv *movieState, now, pos float64) *activePart {
+	for _, ap := range mv.parts {
+		if !ap.gone && ap.part.Covers(now, pos) {
+			return ap
+		}
+	}
+	return nil
+}
+
+func (s *Server) recordResume(mv *movieState, now float64, kind vcr.Kind, hit bool) {
+	if !s.measuring(now) {
+		return
+	}
+	mv.hits.Observe(hit)
+	mv.hitsByKind[kind].Observe(hit)
+}

@@ -1,0 +1,53 @@
+package sim
+
+// Simulator is the single-movie front of the multi-movie Server: it
+// carries the paper's §4 validation experiments, which study one popular
+// movie at a time. Build with New, execute once with Run.
+type Simulator struct {
+	srv *Server
+}
+
+// New validates cfg and builds a single-movie simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	srv, err := NewServer(ServerConfig{
+		Movies: []MovieSetup{{
+			Name: "movie", L: cfg.L, B: cfg.B, N: cfg.N, Delta: cfg.Delta,
+			ArrivalRate: cfg.ArrivalRate, Profile: cfg.Profile,
+			AbandonMean: cfg.AbandonMean,
+		}},
+		Rates:          cfg.Rates,
+		Horizon:        cfg.Horizon,
+		Warmup:         cfg.Warmup,
+		Seed:           cfg.Seed,
+		Piggyback:      cfg.Piggyback,
+		Slew:           cfg.Slew,
+		MaxDedicated:   cfg.MaxDedicated,
+		StreamsPerDisk: cfg.StreamsPerDisk,
+		Tracer:         cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{srv: srv}, nil
+}
+
+// Run executes the simulation to the configured horizon and returns the
+// collected measurements. It can be called once.
+func (s *Simulator) Run() (*Result, error) {
+	sr, err := s.srv.Run()
+	if err != nil {
+		return nil, err
+	}
+	mv := sr.Movies[sr.Order[0]]
+	return &Result{
+		MovieResult:   *mv,
+		AvgDedicated:  sr.AvgDedicated,
+		PeakDedicated: sr.PeakDedicated,
+		AvgViewers:    sr.AvgViewers,
+		PeakViewers:   sr.PeakViewers,
+		BufferPeak:    sr.BufferPeak,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"vodalloc/internal/buffer"
+	"vodalloc/internal/des"
+	"vodalloc/internal/disk"
+	"vodalloc/internal/stream"
+	"vodalloc/internal/vcr"
+)
+
+// viewerState tracks where a viewer's frames come from.
+type viewerState int
+
+const (
+	// stateWaiting: arrived after the enrollment window closed, queued
+	// for the next restart (a type-1 viewer).
+	stateWaiting viewerState = iota
+	// stateWatching: normal playback served from a partition's buffer
+	// (enrolled type-2 viewer, or type-1 after the restart).
+	stateWatching
+	// stateVCR: phase 1 of a VCR operation, on dedicated resources.
+	stateVCR
+	// stateDedicated: normal playback on a dedicated I/O stream after a
+	// miss (phase 2 failed to release resources).
+	stateDedicated
+	// stateMerging: piggyback merge in progress (slewed display rate).
+	stateMerging
+	// stateParked: resume blocked on the dedicated-stream cap; waiting
+	// for a partition window to sweep the viewer's position.
+	stateParked
+	// stateDone: finished or departed.
+	stateDone
+)
+
+func (s viewerState) String() string {
+	switch s {
+	case stateWaiting:
+		return "waiting"
+	case stateWatching:
+		return "watching"
+	case stateVCR:
+		return "vcr"
+	case stateDedicated:
+		return "dedicated"
+	case stateMerging:
+		return "merging"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// viewer is one customer of the VOD server.
+type viewer struct {
+	id      uint64
+	arrived float64
+	state   viewerState
+
+	// Watching state: membership of a batch partition.
+	part *activePart
+	lag  float64
+
+	// Dedicated/merging state: a private playback stream.
+	str  *stream.Stream
+	slot *disk.Slot
+
+	// In-flight VCR operation.
+	pending vcr.Request
+	outcome vcr.Outcome
+
+	// Cancellable scheduled events.
+	finishEv, thinkEv, resumeEv, mergeEv, parkEv, abandonEv *des.Event
+
+	// vcrOps counts completed VCR operations, for behaviour stats.
+	vcrOps int
+}
+
+// position returns the viewer's movie position at time now; only valid
+// in watching, dedicated or merging states.
+func (v *viewer) position(now float64) float64 {
+	switch v.state {
+	case stateWatching:
+		return v.part.part.Head(now) - v.lag
+	case stateDedicated, stateMerging:
+		return v.str.Position(now)
+	default:
+		return 0
+	}
+}
+
+// cancelTimers cancels every pending event of the viewer.
+func (v *viewer) cancelTimers(k *des.Kernel) {
+	k.Cancel(v.finishEv)
+	k.Cancel(v.thinkEv)
+	k.Cancel(v.resumeEv)
+	k.Cancel(v.mergeEv)
+	k.Cancel(v.parkEv)
+	k.Cancel(v.abandonEv)
+	v.finishEv, v.thinkEv, v.resumeEv, v.mergeEv, v.parkEv, v.abandonEv = nil, nil, nil, nil, nil, nil
+}
+
+// activePart is a live batch stream with its buffer partition, disk
+// bookkeeping, and member count.
+type activePart struct {
+	id      uint64
+	part    *buffer.Partition
+	members int
+	// expired is flipped by the expiry event; defensive double-check for
+	// coverage queries racing the removal.
+	gone bool
+}

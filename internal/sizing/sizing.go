@@ -1,0 +1,260 @@
+// Package sizing implements the paper's §5 application: using the
+// analytic hit-probability model to pre-allocate buffer space and I/O
+// streams across a set of popular movies so that each movie meets its
+// maximum-wait and minimum-hit-probability targets (constraints C1/C2),
+// while minimizing total buffer (Example 1) or total dollar cost under a
+// buffer-to-stream price ratio φ (Example 2, Figure 9).
+package sizing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vodalloc/internal/analytic"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// ErrInfeasible reports that no allocation satisfies the targets.
+var ErrInfeasible = errors.New("sizing: targets are infeasible")
+
+// ErrBadParam reports invalid sizing parameters.
+var ErrBadParam = errors.New("sizing: invalid parameter")
+
+// Rates is the display-rate triple shared by the sizing computations.
+// The paper's experiments use FF and RW at three times playback.
+type Rates struct {
+	PB, FF, RW float64
+}
+
+// DefaultRates matches the §4 experiments.
+var DefaultRates = Rates{PB: 1, FF: 3, RW: 3}
+
+// MixFromProfile converts a simulator/workload VCR profile into the
+// analytic model's duration mix (they carry the same information; the
+// profile adds the think-time process the model does not need).
+func MixFromProfile(p vcr.Profile) analytic.Mix {
+	return analytic.Mix{
+		PFF: p.PFF, PRW: p.PRW, PPAU: p.PPAU,
+		FF: p.DurFF, RW: p.DurRW, PAU: p.DurPAU,
+	}
+}
+
+// Point is one feasible-set entry for a movie: a buffer/stream pair with
+// its predicted hit probability (Figure 8's plotted points).
+type Point struct {
+	N        int
+	B        float64
+	Hit      float64
+	Feasible bool
+}
+
+// hitAt evaluates the model at (l, B, n) for the movie's mix.
+func hitAt(m workload.Movie, r Rates, n int, b float64) (float64, error) {
+	model, err := analytic.New(analytic.Config{
+		L: m.Length, B: b, N: n,
+		RatePB: r.PB, RateFF: r.FF, RateRW: r.RW,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return model.HitMix(MixFromProfile(m.Profile))
+}
+
+// FeasibleByBufferStep enumerates (B, n) pairs along the movie's
+// wait-constrained frontier B = l − n·w at the given buffer step
+// (Figure 8 uses 5-minute steps), marking which meet the hit target.
+// Off-grid B values are snapped to the nearest integer stream count.
+func FeasibleByBufferStep(m workload.Movie, r Rates, step float64) ([]Point, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !(step > 0) {
+		return nil, fmt.Errorf("%w: step %v", ErrBadParam, step)
+	}
+	var pts []Point
+	for b := 0.0; b <= m.Length+1e-9; b += step {
+		n := int(math.Round((m.Length - b) / m.Wait))
+		if n < 1 {
+			break
+		}
+		bb := m.Length - float64(n)*m.Wait // snap to integer n
+		if bb < 0 {
+			bb = 0
+		}
+		hit, err := hitAt(m, r, n, bb)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{N: n, B: bb, Hit: hit, Feasible: hit >= m.TargetHit})
+	}
+	return pts, nil
+}
+
+// MaxFeasibleStreams returns the largest stream count n (and the
+// corresponding B = l − n·w) whose predicted hit probability still meets
+// the movie's target. Because the hit probability decreases along the
+// constant-wait frontier as n grows (buffer shrinks), this is the
+// buffer-minimal feasible point (paper step 3: minimize Σ B_i).
+func MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error) {
+	if err := m.Validate(); err != nil {
+		return Point{}, err
+	}
+	nMax := int(math.Floor(m.Length / m.Wait))
+	if nMax < 1 {
+		return Point{}, fmt.Errorf("%w: movie %q admits no streams", ErrInfeasible, m.Name)
+	}
+	eval := func(n int) (Point, error) {
+		b := math.Max(0, m.Length-float64(n)*m.Wait)
+		hit, err := hitAt(m, r, n, b)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{N: n, B: b, Hit: hit, Feasible: hit >= m.TargetHit}, nil
+	}
+	lo, err := eval(1)
+	if err != nil {
+		return Point{}, err
+	}
+	if !lo.Feasible {
+		return Point{}, fmt.Errorf("%w: movie %q cannot reach P*=%.3f even with n=1 (hit %.3f)",
+			ErrInfeasible, m.Name, m.TargetHit, lo.Hit)
+	}
+	hi, err := eval(nMax)
+	if err != nil {
+		return Point{}, err
+	}
+	if hi.Feasible {
+		return hi, nil
+	}
+	// Binary search the feasibility boundary on the monotone frontier.
+	loN, hiN := 1, nMax
+	best := lo
+	for hiN-loN > 1 {
+		mid := (loN + hiN) / 2
+		p, err := eval(mid)
+		if err != nil {
+			return Point{}, err
+		}
+		if p.Feasible {
+			loN, best = mid, p
+		} else {
+			hiN = mid
+		}
+	}
+	return best, nil
+}
+
+// Allocation is the resource assignment for one movie.
+type Allocation struct {
+	Movie string
+	N     int
+	B     float64
+	Hit   float64
+	Wait  float64
+}
+
+// Plan is a complete multi-movie pre-allocation.
+type Plan struct {
+	Allocs       []Allocation
+	TotalStreams int
+	TotalBuffer  float64
+}
+
+// MinBufferPlan computes the paper's §5 constrained optimization: the
+// minimum-total-buffer allocation meeting every movie's (w_i, P*_i)
+// targets, subject to Σn_i ≤ maxStreams and ΣB_i ≤ maxBuffer (pass 0 to
+// leave a budget unconstrained). When the stream budget binds, streams
+// are removed from the movies with the smallest w_i first — each removed
+// stream costs w_i extra buffer minutes (Eq. 2), so this greedy order is
+// buffer-optimal for the linear tradeoff.
+func MinBufferPlan(movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
+	if len(movies) == 0 {
+		return Plan{}, fmt.Errorf("%w: empty catalog", ErrBadParam)
+	}
+	var plan Plan
+	points := make([]Point, len(movies))
+	for i, m := range movies {
+		p, err := MaxFeasibleStreams(m, r)
+		if err != nil {
+			return Plan{}, err
+		}
+		points[i] = p
+		plan.TotalStreams += p.N
+		plan.TotalBuffer += p.B
+	}
+
+	// Stream budget: shed streams from the cheapest-w movies first.
+	if maxStreams > 0 && plan.TotalStreams > maxStreams {
+		deficit := plan.TotalStreams - maxStreams
+		order := sortByWait(movies)
+		for _, i := range order {
+			if deficit == 0 {
+				break
+			}
+			give := points[i].N - 1 // keep at least one stream per movie
+			if give > deficit {
+				give = deficit
+			}
+			if give <= 0 {
+				continue
+			}
+			points[i].N -= give
+			added := float64(give) * movies[i].Wait
+			points[i].B += added
+			plan.TotalBuffer += added
+			plan.TotalStreams -= give
+			deficit -= give
+			// Re-evaluate the hit at the new point (it only improves:
+			// larger B at fixed w).
+			hit, err := hitAt(movies[i], r, points[i].N, points[i].B)
+			if err != nil {
+				return Plan{}, err
+			}
+			points[i].Hit = hit
+		}
+		if deficit > 0 {
+			return Plan{}, fmt.Errorf("%w: stream budget %d below the %d-movie minimum",
+				ErrInfeasible, maxStreams, len(movies))
+		}
+	}
+
+	if maxBuffer > 0 && plan.TotalBuffer > maxBuffer+1e-9 {
+		return Plan{}, fmt.Errorf("%w: minimum buffer %.1f exceeds budget %.1f",
+			ErrInfeasible, plan.TotalBuffer, maxBuffer)
+	}
+
+	plan.Allocs = make([]Allocation, len(movies))
+	for i, m := range movies {
+		plan.Allocs[i] = Allocation{
+			Movie: m.Name, N: points[i].N, B: points[i].B,
+			Hit: points[i].Hit, Wait: m.Wait,
+		}
+	}
+	return plan, nil
+}
+
+// sortByWait returns movie indices ordered by ascending wait target.
+func sortByWait(movies []workload.Movie) []int {
+	idx := make([]int, len(movies))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ { // insertion sort; catalogs are small
+		for j := i; j > 0 && movies[idx[j]].Wait < movies[idx[j-1]].Wait; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// PureBatchingStreams returns the stream count a bufferless batching
+// system needs for the catalog (paper Example 1's 1230-stream baseline).
+func PureBatchingStreams(movies []workload.Movie) int {
+	total := 0
+	for _, m := range movies {
+		total += analytic.PureBatchingStreams(m.Length, m.Wait)
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseLine parses the Event.String line format back into an Event —
+// the inverse used by offline analysis (cmd/vodtrace). Movie names must
+// not contain spaces (the simulator's own names never do).
+func ParseLine(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		return Event{}, fmt.Errorf("trace: short line %q", line)
+	}
+	var e Event
+	t, ok := strings.CutPrefix(fields[0], "t=")
+	if !ok {
+		return Event{}, fmt.Errorf("trace: missing t= in %q", line)
+	}
+	var err error
+	if e.Time, err = strconv.ParseFloat(t, 64); err != nil {
+		return Event{}, fmt.Errorf("trace: bad time in %q: %v", line, err)
+	}
+	kind, ok := kindByName(fields[1])
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown kind %q", fields[1])
+	}
+	e.Kind = kind
+	movie, ok := strings.CutPrefix(fields[2], "movie=")
+	if !ok {
+		return Event{}, fmt.Errorf("trace: missing movie= in %q", line)
+	}
+	e.Movie = movie
+	viewer, ok := strings.CutPrefix(fields[3], "viewer=")
+	if !ok {
+		return Event{}, fmt.Errorf("trace: missing viewer= in %q", line)
+	}
+	if e.Viewer, err = strconv.ParseUint(viewer, 10, 64); err != nil {
+		return Event{}, fmt.Errorf("trace: bad viewer in %q: %v", line, err)
+	}
+	pos, ok := strings.CutPrefix(fields[4], "pos=")
+	if !ok {
+		return Event{}, fmt.Errorf("trace: missing pos= in %q", line)
+	}
+	if e.Pos, err = strconv.ParseFloat(pos, 64); err != nil {
+		return Event{}, fmt.Errorf("trace: bad pos in %q: %v", line, err)
+	}
+	if len(fields) > 5 {
+		e.Detail = strings.Join(fields[5:], " ")
+	}
+	return e, nil
+}
+
+// kindByName inverts Kind.String.
+func kindByName(name string) (Kind, bool) {
+	for k := Arrive; k <= Blocked; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MovieStats aggregates one movie's trace.
+type MovieStats struct {
+	Arrivals, Departures uint64
+	Queued               uint64
+	VCRStarts            uint64
+	Hits, Misses         uint64
+	Merges               uint64
+	Blocked              uint64
+	// MeanSession is the mean arrive→depart span of completed sessions.
+	MeanSession float64
+	// MeanPhase1 is the mean VCR-start→resume span.
+	MeanPhase1 float64
+}
+
+// HitRate returns the resume hit fraction.
+func (m MovieStats) HitRate() float64 {
+	tot := m.Hits + m.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(tot)
+}
+
+// Analyzer incrementally reconstructs per-movie and per-viewer statistics
+// from an event stream, in either live (Tracer) or offline form.
+type Analyzer struct {
+	movies map[string]*movieAgg
+	order  []string
+}
+
+type movieAgg struct {
+	stats        MovieStats
+	arriveAt     map[uint64]float64
+	vcrAt        map[uint64]float64
+	sessionSum   float64
+	sessionCount uint64
+	phase1Sum    float64
+	phase1Count  uint64
+}
+
+// NewAnalyzer creates an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{movies: map[string]*movieAgg{}}
+}
+
+// Trace implements Tracer, so an Analyzer can be attached live.
+func (a *Analyzer) Trace(e Event) { a.Add(e) }
+
+// Add incorporates one event.
+func (a *Analyzer) Add(e Event) {
+	agg := a.movies[e.Movie]
+	if agg == nil {
+		agg = &movieAgg{arriveAt: map[uint64]float64{}, vcrAt: map[uint64]float64{}}
+		a.movies[e.Movie] = agg
+		a.order = append(a.order, e.Movie)
+	}
+	switch e.Kind {
+	case Arrive:
+		agg.stats.Arrivals++
+		agg.arriveAt[e.Viewer] = e.Time
+	case Queue:
+		agg.stats.Queued++
+	case Depart:
+		agg.stats.Departures++
+		if t0, ok := agg.arriveAt[e.Viewer]; ok {
+			agg.sessionSum += e.Time - t0
+			agg.sessionCount++
+			delete(agg.arriveAt, e.Viewer)
+		}
+	case VCRStart:
+		agg.stats.VCRStarts++
+		agg.vcrAt[e.Viewer] = e.Time
+	case ResumeHit, ResumeMiss:
+		if e.Kind == ResumeHit {
+			agg.stats.Hits++
+		} else {
+			agg.stats.Misses++
+		}
+		if t0, ok := agg.vcrAt[e.Viewer]; ok {
+			agg.phase1Sum += e.Time - t0
+			agg.phase1Count++
+			delete(agg.vcrAt, e.Viewer)
+		}
+	case MergeDone:
+		agg.stats.Merges++
+	case Blocked:
+		agg.stats.Blocked++
+	}
+}
+
+// Movies returns the movie names in first-seen order.
+func (a *Analyzer) Movies() []string { return a.order }
+
+// Stats returns one movie's aggregate (zero value for unknown movies).
+func (a *Analyzer) Stats(movie string) MovieStats {
+	agg := a.movies[movie]
+	if agg == nil {
+		return MovieStats{}
+	}
+	s := agg.stats
+	if agg.sessionCount > 0 {
+		s.MeanSession = agg.sessionSum / float64(agg.sessionCount)
+	}
+	if agg.phase1Count > 0 {
+		s.MeanPhase1 = agg.phase1Sum / float64(agg.phase1Count)
+	}
+	return s
+}
+
+// Summary renders the analysis.
+func (a *Analyzer) Summary() string {
+	var b strings.Builder
+	for _, name := range a.order {
+		s := a.Stats(name)
+		fmt.Fprintf(&b, "[%s] arrivals=%d (queued %d) departures=%d meanSession=%.1f\n",
+			name, s.Arrivals, s.Queued, s.Departures, s.MeanSession)
+		fmt.Fprintf(&b, "  vcr: starts=%d resumes=%d hitRate=%.4f meanPhase1=%.2f merges=%d blocked=%d\n",
+			s.VCRStarts, s.Hits+s.Misses, s.HitRate(), s.MeanPhase1, s.Merges, s.Blocked)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+// Package vcr models interactive viewer behaviour: the mix of
+// fast-forward, rewind and pause requests, their duration distributions,
+// and the phase-1 kinematics of each operation (paper §2: a VCR request
+// displays the VCR-version of the movie on dedicated resources until the
+// viewer resumes).
+//
+// Durations follow the paper's convention: for FF and RW the sampled
+// amount is the movie-time distance swept (the quantity whose pdf f(x)
+// enters Eqs. 3–21); for PAU it is wall-clock time. The Apply functions
+// convert an operation into its outcome — new movie position, wall-clock
+// time consumed, and whether the viewer ran off an edge of the movie.
+package vcr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vodalloc/internal/dist"
+)
+
+// Kind identifies a VCR operation.
+type Kind int
+
+// The three interactive operations.
+const (
+	FF Kind = iota
+	RW
+	PAU
+)
+
+// String returns the paper's abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case FF:
+		return "FF"
+	case RW:
+		return "RW"
+	case PAU:
+		return "PAU"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// ErrBadProfile reports an invalid behaviour profile.
+var ErrBadProfile = errors.New("vcr: invalid profile")
+
+// Request is one sampled VCR operation.
+type Request struct {
+	Kind   Kind
+	Amount float64 // movie-minutes for FF/RW, wall-minutes for PAU
+}
+
+// Profile describes a viewer population's interactive behaviour.
+type Profile struct {
+	// PFF, PRW, PPAU are the per-request type probabilities (Eq. 22's
+	// P_FF, P_RW, P_PAU). They must sum to 1.
+	PFF, PRW, PPAU float64
+	// DurFF, DurRW, DurPAU are the duration distributions per type; a
+	// distribution may be nil when its probability is zero.
+	DurFF, DurRW, DurPAU dist.Distribution
+	// Think is the distribution of normal-playback time between VCR
+	// requests (per viewer). A nil Think disables interactivity.
+	Think dist.Distribution
+}
+
+// Validate checks probability and distribution consistency.
+func (p Profile) Validate() error {
+	for _, v := range []float64{p.PFF, p.PRW, p.PPAU} {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: probability %v", ErrBadProfile, v)
+		}
+	}
+	if s := p.PFF + p.PRW + p.PPAU; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("%w: probabilities sum to %v, want 1", ErrBadProfile, s)
+	}
+	if p.PFF > 0 && p.DurFF == nil {
+		return fmt.Errorf("%w: PFF=%v without DurFF", ErrBadProfile, p.PFF)
+	}
+	if p.PRW > 0 && p.DurRW == nil {
+		return fmt.Errorf("%w: PRW=%v without DurRW", ErrBadProfile, p.PRW)
+	}
+	if p.PPAU > 0 && p.DurPAU == nil {
+		return fmt.Errorf("%w: PPAU=%v without DurPAU", ErrBadProfile, p.PPAU)
+	}
+	return nil
+}
+
+// Interactive reports whether the profile ever issues VCR requests.
+func (p Profile) Interactive() bool { return p.Think != nil }
+
+// Sample draws one VCR request according to the profile.
+func (p Profile) Sample(rng *rand.Rand) Request {
+	u := rng.Float64()
+	switch {
+	case u < p.PFF:
+		return Request{Kind: FF, Amount: p.DurFF.Sample(rng)}
+	case u < p.PFF+p.PRW:
+		return Request{Kind: RW, Amount: p.DurRW.Sample(rng)}
+	default:
+		return Request{Kind: PAU, Amount: p.DurPAU.Sample(rng)}
+	}
+}
+
+// SampleThink draws the next think time (normal playback before the next
+// VCR request). It panics if the profile is not interactive.
+func (p Profile) SampleThink(rng *rand.Rand) float64 {
+	return p.Think.Sample(rng)
+}
+
+// Uniform returns a profile issuing only the given kind with duration d
+// and think-time distribution think.
+func Uniform(kind Kind, d, think dist.Distribution) Profile {
+	p := Profile{Think: think}
+	switch kind {
+	case FF:
+		p.PFF, p.DurFF = 1, d
+	case RW:
+		p.PRW, p.DurRW = 1, d
+	default:
+		p.PPAU, p.DurPAU = 1, d
+	}
+	return p
+}
+
+// Outcome is the phase-1 result of applying a VCR request.
+type Outcome struct {
+	// Pos is the movie position at resume time.
+	Pos float64
+	// Wall is the wall-clock (simulation) time the operation takes.
+	Wall float64
+	// RanOffEnd reports a fast-forward that reached the end of the movie;
+	// the viewer departs and phase-1 resources are released (the P(end)
+	// event of Eq. 20).
+	RanOffEnd bool
+	// HitStart reports a rewind that reached position 0 (the boundary
+	// case §4 discusses; whether the resume is a hit then depends on an
+	// enrollment window being open).
+	HitStart bool
+}
+
+// Rates carries the display rates needed to convert swept movie distance
+// into wall-clock time.
+type Rates struct {
+	PB, FF, RW float64
+}
+
+// Validate checks rate positivity (FF need not exceed PB here; the
+// analytic model imposes that separately for catch-up to be possible).
+func (r Rates) Validate() error {
+	if !(r.PB > 0) || !(r.FF > 0) || !(r.RW > 0) {
+		return fmt.Errorf("%w: rates %+v must be positive", ErrBadProfile, r)
+	}
+	return nil
+}
+
+// Apply computes the outcome of request req issued at movie position pos
+// in a movie of length l, under rates r. Amounts are clamped to the
+// movie boundaries: an FF past the end stops at the end (RanOffEnd), a
+// RW past the start stops at 0 (HitStart).
+func Apply(req Request, pos, l float64, r Rates) Outcome {
+	switch req.Kind {
+	case FF:
+		dist := req.Amount
+		if pos+dist >= l {
+			dist = l - pos
+			return Outcome{Pos: l, Wall: dist * r.PB / r.FF, RanOffEnd: true}
+		}
+		return Outcome{Pos: pos + dist, Wall: dist * r.PB / r.FF}
+	case RW:
+		dist := req.Amount
+		if pos-dist <= 0 {
+			dist = pos
+			return Outcome{Pos: 0, Wall: dist * r.PB / r.RW, HitStart: true}
+		}
+		return Outcome{Pos: pos - dist, Wall: dist * r.PB / r.RW}
+	default:
+		return Outcome{Pos: pos, Wall: req.Amount}
+	}
+}

@@ -1,0 +1,170 @@
+package vcr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vodalloc/internal/dist"
+)
+
+var testRates = Rates{PB: 1, FF: 3, RW: 3}
+
+func TestKindString(t *testing.T) {
+	if FF.String() != "FF" || RW.String() != "RW" || PAU.String() != "PAU" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(?)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	gam := dist.MustGamma(2, 4)
+	think := dist.MustExponential(15)
+	good := Profile{PFF: 0.2, PRW: 0.2, PPAU: 0.6, DurFF: gam, DurRW: gam, DurPAU: gam, Think: think}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []Profile{
+		{PFF: 0.5, PRW: 0.5, PPAU: 0.5, DurFF: gam, DurRW: gam, DurPAU: gam},
+		{PFF: -0.1, PRW: 0.5, PPAU: 0.6, DurFF: gam, DurRW: gam, DurPAU: gam},
+		{PFF: 1},
+		{PRW: 1},
+		{PPAU: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadProfile) {
+			t.Errorf("case %d: want ErrBadProfile, got %v", i, err)
+		}
+	}
+}
+
+func TestProfileSampleMixFrequencies(t *testing.T) {
+	gam := dist.MustGamma(2, 4)
+	p := Profile{PFF: 0.2, PRW: 0.2, PPAU: 0.6, DurFF: gam, DurRW: gam, DurPAU: gam}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[Kind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := p.Sample(rng)
+		counts[r.Kind]++
+		if r.Amount < 0 {
+			t.Fatalf("negative amount %g", r.Amount)
+		}
+	}
+	for kind, want := range map[Kind]float64{FF: 0.2, RW: 0.2, PAU: 0.6} {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v frequency %.3f want %.3f", kind, got, want)
+		}
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	gam := dist.MustGamma(2, 4)
+	think := dist.MustExponential(10)
+	for _, kind := range []Kind{FF, RW, PAU} {
+		p := Uniform(kind, gam, think)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !p.Interactive() {
+			t.Errorf("%v: should be interactive", kind)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 100; i++ {
+			if r := p.Sample(rng); r.Kind != kind {
+				t.Fatalf("uniform %v sampled %v", kind, r.Kind)
+			}
+		}
+		if th := p.SampleThink(rng); th < 0 {
+			t.Error("negative think time")
+		}
+	}
+}
+
+func TestApplyFF(t *testing.T) {
+	// FF of 30 movie-minutes at 3× takes 10 wall minutes.
+	o := Apply(Request{Kind: FF, Amount: 30}, 50, 120, testRates)
+	if o.Pos != 80 || math.Abs(o.Wall-10) > 1e-12 || o.RanOffEnd || o.HitStart {
+		t.Errorf("FF outcome %+v", o)
+	}
+	// FF past the end clamps and flags.
+	o = Apply(Request{Kind: FF, Amount: 100}, 50, 120, testRates)
+	if o.Pos != 120 || !o.RanOffEnd {
+		t.Errorf("FF off end %+v", o)
+	}
+	if math.Abs(o.Wall-70.0/3) > 1e-12 {
+		t.Errorf("clamped FF wall %g want %g", o.Wall, 70.0/3)
+	}
+	// FF landing exactly on the end counts as off-the-end.
+	o = Apply(Request{Kind: FF, Amount: 70}, 50, 120, testRates)
+	if !o.RanOffEnd {
+		t.Error("exact-end FF should flag RanOffEnd")
+	}
+}
+
+func TestApplyRW(t *testing.T) {
+	o := Apply(Request{Kind: RW, Amount: 30}, 50, 120, testRates)
+	if o.Pos != 20 || math.Abs(o.Wall-10) > 1e-12 || o.HitStart {
+		t.Errorf("RW outcome %+v", o)
+	}
+	o = Apply(Request{Kind: RW, Amount: 80}, 50, 120, testRates)
+	if o.Pos != 0 || !o.HitStart {
+		t.Errorf("RW past start %+v", o)
+	}
+	if math.Abs(o.Wall-50.0/3) > 1e-12 {
+		t.Errorf("clamped RW wall %g", o.Wall)
+	}
+}
+
+func TestApplyPAU(t *testing.T) {
+	o := Apply(Request{Kind: PAU, Amount: 12}, 50, 120, testRates)
+	if o.Pos != 50 || o.Wall != 12 || o.RanOffEnd || o.HitStart {
+		t.Errorf("PAU outcome %+v", o)
+	}
+}
+
+func TestRatesValidate(t *testing.T) {
+	if err := testRates.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Rates{{0, 3, 3}, {1, 0, 3}, {1, 3, 0}, {-1, 3, 3}} {
+		if err := r.Validate(); !errors.Is(err, ErrBadProfile) {
+			t.Errorf("%+v: want ErrBadProfile, got %v", r, err)
+		}
+	}
+}
+
+// Property: Apply keeps positions within [0, l] and wall time nonnegative.
+func TestPropertyApplyBounds(t *testing.T) {
+	prop := func(kindRaw uint8, amtRaw, posRaw uint16) bool {
+		kind := Kind(int(kindRaw) % 3)
+		l := 120.0
+		amt := float64(amtRaw) / 65535 * 300
+		pos := float64(posRaw) / 65535 * l
+		o := Apply(Request{Kind: kind, Amount: amt}, pos, l, testRates)
+		if o.Pos < 0 || o.Pos > l || o.Wall < 0 {
+			return false
+		}
+		if kind == PAU && o.Pos != pos {
+			return false
+		}
+		// Wall time consistency: distance swept / speed.
+		switch kind {
+		case FF:
+			swept := o.Pos - pos
+			return math.Abs(o.Wall-swept/3) < 1e-9
+		case RW:
+			swept := pos - o.Pos
+			return math.Abs(o.Wall-swept/3) < 1e-9
+		}
+		return o.Wall == amt
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/vcr"
+)
+
+// CatalogSpec is the JSON-serializable description of a movie catalog,
+// for driving the sizing and simulation tools from configuration files.
+type CatalogSpec struct {
+	Movies []MovieSpec `json:"movies"`
+}
+
+// MovieSpec is the JSON form of one movie. Distribution fields use the
+// compact dist.Parse syntax ("gamma:2:4", "exp:15", …).
+type MovieSpec struct {
+	Name       string  `json:"name"`
+	Length     float64 `json:"length"`
+	Wait       float64 `json:"wait"`
+	TargetHit  float64 `json:"targetHit"`
+	Popularity float64 `json:"popularity,omitempty"`
+
+	// PFF/PRW/PPAU default to the §4 mix (0.2/0.2/0.6) when all zero.
+	PFF  float64 `json:"pff,omitempty"`
+	PRW  float64 `json:"prw,omitempty"`
+	PPAU float64 `json:"ppau,omitempty"`
+	// Dur is the shared duration spec; DurFF/DurRW/DurPAU override it
+	// per operation.
+	Dur    string `json:"dur,omitempty"`
+	DurFF  string `json:"durFF,omitempty"`
+	DurRW  string `json:"durRW,omitempty"`
+	DurPAU string `json:"durPAU,omitempty"`
+	// Think is the think-time spec (default "exp:15").
+	Think string `json:"think,omitempty"`
+}
+
+// ToMovie materializes the spec.
+func (s MovieSpec) ToMovie() (Movie, error) {
+	parse := func(spec, fallback string) (dist.Distribution, error) {
+		if spec == "" {
+			spec = fallback
+		}
+		if spec == "" {
+			return nil, nil
+		}
+		return dist.Parse(spec)
+	}
+	durFF, err := parse(s.DurFF, s.Dur)
+	if err != nil {
+		return Movie{}, fmt.Errorf("movie %q durFF: %w", s.Name, err)
+	}
+	durRW, err := parse(s.DurRW, s.Dur)
+	if err != nil {
+		return Movie{}, fmt.Errorf("movie %q durRW: %w", s.Name, err)
+	}
+	durPAU, err := parse(s.DurPAU, s.Dur)
+	if err != nil {
+		return Movie{}, fmt.Errorf("movie %q durPAU: %w", s.Name, err)
+	}
+	think, err := parse(s.Think, "exp:15")
+	if err != nil {
+		return Movie{}, fmt.Errorf("movie %q think: %w", s.Name, err)
+	}
+	pff, prw, ppau := s.PFF, s.PRW, s.PPAU
+	if pff == 0 && prw == 0 && ppau == 0 {
+		pff, prw, ppau = 0.2, 0.2, 0.6
+	}
+	pop := s.Popularity
+	if pop == 0 {
+		pop = 1
+	}
+	m := Movie{
+		Name: s.Name, Length: s.Length, Wait: s.Wait, TargetHit: s.TargetHit,
+		Popularity: pop,
+		Profile: vcr.Profile{
+			PFF: pff, PRW: prw, PPAU: ppau,
+			DurFF: durFF, DurRW: durRW, DurPAU: durPAU,
+			Think: think,
+		},
+	}
+	if err := m.Validate(); err != nil {
+		return Movie{}, err
+	}
+	if err := m.Profile.Validate(); err != nil {
+		return Movie{}, fmt.Errorf("movie %q: %w", s.Name, err)
+	}
+	return m, nil
+}
+
+// ReadCatalog decodes a catalog from JSON.
+func ReadCatalog(r io.Reader) ([]Movie, error) {
+	var spec CatalogSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParam, err)
+	}
+	if len(spec.Movies) == 0 {
+		return nil, fmt.Errorf("%w: catalog has no movies", ErrBadParam)
+	}
+	movies := make([]Movie, 0, len(spec.Movies))
+	for _, ms := range spec.Movies {
+		m, err := ms.ToMovie()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadParam, err)
+		}
+		movies = append(movies, m)
+	}
+	return movies, nil
+}
+
+// LoadCatalog reads a catalog from a JSON file.
+func LoadCatalog(path string) ([]Movie, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParam, err)
+	}
+	defer f.Close()
+	return ReadCatalog(f)
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCatalog exercises the JSON catalog decoder: it must never
+// panic, and anything it accepts must be a valid catalog.
+func FuzzReadCatalog(f *testing.F) {
+	seeds := []string{
+		`{"movies":[{"name":"m","length":90,"wait":0.25,"targetHit":0.4,"dur":"exp:2"}]}`,
+		`{"movies":[]}`,
+		`{}`,
+		`[]`,
+		`{"movies":[{"name":"m","length":-1,"wait":0.25,"targetHit":0.4,"dur":"exp:2"}]}`,
+		`{"movies":[{"name":"m","length":90,"wait":0.25,"targetHit":2,"dur":"exp:2"}]}`,
+		`{"movies":[{"name":"m","length":90,"wait":0.25,"targetHit":0.4,"dur":"zzz"}]}`,
+		`{"movies":[{"name":"m","length":1e308,"wait":1e-308,"targetHit":0.5,"dur":"exp:2"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		movies, err := ReadCatalog(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if len(movies) == 0 {
+			t.Fatal("accepted an empty catalog")
+		}
+		for _, m := range movies {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("accepted invalid movie %+v: %v", m, err)
+			}
+			if err := m.Profile.Validate(); err != nil {
+				t.Fatalf("accepted invalid profile for %q: %v", m.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package vodalloc_test
+
+import (
+	"math"
+	"testing"
+
+	"vodalloc"
+)
+
+// These tests exercise the library exclusively through its public facade,
+// the way a downstream user would.
+
+func TestPublicModelRoundTrip(t *testing.T) {
+	cfg, err := vodalloc.ConfigForWait(120, 1, 60, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.B != 60 {
+		t.Fatalf("B = %g want 60", cfg.B)
+	}
+	model, err := vodalloc.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gam, err := vodalloc.NewGamma(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFF := model.HitFF(gam)
+	pRW := model.HitRW(gam)
+	pPAU := model.HitPAU(gam)
+	for name, p := range map[string]float64{"FF": pFF, "RW": pRW, "PAU": pPAU} {
+		if p <= 0 || p >= 1 {
+			t.Errorf("%s hit %g outside (0,1)", name, p)
+		}
+	}
+	mixP, err := model.HitMix(vodalloc.Mix{
+		PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: gam, RW: gam, PAU: gam,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.2*pFF + 0.2*pRW + 0.6*pPAU
+	if math.Abs(mixP-want) > 1e-12 {
+		t.Errorf("mix %g want %g", mixP, want)
+	}
+	bd := model.BreakdownOf(vodalloc.FF, gam)
+	if math.Abs(bd.Total-pFF) > 1e-9 {
+		t.Errorf("breakdown total %g vs hit %g", bd.Total, pFF)
+	}
+}
+
+func TestPublicDistributionConstructors(t *testing.T) {
+	for name, build := range map[string]func() (vodalloc.Distribution, error){
+		"exp":     func() (vodalloc.Distribution, error) { return vodalloc.NewExponential(8) },
+		"gamma":   func() (vodalloc.Distribution, error) { return vodalloc.NewGamma(2, 4) },
+		"uniform": func() (vodalloc.Distribution, error) { return vodalloc.NewUniform(0, 10) },
+		"det":     func() (vodalloc.Distribution, error) { return vodalloc.NewDeterministic(5) },
+		"weibull": func() (vodalloc.Distribution, error) { return vodalloc.NewWeibull(2, 4) },
+		"empirical": func() (vodalloc.Distribution, error) {
+			return vodalloc.NewEmpirical([]float64{1, 2, 3, 4, 5})
+		},
+		"truncated": func() (vodalloc.Distribution, error) {
+			base, err := vodalloc.NewExponential(8)
+			if err != nil {
+				return nil, err
+			}
+			return vodalloc.Truncate(base, 0, 120)
+		},
+	} {
+		d, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.CDF(1e6) < 0.99 {
+			t.Errorf("%s: CDF far right should approach 1", name)
+		}
+	}
+	if _, err := vodalloc.NewExponential(-1); err == nil {
+		t.Error("invalid parameters must surface errors through the facade")
+	}
+}
+
+func TestPublicSimulateMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long validation run")
+	}
+	gam, _ := vodalloc.NewGamma(2, 4)
+	think, _ := vodalloc.NewExponential(15)
+	res, err := vodalloc.Simulate(vodalloc.SimConfig{
+		L: 120, B: 60, N: 30,
+		Rates:       vodalloc.Rates{PB: 1, FF: 3, RW: 3},
+		ArrivalRate: 0.5,
+		Profile:     vodalloc.MixedProfile(gam, think),
+		Horizon:     5000,
+		Warmup:      500,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := vodalloc.NewModel(vodalloc.Config{L: 120, B: 60, N: 30, RatePB: 1, RateFF: 3, RateRW: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.HitMix(vodalloc.Mix{PFF: 0.2, PRW: 0.2, PPAU: 0.6, FF: gam, RW: gam, PAU: gam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.HitProbability()-want) > 0.035 {
+		t.Errorf("sim %.4f vs model %.4f", res.HitProbability(), want)
+	}
+}
+
+func TestPublicSizingExample1(t *testing.T) {
+	movies := vodalloc.Example1Movies()
+	if vodalloc.PureBatchingStreams(movies[0].Length, movies[0].Wait) != 750 {
+		t.Error("movie1 pure batching should need 750 streams")
+	}
+	plan, err := vodalloc.PlanMinBuffer(movies, vodalloc.DefaultRates, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalStreams >= 1230 || plan.TotalBuffer <= 0 {
+		t.Errorf("plan %+v lacks the paper's savings", plan)
+	}
+	cm, err := vodalloc.HardwareCostModel(700, 5, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := vodalloc.CostCurve(movies, vodalloc.DefaultRates, cm.Phi(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := vodalloc.MinCostPoint(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.RelativeCost <= 0 {
+		t.Errorf("min cost %+v", best)
+	}
+	pts, err := vodalloc.FeasibleSet(movies[1], vodalloc.DefaultRates, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyFeasible := false
+	for _, p := range pts {
+		if p.Feasible {
+			anyFeasible = true
+		}
+	}
+	if !anyFeasible {
+		t.Error("movie2 should have feasible points")
+	}
+}
