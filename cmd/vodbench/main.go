@@ -3,7 +3,7 @@
 // Usage:
 //
 //	vodbench -exp all            # every experiment
-//	vodbench -exp fig7a          # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e)
+//	vodbench -exp fig7a          # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e, faults)
 //	vodbench -exp fig7d -quick   # smaller simulation horizons
 //
 // Output is the textual form of each figure: the same rows/series the
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig7a|fig7b|fig7c|fig7d|fig8|fig9|ex1|ex2|verify|sens|piggyback|e2e|all")
+	exp := flag.String("exp", "all", "experiment to run: fig7a|fig7b|fig7c|fig7d|fig8|fig9|ex1|ex2|verify|sens|piggyback|e2e|faults|all")
 	quick := flag.Bool("quick", false, "shrink simulation horizons for a fast pass")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
@@ -108,6 +108,14 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintEndToEnd(os.Stdout, r)
+		ran++
+	}
+	if want("faults") {
+		rows, err := experiments.Faults(opts)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFaults(os.Stdout, rows)
 		ran++
 	}
 	if want("verify") {

@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	vodserverd -addr :8080
+//	vodserverd -addr :8080 -timeout 30s -max-body 1048576 -max-inflight 4
 //
 //	curl -s localhost:8080/v1/hit -d '{
 //	    "config": {"l": 120, "b": 60, "n": 30},
 //	    "profile": {"dur": "gamma:2:4"}
 //	}'
 //
+// The handler stack recovers panics into 500s, times out slow requests,
+// rejects oversized bodies with 413, and sheds excess concurrent
+// simulations with 503 + Retry-After. The access log carries the status
+// code and outcome class (ok, shed, recovered-panic, ...) per request.
 // The process shuts down cleanly on SIGINT/SIGTERM.
 package main
 
@@ -31,11 +35,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget")
+	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes (413 beyond)")
+	maxInflight := flag.Int("max-inflight", 4, "concurrent simulate/replicate cap (503 beyond)")
 	flag.Parse()
 
+	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(httpapi.NewMux()),
+		Addr: *addr,
+		Handler: httpapi.New(httpapi.Options{
+			Timeout:        *timeout,
+			MaxBodyBytes:   *maxBody,
+			MaxInflightSim: *maxInflight,
+			Log:            logger,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -44,7 +57,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("vodserverd listening on %s", *addr)
+		log.Printf("vodserverd listening on %s (timeout=%s max-body=%d max-inflight=%d)",
+			*addr, *timeout, *maxBody, *maxInflight)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -62,13 +76,4 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
 }

@@ -6,16 +6,20 @@
 //
 //	vodsim -l 120 -b 60 -n 30 -lambda 0.5 -horizon 6000
 //	vodsim -l 120 -w 1 -n 60 -dur gamma:2:4 -piggyback -compare
+//	vodsim -l 120 -b 60 -n 30 -streams 60 -faults "fail@1000:d0,repair@2000:d0"
+//	vodsim -l 120 -b 60 -n 30 -streams 60 -faults "rand:7:2000:200:6"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vodalloc/internal/analytic"
 	"vodalloc/internal/cliutil"
 	"vodalloc/internal/dist"
+	"vodalloc/internal/faults"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/trace"
 	"vodalloc/internal/vcr"
@@ -40,6 +44,8 @@ func main() {
 	piggyback := flag.Bool("piggyback", false, "enable piggyback merging after misses")
 	slew := flag.Float64("slew", 0.05, "piggyback display-rate slew fraction")
 	maxDed := flag.Int("maxdedicated", 0, "cap on dedicated streams (0 = unlimited)")
+	streams := flag.Int("streams", 0, "total provisioned I/O streams across batch and VCR (0 = uncapped)")
+	faultSpec := flag.String("faults", "", `fault schedule: "fail@T:dD,repair@T:dD,glitch@T:N,bufloss@T" or "rand:seed:mtbf:mttr:disks"`)
 	compare := flag.Bool("compare", true, "print the analytic model prediction alongside")
 	tracePath := flag.String("trace", "", "write a structured event trace to this file (\"-\" for stdout)")
 	reps := flag.Int("replications", 1, "independent replications (seeds seed..seed+R-1, run concurrently)")
@@ -89,6 +95,18 @@ func main() {
 		tracer = tw
 	}
 
+	var sched faults.Schedule
+	if *faultSpec != "" {
+		if strings.HasPrefix(*faultSpec, "rand:") {
+			sched, err = faults.ParseRandom(*faultSpec, *horizon)
+		} else {
+			sched, err = faults.Parse(*faultSpec)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	cfg := sim.Config{
 		L: *l, B: buf, N: *n,
 		Tracer:      tracer,
@@ -102,6 +120,8 @@ func main() {
 		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
 		Piggyback: *piggyback, Slew: *slew,
 		MaxDedicated: *maxDed,
+		TotalStreams: *streams,
+		Faults:       sched,
 	}
 	if *reps > 1 {
 		if cfg.Tracer != nil {

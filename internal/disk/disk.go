@@ -24,6 +24,14 @@ var ErrExhausted = errors.New("disk: stream slots exhausted")
 // ErrBadParam reports invalid constructor parameters.
 var ErrBadParam = errors.New("disk: invalid parameter")
 
+// ErrTransient is returned by Allocate while injected transient faults
+// are pending (see InjectTransient): the allocation failed, but slots
+// may well be free — callers should retry with backoff.
+var ErrTransient = errors.New("disk: transient allocation fault")
+
+// ErrNoDisk reports a disk index outside the array.
+var ErrNoDisk = errors.New("disk: no such disk")
+
 // StreamsPerDisk returns how many streams of rate streamMbps (megabits
 // per second) one disk with bandwidth diskMBps (megabytes per second)
 // sustains: ⌊diskMBps · 8 / streamMbps⌋.
@@ -56,15 +64,26 @@ func (s *Slot) Release() {
 
 // Array is a collection of identical disks with per-disk stream slots.
 // Not safe for concurrent use; the simulator is single-threaded.
+//
+// Disks can be taken out of service with FailDisk and returned with
+// RepairDisk: a failed disk's slots leave the provisioned pool, and the
+// streams it carried are orphaned — their slots stay charged against
+// the dead spindle until released, and Release on such a slot does NOT
+// return it to the live pool.
 type Array struct {
 	perDisk int
-	load    []int // streams in use per disk
-	inUse   int
+	load    []int  // streams in use per disk (live or failed)
+	failed  []bool // per-disk failure flag
+	inUse   int    // allocated slots on live disks
+	lost    int    // allocated slots stranded on failed disks
 	peak    int
 	elastic bool
 	limit   int // total stream cap (0 = slots only)
+	// transient holds the number of injected allocation faults still
+	// pending; while positive, Allocate fails with ErrTransient.
+	transient int
 	// lifetime counters
-	allocs, failures uint64
+	allocs, failures, transients uint64
 }
 
 // NewArray builds an array of numDisks disks, each sustaining perDisk
@@ -73,7 +92,7 @@ func NewArray(numDisks, perDisk int) (*Array, error) {
 	if numDisks < 1 || perDisk < 1 {
 		return nil, fmt.Errorf("%w: numDisks=%d perDisk=%d must be positive", ErrBadParam, numDisks, perDisk)
 	}
-	return &Array{perDisk: perDisk, load: make([]int, numDisks)}, nil
+	return &Array{perDisk: perDisk, load: make([]int, numDisks), failed: make([]bool, numDisks)}, nil
 }
 
 // NewElastic builds an array that adds disks (of perDisk slots each) as
@@ -95,12 +114,14 @@ func NewLimited(perDisk, limit int) (*Array, error) {
 		return nil, fmt.Errorf("%w: perDisk=%d limit=%d must be positive", ErrBadParam, perDisk, limit)
 	}
 	disks := (limit + perDisk - 1) / perDisk
-	return &Array{perDisk: perDisk, load: make([]int, disks), limit: limit}, nil
+	return &Array{perDisk: perDisk, load: make([]int, disks), failed: make([]bool, disks), limit: limit}, nil
 }
 
-// Capacity returns the currently provisioned stream capacity.
+// Capacity returns the currently provisioned stream capacity: slots on
+// live disks, capped by the stream budget when one is set. Failed disks
+// contribute nothing.
 func (a *Array) Capacity() int {
-	c := len(a.load) * a.perDisk
+	c := a.LiveDisks() * a.perDisk
 	if a.limit > 0 && a.limit < c {
 		c = a.limit
 	}
@@ -109,6 +130,20 @@ func (a *Array) Capacity() int {
 
 // Disks returns the number of disks currently provisioned.
 func (a *Array) Disks() int { return len(a.load) }
+
+// LiveDisks returns the number of provisioned disks in service.
+func (a *Array) LiveDisks() int {
+	n := 0
+	for _, f := range a.failed {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedDisks returns the number of disks currently out of service.
+func (a *Array) FailedDisks() int { return len(a.load) - a.LiveDisks() }
 
 // InUse returns the number of allocated streams.
 func (a *Array) InUse() int { return a.inUse }
@@ -119,29 +154,47 @@ func (a *Array) Peak() int { return a.peak }
 // Allocations returns the lifetime number of successful allocations.
 func (a *Array) Allocations() uint64 { return a.allocs }
 
-// Failures returns the lifetime number of rejected allocations.
+// Failures returns the lifetime number of rejected allocations
+// (exhaustion and transient faults alike).
 func (a *Array) Failures() uint64 { return a.failures }
 
-// Allocate leases a stream slot on the least-loaded disk, balancing load
-// across spindles. In elastic mode a new disk is provisioned when all
-// are full; otherwise ErrExhausted is returned.
+// TransientFailures returns the lifetime number of allocations rejected
+// by injected transient faults (a subset of Failures).
+func (a *Array) TransientFailures() uint64 { return a.transients }
+
+// Lost returns the number of allocated slots currently stranded on
+// failed disks (orphans not yet released by their holders).
+func (a *Array) Lost() int { return a.lost }
+
+// Allocate leases a stream slot on the least-loaded live disk, balancing
+// load across spindles. In elastic mode a new disk is provisioned when
+// all live disks are full; otherwise ErrExhausted is returned. While
+// injected transient faults are pending, Allocate fails with
+// ErrTransient instead.
 func (a *Array) Allocate() (*Slot, error) {
-	if a.limit > 0 && a.inUse >= a.limit {
+	if a.transient > 0 {
+		a.transient--
+		a.failures++
+		a.transients++
+		return nil, fmt.Errorf("%w (%d more pending)", ErrTransient, a.transient)
+	}
+	if a.limit > 0 && a.inUse >= a.Capacity() {
 		a.failures++
 		return nil, fmt.Errorf("%w: %d streams at the provisioned limit", ErrExhausted, a.inUse)
 	}
 	best := -1
 	for i, l := range a.load {
-		if l < a.perDisk && (best == -1 || l < a.load[best]) {
+		if !a.failed[i] && l < a.perDisk && (best == -1 || l < a.load[best]) {
 			best = i
 		}
 	}
 	if best == -1 {
 		if !a.elastic {
 			a.failures++
-			return nil, fmt.Errorf("%w: %d streams on %d disks", ErrExhausted, a.inUse, len(a.load))
+			return nil, fmt.Errorf("%w: %d streams on %d live disks", ErrExhausted, a.inUse, a.LiveDisks())
 		}
 		a.load = append(a.load, 0)
+		a.failed = append(a.failed, false)
 		best = len(a.load) - 1
 	}
 	a.load[best]++
@@ -155,7 +208,92 @@ func (a *Array) Allocate() (*Slot, error) {
 
 func (a *Array) release(diskID int) {
 	a.load[diskID]--
+	if a.failed[diskID] {
+		// The slot sat on a dead spindle: it was already removed from the
+		// live accounting when the disk failed and must NOT rejoin the
+		// free pool until the disk is repaired.
+		a.lost--
+		return
+	}
 	a.inUse--
+}
+
+// FailDisk takes disk i out of service and returns the number of
+// allocated streams orphaned on it. Those slots stay charged to the
+// dead disk until their holders call Release; Allocate skips the disk
+// until RepairDisk. Failing an already-failed disk is a no-op.
+func (a *Array) FailDisk(i int) (orphans int, err error) {
+	if i < 0 || i >= len(a.load) {
+		return 0, fmt.Errorf("%w: %d of %d", ErrNoDisk, i, len(a.load))
+	}
+	if a.failed[i] {
+		return 0, nil
+	}
+	a.failed[i] = true
+	orphans = a.load[i]
+	a.inUse -= orphans
+	a.lost += orphans
+	return orphans, nil
+}
+
+// RepairDisk returns disk i to service. Slots still held on it (not yet
+// released by their orphaned owners) rejoin the live accounting.
+// Repairing a live disk is a no-op.
+func (a *Array) RepairDisk(i int) error {
+	if i < 0 || i >= len(a.load) {
+		return fmt.Errorf("%w: %d of %d", ErrNoDisk, i, len(a.load))
+	}
+	if !a.failed[i] {
+		return nil
+	}
+	a.failed[i] = false
+	a.inUse += a.load[i]
+	a.lost -= a.load[i]
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+	return nil
+}
+
+// DiskFailed reports whether disk i is out of service.
+func (a *Array) DiskFailed(i int) bool {
+	return i >= 0 && i < len(a.failed) && a.failed[i]
+}
+
+// InjectTransient makes the next n calls to Allocate fail with
+// ErrTransient, modeling controller hiccups rather than dead spindles.
+func (a *Array) InjectTransient(n int) {
+	if n > 0 {
+		a.transient += n
+	}
+}
+
+// CheckInvariant verifies the array's accounting: every per-disk load
+// within [0, perDisk], in-use equal to the live-disk loads, lost equal
+// to the failed-disk loads, and in-use + free == provisioned capacity
+// (with free never negative). It returns the first violation found.
+func (a *Array) CheckInvariant() error {
+	live, dead := 0, 0
+	for i, l := range a.load {
+		if l < 0 || l > a.perDisk {
+			return fmt.Errorf("disk: invariant: disk %d load %d outside [0, %d]", i, l, a.perDisk)
+		}
+		if a.failed[i] {
+			dead += l
+		} else {
+			live += l
+		}
+	}
+	if live != a.inUse {
+		return fmt.Errorf("disk: invariant: inUse %d != live-disk loads %d", a.inUse, live)
+	}
+	if dead != a.lost {
+		return fmt.Errorf("disk: invariant: lost %d != failed-disk loads %d", a.lost, dead)
+	}
+	if free := a.Capacity() - a.inUse; free < 0 {
+		return fmt.Errorf("disk: invariant: in-use %d exceeds provisioned %d", a.inUse, a.Capacity())
+	}
+	return nil
 }
 
 // Utilization returns the fraction of provisioned slots in use

@@ -183,3 +183,242 @@ func TestNewLimitedEnforcesExactCap(t *testing.T) {
 		t.Error("zero limit must fail")
 	}
 }
+
+func TestFailDiskOrphansAndCapacity(t *testing.T) {
+	a, err := NewArray(3, 4) // 12 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slots []*Slot
+	for i := 0; i < 9; i++ { // 3 per disk, balanced
+		s, err := a.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	orphans, err := a.FailDisk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orphans != 3 {
+		t.Errorf("orphans %d want 3", orphans)
+	}
+	if a.Capacity() != 8 || a.InUse() != 6 || a.Lost() != 3 {
+		t.Errorf("cap=%d inUse=%d lost=%d want 8/6/3", a.Capacity(), a.InUse(), a.Lost())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Allocation skips the failed disk.
+	for i := 0; i < 2; i++ {
+		s, err := a.Allocate()
+		if err != nil {
+			t.Fatalf("alloc on survivors: %v", err)
+		}
+		if s.Disk() == 0 {
+			t.Error("allocated on a failed disk")
+		}
+	}
+	if _, err := a.Allocate(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("survivors full: want ErrExhausted, got %v", err)
+	}
+	// Double-fail is a no-op; bad index rejected.
+	if n, err := a.FailDisk(0); err != nil || n != 0 {
+		t.Errorf("re-fail: %d, %v", n, err)
+	}
+	if _, err := a.FailDisk(9); !errors.Is(err, ErrNoDisk) {
+		t.Errorf("want ErrNoDisk, got %v", err)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Releasing a slot whose disk has failed must not return the slot to
+// the live pool: capacity and free count stay unchanged.
+func TestReleaseOnFailedDiskStaysOutOfPool(t *testing.T) {
+	a, err := NewArray(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk0 []*Slot
+	for i := 0; i < 4; i++ {
+		s, err := a.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Disk() == 0 {
+			onDisk0 = append(onDisk0, s)
+		}
+	}
+	if _, err := a.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	free := a.Capacity() - a.InUse()
+	for _, s := range onDisk0 {
+		s.Release()
+	}
+	if got := a.Capacity() - a.InUse(); got != free {
+		t.Errorf("release on failed disk changed free slots: %d -> %d", free, got)
+	}
+	if a.Lost() != 0 {
+		t.Errorf("lost %d want 0 after orphan releases", a.Lost())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Full survivors still reject.
+	if _, err := a.Allocate(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("want ErrExhausted, got %v", err)
+	}
+	// Repair restores the spindle's slots.
+	if err := a.RepairDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 4 {
+		t.Errorf("capacity after repair %d want 4", a.Capacity())
+	}
+	if _, err := a.Allocate(); err != nil {
+		t.Errorf("alloc after repair: %v", err)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairWithHeldOrphans(t *testing.T) {
+	a, _ := NewArray(1, 3)
+	s1, _ := a.Allocate()
+	s2, _ := a.Allocate()
+	if _, err := a.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 0 || a.Lost() != 2 {
+		t.Fatalf("inUse=%d lost=%d", a.InUse(), a.Lost())
+	}
+	// Orphan released while failed, the other still held at repair time.
+	s1.Release()
+	if err := a.RepairDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 1 || a.Lost() != 0 {
+		t.Errorf("after repair inUse=%d lost=%d want 1/0", a.InUse(), a.Lost())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Release()
+	if a.InUse() != 0 {
+		t.Errorf("inUse %d want 0", a.InUse())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectTransient(t *testing.T) {
+	a, _ := NewArray(2, 2)
+	a.InjectTransient(2)
+	for i := 0; i < 2; i++ {
+		if _, err := a.Allocate(); !errors.Is(err, ErrTransient) {
+			t.Fatalf("glitch %d: want ErrTransient, got %v", i, err)
+		}
+	}
+	if _, err := a.Allocate(); err != nil {
+		t.Errorf("post-glitch alloc: %v", err)
+	}
+	if a.TransientFailures() != 2 || a.Failures() != 2 {
+		t.Errorf("transients=%d failures=%d want 2/2", a.TransientFailures(), a.Failures())
+	}
+	a.InjectTransient(-1) // ignored
+	if _, err := a.Allocate(); err != nil {
+		t.Errorf("negative injection must be ignored: %v", err)
+	}
+}
+
+func TestLimitedCapacityShrinksWithFailures(t *testing.T) {
+	a, err := NewLimited(2, 5) // 3 disks: 2+2+1 capped at 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 4 { // 2 live disks × 2, below the 5-stream budget
+		t.Fatalf("capacity %d want 4", a.Capacity())
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.Allocate(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Allocate(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("want ErrExhausted at shrunken capacity, got %v", err)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under random alloc/release/fail/repair the invariant holds
+// and released failed-disk slots never rejoin the pool early.
+func TestPropertyInvariantUnderFaults(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := NewArray(4, 3)
+		if err != nil {
+			return false
+		}
+		var live []*Slot
+		for op := 0; op < 400; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.45:
+				if s, err := a.Allocate(); err == nil {
+					live = append(live, s)
+				}
+			case r < 0.75 && len(live) > 0:
+				i := rng.Intn(len(live))
+				live[i].Release()
+				live = append(live[:i], live[i+1:]...)
+			case r < 0.9:
+				if _, err := a.FailDisk(rng.Intn(4)); err != nil {
+					return false
+				}
+			default:
+				if err := a.RepairDisk(rng.Intn(4)); err != nil {
+					return false
+				}
+			}
+			if err := a.CheckInvariant(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElasticFailAndGrow(t *testing.T) {
+	a, _ := NewElastic(2)
+	s, _ := a.Allocate() // provisions disk 0
+	if _, err := a.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	// Elastic arrays grow past dead spindles.
+	s2, err := a.Allocate()
+	if err != nil {
+		t.Fatalf("elastic alloc after failure: %v", err)
+	}
+	if s2.Disk() == 0 {
+		t.Error("allocated on the failed disk")
+	}
+	s.Release()
+	s2.Release()
+	if err := a.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/faults"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/workload"
+)
+
+// The faults experiment extends the paper's evaluation with a
+// degraded-mode study: the §4 reference configuration (l=120, B=60,
+// n=30) provisioned with 60 I/O streams on 6 disks, with whole disks
+// failing mid-run. Batch streams are re-admitted onto survivors with
+// priority over dedicated VCR streams, so the hit probability and the
+// availability metrics degrade monotonically with the number of dead
+// spindles.
+
+// FaultRow is one fault scenario's measurements.
+type FaultRow struct {
+	Label            string
+	FailedDisks      int
+	Hit              float64
+	Availability     float64
+	DegradedFraction float64
+	ShedRate         float64
+	ForcedMissRate   float64
+	Preempted        uint64
+	Recovered        uint64
+}
+
+// faultsStreams provisions 6 disks of 10 streams: the batch schedule
+// needs 30, leaving 30 for dedicated VCR streams.
+const faultsStreams = 60
+
+// Faults sweeps the number of permanently failed disks (dying at one
+// third of the horizon), plus one fail-and-repair scenario.
+func Faults(o Options) ([]FaultRow, error) {
+	horizon := o.horizon()
+	failAt := horizon / 3
+	repairAt := 2 * horizon / 3
+
+	scenario := func(label string, k int, sched faults.Schedule) (FaultRow, error) {
+		s, err := sim.New(sim.Config{
+			L: movieLen, B: 60, N: 30,
+			Rates:        paperRates,
+			ArrivalRate:  arrivalRate,
+			Profile:      workload.MixedProfile(gammaDur(), dist.MustExponential(thinkMean)),
+			Horizon:      horizon,
+			Warmup:       o.warmup(),
+			Seed:         o.seed(),
+			TotalStreams: faultsStreams,
+			Faults:       sched,
+		})
+		if err != nil {
+			return FaultRow{}, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return FaultRow{}, err
+		}
+		return FaultRow{
+			Label:            label,
+			FailedDisks:      k,
+			Hit:              res.HitProbability(),
+			Availability:     res.Faults.Availability,
+			DegradedFraction: res.Faults.DegradedFraction,
+			ShedRate:         res.Faults.ShedRate,
+			ForcedMissRate:   res.Faults.ForcedMissRate,
+			Preempted:        res.Faults.Preempted,
+			Recovered:        res.Faults.Recovered,
+		}, nil
+	}
+
+	var rows []FaultRow
+	for k := 0; k <= 3; k++ {
+		var sched faults.Schedule
+		for d := 0; d < k; d++ {
+			sched = append(sched, faults.Event{At: failAt, Kind: faults.DiskFail, Disk: d})
+		}
+		label := fmt.Sprintf("%d disk(s) fail", k)
+		if k == 0 {
+			label = "fault-free"
+		}
+		row, err := scenario(label, k, sched)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	repaired := faults.Schedule{
+		{At: failAt, Kind: faults.DiskFail, Disk: 0},
+		{At: repairAt, Kind: faults.DiskRepair, Disk: 0},
+	}
+	row, err := scenario("1 disk fails, later repaired", 1, repaired)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// PrintFaults renders the degraded-mode table.
+func PrintFaults(w io.Writer, rows []FaultRow) {
+	fmt.Fprintln(w, "Degraded-mode operation: disk failures on the reference configuration")
+	fmt.Fprintf(w, "(l=%d, B=60, n=30, %d provisioned streams on 6 disks; failures at horizon/3)\n\n",
+		movieLen, faultsStreams)
+	fmt.Fprintf(w, "%-28s %8s %8s %10s %9s %11s %9s %9s\n",
+		"scenario", "hit", "avail", "degraded", "shedRate", "forcedMiss", "preempt", "recover")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %8.4f %8.4f %10.4f %9.4f %11.4f %9d %9d\n",
+			r.Label, r.Hit, r.Availability, r.DegradedFraction,
+			r.ShedRate, r.ForcedMissRate, r.Preempted, r.Recovered)
+	}
+	fmt.Fprintln(w)
+}

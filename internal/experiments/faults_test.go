@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultsDegradesMonotonically pins the experiment's headline claim:
+// more dead disks can only hurt the hit probability and availability.
+func TestFaultsDegradesMonotonically(t *testing.T) {
+	rows, err := Faults(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows want 5", len(rows))
+	}
+	base := rows[0]
+	if base.Availability != 1 || base.DegradedFraction != 0 || base.ShedRate != 0 {
+		t.Errorf("fault-free row shows degradation: %+v", base)
+	}
+	for k := 1; k <= 3; k++ {
+		if rows[k].Hit > rows[k-1].Hit {
+			t.Errorf("hit rose with more failures: k=%d %.4f > k=%d %.4f",
+				k, rows[k].Hit, k-1, rows[k-1].Hit)
+		}
+		if rows[k].Availability >= 1 {
+			t.Errorf("k=%d: availability %.4f not degraded", k, rows[k].Availability)
+		}
+		if rows[k].ForcedMissRate <= 0 {
+			t.Errorf("k=%d: forced-miss rate %.4f not positive", k, rows[k].ForcedMissRate)
+		}
+	}
+	if !(rows[3].Hit < rows[0].Hit) {
+		t.Errorf("three dead disks should visibly hurt: %.4f vs %.4f", rows[3].Hit, rows[0].Hit)
+	}
+	repaired := rows[4]
+	if repaired.FailedDisks != 1 {
+		t.Fatalf("repair row misconfigured: %+v", repaired)
+	}
+	if !(repaired.Availability > rows[1].Availability) {
+		t.Errorf("repair should restore availability: %.4f vs permanent %.4f",
+			repaired.Availability, rows[1].Availability)
+	}
+}
+
+func TestPrintFaultsRenders(t *testing.T) {
+	rows, err := Faults(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	PrintFaults(&b, rows)
+	out := b.String()
+	for _, want := range []string{"avail", "shedRate", "forcedMiss", "fault-free", "repaired"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

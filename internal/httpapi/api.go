@@ -144,6 +144,11 @@ type SimulateRequest struct {
 	Seed      int64       `json:"seed,omitempty"`
 	Piggyback bool        `json:"piggyback,omitempty"`
 	Slew      float64     `json:"slew,omitempty"`
+	// TotalStreams caps the shared I/O-stream pool (0 = uncapped);
+	// Faults is a fault schedule in faults.Parse syntax, or
+	// "rand:seed:mtbf:mttr:disks" for a seeded random schedule.
+	TotalStreams int    `json:"totalStreams,omitempty"`
+	Faults       string `json:"faults,omitempty"`
 }
 
 // SimulateResponse summarizes the run.
@@ -162,6 +167,24 @@ type SimulateResponse struct {
 	Merges         uint64             `json:"merges"`
 	ModelHit       float64            `json:"modelHit"`
 	ModelAgreement float64            `json:"modelAbsError"`
+	// Faults is present when the run saw fault or degraded-mode activity.
+	Faults *FaultSummaryJSON `json:"faults,omitempty"`
+}
+
+// FaultSummaryJSON summarizes fault-injection and degraded-mode
+// accounting for a simulated run.
+type FaultSummaryJSON struct {
+	Availability     float64 `json:"availability"`
+	DegradedFraction float64 `json:"degradedFraction"`
+	ShedRate         float64 `json:"shedRate"`
+	ForcedMissRate   float64 `json:"forcedMissRate"`
+	DiskFailures     uint64  `json:"diskFailures"`
+	DiskRepairs      uint64  `json:"diskRepairs"`
+	PartitionsLost   uint64  `json:"partitionsLost"`
+	Preempted        uint64  `json:"preempted"`
+	Shed             uint64  `json:"shed"`
+	ForcedMisses     uint64  `json:"forcedMisses"`
+	Recovered        uint64  `json:"recovered"`
 }
 
 // ReplicateRequest asks for R independent replications of a simulation.

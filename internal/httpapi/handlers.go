@@ -2,12 +2,15 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
 
 	"vodalloc/internal/analytic"
 	"vodalloc/internal/dist"
+	"vodalloc/internal/faults"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/sizing"
 	"vodalloc/internal/vcr"
@@ -25,16 +28,30 @@ const maxBodyBytes = 1 << 20
 // linear in n and nothing physical exceeds this.
 const maxStreamsPerMovie = 1 << 20
 
-// NewMux returns the service's routing table.
+// NewMux returns the service's routing table with default limits and no
+// load shedding; New composes the hardened stack around it.
 func NewMux() *http.ServeMux {
+	return newMux(maxBodyBytes, nil)
+}
+
+// newMux builds the routing table with a body limit and, when sem is
+// non-nil, a concurrency limiter on the simulation endpoints.
+func newMux(maxBody int64, sem chan struct{}) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
-	mux.HandleFunc("/v1/hit", jsonHandler(handleHit))
-	mux.HandleFunc("/v1/plan", jsonHandler(handlePlan))
-	mux.HandleFunc("/v1/curve", jsonHandler(handleCurve))
-	mux.HandleFunc("/v1/reserve", jsonHandler(handleReserve))
-	mux.HandleFunc("/v1/simulate", jsonHandler(handleSimulate))
-	mux.HandleFunc("/v1/replicate", jsonHandler(handleReplicate))
+	mux.Handle("/v1/hit", jsonHandler(maxBody, handleHit))
+	mux.Handle("/v1/plan", jsonHandler(maxBody, handlePlan))
+	mux.Handle("/v1/curve", jsonHandler(maxBody, handleCurve))
+	mux.Handle("/v1/reserve", jsonHandler(maxBody, handleReserve))
+	simulate := jsonHandler(maxBody, handleSimulate)
+	replicate := jsonHandler(maxBody, handleReplicate)
+	if sem != nil {
+		mux.Handle("/v1/simulate", limitInflight(sem, simulate))
+		mux.Handle("/v1/replicate", limitInflight(sem, replicate))
+	} else {
+		mux.Handle("/v1/simulate", simulate)
+		mux.Handle("/v1/replicate", replicate)
+	}
 	return mux
 }
 
@@ -50,16 +67,22 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // jsonHandler adapts a typed POST handler.
-func jsonHandler[Req any, Resp any](fn func(Req) (Resp, error)) http.HandlerFunc {
+func jsonHandler[Req any, Resp any](maxBody int64, fn func(Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 			return
 		}
 		var req Req
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %v", err))
 			return
 		}
@@ -279,6 +302,37 @@ func handleReserve(req ReserveRequest) (ReserveResponse, error) {
 	}, nil
 }
 
+// parseFaults turns a request's fault spec into a schedule. "rand:"
+// specs draw a seeded random schedule over the horizon.
+func parseFaults(spec string, horizon float64) (faults.Schedule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "rand:") {
+		return faults.ParseRandom(spec, horizon)
+	}
+	return faults.Parse(spec)
+}
+
+func faultSummary(fs sim.FaultStats) *FaultSummaryJSON {
+	if !fs.Any() {
+		return nil
+	}
+	return &FaultSummaryJSON{
+		Availability:     fs.Availability,
+		DegradedFraction: fs.DegradedFraction,
+		ShedRate:         fs.ShedRate,
+		ForcedMissRate:   fs.ForcedMissRate,
+		DiskFailures:     fs.DiskFailures,
+		DiskRepairs:      fs.DiskRepairs,
+		PartitionsLost:   fs.PartitionsLost,
+		Preempted:        fs.Preempted,
+		Shed:             fs.Shed,
+		ForcedMisses:     fs.ForcedMisses,
+		Recovered:        fs.Recovered,
+	}
+}
+
 func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
 	cfg, err := req.Config.toConfig()
 	if err != nil {
@@ -299,16 +353,22 @@ func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
 	if warmup == 0 {
 		warmup = horizon / 10
 	}
+	sched, err := parseFaults(req.Faults, horizon)
+	if err != nil {
+		return SimulateResponse{}, err
+	}
 	s, err := sim.New(sim.Config{
 		L: cfg.L, B: cfg.B, N: cfg.N,
-		Rates:       vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
-		ArrivalRate: req.Lambda,
-		Profile:     profile,
-		Horizon:     horizon,
-		Warmup:      warmup,
-		Seed:        req.Seed,
-		Piggyback:   req.Piggyback,
-		Slew:        req.Slew,
+		Rates:        vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
+		ArrivalRate:  req.Lambda,
+		Profile:      profile,
+		Horizon:      horizon,
+		Warmup:       warmup,
+		Seed:         req.Seed,
+		Piggyback:    req.Piggyback,
+		Slew:         req.Slew,
+		TotalStreams: req.TotalStreams,
+		Faults:       sched,
 	})
 	if err != nil {
 		return SimulateResponse{}, err
@@ -341,6 +401,7 @@ func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
 		Merges:         res.Merges,
 		ModelHit:       modelHit,
 		ModelAgreement: math.Abs(modelHit - res.HitProbability()),
+		Faults:         faultSummary(res.Faults),
 	}
 	for k, p := range res.HitsByKind {
 		if p.N() > 0 {
@@ -374,16 +435,22 @@ func handleReplicate(req ReplicateRequest) (ReplicateResponse, error) {
 	if warmup == 0 {
 		warmup = horizon / 10
 	}
+	sched, err := parseFaults(req.Faults, horizon)
+	if err != nil {
+		return ReplicateResponse{}, err
+	}
 	rep, err := sim.Replicate(sim.Config{
 		L: cfg.L, B: cfg.B, N: cfg.N,
-		Rates:       vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
-		ArrivalRate: req.Lambda,
-		Profile:     profile,
-		Horizon:     horizon,
-		Warmup:      warmup,
-		Seed:        req.Seed,
-		Piggyback:   req.Piggyback,
-		Slew:        req.Slew,
+		Rates:        vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
+		ArrivalRate:  req.Lambda,
+		Profile:      profile,
+		Horizon:      horizon,
+		Warmup:       warmup,
+		Seed:         req.Seed,
+		Piggyback:    req.Piggyback,
+		Slew:         req.Slew,
+		TotalStreams: req.TotalStreams,
+		Faults:       sched,
 	}, req.Replications)
 	if err != nil {
 		return ReplicateResponse{}, err

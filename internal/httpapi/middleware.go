@@ -1,0 +1,145 @@
+package httpapi
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Options configures the hardened handler stack returned by New.
+// The zero value gets sane production defaults.
+type Options struct {
+	// Timeout is the per-request wall-clock budget; the request context
+	// is canceled and 503 returned when it expires. Default 30s.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies; larger bodies get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxInflightSim bounds concurrent /v1/simulate and /v1/replicate
+	// requests (they burn a CPU each); excess load is shed with 503 +
+	// Retry-After instead of queueing unboundedly. Default 4.
+	MaxInflightSim int
+	// Log, when non-nil, receives one access-log line per request with
+	// method, path, status, duration, and outcome.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = maxBodyBytes
+	}
+	if o.MaxInflightSim <= 0 {
+		o.MaxInflightSim = 4
+	}
+	return o
+}
+
+// New returns the hardened service handler: panic recovery, per-request
+// timeouts, body limits, and load shedding on the simulation endpoints.
+// NewMux remains the bare routing table for embedding.
+func New(o Options) http.Handler {
+	o = o.withDefaults()
+	sem := make(chan struct{}, o.MaxInflightSim)
+	var h http.Handler = newMux(o.MaxBodyBytes, sem)
+	// The timeout handler caps handler wall time and cancels r.Context;
+	// its body is written verbatim on expiry.
+	h = http.TimeoutHandler(h, o.Timeout, `{"error":"request timed out"}`)
+	h = Recover(h)
+	if o.Log != nil {
+		h = AccessLog(o.Log, h)
+	}
+	return h
+}
+
+// recoveredHeader marks a response produced by the panic-recovery
+// middleware, so access logs can tell a recovered panic from an
+// ordinary 500.
+const recoveredHeader = "X-Recovered"
+
+// Recover converts handler panics into 500 JSON errors instead of
+// killing the connection (and, for unserved panics, the process).
+// http.ErrAbortHandler keeps its usual abort semantics.
+func Recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			// Best effort: if the handler already wrote headers this is a
+			// no-op on the status line, but the connection survives.
+			w.Header().Set(recoveredHeader, "panic")
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitInflight sheds requests over the semaphore's capacity with 503 +
+// Retry-After rather than queueing them.
+func limitInflight(sem chan struct{}, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("too many concurrent simulations; retry shortly"))
+		}
+	})
+}
+
+// statusRecorder captures the status code for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// AccessLog writes one line per request: method, path, status, elapsed
+// time, and the outcome class (ok, client-error, shed, recovered-panic,
+// or error).
+func AccessLog(l *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		outcome := "ok"
+		switch {
+		case rec.Header().Get(recoveredHeader) != "":
+			outcome = "recovered-panic"
+		case status == http.StatusServiceUnavailable:
+			outcome = "shed"
+		case status >= 500:
+			outcome = "error"
+		case status >= 400:
+			outcome = "client-error"
+		}
+		l.Printf("%s %s %d %s %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), outcome)
+	})
+}

@@ -1,0 +1,255 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func decodeErrorBody(t *testing.T, rec *httptest.ResponseRecorder) ErrorResponse {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not JSON: %v (body %q)", err, rec.Body.String())
+	}
+	if e.Error == "" {
+		t.Fatal("structured error has an empty message")
+	}
+	return e
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	h := New(Options{MaxBodyBytes: 128})
+	body := `{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,"pad":"` +
+		strings.Repeat("x", 512) + `"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/hit", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d want 413; body %q", rec.Code, rec.Body.String())
+	}
+	e := decodeErrorBody(t, rec)
+	if !strings.Contains(e.Error, "128") {
+		t.Errorf("413 error should cite the limit: %q", e.Error)
+	}
+}
+
+func TestMalformedJSONGets400(t *testing.T) {
+	h := New(Options{})
+	for _, body := range []string{`{`, `[]`, `{"config": "nope"}`, `{"unknownField": 1}`} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/hit", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d want 400", body, rec.Code)
+			continue
+		}
+		decodeErrorBody(t, rec)
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	// Through a real server: the connection must survive and carry a 500.
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/hit", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("connection died on handler panic: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d want 500", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("panic response is not a structured error: %v %+v", err, e)
+	}
+	if resp.Header.Get(recoveredHeader) == "" {
+		t.Error("recovered response should be marked for the access log")
+	}
+}
+
+func TestLimiterShedsWith503AndRetryAfter(t *testing.T) {
+	sem := make(chan struct{}, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	h := limitInflight(sem, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(started) })
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/simulate", nil))
+	}()
+	<-started // the slot is now held
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/simulate", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated limiter returned %d want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	decodeErrorBody(t, rec)
+
+	close(release)
+	wg.Wait()
+
+	// The slot is free again: the next request must pass.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/simulate", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("limiter did not release its slot: %d", rec.Code)
+	}
+}
+
+func TestConcurrentSimulatesSurviveOverload(t *testing.T) {
+	// N+1 concurrent simulate calls against an inflight cap of 1: every
+	// call must complete with 200 or 503, and the server must stay up.
+	h := New(Options{MaxInflightSim: 1})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := `{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,"horizon":600,"seed":1}`
+	const calls = 4
+	codes := make(chan int, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("concurrent simulate returned %d; want 200 or 503", code)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("server unreachable after overload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d after overload", resp.StatusCode)
+	}
+}
+
+func TestTimeoutCancelsSlowHandlers(t *testing.T) {
+	// Compose the same stack New uses, around a stub that outlives the
+	// budget; the client must get a 503 within the timeout, not hang.
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+			t.Error("request context never canceled")
+		}
+	})
+	h := Recover(http.TimeoutHandler(slow, 20*time.Millisecond, `{"error":"request timed out"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/simulate", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request returned %d want 503", rec.Code)
+	}
+	decodeErrorBody(t, rec)
+}
+
+func TestAccessLogRecordsStatusAndOutcome(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "fine")
+	})
+	mux.HandleFunc("/shed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("busy"))
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	h := AccessLog(logger, Recover(mux))
+
+	for _, path := range []string{"/ok", "/shed", "/boom"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"GET /ok 200", "ok",
+		"GET /shed 503", "shed",
+		"GET /boom 500", "recovered-panic",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("access log missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSimulateWithFaultsReportsDegradation(t *testing.T) {
+	h := New(Options{})
+	body := `{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,` +
+		`"horizon":1000,"seed":1,"totalStreams":60,"faults":"fail@300:d0"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SimulateResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Faults == nil {
+		t.Fatal("faulted run returned no fault summary")
+	}
+	if resp.Faults.DiskFailures != 1 {
+		t.Errorf("diskFailures %d want 1", resp.Faults.DiskFailures)
+	}
+	if resp.Faults.Availability >= 1 || resp.Faults.Availability <= 0 {
+		t.Errorf("availability %v not in (0, 1)", resp.Faults.Availability)
+	}
+}
+
+func TestSimulateRejectsBadFaultSpec(t *testing.T) {
+	h := New(Options{})
+	body := `{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,"faults":"explode@oops"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d want 400: %s", rec.Code, rec.Body.String())
+	}
+	e := decodeErrorBody(t, rec)
+	if !strings.Contains(e.Error, "faults") {
+		t.Errorf("error should mention faults: %q", e.Error)
+	}
+}

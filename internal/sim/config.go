@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"vodalloc/internal/faults"
 	"vodalloc/internal/trace"
 	"vodalloc/internal/vcr"
 )
@@ -72,6 +73,16 @@ type Config struct {
 	// AbandonMean, when positive, gives viewers exponential patience with
 	// this mean; impatient viewers leave early (failure injection).
 	AbandonMean float64
+	// TotalStreams caps the shared disk array's I/O streams across batch
+	// and dedicated use combined; 0 leaves the array elastic. A positive
+	// cap (together with StreamsPerDisk) fixes the disk count, which is
+	// what fault schedules target.
+	TotalStreams int
+	// Faults is a deterministic fault schedule injected into the run as
+	// DES events (see internal/faults). A non-empty schedule enables the
+	// degraded-mode policy: bounded retries with exponential backoff,
+	// batch-over-VCR preemption, and forced-miss fallback.
+	Faults faults.Schedule
 }
 
 // Validate checks the configuration.
@@ -97,6 +108,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: slew %v outside (0, 1)", ErrBadConfig, c.Slew)
 	case c.AbandonMean < 0 || math.IsNaN(c.AbandonMean):
 		return fmt.Errorf("%w: abandon mean %v", ErrBadConfig, c.AbandonMean)
+	case c.TotalStreams < 0:
+		return fmt.Errorf("%w: total streams %d", ErrBadConfig, c.TotalStreams)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if err := c.Rates.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vodalloc/internal/faults"
+)
+
+// faultConfig is the shared deployment for fault tests: 60 I/O streams
+// on 6 disks of 10, of which the batch schedule (N=30, L=120) needs 30,
+// leaving ~30 for dedicated VCR streams.
+func faultConfig() Config {
+	c := baseConfig()
+	c.Horizon = 1500
+	c.Warmup = 200
+	c.TotalStreams = 60
+	return c
+}
+
+func runFaulted(t *testing.T, c Config) *Result {
+	t.Helper()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals != r.Departures+r.InSystem {
+		t.Fatalf("flow conservation broken: %d != %d + %d", r.Arrivals, r.Departures, r.InSystem)
+	}
+	return r
+}
+
+func TestFaultedRunBitForBitReproducible(t *testing.T) {
+	sched, err := faults.Random(42, 1500, 400, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) == 0 {
+		t.Fatal("expected a non-empty random schedule")
+	}
+	run := func() *Result {
+		c := faultConfig()
+		c.Faults = sched
+		return runFaulted(t, c)
+	}
+	a, b := run(), run()
+	if a.Summary() != b.Summary() {
+		t.Errorf("same seed and schedule diverged:\n--- a ---\n%s--- b ---\n%s", a.Summary(), b.Summary())
+	}
+	if a.Faults != b.Faults {
+		t.Errorf("fault stats diverged: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.Hits != b.Hits || a.Arrivals != b.Arrivals {
+		t.Errorf("metrics diverged: %+v vs %+v", a.Hits, b.Hits)
+	}
+}
+
+func TestMonotoneDegradation(t *testing.T) {
+	// Failing more disks must never raise the pooled hit probability.
+	hit := make([]float64, 4)
+	for k := 0; k <= 3; k++ {
+		c := faultConfig()
+		var sched faults.Schedule
+		for d := 0; d < k; d++ {
+			sched = append(sched, faults.Event{At: 400, Kind: faults.DiskFail, Disk: d})
+		}
+		c.Faults = sched
+		r := runFaulted(t, c)
+		hit[k] = r.HitProbability()
+		if k == 0 {
+			if r.Faults.DiskFailures != 0 || r.Faults.Availability != 1 {
+				t.Errorf("fault-free run reported faults: %+v", r.Faults)
+			}
+			continue
+		}
+		if r.Faults.DiskFailures != uint64(k) {
+			t.Errorf("k=%d: recorded %d failures", k, r.Faults.DiskFailures)
+		}
+		if r.Faults.Availability >= 1 {
+			t.Errorf("k=%d: availability %v not degraded", k, r.Faults.Availability)
+		}
+		wantDegraded := (c.Horizon - 400) / c.Horizon
+		if math.Abs(r.Faults.DegradedFraction-wantDegraded) > 1e-6 {
+			t.Errorf("k=%d: degraded fraction %v want %v", k, r.Faults.DegradedFraction, wantDegraded)
+		}
+		if r.Faults.ForcedMisses == 0 {
+			t.Errorf("k=%d: no forced misses under permanent disk loss", k)
+		}
+	}
+	for k := 1; k <= 3; k++ {
+		if hit[k] > hit[k-1] {
+			t.Errorf("hit probability rose with more failures: k=%d %v > k=%d %v (all: %v)",
+				k, hit[k], k-1, hit[k-1], hit)
+		}
+	}
+	if !(hit[3] < hit[0]) {
+		t.Errorf("three dead disks should visibly hurt: %v", hit)
+	}
+}
+
+func TestRepairRestoresAvailability(t *testing.T) {
+	c := faultConfig()
+	c.Faults, _ = faults.Parse("fail@300:d5,repair@600:d5")
+	r := runFaulted(t, c)
+	if r.Faults.DiskFailures != 1 || r.Faults.DiskRepairs != 1 {
+		t.Fatalf("fail/repair not applied: %+v", r.Faults)
+	}
+	want := (600.0 - 300.0) / c.Horizon
+	if math.Abs(r.Faults.DegradedFraction-want) > 1e-6 {
+		t.Errorf("degraded fraction %v want %v", r.Faults.DegradedFraction, want)
+	}
+	if math.Abs(r.Faults.Availability-(1-want)) > 1e-6 {
+		t.Errorf("availability %v want %v", r.Faults.Availability, 1-want)
+	}
+}
+
+func TestBatchPreemptsDedicatedStreams(t *testing.T) {
+	// With exactly the batch requirement provisioned (30 streams), the
+	// start-up transient lets dedicated streams borrow slots; every
+	// restart must then reclaim them by preemption, never be denied.
+	c := faultConfig()
+	c.TotalStreams = 30
+	r := runFaulted(t, c)
+	if r.Faults.Preempted == 0 {
+		t.Error("expected batch restarts to preempt dedicated streams")
+	}
+	if r.Faults.SkippedRestarts != 0 {
+		t.Errorf("batch restarts denied %d times despite preemption priority", r.Faults.SkippedRestarts)
+	}
+	if r.PeakBatch != 30 {
+		t.Errorf("batch peak %v want the full 30 streams", r.PeakBatch)
+	}
+	if r.Faults.ForcedMisses == 0 {
+		t.Error("preempted viewers should register forced misses")
+	}
+}
+
+func TestDegradedViewersShedAfterBoundedRetries(t *testing.T) {
+	// A total outage: every disk fails at t=400, so partitions die, no
+	// restart can be re-admitted, and displaced viewers have nothing to
+	// rejoin — the bounded retry chain must end in sheds, not hang.
+	c := faultConfig()
+	c.TotalStreams = 30
+	c.Faults, _ = faults.Parse("fail@400:d0,fail@400:d1,fail@400:d2")
+	r := runFaulted(t, c)
+	if r.Faults.PartitionsLost == 0 {
+		t.Error("total outage should kill live partitions")
+	}
+	if r.Faults.SkippedRestarts == 0 {
+		t.Error("restarts should be denied with every disk dead")
+	}
+	if r.Faults.Retries == 0 {
+		t.Error("expected backoff retries under permanent stream shortage")
+	}
+	if r.Faults.Shed == 0 {
+		t.Error("expected sheds once retries exhaust")
+	}
+	if r.Faults.ShedRate <= 0 || r.Faults.ShedRate > 1 {
+		t.Errorf("shed rate %v outside (0, 1]", r.Faults.ShedRate)
+	}
+	if r.Faults.ForcedMissRate <= 0 {
+		t.Errorf("forced-miss rate %v not positive", r.Faults.ForcedMissRate)
+	}
+}
+
+func TestAllocGlitchIsTransient(t *testing.T) {
+	c := faultConfig()
+	c.Faults, _ = faults.Parse("glitch@501:200")
+	r := runFaulted(t, c)
+	// The glitches bite whoever allocates next (batch restarts ride
+	// through; interactive requests retry), then service recovers.
+	if r.BlockedOps+r.Faults.Retries+r.Faults.Recovered == 0 {
+		t.Error("a 200-allocation glitch left no trace in the metrics")
+	}
+	if r.Faults.DiskFailures != 0 {
+		t.Errorf("glitch must not count as a disk failure: %+v", r.Faults)
+	}
+	if r.Faults.Availability != 1 {
+		t.Errorf("transient glitches must not dent availability: %v", r.Faults.Availability)
+	}
+}
+
+func TestBufferLossKillsOldestPartition(t *testing.T) {
+	c := faultConfig()
+	c.Faults, _ = faults.Parse("bufloss@500,bufloss@700:movie")
+	r := runFaulted(t, c)
+	if r.Faults.PartitionsLost != 2 {
+		t.Errorf("partitions lost %d want 2", r.Faults.PartitionsLost)
+	}
+}
+
+func TestFaultSummaryRenders(t *testing.T) {
+	c := faultConfig()
+	c.Faults, _ = faults.Parse("fail@400:d0")
+	r := runFaulted(t, c)
+	s := r.Summary()
+	for _, want := range []string{"faults:", "availability=", "shed=", "forcedMisses="} {
+		if !containsStr(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -43,6 +43,16 @@ type MovieResult struct {
 	ParkEvents         uint64
 	Merges, MergeFails uint64
 
+	// ForcedMisses counts degraded-mode fallbacks to pure batching
+	// (displaced or starved viewers, and abandoned VCR requests);
+	// Sheds counts viewers dropped after exhausting their retries;
+	// Recovered counts degraded viewers and queued requests that
+	// regained a dedicated stream; Retries counts backoff attempts.
+	ForcedMisses uint64
+	Sheds        uint64
+	Recovered    uint64
+	Retries      uint64
+
 	// StateCounts is the viewer census at the horizon, keyed by state
 	// name; non-"done" buckets sum to InSystem.
 	StateCounts map[string]int
@@ -56,6 +66,40 @@ type MovieResult struct {
 // HitProbability returns the pooled hit estimate.
 func (r *MovieResult) HitProbability() float64 { return r.Hits.Estimate() }
 
+// FaultStats aggregates a run's fault-injection and degraded-mode
+// accounting. All zero for a fault-free run.
+type FaultStats struct {
+	// DiskFailures/DiskRepairs count injected events that took effect.
+	DiskFailures, DiskRepairs uint64
+	// PartitionsLost counts batch partitions destroyed (disk failures
+	// that could not be re-admitted around, and injected buffer losses).
+	PartitionsLost uint64
+	// SkippedRestarts counts batch restarts denied for lack of capacity.
+	SkippedRestarts uint64
+	// Preempted counts dedicated VCR streams preempted for batch
+	// re-admission (batch has priority in degraded mode).
+	Preempted uint64
+	// Recovered, ForcedMisses, Shed, and Retries sum the per-movie
+	// degraded-mode counters.
+	Recovered    uint64
+	ForcedMisses uint64
+	Shed         uint64
+	Retries      uint64
+	// DegradedFraction is the fraction of simulated time with at least
+	// one disk failed; Availability is its complement.
+	DegradedFraction float64
+	Availability     float64
+	// ShedRate and ForcedMissRate are per-arrival rates.
+	ShedRate       float64
+	ForcedMissRate float64
+}
+
+// Any reports whether any fault or degraded-mode activity occurred.
+func (f FaultStats) Any() bool {
+	return f.DiskFailures+f.DiskRepairs+f.PartitionsLost+f.SkippedRestarts+
+		f.Preempted+f.Recovered+f.ForcedMisses+f.Shed+f.Retries > 0
+}
+
 // Result is a single-movie run's measurements: the movie's statistics
 // plus the shared-resource occupancy.
 type Result struct {
@@ -67,6 +111,9 @@ type Result struct {
 	AvgViewers    float64
 	PeakViewers   float64
 	BufferPeak    float64
+
+	// Faults is the run's fault/degradation accounting.
+	Faults FaultStats
 }
 
 // Summary renders a human-readable digest.
@@ -75,7 +122,20 @@ func (r *Result) Summary() string {
 	writeMovieSummary(&b, &r.MovieResult)
 	fmt.Fprintf(&b, "dedicated avg=%.2f peak=%d; batch avg=%.2f; viewers avg=%.1f peak=%.0f\n",
 		r.AvgDedicated, r.PeakDedicated, r.AvgBatch, r.AvgViewers, r.PeakViewers)
+	writeFaultSummary(&b, r.Faults)
 	return b.String()
+}
+
+func writeFaultSummary(b *strings.Builder, f FaultStats) {
+	if !f.Any() {
+		return
+	}
+	fmt.Fprintf(b, "faults: failures=%d repairs=%d availability=%.4f degraded=%.4f\n",
+		f.DiskFailures, f.DiskRepairs, f.Availability, f.DegradedFraction)
+	fmt.Fprintf(b, "  shed=%d (rate=%.4f) forcedMisses=%d (rate=%.4f) preempted=%d recovered=%d\n",
+		f.Shed, f.ShedRate, f.ForcedMisses, f.ForcedMissRate, f.Preempted, f.Recovered)
+	fmt.Fprintf(b, "  lostPartitions=%d skippedRestarts=%d retries=%d\n",
+		f.PartitionsLost, f.SkippedRestarts, f.Retries)
 }
 
 func writeMovieSummary(b *strings.Builder, r *MovieResult) {
@@ -95,6 +155,10 @@ func writeMovieSummary(b *strings.Builder, r *MovieResult) {
 		fmt.Fprintf(b, "blockedOps=%d blockedResumes=%d parks=%d merges=%d mergeFails=%d\n",
 			r.BlockedOps, r.BlockedResumes, r.ParkEvents, r.Merges, r.MergeFails)
 	}
+	if r.ForcedMisses+r.Sheds+r.Recovered > 0 {
+		fmt.Fprintf(b, "forcedMisses=%d sheds=%d recovered=%d retries=%d\n",
+			r.ForcedMisses, r.Sheds, r.Recovered, r.Retries)
+	}
 }
 
 // ServerResult carries a multi-movie run's measurements.
@@ -110,6 +174,9 @@ type ServerResult struct {
 	AvgViewers    float64
 	PeakViewers   float64
 	BufferPeak    float64
+
+	// Faults is the run's fault/degradation accounting.
+	Faults FaultStats
 }
 
 // TotalResumes sums the resume events across movies.
@@ -143,6 +210,7 @@ func (r *ServerResult) Summary() string {
 	}
 	fmt.Fprintf(&b, "shared: dedicated avg=%.2f peak=%d; viewers avg=%.1f peak=%.0f; buffer peak=%.1f\n",
 		r.AvgDedicated, r.PeakDedicated, r.AvgViewers, r.PeakViewers, r.BufferPeak)
+	writeFaultSummary(&b, r.Faults)
 	return b.String()
 }
 
@@ -168,6 +236,10 @@ func collectMovie(mv *movieState, now float64) *MovieResult {
 		ParkEvents:     mv.parkEvents,
 		Merges:         mv.merges,
 		MergeFails:     mv.mergeFails,
+		ForcedMisses:   mv.forcedMisses,
+		Sheds:          mv.sheds,
+		Recovered:      mv.recovered,
+		Retries:        mv.retries,
 		StateCounts:    map[string]int{},
 		OpPositions:    mv.opPos,
 	}
@@ -186,14 +258,34 @@ func (s *Server) collectServer() *ServerResult {
 	sr := &ServerResult{
 		Movies:        map[string]*MovieResult{},
 		AvgDedicated:  s.dedicatedTW.Average(now),
-		PeakDedicated: s.dedicate.Peak(),
+		PeakDedicated: s.dedPeak,
 		AvgViewers:    s.viewersTW.Average(now),
 		PeakViewers:   s.viewersTW.Max(),
 		BufferPeak:    s.pool.Peak(),
 	}
+	fs := FaultStats{
+		DiskFailures:    s.diskFailures,
+		DiskRepairs:     s.diskRepairs,
+		PartitionsLost:  s.partitionsLost,
+		SkippedRestarts: s.skippedRestarts,
+		Preempted:       s.preempted,
+	}
+	var arrivals uint64
 	for _, mv := range s.movies {
 		sr.Order = append(sr.Order, mv.setup.Name)
 		sr.Movies[mv.setup.Name] = collectMovie(mv, now)
+		fs.Recovered += mv.recovered
+		fs.ForcedMisses += mv.forcedMisses
+		fs.Shed += mv.sheds
+		fs.Retries += mv.retries
+		arrivals += mv.arrivals
 	}
+	fs.DegradedFraction = s.degradedTW.Average(now)
+	fs.Availability = 1 - fs.DegradedFraction
+	if arrivals > 0 {
+		fs.ShedRate = float64(fs.Shed) / float64(arrivals)
+		fs.ForcedMissRate = float64(fs.ForcedMisses) / float64(arrivals)
+	}
+	sr.Faults = fs
 	return sr
 }

@@ -8,6 +8,7 @@ import (
 	"vodalloc/internal/buffer"
 	"vodalloc/internal/des"
 	"vodalloc/internal/disk"
+	"vodalloc/internal/faults"
 	"vodalloc/internal/metrics"
 	"vodalloc/internal/stream"
 	"vodalloc/internal/trace"
@@ -91,6 +92,14 @@ type ServerConfig struct {
 	// Tracer, when non-nil, receives a structured event at every viewer
 	// and stream transition (see internal/trace).
 	Tracer trace.Tracer
+	// TotalStreams caps the shared disk array's I/O streams across batch
+	// and dedicated use combined; 0 leaves the array elastic. A positive
+	// cap (with StreamsPerDisk) fixes the disk count fault schedules
+	// target: ⌈TotalStreams/StreamsPerDisk⌉ disks.
+	TotalStreams int
+	// Faults is a deterministic fault schedule injected into the run as
+	// DES events (see internal/faults).
+	Faults faults.Schedule
 }
 
 // Validate checks the configuration.
@@ -119,11 +128,23 @@ func (c ServerConfig) Validate() error {
 		return fmt.Errorf("%w: buffer capacity %v", ErrBadConfig, c.BufferCapacity)
 	case c.Piggyback && !(c.slew() > 0 && c.slew() < 1):
 		return fmt.Errorf("%w: slew %v outside (0, 1)", ErrBadConfig, c.Slew)
+	case c.TotalStreams < 0:
+		return fmt.Errorf("%w: total streams %d", ErrBadConfig, c.TotalStreams)
 	}
 	if err := c.Rates.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	return nil
+}
+
+// degraded reports whether the run uses the degraded-mode policy:
+// bounded retries with backoff, batch-over-VCR preemption, and
+// forced-miss fallback instead of the plain block/park behaviour.
+func (c ServerConfig) degraded() bool {
+	return len(c.Faults) > 0 || c.TotalStreams > 0
 }
 
 func (c ServerConfig) slew() float64 {
@@ -143,17 +164,31 @@ func (c ServerConfig) streamsPerDisk() int {
 // Server simulates the full multi-movie VOD system. Build with
 // NewServer, execute once with Run.
 type Server struct {
-	cfg      ServerConfig
-	k        des.Kernel
-	rng      *rand.Rand
-	dedicate *disk.Array
-	pool     *buffer.Pool
-	movies   []*movieState
-	nextID   uint64
-	tr       trace.Tracer
+	cfg    ServerConfig
+	k      des.Kernel
+	rng    *rand.Rand
+	disks  *disk.Array // shared by batch and dedicated streams
+	pool   *buffer.Pool
+	movies []*movieState
+	nextID uint64
+	tr     trace.Tracer
+
+	// dedInUse/dedPeak enforce and report the MaxDedicated cap; the disk
+	// array itself is shared with batch streams, so its own peak mixes
+	// both classes.
+	dedInUse, dedPeak int
 
 	dedicatedTW metrics.TimeWeighted
 	viewersTW   metrics.TimeWeighted
+	// degradedTW is 1 while at least one disk is failed, 0 otherwise;
+	// its time average is the degraded-time fraction.
+	degradedTW metrics.TimeWeighted
+
+	// Server-wide fault accounting.
+	diskFailures, diskRepairs uint64
+	partitionsLost            uint64
+	skippedRestarts           uint64
+	preempted                 uint64
 
 	bufferErr error // fixed-pool exhaustion captured mid-run
 	ran       bool
@@ -189,6 +224,12 @@ type movieState struct {
 	blockedResumes       uint64
 	parkEvents           uint64
 	merges, mergeFails   uint64
+
+	// Degraded-mode accounting.
+	forcedMisses uint64
+	sheds        uint64
+	recovered    uint64
+	retries      uint64
 }
 
 // NewServer validates cfg and builds the server.
@@ -196,10 +237,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The disk array carries both batch and dedicated streams. The
+	// MaxDedicated cap is enforced by a counter, not by the array, so it
+	// keeps gating VCR admission even when the array itself is elastic.
 	var arr *disk.Array
 	var err error
-	if cfg.MaxDedicated > 0 {
-		arr, err = disk.NewLimited(cfg.streamsPerDisk(), cfg.MaxDedicated)
+	if cfg.TotalStreams > 0 {
+		arr, err = disk.NewLimited(cfg.streamsPerDisk(), cfg.TotalStreams)
 	} else {
 		arr, err = disk.NewElastic(cfg.streamsPerDisk())
 	}
@@ -220,11 +264,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tr = trace.Nop{}
 	}
 	srv := &Server{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		dedicate: arr,
-		pool:     pool,
-		tr:       tr,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		disks: arr,
+		pool:  pool,
+		tr:    tr,
 	}
 	for _, ms := range cfg.Movies {
 		sched, err := stream.NewSchedule(ms.period())
@@ -261,6 +305,8 @@ func (s *Server) Run() (*ServerResult, error) {
 	s.ran = true
 	s.dedicatedTW.Set(0, 0)
 	s.viewersTW.Set(0, 0)
+	s.degradedTW.Set(0, 0)
+	s.scheduleFaults()
 	for _, mv := range s.movies {
 		mv.batchTW.Set(0, 0)
 		s.scheduleRestart(mv, 0)
@@ -298,6 +344,17 @@ func (s *Server) scheduleRestart(mv *movieState, at float64) {
 
 func (s *Server) onRestart(mv *movieState, now float64) {
 	ms := mv.setup
+	// A batch stream needs an I/O slot before its buffer. When the array
+	// is short, allocateBatchSlot preempts dedicated VCR streams (batch
+	// has priority); when even that fails the restart is skipped and the
+	// queued viewers wait for the next one.
+	slot := s.allocateBatchSlot(now)
+	if slot == nil {
+		s.skippedRestarts++
+		s.emit(now, trace.Blocked, ms.Name, 0, 0, "batch restart denied")
+		s.scheduleRestart(mv, now+ms.period())
+		return
+	}
 	part, err := buffer.NewPartition(now, ms.span(), ms.Delta, ms.L)
 	if err != nil {
 		panic(fmt.Sprintf("sim: partition construction failed: %v", err)) // validated config makes this unreachable
@@ -305,11 +362,12 @@ func (s *Server) onRestart(mv *movieState, now float64) {
 	if err := s.pool.Reserve(part.Gross()); err != nil {
 		// A fixed buffer pool too small for the batch partitions is a
 		// configuration error; stop the run and surface it.
+		slot.Release()
 		s.bufferErr = fmt.Errorf("%w: movie %q at t=%.2f: %v", ErrBadConfig, ms.Name, now, err)
 		s.k.Halt()
 		return
 	}
-	ap := &activePart{id: s.nextID, part: part}
+	ap := &activePart{id: s.nextID, part: part, slot: slot}
 	s.nextID++
 	mv.parts = append(mv.parts, ap)
 	mv.batchTW.Add(now, 1)
@@ -330,11 +388,17 @@ func (s *Server) onRestart(mv *movieState, now float64) {
 	}
 	mv.waitq = mv.waitq[:0]
 
-	mustSchedule(&s.k, part.ReadEndTime(), "readEnd", func(t float64) {
+	ap.readEndEv = mustSchedule(&s.k, part.ReadEndTime(), "readEnd", func(t float64) {
+		ap.readEndEv = nil
+		if ap.slot != nil {
+			ap.slot.Release() // the I/O stream is done; the buffer drains on
+			ap.slot = nil
+		}
 		mv.batchTW.Add(t, -1)
 		s.emit(t, trace.BatchEnd, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
 	})
-	mustSchedule(&s.k, part.ExpireTime(), "expire", func(t float64) {
+	ap.expireEv = mustSchedule(&s.k, part.ExpireTime(), "expire", func(t float64) {
+		ap.expireEv = nil
 		ap.gone = true
 		s.emit(t, trace.PartitionExpire, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
 		if err := s.pool.Release(part.Gross()); err != nil {
@@ -466,11 +530,18 @@ func (s *Server) depart(mv *movieState, now float64, v *viewer) {
 // --- dedicated streams --------------------------------------------------
 
 func (s *Server) acquireDedicated(now float64, v *viewer) bool {
-	slot, err := s.dedicate.Allocate()
+	if s.cfg.MaxDedicated > 0 && s.dedInUse >= s.cfg.MaxDedicated {
+		return false
+	}
+	slot, err := s.disks.Allocate()
 	if err != nil {
 		return false
 	}
 	v.slot = slot
+	s.dedInUse++
+	if s.dedInUse > s.dedPeak {
+		s.dedPeak = s.dedInUse
+	}
 	s.dedicatedTW.Add(now, 1)
 	return true
 }
@@ -479,6 +550,7 @@ func (s *Server) releaseDedicated(now float64, v *viewer) {
 	if v.slot != nil {
 		v.slot.Release()
 		v.slot = nil
+		s.dedInUse--
 		s.dedicatedTW.Add(now, -1)
 	}
 }
@@ -516,7 +588,13 @@ func (s *Server) onThink(mv *movieState, now float64, v *viewer) {
 		if !s.acquireDedicated(now, v) {
 			mv.blockedOps++
 			s.emit(now, trace.Blocked, mv.setup.Name, v.id, pos, "vcr request")
-			s.scheduleThink(mv, now, v) // request rejected; stay in the batch
+			if s.cfg.degraded() {
+				// Queue the request: retry the acquisition with exponential
+				// backoff while the viewer keeps watching from his batch.
+				s.scheduleOpRetry(mv, now, v, req, 0)
+			} else {
+				s.scheduleThink(mv, now, v) // request rejected; stay in the batch
+			}
 			return
 		}
 	}
@@ -567,7 +645,13 @@ func (s *Server) onResume(mv *movieState, now float64, v *viewer) {
 		if !s.acquireDedicated(now, v) {
 			mv.blockedResumes++
 			s.emit(now, trace.Blocked, mv.setup.Name, v.id, out.Pos, "resume")
-			s.park(mv, now, v, out.Pos)
+			if s.cfg.degraded() {
+				// The miss was already recorded above; degrade with bounded
+				// retries instead of parking indefinitely.
+				s.fallbackToBatch(mv, now, v, out.Pos, false)
+			} else {
+				s.park(mv, now, v, out.Pos)
+			}
 			return
 		}
 	}

@@ -27,6 +27,8 @@ func New(cfg Config) (*Simulator, error) {
 		MaxDedicated:   cfg.MaxDedicated,
 		StreamsPerDisk: cfg.StreamsPerDisk,
 		Tracer:         cfg.Tracer,
+		TotalStreams:   cfg.TotalStreams,
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -49,5 +51,6 @@ func (s *Simulator) Run() (*Result, error) {
 		AvgViewers:    sr.AvgViewers,
 		PeakViewers:   sr.PeakViewers,
 		BufferPeak:    sr.BufferPeak,
+		Faults:        sr.Faults,
 	}, nil
 }

@@ -28,6 +28,10 @@ const (
 	// stateParked: resume blocked on the dedicated-stream cap; waiting
 	// for a partition window to sweep the viewer's position.
 	stateParked
+	// stateDegraded: lost (or never got) dedicated resources in degraded
+	// mode; starved at a frozen position, retrying with backoff until a
+	// partition covers him, a stream frees up, or he is shed.
+	stateDegraded
 	// stateDone: finished or departed.
 	stateDone
 )
@@ -46,6 +50,8 @@ func (s viewerState) String() string {
 		return "merging"
 	case stateParked:
 		return "parked"
+	case stateDegraded:
+		return "degraded"
 	case stateDone:
 		return "done"
 	default:
@@ -73,6 +79,12 @@ type viewer struct {
 
 	// Cancellable scheduled events.
 	finishEv, thinkEv, resumeEv, mergeEv, parkEv, abandonEv *des.Event
+	// opRetryEv is the pending backoff retry of a blocked VCR request
+	// (degraded mode; the viewer stays watching meanwhile).
+	opRetryEv *des.Event
+
+	// retries counts backoff attempts of the current degraded episode.
+	retries int
 
 	// vcrOps counts completed VCR operations, for behaviour stats.
 	vcrOps int
@@ -99,7 +111,8 @@ func (v *viewer) cancelTimers(k *des.Kernel) {
 	k.Cancel(v.mergeEv)
 	k.Cancel(v.parkEv)
 	k.Cancel(v.abandonEv)
-	v.finishEv, v.thinkEv, v.resumeEv, v.mergeEv, v.parkEv, v.abandonEv = nil, nil, nil, nil, nil, nil
+	k.Cancel(v.opRetryEv)
+	v.finishEv, v.thinkEv, v.resumeEv, v.mergeEv, v.parkEv, v.abandonEv, v.opRetryEv = nil, nil, nil, nil, nil, nil, nil
 }
 
 // activePart is a live batch stream with its buffer partition, disk
@@ -108,6 +121,12 @@ type activePart struct {
 	id      uint64
 	part    *buffer.Partition
 	members int
+	// slot is the batch stream's I/O slot, held from restart until the
+	// read completes (nil afterwards, and during the drain phase).
+	slot *disk.Slot
+	// readEndEv and expireEv are the partition's lifecycle events, kept
+	// so fault injection can kill a partition early.
+	readEndEv, expireEv *des.Event
 	// expired is flipped by the expiry event; defensive double-check for
 	// coverage queries racing the removal.
 	gone bool

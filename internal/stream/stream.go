@@ -51,6 +51,14 @@ func (s *Stream) SetRate(now, rate float64) {
 	s.rate = rate
 }
 
+// Halt freezes the stream at its current position (rate 0), modeling a
+// starved viewer whose I/O feed was lost in degraded mode. Resume with
+// SetRate.
+func (s *Stream) Halt(now float64) { s.SetRate(now, 0) }
+
+// Halted reports whether the stream is frozen.
+func (s *Stream) Halted() bool { return s.rate == 0 }
+
 // Seek jumps to a new position at time now without changing the rate.
 func (s *Stream) Seek(now, pos float64) {
 	s.basePos = pos

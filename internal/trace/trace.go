@@ -40,6 +40,25 @@ const (
 	Depart
 	// Blocked: a request was rejected on the dedicated-stream cap.
 	Blocked
+	// DiskFail: an injected fault took a disk out of service.
+	DiskFail
+	// DiskRepair: a failed disk returned to service.
+	DiskRepair
+	// Glitch: injected transient allocation faults became pending.
+	Glitch
+	// BufferLost: a buffer partition was destroyed (disk failure the
+	// batch stream could not be re-admitted around, or injected loss).
+	BufferLost
+	// Preempt: a dedicated VCR stream was preempted so a batch stream
+	// could be re-admitted (batch has priority in degraded mode).
+	Preempt
+	// ForcedMiss: a viewer fell back to pure batching after losing (or
+	// never getting) dedicated resources in degraded mode.
+	ForcedMiss
+	// Shed: a degraded viewer exhausted his retries and was dropped.
+	Shed
+	// Recovered: a degraded viewer regained a dedicated stream.
+	Recovered
 )
 
 // String names the kind.
@@ -69,6 +88,22 @@ func (k Kind) String() string {
 		return "depart"
 	case Blocked:
 		return "blocked"
+	case DiskFail:
+		return "disk-fail"
+	case DiskRepair:
+		return "disk-repair"
+	case Glitch:
+		return "glitch"
+	case BufferLost:
+		return "buffer-lost"
+	case Preempt:
+		return "preempt"
+	case ForcedMiss:
+		return "forced-miss"
+	case Shed:
+		return "shed"
+	case Recovered:
+		return "recovered"
 	default:
 		return "unknown"
 	}
