@@ -2,30 +2,62 @@
 //
 // Usage:
 //
-//	vodbench -exp all            # every experiment
-//	vodbench -exp fig7a          # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e, faults)
-//	vodbench -exp fig7d -quick   # smaller simulation horizons
+//	vodbench -exp all                    # every experiment
+//	vodbench -exp fig7a                  # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e, faults)
+//	vodbench -exp fig7d -quick           # smaller simulation horizons
+//	vodbench -exp all -parallel 8        # cap sweep workers (0 = all CPUs, 1 = sequential)
+//	vodbench -exp all -json bench.json   # append per-experiment wall-clock to a JSON artifact
 //
 // Output is the textual form of each figure: the same rows/series the
 // paper plots, with model and simulation side by side where applicable.
+// The figures are deterministic in -parallel: any worker count prints
+// byte-identical output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"vodalloc/internal/experiments"
+	"vodalloc/internal/sizing"
 )
+
+// expTiming is one experiment's wall-clock measurement.
+type expTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchRun is one vodbench invocation's record in the -json artifact.
+type benchRun struct {
+	Label        string      `json:"label,omitempty"`
+	Quick        bool        `json:"quick"`
+	Parallel     int         `json:"parallel"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	Seed         int64       `json:"seed"`
+	Experiments  []expTiming `json:"experiments"`
+	TotalSeconds float64     `json:"total_seconds"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig7a|fig7b|fig7c|fig7d|fig8|fig9|ex1|ex2|verify|sens|piggyback|e2e|faults|all")
 	quick := flag.Bool("quick", false, "shrink simulation horizons for a fast pass")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	par := flag.Int("parallel", 0, "worker cap for experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
+	jsonPath := flag.String("json", "", "append per-experiment wall-clock timings to this JSON file")
+	label := flag.String("label", "", "label recorded with the -json timings")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *par}
+	// The sizing sweeps behind fig8/fig9/ex1/ex2 share the process-wide
+	// evaluator; pin its parallelism to the same budget.
+	sizing.Default.Workers = *par
 	selected := strings.Split(*exp, ",")
 	want := func(name string) bool {
 		for _, s := range selected {
@@ -36,101 +68,157 @@ func main() {
 		return false
 	}
 
-	ran := 0
 	fig7 := map[string]experiments.Fig7Variant{
 		"fig7a": experiments.Fig7FF,
 		"fig7b": experiments.Fig7RW,
 		"fig7c": experiments.Fig7PAU,
 		"fig7d": experiments.Fig7Mixed,
 	}
-	for _, name := range []string{"fig7a", "fig7b", "fig7c", "fig7d"} {
-		if !want(name) {
+	fig7Runner := func(name string) func(experiments.Options, io.Writer) error {
+		return func(o experiments.Options, w io.Writer) error {
+			series, err := experiments.Fig7(fig7[name], o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig7(w, fig7[name], series)
+			return nil
+		}
+	}
+	runners := []struct {
+		name string
+		run  func(experiments.Options, io.Writer) error
+	}{
+		{"fig7a", fig7Runner("fig7a")},
+		{"fig7b", fig7Runner("fig7b")},
+		{"fig7c", fig7Runner("fig7c")},
+		{"fig7d", fig7Runner("fig7d")},
+		{"fig8", func(o experiments.Options, w io.Writer) error {
+			results, err := experiments.Fig8(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig8(w, results)
+			return nil
+		}},
+		{"ex1", func(o experiments.Options, w io.Writer) error {
+			r, err := experiments.Example1(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintExample1(w, r)
+			return nil
+		}},
+		{"fig9", func(o experiments.Options, w io.Writer) error {
+			curves, err := experiments.Fig9(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig9(w, curves)
+			return nil
+		}},
+		{"ex2", func(o experiments.Options, w io.Writer) error {
+			r, err := experiments.Example2(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintExample2(w, r)
+			return nil
+		}},
+		{"sens", func(o experiments.Options, w io.Writer) error {
+			rows, err := experiments.Sensitivity(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSensitivity(w, rows)
+			return nil
+		}},
+		{"piggyback", func(o experiments.Options, w io.Writer) error {
+			rows, err := experiments.Piggyback(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintPiggyback(w, rows)
+			return nil
+		}},
+		{"e2e", func(o experiments.Options, w io.Writer) error {
+			r, err := experiments.EndToEnd(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintEndToEnd(w, r)
+			return nil
+		}},
+		{"faults", func(o experiments.Options, w io.Writer) error {
+			rows, err := experiments.Faults(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFaults(w, rows)
+			return nil
+		}},
+		{"verify", func(o experiments.Options, w io.Writer) error {
+			rows, err := experiments.VerifyTable(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintVerifyTable(w, rows)
+			return nil
+		}},
+	}
+
+	run := benchRun{
+		Label:      *label,
+		Quick:      *quick,
+		Parallel:   *par,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+	}
+	start := time.Now()
+	for _, r := range runners {
+		if !want(r.name) {
 			continue
 		}
-		series, err := experiments.Fig7(fig7[name], opts)
-		if err != nil {
+		t0 := time.Now()
+		if err := r.run(opts, os.Stdout); err != nil {
 			fatal(err)
 		}
-		experiments.PrintFig7(os.Stdout, fig7[name], series)
-		ran++
+		run.Experiments = append(run.Experiments, expTiming{
+			Name:    r.name,
+			Seconds: time.Since(t0).Seconds(),
+		})
 	}
-	if want("fig8") {
-		results, err := experiments.Fig8(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig8(os.Stdout, results)
-		ran++
-	}
-	if want("ex1") {
-		r, err := experiments.Example1(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintExample1(os.Stdout, r)
-		ran++
-	}
-	if want("fig9") {
-		curves, err := experiments.Fig9(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig9(os.Stdout, curves)
-		ran++
-	}
-	if want("ex2") {
-		r, err := experiments.Example2(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintExample2(os.Stdout, r)
-		ran++
-	}
-	if want("sens") {
-		rows, err := experiments.Sensitivity(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintSensitivity(os.Stdout, rows)
-		ran++
-	}
-	if want("piggyback") {
-		rows, err := experiments.Piggyback(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintPiggyback(os.Stdout, rows)
-		ran++
-	}
-	if want("e2e") {
-		r, err := experiments.EndToEnd(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintEndToEnd(os.Stdout, r)
-		ran++
-	}
-	if want("faults") {
-		rows, err := experiments.Faults(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFaults(os.Stdout, rows)
-		ran++
-	}
-	if want("verify") {
-		rows, err := experiments.VerifyTable(opts)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintVerifyTable(os.Stdout, rows)
-		ran++
-	}
-	if ran == 0 {
+	run.TotalSeconds = time.Since(start).Seconds()
+
+	if len(run.Experiments) == 0 {
 		fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		if err := appendRun(*jsonPath, run); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// appendRun appends the run to the JSON array at path, creating the file
+// on first use so successive invocations (e.g. before/after a change)
+// accumulate into one artifact.
+func appendRun(path string, run benchRun) error {
+	var runs []benchRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("existing %s is not a bench-run array: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vodserverd -addr :8080 -timeout 30s -max-body 1048576 -max-inflight 4
+//	vodserverd -addr :8080 -timeout 30s -max-body 1048576 -max-inflight 4 -workers 8
 //
 //	curl -s localhost:8080/v1/hit -d '{
 //	    "config": {"l": 120, "b": 60, "n": 30},
@@ -38,6 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes (413 beyond)")
 	maxInflight := flag.Int("max-inflight", 4, "concurrent simulate/replicate cap (503 beyond)")
+	workers := flag.Int("workers", 0, "shared sizing-sweep worker pool across plan/curve requests (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -47,6 +48,7 @@ func main() {
 			Timeout:        *timeout,
 			MaxBodyBytes:   *maxBody,
 			MaxInflightSim: *maxInflight,
+			Workers:        *workers,
 			Log:            logger,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,

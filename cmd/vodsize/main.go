@@ -10,6 +10,7 @@
 //	vodsize -curve -phi 11              # a Figure 9 cost curve
 //	vodsize -movie custom:100:0.2:0.5:exp:4 -plan
 //	vodsize -config catalog.json -plan
+//	vodsize -plan -parallel 8           # cap sweep workers (0 = all CPUs)
 //
 // Custom movies use name:length:wait:target:durfamily:params…, with the
 // §4 mixed VCR behaviour (0.2/0.2/0.6).
@@ -37,9 +38,14 @@ func main() {
 	maxStreams := flag.Int("maxstreams", 0, "stream budget for -plan (0 = unbounded)")
 	maxBuffer := flag.Float64("maxbuffer", 0, "buffer budget for -plan, minutes (0 = unbounded)")
 	configPath := flag.String("config", "", "JSON catalog file (see workload.CatalogSpec); overrides -movie")
+	par := flag.Int("parallel", 0, "worker cap for sizing sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	var movieSpecs multiFlag
 	flag.Var(&movieSpecs, "movie", "custom movie spec name:length:wait:target:dist…; repeatable (default: Example 1 catalog)")
 	flag.Parse()
+
+	// A per-invocation evaluator: sweeps share its memo cache and worker
+	// budget without touching the process-wide sizing.Default.
+	eval := &sizing.Evaluator{Workers: *par}
 
 	movies := workload.Example1Movies()
 	if *configPath != "" {
@@ -68,7 +74,7 @@ func main() {
 				continue
 			}
 			found = true
-			pts, err := sizing.FeasibleByBufferStep(m, sizing.DefaultRates, *step)
+			pts, err := eval.FeasibleByBufferStep(m, sizing.DefaultRates, *step)
 			if err != nil {
 				fatal(err)
 			}
@@ -89,7 +95,7 @@ func main() {
 	if *plan {
 		did = true
 		pure := sizing.PureBatchingStreams(movies)
-		p, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, *maxStreams, *maxBuffer)
+		p, err := eval.MinBufferPlan(movies, sizing.DefaultRates, *maxStreams, *maxBuffer)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +108,7 @@ func main() {
 	}
 	if *curve {
 		did = true
-		pts, err := sizing.CostCurve(movies, sizing.DefaultRates, *phi, 40)
+		pts, err := eval.CostCurve(movies, sizing.DefaultRates, *phi, 40)
 		if err != nil {
 			fatal(err)
 		}

@@ -2,6 +2,8 @@ package analytic
 
 import (
 	"math"
+	"reflect"
+	"sync"
 
 	"vodalloc/internal/dist"
 	"vodalloc/internal/quad"
@@ -14,6 +16,13 @@ import (
 type Model struct {
 	cfg     Config
 	uPanels int
+	// durCache memoizes the (F, G) functionals per duration distribution
+	// (they depend only on the distribution and L, both fixed for the
+	// model's lifetime). Building G is the expensive part of a Hit call
+	// for grid-fallback families, so repeated evaluations — breakdowns,
+	// mixes sharing a distribution, sweeps over one model — skip it.
+	// Shared across WithUPanels copies; keyed by the distribution value.
+	durCache *sync.Map
 }
 
 // DefaultUPanels is the number of Gauss–Legendre panels used for the
@@ -27,7 +36,7 @@ func New(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg, uPanels: DefaultUPanels}, nil
+	return &Model{cfg: cfg, uPanels: DefaultUPanels, durCache: new(sync.Map)}, nil
 }
 
 // MustNew is New that panics on invalid configurations; for tests and
@@ -78,10 +87,61 @@ func (o Op) String() string {
 	}
 }
 
-// intervals describes, for one candidate partition index i and offset u,
+// durFnFor returns the cached (F, G) pair for d, building and memoizing
+// it on first use. Distributions whose dynamic type is not comparable
+// (mixtures, empirical data) bypass the cache — the map would panic on
+// them — and rebuild per call as before.
+func (m *Model) durFnFor(d dist.Distribution) durFn {
+	if m.durCache == nil || !reflect.TypeOf(d).Comparable() {
+		return newDurFn(d, m.cfg.L)
+	}
+	if v, ok := m.durCache.Load(d); ok {
+		return v.(durFn)
+	}
+	f := newDurFn(d, m.cfg.L)
+	m.durCache.Store(d, f)
+	return f
+}
+
+// ivSpec describes, for one candidate partition index i and offset u,
 // the duration interval [a, b] that yields a hit, before clipping.
-// ok=false terminates the partition scan.
-type intervalFn func(i int, u float64) (a, b float64, ok bool)
+// ok=false terminates the partition scan. A plain value (rather than the
+// closure it replaced) so building one per Hit call allocates nothing.
+type ivSpec struct {
+	scale  float64 // α for FF, γ for RW (Eq. 1 catch-up factors)
+	period float64 // L/N
+	span   float64 // B/N
+	l      float64
+	rw     bool
+}
+
+// at yields the i-th hit interval at offset u.
+func (s ivSpec) at(i int, u float64) (a, b float64, ok bool) {
+	if s.rw {
+		// Landing in the i-th partition behind: rewind
+		// x ∈ [γ·(i·L/N − u)⁺, γ·(i·L/N − u + B/N)].
+		base := float64(i)*s.period - u
+		a = s.scale * base
+		if a < 0 {
+			a = 0
+		}
+		if a >= s.l {
+			return 0, 0, false
+		}
+		return a, s.scale * (base + s.span), true
+	}
+	// Catching the i-th partition ahead: sweep
+	// x ∈ [α·(i·L/N + u − B/N)⁺, α·(i·L/N + u)].
+	base := float64(i)*s.period + u
+	a = s.scale * (base - s.span)
+	if a < 0 {
+		a = 0
+	}
+	if a >= s.l {
+		return 0, 0, false
+	}
+	return a, s.scale * base, true
+}
 
 // HitFF returns P(hit | FF) — paper Eq. (21): the probability that a
 // fast-forward of duration drawn from d ends in a hit, either within the
@@ -90,7 +150,7 @@ type intervalFn func(i int, u float64) (a, b float64, ok bool)
 // (P(end), Eq. 20). d is the distribution of the movie-time distance
 // swept by the FF operation.
 func (m *Model) HitFF(d dist.Distribution) float64 {
-	f := newDurFn(d, m.cfg.L)
+	f := m.durFnFor(d)
 	end := m.pEnd(f)
 	if m.cfg.B == 0 {
 		// Pure batching: partitions have zero width; only the
@@ -109,8 +169,7 @@ func (m *Model) HitRW(d dist.Distribution) float64 {
 	if m.cfg.B == 0 {
 		return 0
 	}
-	f := newDurFn(d, m.cfg.L)
-	return m.clippedSum(f, m.rwIntervals())
+	return m.clippedSum(m.durFnFor(d), m.rwIntervals())
 }
 
 // HitPAU returns P(hit | PAU): the probability that after a pause of
@@ -122,7 +181,7 @@ func (m *Model) HitPAU(d dist.Distribution) float64 {
 	if m.cfg.B == 0 {
 		return 0
 	}
-	f := newDurFn(d, m.cfg.L)
+	f := m.durFnFor(d)
 	c := m.cfg
 	span := c.PartitionSize()
 	period := c.RestartInterval()
@@ -163,48 +222,22 @@ const pauTailEps = 1e-12
 // remaining tail is folded in via the long-run coverage ratio.
 const pauExactScan = 2048
 
-// ffIntervals yields the FF hit intervals: catching the i-th partition
-// ahead (i = 0 is the viewer's own) requires sweeping
+// ffIntervals yields the FF hit-interval spec: catching the i-th
+// partition ahead (i = 0 is the viewer's own) requires sweeping
 // x ∈ [α·(i·L/N + u − B/N)⁺, α·(i·L/N + u)] movie-minutes (Eq. 1 applied
 // to Δ_jump_l and Δ_jump_f of §3.1.2); the movie-end clip is applied by
 // clippedSum.
-func (m *Model) ffIntervals() intervalFn {
+func (m *Model) ffIntervals() ivSpec {
 	c := m.cfg
-	alpha := c.Alpha()
-	period := c.RestartInterval()
-	span := c.PartitionSize()
-	return func(i int, u float64) (float64, float64, bool) {
-		base := float64(i)*period + u
-		a := alpha * (base - span)
-		if a < 0 {
-			a = 0
-		}
-		if a >= c.L {
-			return 0, 0, false
-		}
-		return a, alpha * base, true
-	}
+	return ivSpec{scale: c.Alpha(), period: c.RestartInterval(), span: c.PartitionSize(), l: c.L}
 }
 
-// rwIntervals yields the RW hit intervals: landing in the i-th partition
-// behind requires rewinding x ∈ [γ·(i·L/N − u)⁺, γ·(i·L/N − u + B/N)];
-// the position-0 clip is applied by clippedSum.
-func (m *Model) rwIntervals() intervalFn {
+// rwIntervals yields the RW hit-interval spec: landing in the i-th
+// partition behind requires rewinding x ∈ [γ·(i·L/N − u)⁺,
+// γ·(i·L/N − u + B/N)]; the position-0 clip is applied by clippedSum.
+func (m *Model) rwIntervals() ivSpec {
 	c := m.cfg
-	gamma := c.GammaRW()
-	period := c.RestartInterval()
-	span := c.PartitionSize()
-	return func(i int, u float64) (float64, float64, bool) {
-		base := float64(i)*period - u
-		a := gamma * base
-		if a < 0 {
-			a = 0
-		}
-		if a >= c.L {
-			return 0, 0, false
-		}
-		return a, gamma * (base + span), true
-	}
+	return ivSpec{scale: c.GammaRW(), period: c.RestartInterval(), span: c.PartitionSize(), l: c.L, rw: true}
 }
 
 // clippedSum evaluates
@@ -213,13 +246,13 @@ func (m *Model) rwIntervals() intervalFn {
 //
 // — the hit probability unconditioned over the uniform viewer position
 // (clip boundary c) and the uniform first-viewer offset u.
-func (m *Model) clippedSum(f durFn, iv intervalFn) float64 {
+func (m *Model) clippedSum(f durFn, iv ivSpec) float64 {
 	c := m.cfg
 	span := c.PartitionSize()
 	integrand := func(u float64) float64 {
 		var sum float64
 		for i := 0; i <= maxPartitionScan; i++ {
-			a, b, ok := iv(i, u)
+			a, b, ok := iv.at(i, u)
 			if !ok {
 				break
 			}
@@ -355,7 +388,7 @@ type Breakdown struct {
 // accuracy; tests rely on this identity.
 func (m *Model) BreakdownOf(op Op, d dist.Distribution) Breakdown {
 	bd := Breakdown{Op: op}
-	f := newDurFn(d, m.cfg.L)
+	f := m.durFnFor(d)
 	if op == FF {
 		bd.End = m.pEnd(f)
 	}
@@ -404,7 +437,7 @@ func (m *Model) BreakdownOf(op Op, d dist.Distribution) Breakdown {
 		return bd
 	}
 
-	var iv intervalFn
+	var iv ivSpec
 	switch op {
 	case FF:
 		iv = m.ffIntervals()
@@ -416,7 +449,7 @@ func (m *Model) BreakdownOf(op Op, d dist.Distribution) Breakdown {
 	// index contributes nothing the remainder cannot contribute either.
 	for i := 0; i <= maxPartitionScan; i++ {
 		contrib := scale * quad.GaussPanels(func(u float64) float64 {
-			a, b, ok := iv(i, u)
+			a, b, ok := iv.at(i, u)
 			if !ok || 1-f.F(a) < pauTailEps {
 				return 0
 			}

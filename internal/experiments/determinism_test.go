@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// The experiment sweeps fan out over a worker pool with order-preserving
+// result assembly, so the rendered figures must be byte-identical at any
+// worker count. These tests pin that property for every parallelized
+// experiment: a drift here means a sweep is assembling results in
+// completion order, sharing mutable state across workers, or seeding
+// simulations nondeterministically.
+
+// renderers runs each parallelized experiment and prints it, the exact
+// path cmd/vodbench takes.
+var renderers = []struct {
+	name string
+	run  func(o Options, w io.Writer) error
+}{
+	{"fig7a", func(o Options, w io.Writer) error {
+		s, err := Fig7(Fig7FF, o)
+		if err != nil {
+			return err
+		}
+		PrintFig7(w, Fig7FF, s)
+		return nil
+	}},
+	{"fig7d", func(o Options, w io.Writer) error {
+		s, err := Fig7(Fig7Mixed, o)
+		if err != nil {
+			return err
+		}
+		PrintFig7(w, Fig7Mixed, s)
+		return nil
+	}},
+	{"fig8", func(o Options, w io.Writer) error {
+		r, err := Fig8(o)
+		if err != nil {
+			return err
+		}
+		PrintFig8(w, r)
+		return nil
+	}},
+	{"fig9", func(o Options, w io.Writer) error {
+		c, err := Fig9(o)
+		if err != nil {
+			return err
+		}
+		PrintFig9(w, c)
+		return nil
+	}},
+	{"sens", func(o Options, w io.Writer) error {
+		r, err := Sensitivity(o)
+		if err != nil {
+			return err
+		}
+		PrintSensitivity(w, r)
+		return nil
+	}},
+	{"piggyback", func(o Options, w io.Writer) error {
+		r, err := Piggyback(o)
+		if err != nil {
+			return err
+		}
+		PrintPiggyback(w, r)
+		return nil
+	}},
+	{"faults", func(o Options, w io.Writer) error {
+		r, err := Faults(o)
+		if err != nil {
+			return err
+		}
+		PrintFaults(w, r)
+		return nil
+	}},
+	{"verify", func(o Options, w io.Writer) error {
+		r, err := VerifyTable(o)
+		if err != nil {
+			return err
+		}
+		PrintVerifyTable(w, r)
+		return nil
+	}},
+}
+
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	wide := runtime.NumCPU()
+	if wide < 4 {
+		wide = 4
+	}
+	for _, r := range renderers {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			t.Parallel()
+			var seq, par bytes.Buffer
+			if err := r.run(Options{Quick: true, Seed: 5, Workers: 1}, &seq); err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			if err := r.run(Options{Quick: true, Seed: 5, Workers: wide}, &par); err != nil {
+				t.Fatalf("parallel run (workers=%d): %v", wide, err)
+			}
+			if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+				t.Errorf("output differs between workers=1 and workers=%d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					wide, seq.String(), par.String())
+			}
+		})
+	}
+}

@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"vodalloc/internal/analytic"
 	"vodalloc/internal/dist"
+	"vodalloc/internal/parallel"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/sizing"
 	"vodalloc/internal/vcr"
@@ -28,6 +30,16 @@ type Options struct {
 	Quick bool
 	// Seed seeds all simulations (default 1).
 	Seed int64
+	// Workers caps the goroutines per experiment sweep; <= 0 selects
+	// GOMAXPROCS and 1 reproduces the sequential order of operations.
+	// Every sweep assembles its results by index, so the output is
+	// byte-identical at any worker count.
+	Workers int
+}
+
+// par is the parallel configuration shared by the experiment sweeps.
+func (o Options) par() parallel.Opts {
+	return parallel.Opts{Workers: o.Workers}
 }
 
 func (o Options) seed() int64 {
@@ -162,22 +174,36 @@ func nSweep(w float64, quick bool) []int {
 
 // Fig7 regenerates one panel of Figure 7: hit probability versus the
 // number of partitions n, one curve per maximum wait w, analytic model
-// against simulation.
+// against simulation. The (w, n) grid is flattened into one job list and
+// evaluated on the Options worker budget; results are reassembled into
+// per-wait series in sweep order.
 func Fig7(v Fig7Variant, o Options) ([]Fig7Series, error) {
 	dur := gammaDur()
-	var out []Fig7Series
-	for _, w := range fig7Waits {
-		s := Fig7Series{Wait: w}
+	type job struct {
+		series int
+		w      float64
+		n      int
+	}
+	var jobs []job
+	out := make([]Fig7Series, len(fig7Waits))
+	for si, w := range fig7Waits {
+		out[si] = Fig7Series{Wait: w}
 		for _, n := range nSweep(w, o.Quick) {
-			cfg, err := analytic.FromWait(movieLen, w, n, paperRates.PB, paperRates.FF, paperRates.RW)
+			jobs = append(jobs, job{series: si, w: w, n: n})
+		}
+	}
+	pts, err := parallel.Map(context.Background(), o.par(), len(jobs),
+		func(_ context.Context, i int) (Fig7Point, error) {
+			j := jobs[i]
+			cfg, err := analytic.FromWait(movieLen, j.w, j.n, paperRates.PB, paperRates.FF, paperRates.RW)
 			if err != nil {
-				return nil, err
+				return Fig7Point{}, err
 			}
 			model, err := analytic.New(cfg)
 			if err != nil {
-				return nil, err
+				return Fig7Point{}, err
 			}
-			pt := Fig7Point{N: n, B: cfg.B, Model: v.modelHit(model, dur)}
+			pt := Fig7Point{N: j.n, B: cfg.B, Model: v.modelHit(model, dur)}
 
 			sc := sim.Config{
 				L: cfg.L, B: cfg.B, N: cfg.N,
@@ -190,17 +216,22 @@ func Fig7(v Fig7Variant, o Options) ([]Fig7Series, error) {
 			}
 			simr, err := sim.New(sc)
 			if err != nil {
-				return nil, err
+				return Fig7Point{}, err
 			}
 			res, err := simr.Run()
 			if err != nil {
-				return nil, err
+				return Fig7Point{}, err
 			}
 			pt.Sim = res.HitProbability()
 			pt.SimN = res.Hits.N()
-			s.Points = append(s.Points, pt)
-		}
-		out = append(out, s)
+			return pt, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	for i, pt := range pts {
+		s := &out[jobs[i].series]
+		s.Points = append(s.Points, pt)
 	}
 	return out, nil
 }
@@ -228,13 +259,17 @@ type Fig8Result struct {
 // Fig8 regenerates Figure 8: the (B, n) pairs of the three Example 1
 // movies at 5-minute buffer steps, flagged by the P* = 0.5 target.
 func Fig8(o Options) ([]Fig8Result, error) {
-	var out []Fig8Result
-	for _, m := range workload.Example1Movies() {
-		pts, err := sizing.FeasibleByBufferStep(m, sizing.DefaultRates, 5)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig8Result{Movie: m, Points: pts})
+	movies := workload.Example1Movies()
+	out, err := parallel.Map(context.Background(), o.par(), len(movies),
+		func(_ context.Context, i int) (Fig8Result, error) {
+			pts, err := sizing.FeasibleByBufferStep(movies[i], sizing.DefaultRates, 5)
+			if err != nil {
+				return Fig8Result{}, err
+			}
+			return Fig8Result{Movie: movies[i], Points: pts}, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
 	}
 	return out, nil
 }
@@ -295,24 +330,27 @@ type Fig9Curve struct {
 	Min    sizing.CurvePoint
 }
 
-// Fig9 regenerates the six cost-versus-streams curves.
+// Fig9 regenerates the six cost-versus-streams curves, one φ per worker.
 func Fig9(o Options) ([]Fig9Curve, error) {
 	movies := workload.Example1Movies()
 	maxPts := 40
 	if o.Quick {
 		maxPts = 12
 	}
-	var out []Fig9Curve
-	for _, phi := range fig9Phis {
-		pts, err := sizing.CostCurve(movies, sizing.DefaultRates, phi, maxPts)
-		if err != nil {
-			return nil, err
-		}
-		min, err := sizing.MinCostPoint(pts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig9Curve{Phi: phi, Points: pts, Min: min})
+	out, err := parallel.Map(context.Background(), o.par(), len(fig9Phis),
+		func(_ context.Context, i int) (Fig9Curve, error) {
+			pts, err := sizing.CostCurve(movies, sizing.DefaultRates, fig9Phis[i], maxPts)
+			if err != nil {
+				return Fig9Curve{}, err
+			}
+			min, err := sizing.MinCostPoint(pts)
+			if err != nil {
+				return Fig9Curve{}, err
+			}
+			return Fig9Curve{Phi: fig9Phis[i], Points: pts, Min: min}, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
 	}
 	return out, nil
 }
@@ -382,45 +420,59 @@ type VerifyRow struct {
 
 // VerifyTable runs a compact model-vs-simulation grid across the four
 // workloads — the quantitative form of the paper's §4 validation claim.
+// The 12 (workload, config) cells evaluate in parallel in row order.
 func VerifyTable(o Options) ([]VerifyRow, error) {
 	dur := gammaDur()
-	var rows []VerifyRow
 	configs := []struct {
 		n int
 		b float64
 	}{{30, 90}, {60, 60}, {90, 30}}
+	type cell struct {
+		v Fig7Variant
+		n int
+		b float64
+	}
+	var cells []cell
 	for _, v := range []Fig7Variant{Fig7FF, Fig7RW, Fig7PAU, Fig7Mixed} {
 		for _, c := range configs {
+			cells = append(cells, cell{v: v, n: c.n, b: c.b})
+		}
+	}
+	rows, err := parallel.Map(context.Background(), o.par(), len(cells),
+		func(_ context.Context, i int) (VerifyRow, error) {
+			c := cells[i]
 			model, err := analytic.New(analytic.Config{
 				L: movieLen, B: c.b, N: c.n,
 				RatePB: paperRates.PB, RateFF: paperRates.FF, RateRW: paperRates.RW,
 			})
 			if err != nil {
-				return nil, err
+				return VerifyRow{}, err
 			}
-			want := v.modelHit(model, dur)
+			want := c.v.modelHit(model, dur)
 			s, err := sim.New(sim.Config{
 				L: movieLen, B: c.b, N: c.n,
 				Rates:       paperRates,
 				ArrivalRate: arrivalRate,
-				Profile:     v.profile(dur),
+				Profile:     c.v.profile(dur),
 				Horizon:     o.horizon(),
 				Warmup:      o.warmup(),
 				Seed:        o.seed(),
 			})
 			if err != nil {
-				return nil, err
+				return VerifyRow{}, err
 			}
 			res, err := s.Run()
 			if err != nil {
-				return nil, err
+				return VerifyRow{}, err
 			}
-			rows = append(rows, VerifyRow{
-				Variant: v, N: c.n, B: c.b,
+			return VerifyRow{
+				Variant: c.v, N: c.n, B: c.b,
 				Model: want, Sim: res.HitProbability(),
 				AbsError: math.Abs(want - res.HitProbability()),
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
 	}
 	return rows, nil
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"vodalloc/internal/dist"
 	"vodalloc/internal/faults"
+	"vodalloc/internal/parallel"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/workload"
 )
@@ -74,7 +76,12 @@ func Faults(o Options) ([]FaultRow, error) {
 		}, nil
 	}
 
-	var rows []FaultRow
+	type spec struct {
+		label string
+		k     int
+		sched faults.Schedule
+	}
+	var specs []spec
 	for k := 0; k <= 3; k++ {
 		var sched faults.Schedule
 		for d := 0; d < k; d++ {
@@ -84,21 +91,23 @@ func Faults(o Options) ([]FaultRow, error) {
 		if k == 0 {
 			label = "fault-free"
 		}
-		row, err := scenario(label, k, sched)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, spec{label: label, k: k, sched: sched})
 	}
-	repaired := faults.Schedule{
-		{At: failAt, Kind: faults.DiskFail, Disk: 0},
-		{At: repairAt, Kind: faults.DiskRepair, Disk: 0},
-	}
-	row, err := scenario("1 disk fails, later repaired", 1, repaired)
+	specs = append(specs, spec{
+		label: "1 disk fails, later repaired",
+		k:     1,
+		sched: faults.Schedule{
+			{At: failAt, Kind: faults.DiskFail, Disk: 0},
+			{At: repairAt, Kind: faults.DiskRepair, Disk: 0},
+		},
+	})
+	rows, err := parallel.Map(context.Background(), o.par(), len(specs),
+		func(_ context.Context, i int) (FaultRow, error) {
+			return scenario(specs[i].label, specs[i].k, specs[i].sched)
+		})
 	if err != nil {
-		return nil, err
+		return nil, parallel.Cause(err)
 	}
-	rows = append(rows, row)
 	return rows, nil
 }
 

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"vodalloc/internal/dist"
+	"vodalloc/internal/parallel"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/workload"
 )
@@ -32,34 +34,38 @@ var piggybackSlews = []float64{0, 0.02, 0.05, 0.10}
 func Piggyback(o Options) ([]PiggybackRow, error) {
 	gam := dist.MustGamma(2, 4)
 	think := dist.MustExponential(10)
-	var rows []PiggybackRow
-	for _, slew := range piggybackSlews {
-		cfg := sim.Config{
-			L: 120, B: 24, N: 12,
-			Rates:       paperRates,
-			ArrivalRate: arrivalRate,
-			Profile:     workload.MixedProfile(gam, think),
-			Horizon:     o.horizon(),
-			Warmup:      o.warmup(),
-			Seed:        o.seed(),
-			Piggyback:   slew > 0,
-			Slew:        slew,
-		}
-		s, err := sim.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, PiggybackRow{
-			Slew:         slew,
-			Hit:          res.HitProbability(),
-			AvgDedicated: res.AvgDedicated,
-			Merges:       res.Merges,
-			MergeFails:   res.MergeFails,
+	rows, err := parallel.Map(context.Background(), o.par(), len(piggybackSlews),
+		func(_ context.Context, i int) (PiggybackRow, error) {
+			slew := piggybackSlews[i]
+			cfg := sim.Config{
+				L: 120, B: 24, N: 12,
+				Rates:       paperRates,
+				ArrivalRate: arrivalRate,
+				Profile:     workload.MixedProfile(gam, think),
+				Horizon:     o.horizon(),
+				Warmup:      o.warmup(),
+				Seed:        o.seed(),
+				Piggyback:   slew > 0,
+				Slew:        slew,
+			}
+			s, err := sim.New(cfg)
+			if err != nil {
+				return PiggybackRow{}, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return PiggybackRow{}, err
+			}
+			return PiggybackRow{
+				Slew:         slew,
+				Hit:          res.HitProbability(),
+				AvgDedicated: res.AvgDedicated,
+				Merges:       res.Merges,
+				MergeFails:   res.MergeFails,
+			}, nil
 		})
+	if err != nil {
+		return nil, parallel.Cause(err)
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"vodalloc/internal/analytic"
 	"vodalloc/internal/dist"
+	"vodalloc/internal/parallel"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/vcr"
 )
@@ -58,7 +60,8 @@ func sensFamilies() []struct {
 
 // Sensitivity evaluates the hit probability across duration families at
 // the §4 reference configuration (l=120, B=60, n=30), for each VCR
-// operation, with a simulation counterpart.
+// operation, with a simulation counterpart. The family×op cells
+// evaluate in parallel in table order.
 func Sensitivity(o Options) ([]SensRow, error) {
 	cfg := analytic.Config{L: movieLen, B: 60, N: 30,
 		RatePB: paperRates.PB, RateFF: paperRates.FF, RateRW: paperRates.RW}
@@ -70,8 +73,15 @@ func Sensitivity(o Options) ([]SensRow, error) {
 	// constant; raise the panel count so the steps resolve.
 	model = model.WithUPanels(128)
 
-	var rows []SensRow
 	think := dist.MustExponential(thinkMean)
+	type cell struct {
+		family string
+		d      dist.Distribution
+		cv     float64
+		op     analytic.Op
+		kind   vcr.Kind
+	}
+	var cells []cell
 	for _, fam := range sensFamilies() {
 		cv := math.NaN()
 		if v, ok := fam.d.(dist.Varier); ok && !math.IsInf(v.Variance(), 1) {
@@ -81,27 +91,35 @@ func Sensitivity(o Options) ([]SensRow, error) {
 			op   analytic.Op
 			kind vcr.Kind
 		}{{analytic.FF, vcr.FF}, {analytic.RW, vcr.RW}, {analytic.PAU, vcr.PAU}} {
-			row := SensRow{Family: fam.name, CV: cv, Op: pair.op,
-				Model: model.Hit(pair.op, fam.d)}
+			cells = append(cells, cell{family: fam.name, d: fam.d, cv: cv, op: pair.op, kind: pair.kind})
+		}
+	}
+	rows, err := parallel.Map(context.Background(), o.par(), len(cells),
+		func(_ context.Context, i int) (SensRow, error) {
+			c := cells[i]
+			row := SensRow{Family: c.family, CV: c.cv, Op: c.op,
+				Model: model.Hit(c.op, c.d)}
 			s, err := sim.New(sim.Config{
 				L: cfg.L, B: cfg.B, N: cfg.N,
 				Rates:       paperRates,
 				ArrivalRate: arrivalRate,
-				Profile:     vcr.Uniform(pair.kind, fam.d, think),
+				Profile:     vcr.Uniform(c.kind, c.d, think),
 				Horizon:     o.horizon(),
 				Warmup:      o.warmup(),
 				Seed:        o.seed(),
 			})
 			if err != nil {
-				return nil, err
+				return SensRow{}, err
 			}
 			res, err := s.Run()
 			if err != nil {
-				return nil, err
+				return SensRow{}, err
 			}
 			row.Sim = res.HitProbability()
-			rows = append(rows, row)
-		}
+			return row, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
 	}
 	return rows, nil
 }

@@ -29,19 +29,27 @@ const maxBodyBytes = 1 << 20
 const maxStreamsPerMovie = 1 << 20
 
 // NewMux returns the service's routing table with default limits and no
-// load shedding; New composes the hardened stack around it.
+// load shedding; New composes the hardened stack around it. Sizing
+// endpoints get a fresh evaluator (per-mux memo cache, all CPUs).
 func NewMux() *http.ServeMux {
-	return newMux(maxBodyBytes, nil)
+	return newMux(maxBodyBytes, nil, &sizing.Evaluator{})
 }
 
-// newMux builds the routing table with a body limit and, when sem is
-// non-nil, a concurrency limiter on the simulation endpoints.
-func newMux(maxBody int64, sem chan struct{}) *http.ServeMux {
+// newMux builds the routing table with a body limit, an evaluator for the
+// sizing endpoints and, when sem is non-nil, a concurrency limiter on the
+// simulation endpoints. Concurrent plan/curve requests share the
+// evaluator's worker pool and memo cache, so load fans out across at
+// most the configured budget regardless of request count.
+func newMux(maxBody int64, sem chan struct{}, eval *sizing.Evaluator) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.Handle("/v1/hit", jsonHandler(maxBody, handleHit))
-	mux.Handle("/v1/plan", jsonHandler(maxBody, handlePlan))
-	mux.Handle("/v1/curve", jsonHandler(maxBody, handleCurve))
+	mux.Handle("/v1/plan", jsonHandler(maxBody, func(req PlanRequest) (PlanResponse, error) {
+		return handlePlan(eval, req)
+	}))
+	mux.Handle("/v1/curve", jsonHandler(maxBody, func(req CurveRequest) (CurveResponse, error) {
+		return handleCurve(eval, req)
+	}))
 	mux.Handle("/v1/reserve", jsonHandler(maxBody, handleReserve))
 	simulate := jsonHandler(maxBody, handleSimulate)
 	replicate := jsonHandler(maxBody, handleReplicate)
@@ -221,12 +229,12 @@ func handleHit(req HitRequest) (HitResponse, error) {
 	return resp, nil
 }
 
-func handlePlan(req PlanRequest) (PlanResponse, error) {
+func handlePlan(eval *sizing.Evaluator, req PlanRequest) (PlanResponse, error) {
 	movies, err := specsToMovies(req.Movies)
 	if err != nil {
 		return PlanResponse{}, err
 	}
-	plan, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, req.MaxStreams, req.MaxBuffer)
+	plan, err := eval.MinBufferPlan(movies, sizing.DefaultRates, req.MaxStreams, req.MaxBuffer)
 	if err != nil {
 		return PlanResponse{}, err
 	}
@@ -243,7 +251,7 @@ func handlePlan(req PlanRequest) (PlanResponse, error) {
 	return resp, nil
 }
 
-func handleCurve(req CurveRequest) (CurveResponse, error) {
+func handleCurve(eval *sizing.Evaluator, req CurveRequest) (CurveResponse, error) {
 	movies, err := specsToMovies(req.Movies)
 	if err != nil {
 		return CurveResponse{}, err
@@ -252,7 +260,7 @@ func handleCurve(req CurveRequest) (CurveResponse, error) {
 	if maxPts == 0 {
 		maxPts = 100
 	}
-	pts, err := sizing.CostCurve(movies, sizing.DefaultRates, req.Phi, maxPts)
+	pts, err := eval.CostCurve(movies, sizing.DefaultRates, req.Phi, maxPts)
 	if err != nil {
 		return CurveResponse{}, err
 	}

@@ -5,6 +5,9 @@ import (
 	"log"
 	"net/http"
 	"time"
+
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/sizing"
 )
 
 // Options configures the hardened handler stack returned by New.
@@ -20,6 +23,11 @@ type Options struct {
 	// requests (they burn a CPU each); excess load is shed with 503 +
 	// Retry-After instead of queueing unboundedly. Default 4.
 	MaxInflightSim int
+	// Workers caps the total sizing-sweep goroutines across all in-flight
+	// /v1/plan and /v1/curve requests: they share one worker pool, so N
+	// concurrent requests contend for Workers tokens instead of spawning
+	// N × GOMAXPROCS goroutines. Default GOMAXPROCS.
+	Workers int
 	// Log, when non-nil, receives one access-log line per request with
 	// method, path, status, duration, and outcome.
 	Log *log.Logger
@@ -44,7 +52,8 @@ func (o Options) withDefaults() Options {
 func New(o Options) http.Handler {
 	o = o.withDefaults()
 	sem := make(chan struct{}, o.MaxInflightSim)
-	var h http.Handler = newMux(o.MaxBodyBytes, sem)
+	eval := &sizing.Evaluator{Pool: parallel.NewPool(o.Workers)}
+	var h http.Handler = newMux(o.MaxBodyBytes, sem, eval)
 	// The timeout handler caps handler wall time and cancels r.Context;
 	// its body is written verbatim on expiry.
 	h = http.TimeoutHandler(h, o.Timeout, `{"error":"request timed out"}`)

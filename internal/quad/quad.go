@@ -14,6 +14,7 @@ package quad
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // DefaultTol is the absolute error tolerance used when a caller passes a
@@ -145,8 +146,40 @@ func Gauss20(f Func, a, b float64) float64 {
 	return sum * h
 }
 
+// node is one abscissa/weight pair of a composite rule on [0, 1].
+type node struct{ x, w float64 }
+
+// panelTables caches one flattened composite Gauss–Legendre table per
+// panel count, each built exactly once behind a sync.OnceValue. The hot
+// sweeps in internal/analytic evaluate millions of panels at a handful
+// of distinct counts, so the per-call subdivision arithmetic of the
+// panel loop is paid once here instead of on every integral.
+var panelTables sync.Map // int -> func() []node
+
+// panelNodes returns the 20·panels-node composite table on [0, 1].
+func panelNodes(panels int) []node {
+	v, ok := panelTables.Load(panels)
+	if !ok {
+		v, _ = panelTables.LoadOrStore(panels, sync.OnceValue(func() []node {
+			t := make([]node, 0, 20*panels)
+			pw := 1 / float64(panels)
+			for p := 0; p < panels; p++ {
+				c := (float64(p) + 0.5) * pw
+				h := 0.5 * pw
+				for _, g := range gauss20 {
+					t = append(t, node{c + h*g.x, g.w * h}, node{c - h*g.x, g.w * h})
+				}
+			}
+			return t
+		}))
+	}
+	return v.(func() []node)()
+}
+
 // GaussPanels integrates f over [a, b] by splitting it into panels equal
-// subintervals, applying Gauss20 on each. Panels below 1 are treated as 1.
+// subintervals, applying the 20-point Gauss–Legendre rule on each.
+// Panels below 1 are treated as 1. The composite node/weight table is
+// precomputed per panel count and reused across calls.
 func GaussPanels(f Func, a, b float64, panels int) float64 {
 	if panels < 1 {
 		panels = 1
@@ -154,12 +187,12 @@ func GaussPanels(f Func, a, b float64, panels int) float64 {
 	if a == b {
 		return 0
 	}
-	h := (b - a) / float64(panels)
+	w := b - a
 	var sum float64
-	for i := 0; i < panels; i++ {
-		sum += Gauss20(f, a+float64(i)*h, a+float64(i+1)*h)
+	for _, n := range panelNodes(panels) {
+		sum += n.w * f(a+w*n.x)
 	}
-	return sum
+	return sum * w
 }
 
 // Tensor2 integrates g over the rectangle [ax,bx] × [ay,by] using nested

@@ -1,12 +1,13 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"vodalloc/internal/metrics"
+	"vodalloc/internal/parallel"
 )
 
 // Replication runs R independent replications of one configuration
@@ -50,33 +51,26 @@ func Replicate(cfg Config, runs int) (*Replication, error) {
 		return nil, fmt.Errorf("%w: tracing is per-run; replicate without a Tracer", ErrBadConfig)
 	}
 
-	results := make([]*Result, runs)
-	errs := make([]error, runs)
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	var wg sync.WaitGroup
-	for i := 0; i < runs; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	results, err := parallel.Map(context.Background(), parallel.Opts{}, runs,
+		func(_ context.Context, i int) (*Result, error) {
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)
 			s, err := New(c)
 			if err != nil {
-				errs[i] = err
-				return
+				return nil, err
 			}
-			results[i], errs[i] = s.Run()
-		}(i)
+			return s.Run()
+		})
+	if err != nil {
+		var pe *parallel.Error
+		if errors.As(err, &pe) {
+			return nil, fmt.Errorf("replication %d: %w", pe.Index, pe.Err)
+		}
+		return nil, err
 	}
-	wg.Wait()
 
 	rep := &Replication{}
 	for i := 0; i < runs; i++ {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("replication %d: %w", i, errs[i])
-		}
 		res := results[i]
 		rep.PooledHits.Merge(res.Hits)
 		est := res.HitProbability()
@@ -87,11 +81,4 @@ func Replicate(cfg Config, runs int) (*Replication, error) {
 		rep.MaxWait = math.Max(rep.MaxWait, res.MaxWait)
 	}
 	return rep, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -63,17 +63,25 @@ type CurvePoint struct {
 	RelativeCost float64
 }
 
+// CostCurve traces the feasibility frontier of the catalog via the
+// shared Default evaluator. See (*Evaluator).CostCurve.
+func CostCurve(movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]CurvePoint, error) {
+	return Default.CostCurve(movies, r, phi, maxPoints)
+}
+
 // CostCurve traces the feasibility frontier of the catalog from the
 // minimum stream count (one per movie) to the buffer-minimal maximum,
 // reporting the Eq. 23 cost of each total at the given φ. Moving left
 // along the curve removes streams from the smallest-w movies first, the
 // buffer-optimal order. maxPoints caps the sampling density (0 = every
-// integer total).
-func CostCurve(movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]CurvePoint, error) {
+// integer total). The underlying plan search runs on the evaluator's
+// worker budget and memo cache, so curves at different φ over one
+// catalog reuse each other's model evaluations.
+func (e *Evaluator) CostCurve(movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]CurvePoint, error) {
 	if !(phi > 0) || math.IsInf(phi, 0) {
 		return nil, fmt.Errorf("%w: phi %v", ErrBadParam, phi)
 	}
-	base, err := MinBufferPlan(movies, r, 0, 0)
+	base, err := e.MinBufferPlan(movies, r, 0, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,300 @@
+package sizing
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// Evaluator runs the sizing computations with a configurable parallelism
+// budget and a memoized model-evaluation cache. The frontier sweeps
+// (FeasibleByBufferStep), plan searches (MaxFeasibleStreams,
+// MinBufferPlan) and cost curves all reduce to many independent hitAt
+// evaluations; the Evaluator fans them out over a bounded worker pool
+// with order-preserving results — so parallel output is byte-identical
+// to sequential — and caches each (L, B, N, rates, mix) evaluation so
+// repeated points during search and across sweeps never re-integrate.
+//
+// The zero value is ready to use: all CPUs, no shared pool, empty cache.
+// An Evaluator is safe for concurrent use.
+type Evaluator struct {
+	// Workers caps the goroutines per sweep; <= 0 selects GOMAXPROCS.
+	// Workers=1 reproduces the fully sequential order of operations.
+	Workers int
+	// Pool, when non-nil, bounds in-flight evaluations across every
+	// sweep sharing it (e.g. concurrent HTTP plan requests).
+	Pool *parallel.Pool
+
+	mu    sync.Mutex
+	cache map[evalKey]float64
+}
+
+// Default is the process-wide evaluator behind the package-level
+// FeasibleByBufferStep, MaxFeasibleStreams, MinBufferPlan and CostCurve
+// functions. Long-lived processes sharing sweeps over one catalog (the
+// experiment driver, the HTTP service's default mux) benefit from its
+// shared cache; set Workers before starting work to pin parallelism.
+var Default = &Evaluator{}
+
+// evalKey identifies one model evaluation. The mix string fingerprints
+// the movie's VCR profile (type + parameters of each duration
+// distribution), making equal-profile movies share cache entries.
+type evalKey struct {
+	l, b  float64
+	n     int
+	rates Rates
+	mix   string
+}
+
+// maxCacheEntries bounds the memo cache; at ~100 bytes per entry the cap
+// is a few tens of MB. On overflow the cache resets rather than evicting
+// — sweeps are bursty and re-warm in one pass.
+const maxCacheEntries = 1 << 18
+
+// mixKey fingerprints a profile's duration mix for the cache. %+v on the
+// concrete distribution values captures their parameters; %T
+// disambiguates families with identical fields.
+func mixKey(p vcr.Profile) string {
+	return fmt.Sprintf("%v/%v/%v|%T%+v|%T%+v|%T%+v",
+		p.PFF, p.PRW, p.PPAU, p.DurFF, p.DurFF, p.DurRW, p.DurRW, p.DurPAU, p.DurPAU)
+}
+
+func (e *Evaluator) opts() parallel.Opts {
+	return parallel.Opts{Workers: e.Workers, Pool: e.Pool}
+}
+
+// hitAt evaluates the model at (n, b) for the movie's mix, consulting
+// the cache first. key must be mixKey(m.Profile).
+func (e *Evaluator) hitAt(m workload.Movie, r Rates, key string, n int, b float64) (float64, error) {
+	k := evalKey{l: m.Length, b: b, n: n, rates: r, mix: key}
+	e.mu.Lock()
+	if v, ok := e.cache[k]; ok {
+		e.mu.Unlock()
+		return v, nil
+	}
+	e.mu.Unlock()
+	hit, err := hitAt(m, r, n, b)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = make(map[evalKey]float64)
+	} else if len(e.cache) >= maxCacheEntries {
+		clear(e.cache)
+	}
+	e.cache[k] = hit
+	e.mu.Unlock()
+	return hit, nil
+}
+
+// FeasibleByBufferStep enumerates (B, n) pairs along the movie's
+// wait-constrained frontier B = l − n·w at the given buffer step
+// (Figure 8 uses 5-minute steps), marking which meet the hit target.
+// Off-grid B values are snapped to the nearest integer stream count.
+// Grid positions are computed from an integer index (b = i·step), so
+// long frontiers do not accumulate float drift; points are evaluated in
+// parallel and returned in ascending-B order.
+func (e *Evaluator) FeasibleByBufferStep(m workload.Movie, r Rates, step float64) ([]Point, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !(step > 0) {
+		return nil, fmt.Errorf("%w: step %v", ErrBadParam, step)
+	}
+	// Count the grid points first: the frontier ends where the snapped
+	// stream count falls below 1 or b passes the movie length.
+	gridN := func(i int) int {
+		return int(math.Round((m.Length - float64(i)*step) / m.Wait))
+	}
+	npts := 0
+	for ; float64(npts)*step <= m.Length+1e-9 && gridN(npts) >= 1; npts++ {
+	}
+	if npts == 0 {
+		return nil, nil
+	}
+	key := mixKey(m.Profile)
+	pts, err := parallel.Map(context.Background(), e.opts(), npts,
+		func(_ context.Context, i int) (Point, error) {
+			n := gridN(i)
+			bb := m.Length - float64(n)*m.Wait // snap to integer n
+			if bb < 0 {
+				bb = 0
+			}
+			hit, err := e.hitAt(m, r, key, n, bb)
+			if err != nil {
+				return Point{}, err
+			}
+			return Point{N: n, B: bb, Hit: hit, Feasible: hit >= m.TargetHit}, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return pts, nil
+}
+
+// MaxFeasibleStreams returns the largest stream count n (and the
+// corresponding B = l − n·w) whose predicted hit probability still meets
+// the movie's target. Because the hit probability decreases along the
+// constant-wait frontier as n grows (buffer shrinks), the feasibility
+// boundary is found by bisection rather than a linear scan; a
+// verification guard samples the supposedly infeasible region and falls
+// back to an exhaustive scan if a non-monotone configuration is
+// detected.
+func (e *Evaluator) MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error) {
+	if err := m.Validate(); err != nil {
+		return Point{}, err
+	}
+	nMax := int(math.Floor(m.Length / m.Wait))
+	if nMax < 1 {
+		return Point{}, fmt.Errorf("%w: movie %q admits no streams", ErrInfeasible, m.Name)
+	}
+	key := mixKey(m.Profile)
+	eval := func(n int) (Point, error) {
+		b := math.Max(0, m.Length-float64(n)*m.Wait)
+		hit, err := e.hitAt(m, r, key, n, b)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{N: n, B: b, Hit: hit, Feasible: hit >= m.TargetHit}, nil
+	}
+	lo, err := eval(1)
+	if err != nil {
+		return Point{}, err
+	}
+	if !lo.Feasible {
+		return Point{}, fmt.Errorf("%w: movie %q cannot reach P*=%.3f even with n=1 (hit %.3f)",
+			ErrInfeasible, m.Name, m.TargetHit, lo.Hit)
+	}
+	hi, err := eval(nMax)
+	if err != nil {
+		return Point{}, err
+	}
+	if hi.Feasible {
+		return hi, nil
+	}
+	// Bisect the feasibility boundary on the monotone frontier.
+	loN, hiN := 1, nMax
+	best := lo
+	for hiN-loN > 1 {
+		mid := (loN + hiN) / 2
+		p, err := eval(mid)
+		if err != nil {
+			return Point{}, err
+		}
+		if p.Feasible {
+			loN, best = mid, p
+		} else {
+			hiN = mid
+		}
+	}
+	// Verification guard: bisection is only valid if no n beyond the
+	// boundary is feasible. Probe a logarithmic sample of (hiN, nMax);
+	// if any probe is feasible the frontier is not monotone for this
+	// configuration, and the exhaustive scan gives the true answer.
+	for span := 1; hiN+span < nMax; span *= 2 {
+		p, err := eval(hiN + span)
+		if err != nil {
+			return Point{}, err
+		}
+		if p.Feasible {
+			return e.maxFeasibleLinear(m, eval, nMax)
+		}
+	}
+	return best, nil
+}
+
+// maxFeasibleLinear is the exhaustive fallback for non-monotone
+// frontiers: scan from nMax down and return the first feasible point.
+func (e *Evaluator) maxFeasibleLinear(m workload.Movie, eval func(int) (Point, error), nMax int) (Point, error) {
+	for n := nMax; n >= 1; n-- {
+		p, err := eval(n)
+		if err != nil {
+			return Point{}, err
+		}
+		if p.Feasible {
+			return p, nil
+		}
+	}
+	return Point{}, fmt.Errorf("%w: movie %q has no feasible stream count", ErrInfeasible, m.Name)
+}
+
+// MinBufferPlan computes the paper's §5 constrained optimization: the
+// minimum-total-buffer allocation meeting every movie's (w_i, P*_i)
+// targets, subject to Σn_i ≤ maxStreams and ΣB_i ≤ maxBuffer (pass 0 to
+// leave a budget unconstrained). Per-movie frontier searches run in
+// parallel. When the stream budget binds, streams are removed from the
+// movies with the smallest w_i first — each removed stream costs w_i
+// extra buffer minutes (Eq. 2), so this greedy order is buffer-optimal
+// for the linear tradeoff.
+func (e *Evaluator) MinBufferPlan(movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
+	if len(movies) == 0 {
+		return Plan{}, fmt.Errorf("%w: empty catalog", ErrBadParam)
+	}
+	var plan Plan
+	points, err := parallel.Map(context.Background(), e.opts(), len(movies),
+		func(_ context.Context, i int) (Point, error) {
+			return e.MaxFeasibleStreams(movies[i], r)
+		})
+	if err != nil {
+		return Plan{}, parallel.Cause(err)
+	}
+	for _, p := range points {
+		plan.TotalStreams += p.N
+		plan.TotalBuffer += p.B
+	}
+
+	// Stream budget: shed streams from the cheapest-w movies first.
+	if maxStreams > 0 && plan.TotalStreams > maxStreams {
+		deficit := plan.TotalStreams - maxStreams
+		order := sortByWait(movies)
+		for _, i := range order {
+			if deficit == 0 {
+				break
+			}
+			give := points[i].N - 1 // keep at least one stream per movie
+			if give > deficit {
+				give = deficit
+			}
+			if give <= 0 {
+				continue
+			}
+			points[i].N -= give
+			added := float64(give) * movies[i].Wait
+			points[i].B += added
+			plan.TotalBuffer += added
+			plan.TotalStreams -= give
+			deficit -= give
+			// Re-evaluate the hit at the new point (it only improves:
+			// larger B at fixed w).
+			hit, err := e.hitAt(movies[i], r, mixKey(movies[i].Profile), points[i].N, points[i].B)
+			if err != nil {
+				return Plan{}, err
+			}
+			points[i].Hit = hit
+		}
+		if deficit > 0 {
+			return Plan{}, fmt.Errorf("%w: stream budget %d below the %d-movie minimum",
+				ErrInfeasible, maxStreams, len(movies))
+		}
+	}
+
+	if maxBuffer > 0 && plan.TotalBuffer > maxBuffer+1e-9 {
+		return Plan{}, fmt.Errorf("%w: minimum buffer %.1f exceeds budget %.1f",
+			ErrInfeasible, plan.TotalBuffer, maxBuffer)
+	}
+
+	plan.Allocs = make([]Allocation, len(movies))
+	for i, m := range movies {
+		plan.Allocs[i] = Allocation{
+			Movie: m.Name, N: points[i].N, B: points[i].B,
+			Hit: points[i].Hit, Wait: m.Wait,
+		}
+	}
+	return plan, nil
+}

@@ -104,8 +104,9 @@ func EstimateDedicated(cfg analytic.Config, profile vcr.Profile, lambda float64)
 	// E[min(T, R)] with R ~ U[0, l]:
 	// (1/l)∫₀ˡ ∫₀ʳ (1 − F_T(t)) dt dr, evaluated numerically.
 	FT := profile.Think.CDF
+	survival := func(t float64) float64 { return 1 - FT(t) } // hoisted: one closure, not one per outer node
 	inner := func(r float64) float64 {
-		return quad.GaussPanels(func(t float64) float64 { return 1 - FT(t) }, 0, r, 4)
+		return quad.GaussPanels(survival, 0, r, 4)
 	}
 	holdPerMiss := quad.GaussPanels(inner, 0, cfg.L, 8) / cfg.L
 

@@ -8,8 +8,6 @@ package sizing
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"vodalloc/internal/analytic"
 	"vodalloc/internal/vcr"
@@ -63,87 +61,18 @@ func hitAt(m workload.Movie, r Rates, n int, b float64) (float64, error) {
 }
 
 // FeasibleByBufferStep enumerates (B, n) pairs along the movie's
-// wait-constrained frontier B = l − n·w at the given buffer step
-// (Figure 8 uses 5-minute steps), marking which meet the hit target.
-// Off-grid B values are snapped to the nearest integer stream count.
+// wait-constrained frontier; it delegates to the shared Default
+// evaluator (parallel sweep, memoized evaluations). See
+// (*Evaluator).FeasibleByBufferStep.
 func FeasibleByBufferStep(m workload.Movie, r Rates, step float64) ([]Point, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if !(step > 0) {
-		return nil, fmt.Errorf("%w: step %v", ErrBadParam, step)
-	}
-	var pts []Point
-	for b := 0.0; b <= m.Length+1e-9; b += step {
-		n := int(math.Round((m.Length - b) / m.Wait))
-		if n < 1 {
-			break
-		}
-		bb := m.Length - float64(n)*m.Wait // snap to integer n
-		if bb < 0 {
-			bb = 0
-		}
-		hit, err := hitAt(m, r, n, bb)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, Point{N: n, B: bb, Hit: hit, Feasible: hit >= m.TargetHit})
-	}
-	return pts, nil
+	return Default.FeasibleByBufferStep(m, r, step)
 }
 
-// MaxFeasibleStreams returns the largest stream count n (and the
-// corresponding B = l − n·w) whose predicted hit probability still meets
-// the movie's target. Because the hit probability decreases along the
-// constant-wait frontier as n grows (buffer shrinks), this is the
-// buffer-minimal feasible point (paper step 3: minimize Σ B_i).
+// MaxFeasibleStreams returns the buffer-minimal feasible point of the
+// movie's constant-wait frontier (paper step 3: minimize Σ B_i) via the
+// shared Default evaluator. See (*Evaluator).MaxFeasibleStreams.
 func MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error) {
-	if err := m.Validate(); err != nil {
-		return Point{}, err
-	}
-	nMax := int(math.Floor(m.Length / m.Wait))
-	if nMax < 1 {
-		return Point{}, fmt.Errorf("%w: movie %q admits no streams", ErrInfeasible, m.Name)
-	}
-	eval := func(n int) (Point, error) {
-		b := math.Max(0, m.Length-float64(n)*m.Wait)
-		hit, err := hitAt(m, r, n, b)
-		if err != nil {
-			return Point{}, err
-		}
-		return Point{N: n, B: b, Hit: hit, Feasible: hit >= m.TargetHit}, nil
-	}
-	lo, err := eval(1)
-	if err != nil {
-		return Point{}, err
-	}
-	if !lo.Feasible {
-		return Point{}, fmt.Errorf("%w: movie %q cannot reach P*=%.3f even with n=1 (hit %.3f)",
-			ErrInfeasible, m.Name, m.TargetHit, lo.Hit)
-	}
-	hi, err := eval(nMax)
-	if err != nil {
-		return Point{}, err
-	}
-	if hi.Feasible {
-		return hi, nil
-	}
-	// Binary search the feasibility boundary on the monotone frontier.
-	loN, hiN := 1, nMax
-	best := lo
-	for hiN-loN > 1 {
-		mid := (loN + hiN) / 2
-		p, err := eval(mid)
-		if err != nil {
-			return Point{}, err
-		}
-		if p.Feasible {
-			loN, best = mid, p
-		} else {
-			hiN = mid
-		}
-	}
-	return best, nil
+	return Default.MaxFeasibleStreams(m, r)
 }
 
 // Allocation is the resource assignment for one movie.
@@ -162,77 +91,11 @@ type Plan struct {
 	TotalBuffer  float64
 }
 
-// MinBufferPlan computes the paper's §5 constrained optimization: the
-// minimum-total-buffer allocation meeting every movie's (w_i, P*_i)
-// targets, subject to Σn_i ≤ maxStreams and ΣB_i ≤ maxBuffer (pass 0 to
-// leave a budget unconstrained). When the stream budget binds, streams
-// are removed from the movies with the smallest w_i first — each removed
-// stream costs w_i extra buffer minutes (Eq. 2), so this greedy order is
-// buffer-optimal for the linear tradeoff.
+// MinBufferPlan computes the paper's §5 constrained optimization via the
+// shared Default evaluator (per-movie searches in parallel, memoized
+// evaluations). See (*Evaluator).MinBufferPlan.
 func MinBufferPlan(movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
-	if len(movies) == 0 {
-		return Plan{}, fmt.Errorf("%w: empty catalog", ErrBadParam)
-	}
-	var plan Plan
-	points := make([]Point, len(movies))
-	for i, m := range movies {
-		p, err := MaxFeasibleStreams(m, r)
-		if err != nil {
-			return Plan{}, err
-		}
-		points[i] = p
-		plan.TotalStreams += p.N
-		plan.TotalBuffer += p.B
-	}
-
-	// Stream budget: shed streams from the cheapest-w movies first.
-	if maxStreams > 0 && plan.TotalStreams > maxStreams {
-		deficit := plan.TotalStreams - maxStreams
-		order := sortByWait(movies)
-		for _, i := range order {
-			if deficit == 0 {
-				break
-			}
-			give := points[i].N - 1 // keep at least one stream per movie
-			if give > deficit {
-				give = deficit
-			}
-			if give <= 0 {
-				continue
-			}
-			points[i].N -= give
-			added := float64(give) * movies[i].Wait
-			points[i].B += added
-			plan.TotalBuffer += added
-			plan.TotalStreams -= give
-			deficit -= give
-			// Re-evaluate the hit at the new point (it only improves:
-			// larger B at fixed w).
-			hit, err := hitAt(movies[i], r, points[i].N, points[i].B)
-			if err != nil {
-				return Plan{}, err
-			}
-			points[i].Hit = hit
-		}
-		if deficit > 0 {
-			return Plan{}, fmt.Errorf("%w: stream budget %d below the %d-movie minimum",
-				ErrInfeasible, maxStreams, len(movies))
-		}
-	}
-
-	if maxBuffer > 0 && plan.TotalBuffer > maxBuffer+1e-9 {
-		return Plan{}, fmt.Errorf("%w: minimum buffer %.1f exceeds budget %.1f",
-			ErrInfeasible, plan.TotalBuffer, maxBuffer)
-	}
-
-	plan.Allocs = make([]Allocation, len(movies))
-	for i, m := range movies {
-		plan.Allocs[i] = Allocation{
-			Movie: m.Name, N: points[i].N, B: points[i].B,
-			Hit: points[i].Hit, Wait: m.Wait,
-		}
-	}
-	return plan, nil
+	return Default.MinBufferPlan(movies, r, maxStreams, maxBuffer)
 }
 
 // sortByWait returns movie indices ordered by ascending wait target.
