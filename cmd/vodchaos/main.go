@@ -1,0 +1,422 @@
+// Command vodchaos soaks a live vodserverd with hostile traffic and
+// asserts the serving invariants the hardened stack promises. It is the
+// closed-loop check that the resilience machinery — request timeouts,
+// load shedding, the circuit breaker, cancellation propagation and the
+// drain path — actually composes: after minutes of mixed load, client
+// abandonment and a mid-run SIGTERM, the server must end with zero
+// leaked pool tokens, zero in-flight requests, a recovered breaker and
+// a goroutine count back at baseline.
+//
+// Usage:
+//
+//	vodserverd -addr 127.0.0.1:0 -addr-file /tmp/addr &
+//	vodchaos -addr "$(cat /tmp/addr)" -dur 30s -clients 8 -sigterm-pid $!
+//
+// Traffic mix per client: fast model hits, small plans, big plans
+// abandoned after 5–50ms (exercising cancellation), curves, simulations
+// and replications (exercising the bulkhead and breaker), oversized
+// bodies (413), malformed JSON (400) and wrong methods (405). Any 500,
+// or any response outside the per-op accept set, is a violation.
+//
+// With -sigterm-pid the harness sends SIGTERM after the soak, verifies
+// new requests are shed cleanly while the server drains, and waits for
+// the process to exit. Exit status is nonzero if any violation occurred.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vodalloc/internal/httpapi"
+	"vodalloc/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodchaos:", err)
+		os.Exit(1)
+	}
+}
+
+// harness is the shared state of one soak.
+type harness struct {
+	addr   string
+	client *http.Client
+	rng    struct{ seed int64 }
+
+	draining atomic.Bool // set once SIGTERM has been sent
+
+	mu         sync.Mutex
+	opCounts   map[string]int
+	violations []string
+}
+
+func (h *harness) count(op string) {
+	h.mu.Lock()
+	h.opCounts[op]++
+	h.mu.Unlock()
+}
+
+func (h *harness) violate(format string, args ...any) {
+	h.mu.Lock()
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+	h.mu.Unlock()
+}
+
+func run() error {
+	addr := flag.String("addr", "", "server address host:port (required)")
+	dur := flag.Duration("dur", 30*time.Second, "soak duration")
+	clients := flag.Int("clients", 8, "concurrent traffic generators")
+	seed := flag.Int64("seed", 1, "traffic randomness seed")
+	settle := flag.Duration("settle", 10*time.Second, "how long the server gets to return to baseline after the soak")
+	slack := flag.Int("goroutine-slack", 32, "allowed goroutine growth over baseline after settling")
+	sigtermPid := flag.Int("sigterm-pid", 0, "after the soak, SIGTERM this pid and verify a clean drain (0 = skip)")
+	exitWait := flag.Duration("exit-wait", 20*time.Second, "how long the SIGTERMed server gets to exit")
+	flag.Parse()
+	if *addr == "" {
+		return errors.New("-addr is required")
+	}
+
+	h := &harness{
+		addr:     *addr,
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		opCounts: map[string]int{},
+	}
+	h.rng.seed = *seed
+
+	baseline, err := h.waitForServer(10 * time.Second)
+	if err != nil {
+		return fmt.Errorf("server not reachable at %s: %w", *addr, err)
+	}
+	log.Printf("baseline: goroutines=%d simCap=%d workerCap=%d breaker=%s",
+		baseline.Goroutines, baseline.SimCap, baseline.WorkerCap, baseline.Breaker)
+
+	log.Printf("soaking %s with %d clients for %s", *addr, *clients, *dur)
+	deadline := time.Now().Add(*dur)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h.trafficLoop(rand.New(rand.NewSource(*seed+int64(id))), deadline)
+		}(i)
+	}
+	wg.Wait()
+	h.client.CloseIdleConnections()
+
+	final, ok := h.settleCheck(baseline, *settle, *slack)
+	if ok {
+		log.Printf("settled: goroutines=%d (baseline %d), inflight=0, tokens=0, breaker=%s",
+			final.Goroutines, baseline.Goroutines, final.Breaker)
+	}
+
+	if *sigtermPid != 0 {
+		h.sigtermPhase(*sigtermPid, *exitWait)
+	}
+
+	h.report()
+	if n := len(h.violations); n > 0 {
+		return fmt.Errorf("%d invariant violation(s)", n)
+	}
+	return nil
+}
+
+// waitForServer polls /statusz until the server answers, returning the
+// baseline gauges.
+func (h *harness) waitForServer(wait time.Duration) (httpapi.StatusResponse, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		st, err := h.status()
+		if err == nil {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return httpapi.StatusResponse{}, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (h *harness) status() (httpapi.StatusResponse, error) {
+	resp, err := h.client.Get("http://" + h.addr + "/statusz")
+	if err != nil {
+		return httpapi.StatusResponse{}, err
+	}
+	defer resp.Body.Close()
+	var st httpapi.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return httpapi.StatusResponse{}, err
+	}
+	return st, nil
+}
+
+// op is one traffic kind: a request generator plus the set of statuses
+// it may legitimately receive. weight biases the mix.
+type op struct {
+	name   string
+	weight int
+	// cancelWithin, when positive, bounds the request with a random
+	// client-side deadline in (0, cancelWithin] so abandonment is part
+	// of the op's contract.
+	cancelWithin time.Duration
+	method       string
+	path         string
+	body         func(r *rand.Rand) []byte
+	accept       []int
+}
+
+func (h *harness) ops() []op {
+	small := func(r *rand.Rand) []byte {
+		return []byte(`{"config":{"l":120,"b":60,"n":30},"profile":{}}`)
+	}
+	return []op{
+		{name: "hit", weight: 25, method: http.MethodPost, path: "/v1/hit",
+			body: small, accept: []int{200, 503}},
+		{name: "plan-small", weight: 8, method: http.MethodPost, path: "/v1/plan",
+			body:   func(r *rand.Rand) []byte { return planBody(2, 0) },
+			accept: []int{200, 503}},
+		{name: "plan-canceled", weight: 15, method: http.MethodPost, path: "/v1/plan",
+			cancelWithin: 50 * time.Millisecond,
+			body:         func(r *rand.Rand) []byte { return planBody(60, r.Intn(1000)) },
+			accept:       []int{200, 503}},
+		{name: "curve", weight: 5, method: http.MethodPost, path: "/v1/curve",
+			body: func(r *rand.Rand) []byte {
+				return []byte(`{"movies":[{"name":"c","length":120,"wait":0.5,"targetHit":0.8,"dur":"gamma:2:4"}],"phi":3,"maxPoints":10}`)
+			},
+			accept: []int{200, 503}},
+		{name: "simulate", weight: 15, method: http.MethodPost, path: "/v1/simulate",
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(
+					`{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,"horizon":1500,"seed":%d}`,
+					r.Int63n(1<<30)+1))
+			},
+			accept: []int{200, 503}},
+		{name: "replicate", weight: 4, method: http.MethodPost, path: "/v1/replicate",
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(
+					`{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,"horizon":800,"seed":%d,"replications":3}`,
+					r.Int63n(1<<30)+1))
+			},
+			accept: []int{200, 503}},
+		{name: "oversize", weight: 6, method: http.MethodPost, path: "/v1/hit",
+			body:   func(r *rand.Rand) []byte { return oversizeBody },
+			accept: []int{413, 503}},
+		{name: "malformed", weight: 8, method: http.MethodPost, path: "/v1/hit",
+			body:   func(r *rand.Rand) []byte { return []byte(`{"config":`) },
+			accept: []int{400, 503}},
+		{name: "wrong-method", weight: 6, method: http.MethodGet, path: "/v1/hit",
+			body: nil, accept: []int{405, 503}},
+		{name: "sim-canceled", weight: 8, method: http.MethodPost, path: "/v1/simulate",
+			cancelWithin: 50 * time.Millisecond,
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(
+					`{"config":{"l":120,"b":60,"n":30},"profile":{},"lambda":0.5,"horizon":20000,"seed":%d}`,
+					r.Int63n(1<<30)+1))
+			},
+			accept: []int{200, 503}},
+	}
+}
+
+// oversizeBody exceeds the server's default 1 MiB body cap: valid JSON
+// shape, so only the limiter can reject it.
+var oversizeBody = []byte(`{"config":{"l":120,"b":60,"n":30},"profile":{},` +
+	`"breakdown":false,"pad":"` + strings.Repeat("x", 1<<20+1024) + `"}`)
+
+// planBody builds a /v1/plan request over n movies; salt varies the
+// lengths so repeated big plans defeat the server-side memo cache and
+// stay expensive (the point of the canceled-plan op).
+func planBody(n, salt int) []byte {
+	req := httpapi.PlanRequest{}
+	for i := 0; i < n; i++ {
+		req.Movies = append(req.Movies, workload.MovieSpec{
+			Name:      fmt.Sprintf("chaos-%d-%d", salt, i),
+			Length:    130 + float64((salt+i)%200),
+			Wait:      0.5,
+			TargetHit: 0.8,
+			Dur:       "gamma:2:4",
+		})
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// trafficLoop fires weighted random ops until the deadline.
+func (h *harness) trafficLoop(r *rand.Rand, deadline time.Time) {
+	ops := h.ops()
+	total := 0
+	for _, o := range ops {
+		total += o.weight
+	}
+	for time.Now().Before(deadline) {
+		pick := r.Intn(total)
+		var chosen op
+		for _, o := range ops {
+			if pick < o.weight {
+				chosen = o
+				break
+			}
+			pick -= o.weight
+		}
+		h.do(r, chosen)
+	}
+}
+
+// do fires one op and classifies the outcome. Client-side cancellation
+// (for ops that carry a deadline) and drain-window connection errors are
+// expected; anything else unexplained is a violation.
+func (h *harness) do(r *rand.Rand, o op) {
+	h.count(o.name)
+	ctx := context.Background()
+	if o.cancelWithin > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(r.Int63n(int64(o.cancelWithin-4*time.Millisecond)))+5*time.Millisecond)
+		defer cancel()
+	}
+	var body io.Reader
+	if o.body != nil {
+		body = bytes.NewReader(o.body(r))
+	}
+	req, err := http.NewRequestWithContext(ctx, o.method, "http://"+h.addr+o.path, body)
+	if err != nil {
+		h.violate("%s: build request: %v", o.name, err)
+		return
+	}
+	if o.method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			h.count(o.name + ":canceled")
+		case h.draining.Load():
+			h.count(o.name + ":conn-closed-drain")
+		default:
+			h.violate("%s: transport error outside drain: %v", o.name, err)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	for _, code := range o.accept {
+		if resp.StatusCode == code {
+			h.count(fmt.Sprintf("%s:%d", o.name, code))
+			return
+		}
+	}
+	h.violate("%s: status %d outside accept set %v", o.name, resp.StatusCode, o.accept)
+}
+
+// settleCheck polls /statusz until every gauge is back at baseline: no
+// in-flight requests, no bulkhead or worker-pool tokens held, breaker
+// not stuck open, goroutines within slack of the pre-soak count.
+func (h *harness) settleCheck(baseline httpapi.StatusResponse, wait time.Duration, slack int) (httpapi.StatusResponse, bool) {
+	deadline := time.Now().Add(wait)
+	var last httpapi.StatusResponse
+	var lastErr error
+	for time.Now().Before(deadline) {
+		st, err := h.status()
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		last, lastErr = st, nil
+		if st.Inflight == 0 && st.SimInflight == 0 && st.WorkerTokens == 0 &&
+			st.Breaker != "open" && st.Goroutines <= baseline.Goroutines+slack {
+			return st, true
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr != nil {
+		h.violate("settle: /statusz unreachable: %v", lastErr)
+	} else {
+		h.violate("settle: gauges not at baseline after %s: inflight=%d simInflight=%d workerTokens=%d breaker=%s goroutines=%d (baseline %d, slack %d)",
+			wait, last.Inflight, last.SimInflight, last.WorkerTokens, last.Breaker,
+			last.Goroutines, baseline.Goroutines, slack)
+	}
+	return last, false
+}
+
+// sigtermPhase sends SIGTERM, verifies the drain window sheds new work
+// cleanly (503 or a closed listener — never a 500 or a hang), and waits
+// for the process to exit.
+func (h *harness) sigtermPhase(pid int, exitWait time.Duration) {
+	log.Printf("sending SIGTERM to %d and probing the drain window", pid)
+	h.draining.Store(true)
+	if err := syscall.Kill(pid, syscall.SIGTERM); err != nil {
+		h.violate("sigterm: kill %d: %v", pid, err)
+		return
+	}
+	// Probe the drain: each response must be a clean shed or a closed
+	// connection; a 200 can race the signal and is fine.
+	probe := rand.New(rand.NewSource(h.rng.seed + 9999))
+	for i := 0; i < 10; i++ {
+		h.do(probe, op{name: "drain-probe", method: http.MethodPost, path: "/v1/hit",
+			body:   func(r *rand.Rand) []byte { return []byte(`{"config":{"l":120,"b":60,"n":30},"profile":{}}`) },
+			accept: []int{200, 503}})
+		time.Sleep(20 * time.Millisecond)
+	}
+	deadline := time.Now().Add(exitWait)
+	for {
+		err := syscall.Kill(pid, 0)
+		if errors.Is(err, syscall.ESRCH) {
+			log.Printf("server %d exited cleanly after drain", pid)
+			return
+		}
+		if time.Now().After(deadline) {
+			h.violate("sigterm: server %d still running %s after SIGTERM", pid, exitWait)
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// report prints the op/outcome counts and any violations.
+func (h *harness) report() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	keys := make([]string, 0, len(h.opCounts))
+	total := 0
+	for k, n := range h.opCounts {
+		keys = append(keys, k)
+		if !strings.Contains(k, ":") {
+			total += n
+		}
+	}
+	sort.Strings(keys)
+	log.Printf("soak complete: %d requests", total)
+	for _, k := range keys {
+		log.Printf("  %-28s %6d", k, h.opCounts[k])
+	}
+	if len(h.violations) == 0 {
+		log.Print("invariants: all held")
+		return
+	}
+	log.Printf("invariants: %d VIOLATION(S)", len(h.violations))
+	for i, v := range h.violations {
+		if i == 20 {
+			log.Printf("  ... %d more", len(h.violations)-20)
+			break
+		}
+		log.Printf("  %s", v)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vodserverd -addr :8080 -timeout 30s -max-body 1048576 -max-inflight 4 -workers 8
+//	vodserverd -addr :8080 -timeout 30s -max-body 1048576 -max-inflight 4 -workers 8 -drain 10s
 //
 //	curl -s localhost:8080/v1/hit -d '{
 //	    "config": {"l": 120, "b": 60, "n": 30},
@@ -12,10 +12,17 @@
 //	}'
 //
 // The handler stack recovers panics into 500s, times out slow requests,
-// rejects oversized bodies with 413, and sheds excess concurrent
-// simulations with 503 + Retry-After. The access log carries the status
-// code and outcome class (ok, shed, recovered-panic, ...) per request.
-// The process shuts down cleanly on SIGINT/SIGTERM.
+// rejects oversized bodies with 413, sheds excess concurrent simulations
+// with 503 + Retry-After, and trips a circuit breaker to fast-fail 503s
+// after repeated simulation timeouts. /healthz answers whenever the
+// process is alive; /readyz flips to 503 during startup and drain;
+// /statusz reports goroutine, in-flight and pool gauges. The access log
+// carries the status code and outcome class (ok, shed, recovered-panic,
+// ...) per request.
+//
+// On SIGINT/SIGTERM the process drains: readiness fails, new API
+// requests are shed with 503, and in-flight requests get up to -drain
+// to finish before the listener closes.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,49 +41,82 @@ import (
 	"vodalloc/internal/httpapi"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for test harnesses)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget")
+	drain := flag.Duration("drain", 10*time.Second, "how long in-flight requests get to finish on shutdown")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes (413 beyond)")
 	maxInflight := flag.Int("max-inflight", 4, "concurrent simulate/replicate cap (503 beyond)")
 	workers := flag.Int("workers", 0, "shared sizing-sweep worker pool across plan/curve requests (0 = GOMAXPROCS)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive simulation timeouts that trip the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the tripped breaker fast-fails before probing")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	state := httpapi.NewState()
 	srv := &http.Server{
-		Addr: *addr,
 		Handler: httpapi.New(httpapi.Options{
-			Timeout:        *timeout,
-			MaxBodyBytes:   *maxBody,
-			MaxInflightSim: *maxInflight,
-			Workers:        *workers,
-			Log:            logger,
+			Timeout:          *timeout,
+			MaxBodyBytes:     *maxBody,
+			MaxInflightSim:   *maxInflight,
+			Workers:          *workers,
+			Log:              logger,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			State:            state,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written after the listener is bound, so a harness reading the
+		// file can connect immediately.
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write addr-file: %w", err)
+		}
+	}
+	state.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("vodserverd listening on %s (timeout=%s max-body=%d max-inflight=%d)",
-			*addr, *timeout, *maxBody, *maxInflight)
-		errCh <- srv.ListenAndServe()
+		log.Printf("vodserverd listening on %s (timeout=%s drain=%s max-body=%d max-inflight=%d)",
+			bound, *timeout, *drain, *maxBody, *maxInflight)
+		errCh <- srv.Serve(ln)
 	}()
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		state.BeginDrain()
+		log.Printf("draining: %d request(s) in flight, budget %s", state.Inflight(), *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			log.Printf("drain expired: %v (%d request(s) abandoned)", err, state.Inflight())
+			srv.Close()
+		} else {
+			log.Printf("drain complete: %d request(s) in flight", state.Inflight())
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "vodserverd:", err)
-			os.Exit(1)
+			return err
 		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vodserverd:", err)
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package analytic
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"sync"
@@ -150,14 +151,8 @@ func (s ivSpec) at(i int, u float64) (a, b float64, ok bool) {
 // (P(end), Eq. 20). d is the distribution of the movie-time distance
 // swept by the FF operation.
 func (m *Model) HitFF(d dist.Distribution) float64 {
-	f := m.durFnFor(d)
-	end := m.pEnd(f)
-	if m.cfg.B == 0 {
-		// Pure batching: partitions have zero width; only the
-		// ran-off-the-end release remains.
-		return end
-	}
-	return m.clippedSum(f, m.ffIntervals()) + end
+	v, _ := m.HitFFCtx(context.Background(), d)
+	return v
 }
 
 // HitRW returns P(hit | RW): the probability that a rewind of duration
@@ -166,10 +161,8 @@ func (m *Model) HitFF(d dist.Distribution) float64 {
 // counts as a miss, matching the conservative boundary treatment the
 // paper adopts (§4 discusses the resulting slight underestimate).
 func (m *Model) HitRW(d dist.Distribution) float64 {
-	if m.cfg.B == 0 {
-		return 0
-	}
-	return m.clippedSum(m.durFnFor(d), m.rwIntervals())
+	v, _ := m.HitRWCtx(context.Background(), d)
+	return v
 }
 
 // HitPAU returns P(hit | PAU): the probability that after a pause of
@@ -178,40 +171,8 @@ func (m *Model) HitRW(d dist.Distribution) float64 {
 // for ever, the hit set is periodic and pauses longer than L need no
 // special handling (the paper's "x mod l" equivalence, §2.1).
 func (m *Model) HitPAU(d dist.Distribution) float64 {
-	if m.cfg.B == 0 {
-		return 0
-	}
-	f := m.durFnFor(d)
-	c := m.cfg
-	span := c.PartitionSize()
-	period := c.RestartInterval()
-	coverage := span / period // long-run fraction of time a position is buffered
-	integrand := func(u float64) float64 {
-		var sum float64
-		for i := 0; ; i++ {
-			a := float64(i)*period - u
-			b := a + span
-			if a < 0 {
-				a = 0
-			}
-			tail := 1 - f.F(a)
-			if tail < pauTailEps {
-				break
-			}
-			if i >= pauExactScan {
-				// Far out in the tail the CDF is nearly constant across
-				// one restart period, so the remaining hit mass is the
-				// long-run coverage fraction of the remaining tail. This
-				// bounds the scan for heavy-tailed pauses (e.g. Pareto)
-				// whose support stretches over millions of periods.
-				sum += tail * coverage
-				break
-			}
-			sum += f.mass(a, b)
-		}
-		return sum
-	}
-	return float64(c.N) / c.B * quad.GaussPanels(integrand, 0, span, m.uPanels)
+	v, _ := m.HitPAUCtx(context.Background(), d)
+	return v
 }
 
 // pauTailEps terminates the pause partition scan once the remaining tail
@@ -238,36 +199,6 @@ func (m *Model) ffIntervals() ivSpec {
 func (m *Model) rwIntervals() ivSpec {
 	c := m.cfg
 	return ivSpec{scale: c.GammaRW(), period: c.RestartInterval(), span: c.PartitionSize(), l: c.L, rw: true}
-}
-
-// clippedSum evaluates
-//
-//	N/(L·B) ∫₀^{B/N} Σ_i ∫₀ᴸ [F(min(bᵢ,c)) − F(min(aᵢ,c))] dc du
-//
-// — the hit probability unconditioned over the uniform viewer position
-// (clip boundary c) and the uniform first-viewer offset u.
-func (m *Model) clippedSum(f durFn, iv ivSpec) float64 {
-	c := m.cfg
-	span := c.PartitionSize()
-	integrand := func(u float64) float64 {
-		var sum float64
-		for i := 0; i <= maxPartitionScan; i++ {
-			a, b, ok := iv.at(i, u)
-			if !ok {
-				break
-			}
-			// The intervals are disjoint and ascending, so everything
-			// still ahead carries at most the duration tail beyond a;
-			// stop once that is negligible. This bounds the scan for
-			// configurations with astronomically many partitions.
-			if 1-f.F(a) < pauTailEps {
-				break
-			}
-			sum += f.clippedMass(a, b, c.L)
-		}
-		return sum
-	}
-	return float64(c.N) / (c.L * c.B) * quad.GaussPanels(integrand, 0, span, m.uPanels)
 }
 
 // pEnd evaluates P(end) = 1 − G(L)/L (paper Eq. 20): the probability a
@@ -345,20 +276,7 @@ func SingleOp(op Op, d dist.Distribution) Mix {
 // HitMix returns the expected hit probability of paper Eq. (22):
 // P(hit) = P(hit|FF)·P_FF + P(hit|RW)·P_RW + P(hit|PAU)·P_PAU.
 func (m *Model) HitMix(x Mix) (float64, error) {
-	if err := x.Validate(); err != nil {
-		return 0, err
-	}
-	var p float64
-	if x.PFF > 0 {
-		p += x.PFF * m.HitFF(x.FF)
-	}
-	if x.PRW > 0 {
-		p += x.PRW * m.HitRW(x.RW)
-	}
-	if x.PPAU > 0 {
-		p += x.PPAU * m.HitPAU(x.PAU)
-	}
-	return clampProb(p), nil
+	return m.HitMixCtx(context.Background(), x)
 }
 
 func clampProb(p float64) float64 {

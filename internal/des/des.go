@@ -124,6 +124,40 @@ func (k *Kernel) Run() {
 	}
 }
 
+// RunUntilCheck is RunUntil with a periodic abort hook: every `every`
+// events (minimum 1) it calls check and stops with check's error when
+// non-nil, leaving the clock at the last executed event. The simulator
+// uses it to honor request-context cancellation with a latency bound of
+// `every` events while keeping the hot loop free of per-event overhead.
+// A nil check degenerates to RunUntil.
+func (k *Kernel) RunUntilCheck(horizon float64, every int, check func() error) error {
+	if check == nil {
+		k.RunUntil(horizon)
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	k.halted = false
+	n := 0
+	for !k.halted && k.queue.Len() > 0 {
+		if k.queue[0].time > horizon {
+			break
+		}
+		k.Step()
+		if n++; n >= every {
+			n = 0
+			if err := check(); err != nil {
+				return err
+			}
+		}
+	}
+	if k.now < horizon && (k.queue.Len() == 0 || k.queue[0].time > horizon) {
+		k.now = horizon
+	}
+	return nil
+}
+
 // eventQueue implements heap.Interface ordered by (time, seq).
 type eventQueue []*Event
 

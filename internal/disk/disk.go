@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"vodalloc/internal/resilience"
 )
 
 // ErrExhausted is returned by Allocate when every provisioned stream slot
@@ -26,8 +28,17 @@ var ErrBadParam = errors.New("disk: invalid parameter")
 
 // ErrTransient is returned by Allocate while injected transient faults
 // are pending (see InjectTransient): the allocation failed, but slots
-// may well be free — callers should retry with backoff.
+// may well be free — callers should retry with RetryBackoff.
 var ErrTransient = errors.New("disk: transient allocation fault")
+
+// RetryBackoff is the backoff schedule recommended for retrying
+// allocations rejected with ErrTransient or ErrExhausted: doubling from
+// half a time unit. The schedule is unit-agnostic (resilience.Backoff
+// delays are plain float64s); the simulator interprets the delays as
+// simulated minutes. Both the degraded-viewer and blocked-VCR retry
+// chains in internal/sim derive their delays from this one policy, so
+// tuning it adjusts every caller coherently.
+var RetryBackoff = resilience.Backoff{Base: 0.5, Factor: 2}
 
 // ErrNoDisk reports a disk index outside the array.
 var ErrNoDisk = errors.New("disk: no such disk")

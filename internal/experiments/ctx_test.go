@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestExperimentsCtxPreCanceled verifies every ctx-aware experiment
+// entry point aborts on an already-dead context instead of running its
+// sweep.
+func TestExperimentsCtxPreCanceled(t *testing.T) {
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Options{Quick: true, Workers: 2}
+
+	tests := []struct {
+		name string
+		call func() error
+	}{
+		{"Fig7Ctx", func() error { _, err := Fig7Ctx(dead, Fig7FF, o); return err }},
+		{"Fig8Ctx", func() error { _, err := Fig8Ctx(dead, o); return err }},
+		{"Example1Ctx", func() error { _, err := Example1Ctx(dead, o); return err }},
+		{"Fig9Ctx", func() error { _, err := Fig9Ctx(dead, o); return err }},
+		{"Example2Ctx", func() error { _, err := Example2Ctx(dead, o); return err }},
+		{"VerifyTableCtx", func() error { _, err := VerifyTableCtx(dead, o); return err }},
+		{"SensitivityCtx", func() error { _, err := SensitivityCtx(dead, o); return err }},
+		{"FaultsCtx", func() error { _, err := FaultsCtx(dead, o); return err }},
+		{"PiggybackCtx", func() error { _, err := PiggybackCtx(dead, o); return err }},
+		{"EndToEndCtx", func() error { _, err := EndToEndCtx(dead, o); return err }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -44,8 +45,14 @@ type EndToEndResult struct {
 // EndToEnd runs the full pipeline on the Example 1 catalog with each
 // movie receiving Poisson arrivals at the §4 rate.
 func EndToEnd(o Options) (EndToEndResult, error) {
+	return EndToEndCtx(context.Background(), o)
+}
+
+// EndToEndCtx is EndToEnd with cancellation checkpoints in both the
+// sizing pass and the deployment simulation.
+func EndToEndCtx(ctx context.Context, o Options) (EndToEndResult, error) {
 	movies := workload.Example1Movies()
-	plan, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, 0, 0)
+	plan, err := sizing.MinBufferPlanCtx(ctx, movies, sizing.DefaultRates, 0, 0)
 	if err != nil {
 		return EndToEndResult{}, err
 	}
@@ -78,7 +85,7 @@ func EndToEnd(o Options) (EndToEndResult, error) {
 	if err != nil {
 		return EndToEndResult{}, err
 	}
-	sr, err := srv.Run()
+	sr, err := srv.RunCtx(ctx)
 	if err != nil {
 		return EndToEndResult{}, err
 	}

@@ -178,6 +178,13 @@ func nSweep(w float64, quick bool) []int {
 // evaluated on the Options worker budget; results are reassembled into
 // per-wait series in sweep order.
 func Fig7(v Fig7Variant, o Options) ([]Fig7Series, error) {
+	return Fig7Ctx(context.Background(), v, o)
+}
+
+// Fig7Ctx is Fig7 with cancellation checkpoints: the context is
+// threaded into the sweep fan-out and each cell's simulation, so a
+// canceled sweep frees its workers within one work item.
+func Fig7Ctx(ctx context.Context, v Fig7Variant, o Options) ([]Fig7Series, error) {
 	dur := gammaDur()
 	type job struct {
 		series int
@@ -192,8 +199,8 @@ func Fig7(v Fig7Variant, o Options) ([]Fig7Series, error) {
 			jobs = append(jobs, job{series: si, w: w, n: n})
 		}
 	}
-	pts, err := parallel.Map(context.Background(), o.par(), len(jobs),
-		func(_ context.Context, i int) (Fig7Point, error) {
+	pts, err := parallel.Map(ctx, o.par(), len(jobs),
+		func(ctx context.Context, i int) (Fig7Point, error) {
 			j := jobs[i]
 			cfg, err := analytic.FromWait(movieLen, j.w, j.n, paperRates.PB, paperRates.FF, paperRates.RW)
 			if err != nil {
@@ -218,7 +225,7 @@ func Fig7(v Fig7Variant, o Options) ([]Fig7Series, error) {
 			if err != nil {
 				return Fig7Point{}, err
 			}
-			res, err := simr.Run()
+			res, err := simr.RunCtx(ctx)
 			if err != nil {
 				return Fig7Point{}, err
 			}
@@ -259,10 +266,15 @@ type Fig8Result struct {
 // Fig8 regenerates Figure 8: the (B, n) pairs of the three Example 1
 // movies at 5-minute buffer steps, flagged by the P* = 0.5 target.
 func Fig8(o Options) ([]Fig8Result, error) {
+	return Fig8Ctx(context.Background(), o)
+}
+
+// Fig8Ctx is Fig8 with cancellation checkpoints.
+func Fig8Ctx(ctx context.Context, o Options) ([]Fig8Result, error) {
 	movies := workload.Example1Movies()
-	out, err := parallel.Map(context.Background(), o.par(), len(movies),
-		func(_ context.Context, i int) (Fig8Result, error) {
-			pts, err := sizing.FeasibleByBufferStep(movies[i], sizing.DefaultRates, 5)
+	out, err := parallel.Map(ctx, o.par(), len(movies),
+		func(ctx context.Context, i int) (Fig8Result, error) {
+			pts, err := sizing.FeasibleByBufferStepCtx(ctx, movies[i], sizing.DefaultRates, 5)
 			if err != nil {
 				return Fig8Result{}, err
 			}
@@ -300,9 +312,14 @@ type Example1Result struct {
 
 // Example1 regenerates the paper's Example 1 optimization.
 func Example1(o Options) (Example1Result, error) {
+	return Example1Ctx(context.Background(), o)
+}
+
+// Example1Ctx is Example1 with cancellation checkpoints.
+func Example1Ctx(ctx context.Context, o Options) (Example1Result, error) {
 	movies := workload.Example1Movies()
 	pure := sizing.PureBatchingStreams(movies)
-	plan, err := sizing.MinBufferPlan(movies, sizing.DefaultRates, pure, 0)
+	plan, err := sizing.MinBufferPlanCtx(ctx, movies, sizing.DefaultRates, pure, 0)
 	if err != nil {
 		return Example1Result{}, err
 	}
@@ -332,14 +349,19 @@ type Fig9Curve struct {
 
 // Fig9 regenerates the six cost-versus-streams curves, one φ per worker.
 func Fig9(o Options) ([]Fig9Curve, error) {
+	return Fig9Ctx(context.Background(), o)
+}
+
+// Fig9Ctx is Fig9 with cancellation checkpoints.
+func Fig9Ctx(ctx context.Context, o Options) ([]Fig9Curve, error) {
 	movies := workload.Example1Movies()
 	maxPts := 40
 	if o.Quick {
 		maxPts = 12
 	}
-	out, err := parallel.Map(context.Background(), o.par(), len(fig9Phis),
-		func(_ context.Context, i int) (Fig9Curve, error) {
-			pts, err := sizing.CostCurve(movies, sizing.DefaultRates, fig9Phis[i], maxPts)
+	out, err := parallel.Map(ctx, o.par(), len(fig9Phis),
+		func(ctx context.Context, i int) (Fig9Curve, error) {
+			pts, err := sizing.CostCurveCtx(ctx, movies, sizing.DefaultRates, fig9Phis[i], maxPts)
 			if err != nil {
 				return Fig9Curve{}, err
 			}
@@ -379,11 +401,16 @@ type Example2Result struct {
 // Example2 regenerates the paper's Example 2 cost derivation and applies
 // it to the Example 1 system.
 func Example2(o Options) (Example2Result, error) {
+	return Example2Ctx(context.Background(), o)
+}
+
+// Example2Ctx is Example2 with cancellation checkpoints.
+func Example2Ctx(ctx context.Context, o Options) (Example2Result, error) {
 	cm, err := sizing.HardwareCostModel(700, 5, 4, 25)
 	if err != nil {
 		return Example2Result{}, err
 	}
-	pts, err := sizing.CostCurve(workload.Example1Movies(), sizing.DefaultRates, cm.Phi(), 0)
+	pts, err := sizing.CostCurveCtx(ctx, workload.Example1Movies(), sizing.DefaultRates, cm.Phi(), 0)
 	if err != nil {
 		return Example2Result{}, err
 	}
@@ -422,6 +449,11 @@ type VerifyRow struct {
 // workloads — the quantitative form of the paper's §4 validation claim.
 // The 12 (workload, config) cells evaluate in parallel in row order.
 func VerifyTable(o Options) ([]VerifyRow, error) {
+	return VerifyTableCtx(context.Background(), o)
+}
+
+// VerifyTableCtx is VerifyTable with cancellation checkpoints.
+func VerifyTableCtx(ctx context.Context, o Options) ([]VerifyRow, error) {
 	dur := gammaDur()
 	configs := []struct {
 		n int
@@ -438,8 +470,8 @@ func VerifyTable(o Options) ([]VerifyRow, error) {
 			cells = append(cells, cell{v: v, n: c.n, b: c.b})
 		}
 	}
-	rows, err := parallel.Map(context.Background(), o.par(), len(cells),
-		func(_ context.Context, i int) (VerifyRow, error) {
+	rows, err := parallel.Map(ctx, o.par(), len(cells),
+		func(ctx context.Context, i int) (VerifyRow, error) {
 			c := cells[i]
 			model, err := analytic.New(analytic.Config{
 				L: movieLen, B: c.b, N: c.n,
@@ -461,7 +493,7 @@ func VerifyTable(o Options) ([]VerifyRow, error) {
 			if err != nil {
 				return VerifyRow{}, err
 			}
-			res, err := s.Run()
+			res, err := s.RunCtx(ctx)
 			if err != nil {
 				return VerifyRow{}, err
 			}

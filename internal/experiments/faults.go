@@ -40,11 +40,16 @@ const faultsStreams = 60
 // Faults sweeps the number of permanently failed disks (dying at one
 // third of the horizon), plus one fail-and-repair scenario.
 func Faults(o Options) ([]FaultRow, error) {
+	return FaultsCtx(context.Background(), o)
+}
+
+// FaultsCtx is Faults with cancellation checkpoints.
+func FaultsCtx(ctx context.Context, o Options) ([]FaultRow, error) {
 	horizon := o.horizon()
 	failAt := horizon / 3
 	repairAt := 2 * horizon / 3
 
-	scenario := func(label string, k int, sched faults.Schedule) (FaultRow, error) {
+	scenario := func(ctx context.Context, label string, k int, sched faults.Schedule) (FaultRow, error) {
 		s, err := sim.New(sim.Config{
 			L: movieLen, B: 60, N: 30,
 			Rates:        paperRates,
@@ -59,7 +64,7 @@ func Faults(o Options) ([]FaultRow, error) {
 		if err != nil {
 			return FaultRow{}, err
 		}
-		res, err := s.Run()
+		res, err := s.RunCtx(ctx)
 		if err != nil {
 			return FaultRow{}, err
 		}
@@ -101,9 +106,9 @@ func Faults(o Options) ([]FaultRow, error) {
 			{At: repairAt, Kind: faults.DiskRepair, Disk: 0},
 		},
 	})
-	rows, err := parallel.Map(context.Background(), o.par(), len(specs),
-		func(_ context.Context, i int) (FaultRow, error) {
-			return scenario(specs[i].label, specs[i].k, specs[i].sched)
+	rows, err := parallel.Map(ctx, o.par(), len(specs),
+		func(ctx context.Context, i int) (FaultRow, error) {
+			return scenario(ctx, specs[i].label, specs[i].k, specs[i].sched)
 		})
 	if err != nil {
 		return nil, parallel.Cause(err)

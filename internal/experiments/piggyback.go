@@ -32,10 +32,15 @@ var piggybackSlews = []float64{0, 0.02, 0.05, 0.10}
 // Piggyback sweeps the slew fraction on a low-hit configuration
 // (l=120, B=24, n=12 — many misses to recover).
 func Piggyback(o Options) ([]PiggybackRow, error) {
+	return PiggybackCtx(context.Background(), o)
+}
+
+// PiggybackCtx is Piggyback with cancellation checkpoints.
+func PiggybackCtx(ctx context.Context, o Options) ([]PiggybackRow, error) {
 	gam := dist.MustGamma(2, 4)
 	think := dist.MustExponential(10)
-	rows, err := parallel.Map(context.Background(), o.par(), len(piggybackSlews),
-		func(_ context.Context, i int) (PiggybackRow, error) {
+	rows, err := parallel.Map(ctx, o.par(), len(piggybackSlews),
+		func(ctx context.Context, i int) (PiggybackRow, error) {
 			slew := piggybackSlews[i]
 			cfg := sim.Config{
 				L: 120, B: 24, N: 12,
@@ -52,7 +57,7 @@ func Piggyback(o Options) ([]PiggybackRow, error) {
 			if err != nil {
 				return PiggybackRow{}, err
 			}
-			res, err := s.Run()
+			res, err := s.RunCtx(ctx)
 			if err != nil {
 				return PiggybackRow{}, err
 			}

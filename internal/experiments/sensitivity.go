@@ -63,6 +63,11 @@ func sensFamilies() []struct {
 // operation, with a simulation counterpart. The family×op cells
 // evaluate in parallel in table order.
 func Sensitivity(o Options) ([]SensRow, error) {
+	return SensitivityCtx(context.Background(), o)
+}
+
+// SensitivityCtx is Sensitivity with cancellation checkpoints.
+func SensitivityCtx(ctx context.Context, o Options) ([]SensRow, error) {
 	cfg := analytic.Config{L: movieLen, B: 60, N: 30,
 		RatePB: paperRates.PB, RateFF: paperRates.FF, RateRW: paperRates.RW}
 	model, err := analytic.New(cfg)
@@ -94,8 +99,8 @@ func Sensitivity(o Options) ([]SensRow, error) {
 			cells = append(cells, cell{family: fam.name, d: fam.d, cv: cv, op: pair.op, kind: pair.kind})
 		}
 	}
-	rows, err := parallel.Map(context.Background(), o.par(), len(cells),
-		func(_ context.Context, i int) (SensRow, error) {
+	rows, err := parallel.Map(ctx, o.par(), len(cells),
+		func(ctx context.Context, i int) (SensRow, error) {
 			c := cells[i]
 			row := SensRow{Family: c.family, CV: c.cv, Op: c.op,
 				Model: model.Hit(c.op, c.d)}
@@ -111,7 +116,7 @@ func Sensitivity(o Options) ([]SensRow, error) {
 			if err != nil {
 				return SensRow{}, err
 			}
-			res, err := s.Run()
+			res, err := s.RunCtx(ctx)
 			if err != nil {
 				return SensRow{}, err
 			}

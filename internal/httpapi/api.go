@@ -12,7 +12,14 @@
 //	POST /v1/reserve  — dedicated-stream reserve estimate
 //	POST /v1/simulate — one discrete-event simulation run
 //	POST /v1/replicate — R independent replications with pooled CIs
-//	GET  /v1/healthz  — liveness probe
+//	GET  /v1/healthz  — liveness probe (legacy path)
+//
+// The hardened stack built by New additionally serves, outside the
+// timeout/drain gates:
+//
+//	GET  /healthz — liveness probe
+//	GET  /readyz  — readiness probe (503 during startup and drain)
+//	GET  /statusz — introspection gauges (goroutines, in-flight, pools)
 package httpapi
 
 import (
@@ -204,6 +211,24 @@ type ReplicateResponse struct {
 	AvgBatch     float64 `json:"avgBatch"`
 	MaxWait      float64 `json:"maxWait"`
 	ModelHit     float64 `json:"modelHit"`
+}
+
+// StatusResponse is the /statusz introspection snapshot: the gauges the
+// chaos harness asserts its no-leak invariants on.
+type StatusResponse struct {
+	Goroutines int  `json:"goroutines"`
+	Ready      bool `json:"ready"`
+	Draining   bool `json:"draining"`
+	// Inflight counts API requests currently in the hardened stack.
+	Inflight int `json:"inflight"`
+	// SimInflight/SimCap are the simulation bulkhead's occupancy.
+	SimInflight int `json:"simInflight"`
+	SimCap      int `json:"simCap"`
+	// WorkerTokens/WorkerCap are the shared sizing worker pool's occupancy.
+	WorkerTokens int `json:"workerTokens"`
+	WorkerCap    int `json:"workerCap"`
+	// Breaker is the simulation circuit state: closed, open, or half-open.
+	Breaker string `json:"breaker"`
 }
 
 // ErrorResponse is the uniform error body.

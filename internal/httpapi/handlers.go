@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"vodalloc/internal/analytic"
 	"vodalloc/internal/dist"
 	"vodalloc/internal/faults"
+	"vodalloc/internal/resilience"
 	"vodalloc/internal/sim"
 	"vodalloc/internal/sizing"
 	"vodalloc/internal/vcr"
@@ -32,34 +34,40 @@ const maxStreamsPerMovie = 1 << 20
 // load shedding; New composes the hardened stack around it. Sizing
 // endpoints get a fresh evaluator (per-mux memo cache, all CPUs).
 func NewMux() *http.ServeMux {
-	return newMux(maxBodyBytes, nil, &sizing.Evaluator{})
+	return newMux(maxBodyBytes, nil, nil, &sizing.Evaluator{})
 }
 
-// newMux builds the routing table with a body limit, an evaluator for the
-// sizing endpoints and, when sem is non-nil, a concurrency limiter on the
-// simulation endpoints. Concurrent plan/curve requests share the
-// evaluator's worker pool and memo cache, so load fans out across at
-// most the configured budget regardless of request count.
-func newMux(maxBody int64, sem chan struct{}, eval *sizing.Evaluator) *http.ServeMux {
+// newMux builds the routing table with a body limit, an evaluator for
+// the sizing endpoints and, when gate/br are non-nil, a bulkhead and a
+// circuit breaker on the simulation endpoints. Concurrent plan/curve
+// requests share the evaluator's worker pool and memo cache, so load
+// fans out across at most the configured budget regardless of request
+// count.
+func newMux(maxBody int64, gate *resilience.Bulkhead, br *resilience.Breaker, eval *sizing.Evaluator) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.Handle("/v1/hit", jsonHandler(maxBody, handleHit))
-	mux.Handle("/v1/plan", jsonHandler(maxBody, func(req PlanRequest) (PlanResponse, error) {
-		return handlePlan(eval, req)
+	mux.Handle("/v1/plan", jsonHandler(maxBody, func(ctx context.Context, req PlanRequest) (PlanResponse, error) {
+		return handlePlan(ctx, eval, req)
 	}))
-	mux.Handle("/v1/curve", jsonHandler(maxBody, func(req CurveRequest) (CurveResponse, error) {
-		return handleCurve(eval, req)
+	mux.Handle("/v1/curve", jsonHandler(maxBody, func(ctx context.Context, req CurveRequest) (CurveResponse, error) {
+		return handleCurve(ctx, eval, req)
 	}))
 	mux.Handle("/v1/reserve", jsonHandler(maxBody, handleReserve))
-	simulate := jsonHandler(maxBody, handleSimulate)
-	replicate := jsonHandler(maxBody, handleReplicate)
-	if sem != nil {
-		mux.Handle("/v1/simulate", limitInflight(sem, simulate))
-		mux.Handle("/v1/replicate", limitInflight(sem, replicate))
-	} else {
-		mux.Handle("/v1/simulate", simulate)
-		mux.Handle("/v1/replicate", replicate)
+	var simulate http.Handler = jsonHandler(maxBody, handleSimulate)
+	var replicate http.Handler = jsonHandler(maxBody, handleReplicate)
+	// The breaker sits outside the bulkhead so an open circuit fast-fails
+	// without consuming an admission slot.
+	if gate != nil {
+		simulate = limitInflight(gate, simulate)
+		replicate = limitInflight(gate, replicate)
 	}
+	if br != nil {
+		simulate = breakerGate(br, simulate)
+		replicate = breakerGate(br, replicate)
+	}
+	mux.Handle("/v1/simulate", simulate)
+	mux.Handle("/v1/replicate", replicate)
 	return mux
 }
 
@@ -74,8 +82,12 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// jsonHandler adapts a typed POST handler.
-func jsonHandler[Req any, Resp any](maxBody int64, fn func(Req) (Resp, error)) http.HandlerFunc {
+// jsonHandler adapts a typed POST handler. fn receives the request
+// context; a fn error that reflects the context's own cancellation gets
+// no response body — on timeout http.TimeoutHandler already wrote the
+// 503, and on client cancellation nobody is listening — while every
+// other error is the caller's fault and maps to 400.
+func jsonHandler[Req any, Resp any](maxBody int64, fn func(ctx context.Context, req Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
@@ -94,8 +106,12 @@ func jsonHandler[Req any, Resp any](maxBody int64, fn func(Req) (Resp, error)) h
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %v", err))
 			return
 		}
-		resp, err := fn(req)
+		resp, err := fn(r.Context(), req)
 		if err != nil {
+			if r.Context().Err() != nil &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				return
+			}
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -192,7 +208,7 @@ func specsToMovies(specs []workload.MovieSpec) ([]workload.Movie, error) {
 	return movies, nil
 }
 
-func handleHit(req HitRequest) (HitResponse, error) {
+func handleHit(ctx context.Context, req HitRequest) (HitResponse, error) {
 	cfg, err := req.Config.toConfig()
 	if err != nil {
 		return HitResponse{}, err
@@ -205,13 +221,17 @@ func handleHit(req HitRequest) (HitResponse, error) {
 	if err != nil {
 		return HitResponse{}, err
 	}
-	resp := HitResponse{
-		HitFF:  model.HitFF(profile.DurFF),
-		HitRW:  model.HitRW(profile.DurRW),
-		HitPAU: model.HitPAU(profile.DurPAU),
-		Wait:   cfg.Wait(),
+	resp := HitResponse{Wait: cfg.Wait()}
+	if resp.HitFF, err = model.HitFFCtx(ctx, profile.DurFF); err != nil {
+		return HitResponse{}, err
 	}
-	resp.Hit, err = model.HitMix(sizing.MixFromProfile(profile))
+	if resp.HitRW, err = model.HitRWCtx(ctx, profile.DurRW); err != nil {
+		return HitResponse{}, err
+	}
+	if resp.HitPAU, err = model.HitPAUCtx(ctx, profile.DurPAU); err != nil {
+		return HitResponse{}, err
+	}
+	resp.Hit, err = model.HitMixCtx(ctx, sizing.MixFromProfile(profile))
 	if err != nil {
 		return HitResponse{}, err
 	}
@@ -229,12 +249,12 @@ func handleHit(req HitRequest) (HitResponse, error) {
 	return resp, nil
 }
 
-func handlePlan(eval *sizing.Evaluator, req PlanRequest) (PlanResponse, error) {
+func handlePlan(ctx context.Context, eval *sizing.Evaluator, req PlanRequest) (PlanResponse, error) {
 	movies, err := specsToMovies(req.Movies)
 	if err != nil {
 		return PlanResponse{}, err
 	}
-	plan, err := eval.MinBufferPlan(movies, sizing.DefaultRates, req.MaxStreams, req.MaxBuffer)
+	plan, err := eval.MinBufferPlanCtx(ctx, movies, sizing.DefaultRates, req.MaxStreams, req.MaxBuffer)
 	if err != nil {
 		return PlanResponse{}, err
 	}
@@ -251,7 +271,7 @@ func handlePlan(eval *sizing.Evaluator, req PlanRequest) (PlanResponse, error) {
 	return resp, nil
 }
 
-func handleCurve(eval *sizing.Evaluator, req CurveRequest) (CurveResponse, error) {
+func handleCurve(ctx context.Context, eval *sizing.Evaluator, req CurveRequest) (CurveResponse, error) {
 	movies, err := specsToMovies(req.Movies)
 	if err != nil {
 		return CurveResponse{}, err
@@ -260,7 +280,7 @@ func handleCurve(eval *sizing.Evaluator, req CurveRequest) (CurveResponse, error
 	if maxPts == 0 {
 		maxPts = 100
 	}
-	pts, err := eval.CostCurve(movies, sizing.DefaultRates, req.Phi, maxPts)
+	pts, err := eval.CostCurveCtx(ctx, movies, sizing.DefaultRates, req.Phi, maxPts)
 	if err != nil {
 		return CurveResponse{}, err
 	}
@@ -283,7 +303,10 @@ func curvePoint(p sizing.CurvePoint) CurvePointJSON {
 	}
 }
 
-func handleReserve(req ReserveRequest) (ReserveResponse, error) {
+func handleReserve(ctx context.Context, req ReserveRequest) (ReserveResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return ReserveResponse{}, err
+	}
 	cfg, err := req.Config.toConfig()
 	if err != nil {
 		return ReserveResponse{}, err
@@ -341,7 +364,7 @@ func faultSummary(fs sim.FaultStats) *FaultSummaryJSON {
 	}
 }
 
-func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
+func handleSimulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
 	cfg, err := req.Config.toConfig()
 	if err != nil {
 		return SimulateResponse{}, err
@@ -381,7 +404,7 @@ func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
 	if err != nil {
 		return SimulateResponse{}, err
 	}
-	res, err := s.Run()
+	res, err := s.RunCtx(ctx)
 	if err != nil {
 		return SimulateResponse{}, err
 	}
@@ -389,7 +412,7 @@ func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
 	if err != nil {
 		return SimulateResponse{}, err
 	}
-	modelHit, err := model.HitMix(sizing.MixFromProfile(profile))
+	modelHit, err := model.HitMixCtx(ctx, sizing.MixFromProfile(profile))
 	if err != nil {
 		return SimulateResponse{}, err
 	}
@@ -419,7 +442,7 @@ func handleSimulate(req SimulateRequest) (SimulateResponse, error) {
 	return resp, nil
 }
 
-func handleReplicate(req ReplicateRequest) (ReplicateResponse, error) {
+func handleReplicate(ctx context.Context, req ReplicateRequest) (ReplicateResponse, error) {
 	if req.Replications < 2 || req.Replications > maxReplications {
 		return ReplicateResponse{}, fmt.Errorf("replications %d outside [2, %d]", req.Replications, maxReplications)
 	}
@@ -447,7 +470,7 @@ func handleReplicate(req ReplicateRequest) (ReplicateResponse, error) {
 	if err != nil {
 		return ReplicateResponse{}, err
 	}
-	rep, err := sim.Replicate(sim.Config{
+	rep, err := sim.ReplicateCtx(ctx, sim.Config{
 		L: cfg.L, B: cfg.B, N: cfg.N,
 		Rates:        vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
 		ArrivalRate:  req.Lambda,
@@ -467,7 +490,7 @@ func handleReplicate(req ReplicateRequest) (ReplicateResponse, error) {
 	if err != nil {
 		return ReplicateResponse{}, err
 	}
-	modelHit, err := model.HitMix(sizing.MixFromProfile(profile))
+	modelHit, err := model.HitMixCtx(ctx, sizing.MixFromProfile(profile))
 	if err != nil {
 		return ReplicateResponse{}, err
 	}

@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/resilience"
+)
+
+// State tracks the serving lifecycle for the health endpoints: liveness
+// is implicit (the process answers), readiness flips on during startup
+// and off again when draining begins, and the in-flight request gauge
+// lets operators watch a drain complete. All methods are safe for
+// concurrent use; the zero value is not-ready and not-draining.
+type State struct {
+	ready    atomic.Bool
+	draining atomic.Bool
+	inflight atomic.Int64
+}
+
+// NewState returns a State that is not yet ready.
+func NewState() *State { return &State{} }
+
+// SetReady flips readiness. The serving binary sets it true once the
+// listener is bound, so load balancers only route to a socket that
+// accepts.
+func (s *State) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the process should receive new traffic.
+func (s *State) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// BeginDrain marks the process as draining: /readyz starts failing and
+// new API requests are shed with 503 while in-flight ones finish.
+func (s *State) BeginDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+}
+
+// Draining reports whether a drain has begun.
+func (s *State) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of API requests currently being served
+// (health endpoints are not counted).
+func (s *State) Inflight() int { return int(s.inflight.Load()) }
+
+func (s *State) begin() { s.inflight.Add(1) }
+func (s *State) end()   { s.inflight.Add(-1) }
+
+// handleHealthz is the liveness probe: 200 whenever the process can
+// answer at all, ready or not.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyzHandler reports readiness: 200 while the process should receive
+// traffic, 503 during startup and drain so load balancers rotate it out.
+func readyzHandler(s *State) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		switch {
+		case s.Ready():
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		case s.Draining():
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		default:
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("starting"))
+		}
+	})
+}
+
+// statuszHandler exposes the introspection gauges the chaos harness
+// asserts on: goroutine count, in-flight requests, worker-pool and
+// simulation-bulkhead occupancy, and the circuit state. These are
+// point-in-time reads, not a consistent snapshot.
+func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br *resilience.Breaker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, StatusResponse{
+			Goroutines:   runtime.NumGoroutine(),
+			Ready:        s.Ready(),
+			Draining:     s.Draining(),
+			Inflight:     s.Inflight(),
+			SimInflight:  gate.InUse(),
+			SimCap:       gate.Cap(),
+			WorkerTokens: pool.InUse(),
+			WorkerCap:    pool.Cap(),
+			Breaker:      br.State().String(),
+		})
+	})
+}
+
+// trackInflight counts requests through the hardened stack in the
+// State's in-flight gauge and sheds new work with a clean 503 once a
+// drain has begun (in-flight requests run to completion).
+func trackInflight(s *State, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+			return
+		}
+		s.begin()
+		defer s.end()
+		next.ServeHTTP(w, r)
+	})
+}

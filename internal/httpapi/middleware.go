@@ -1,12 +1,16 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"vodalloc/internal/parallel"
+	"vodalloc/internal/resilience"
 	"vodalloc/internal/sizing"
 )
 
@@ -31,6 +35,17 @@ type Options struct {
 	// Log, when non-nil, receives one access-log line per request with
 	// method, path, status, duration, and outcome.
 	Log *log.Logger
+	// BreakerThreshold is how many consecutive simulation timeouts trip
+	// the circuit to fast-fail 503s. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the tripped circuit stays open before
+	// a half-open probe is admitted. Default 5s.
+	BreakerCooldown time.Duration
+	// State, when non-nil, is the lifecycle tracker behind /readyz and
+	// the drain gate — the serving binary owns it so it can flip
+	// readiness around listen/shutdown. When nil, New creates one
+	// already marked ready (embedding and tests need no ceremony).
+	State *State
 }
 
 func (o Options) withDefaults() Options {
@@ -43,25 +58,50 @@ func (o Options) withDefaults() Options {
 	if o.MaxInflightSim <= 0 {
 		o.MaxInflightSim = 4
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
 	return o
 }
 
 // New returns the hardened service handler: panic recovery, per-request
-// timeouts, body limits, and load shedding on the simulation endpoints.
+// timeouts, body limits, load shedding on the simulation endpoints, a
+// circuit breaker over them, and the health/introspection endpoints.
 // NewMux remains the bare routing table for embedding.
 func New(o Options) http.Handler {
 	o = o.withDefaults()
-	sem := make(chan struct{}, o.MaxInflightSim)
-	eval := &sizing.Evaluator{Pool: parallel.NewPool(o.Workers)}
-	var h http.Handler = newMux(o.MaxBodyBytes, sem, eval)
+	state := o.State
+	if state == nil {
+		state = NewState()
+		state.SetReady(true)
+	}
+	pool := parallel.NewPool(o.Workers)
+	eval := &sizing.Evaluator{Pool: pool}
+	gate := resilience.NewBulkhead(o.MaxInflightSim)
+	br := resilience.NewBreaker(o.BreakerThreshold, o.BreakerCooldown)
+
+	var h http.Handler = newMux(o.MaxBodyBytes, gate, br, eval)
 	// The timeout handler caps handler wall time and cancels r.Context;
 	// its body is written verbatim on expiry.
 	h = http.TimeoutHandler(h, o.Timeout, `{"error":"request timed out"}`)
+	h = trackInflight(state, h)
 	h = Recover(h)
 	if o.Log != nil {
 		h = AccessLog(o.Log, h)
 	}
-	return h
+
+	// Health and introspection bypass the timeout, drain and in-flight
+	// accounting: a probe must answer even when the API is saturated or
+	// draining, and must not hold the gauges it reports.
+	outer := http.NewServeMux()
+	outer.HandleFunc("/healthz", handleHealthz)
+	outer.Handle("/readyz", readyzHandler(state))
+	outer.Handle("/statusz", statuszHandler(state, gate, pool, br))
+	outer.Handle("/", h)
+	return outer
 }
 
 // recoveredHeader marks a response produced by the panic-recovery
@@ -91,18 +131,59 @@ func Recover(next http.Handler) http.Handler {
 	})
 }
 
-// limitInflight sheds requests over the semaphore's capacity with 503 +
-// Retry-After rather than queueing them.
-func limitInflight(sem chan struct{}, next http.Handler) http.Handler {
+// limitInflight sheds requests over the bulkhead's capacity with 503 +
+// Retry-After rather than queueing them. The slot is released when the
+// handler returns OR when the request context is canceled — whichever
+// comes first — so a client that gives up (or a request that times out)
+// frees its admission slot immediately even if the handler is still
+// unwinding through its cancellation checkpoints.
+func limitInflight(gate *resilience.Bulkhead, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-			next.ServeHTTP(w, r)
-		default:
+		if !gate.TryAcquire() {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("too many concurrent simulations; retry shortly"))
+			return
 		}
+		release := sync.OnceFunc(gate.Release)
+		stop := context.AfterFunc(r.Context(), release)
+		defer func() {
+			stop()
+			release()
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// breakerHeader marks a 503 produced by the open circuit breaker, so
+// clients and the chaos harness can tell a fast-fail from an
+// overload shed or a drain.
+const breakerHeader = "X-Circuit"
+
+// breakerGate wraps the simulation endpoints in a circuit breaker:
+// repeated request timeouts trip it, after which calls fast-fail with
+// 503 + Retry-After instead of queueing doomed work behind a struggling
+// simulator. An outcome is recorded when the handler returns — failure
+// iff the request's deadline expired — so the breaker measures the
+// slow-path symptom (timeouts), not client errors.
+func breakerGate(br *resilience.Breaker, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !br.Allow() {
+			w.Header().Set("Retry-After", strconv.Itoa(int(br.Cooldown().Seconds())+1))
+			w.Header().Set(breakerHeader, "open")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("simulation circuit open after repeated timeouts; retry after cooldown"))
+			return
+		}
+		defer func() {
+			// Recorded in a defer so a panicking handler still settles its
+			// half-open probe instead of wedging the breaker.
+			if r.Context().Err() == context.DeadlineExceeded {
+				br.Failure()
+			} else {
+				br.Success()
+			}
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 

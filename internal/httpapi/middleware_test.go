@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"vodalloc/internal/resilience"
 )
 
 func decodeErrorBody(t *testing.T, rec *httptest.ResponseRecorder) ErrorResponse {
@@ -80,7 +82,7 @@ func TestRecoverTurnsPanicInto500(t *testing.T) {
 }
 
 func TestLimiterShedsWith503AndRetryAfter(t *testing.T) {
-	sem := make(chan struct{}, 1)
+	sem := resilience.NewBulkhead(1)
 	release := make(chan struct{})
 	started := make(chan struct{})
 	var once sync.Once

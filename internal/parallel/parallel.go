@@ -78,6 +78,17 @@ func (p *Pool) Cap() int {
 	return cap(p.sem)
 }
 
+// InUse returns the number of tokens currently held across every Map
+// sharing the pool; 0 for a nil pool. Serving stacks export it so
+// operators (and the chaos harness) can verify canceled requests do not
+// leak pool capacity.
+func (p *Pool) InUse() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.sem)
+}
+
 func (p *Pool) acquire(ctx context.Context) error {
 	if p == nil {
 		return nil

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int32
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests fast-fail until the cooldown elapses.
+	Open
+	// HalfOpen: one probe request is in flight; its outcome decides
+	// whether the breaker closes again or re-opens.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. Threshold
+// consecutive failures open it; after Cooldown it admits a single probe
+// (half-open) whose success closes it and whose failure re-opens it.
+// Use it to convert a queue of doomed requests against a timing-out
+// backend into immediate 503s that give the backend room to recover.
+type Breaker struct {
+	// Clock overrides time.Now, for tests. Set before first use.
+	Clock func() time.Time
+
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures (minimum 1) and stays open for cooldown before
+// probing (non-positive cooldown selects one second).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// returns false until the cooldown has elapsed, then transitions to
+// half-open and admits exactly one probe; further calls fail until the
+// probe resolves via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful request: it resets the failure count and
+// closes a half-open breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state == HalfOpen {
+		b.state = Closed
+		b.probing = false
+	}
+}
+
+// Failure records a failed request. A half-open probe failure re-opens
+// the breaker immediately; in the closed state the threshold applies.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+		b.failures = 0
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	default: // Open: outcomes of requests admitted before the trip
+	}
+}
+
+// State returns the current state, accounting for an elapsed cooldown
+// (an open breaker past its cooldown reports half-open, matching what
+// the next Allow would do).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Cooldown returns the configured cooldown.
+func (b *Breaker) Cooldown() time.Duration { return b.cooldown }

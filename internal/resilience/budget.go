@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Budget is a wall-clock deadline budget threaded through a call chain:
+// an absolute point in time by which the whole operation must finish.
+// Sub-operations carve their share off with Sub or Reserve rather than
+// each picking an independent timeout, so the chain as a whole honors
+// the caller's deadline. The zero Budget is unlimited.
+type Budget struct {
+	deadline time.Time
+	set      bool
+}
+
+// BudgetFor starts a budget of d from now. Non-positive durations
+// produce an already-expired budget.
+func BudgetFor(d time.Duration) Budget {
+	return Budget{deadline: time.Now().Add(d), set: true}
+}
+
+// BudgetFromContext derives a budget from the context's deadline; the
+// unlimited budget when ctx has none.
+func BudgetFromContext(ctx context.Context) Budget {
+	if dl, ok := ctx.Deadline(); ok {
+		return Budget{deadline: dl, set: true}
+	}
+	return Budget{}
+}
+
+// Set reports whether the budget carries a deadline at all.
+func (b Budget) Set() bool { return b.set }
+
+// Deadline returns the absolute deadline and whether one is set.
+func (b Budget) Deadline() (time.Time, bool) { return b.deadline, b.set }
+
+// Remaining returns the time left, floored at zero. Unlimited budgets
+// report a very large remaining time rather than a sentinel, so callers
+// can compare without special cases.
+func (b Budget) Remaining() time.Duration {
+	if !b.set {
+		return time.Duration(1<<62 - 1)
+	}
+	if r := time.Until(b.deadline); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Expired reports whether the deadline has passed.
+func (b Budget) Expired() bool { return b.set && !time.Now().Before(b.deadline) }
+
+// Sub returns a budget holding the given fraction of the remaining
+// time, for handing a slice of the deadline to a sub-operation.
+// Fractions outside (0, 1] are clamped into it; unlimited budgets stay
+// unlimited.
+func (b Budget) Sub(fraction float64) Budget {
+	if !b.set {
+		return b
+	}
+	if fraction <= 0 {
+		fraction = 0
+	} else if fraction > 1 {
+		fraction = 1
+	}
+	r := time.Until(b.deadline)
+	if r < 0 {
+		r = 0
+	}
+	return Budget{deadline: time.Now().Add(time.Duration(float64(r) * fraction)), set: true}
+}
+
+// Reserve shaves d off the end of the budget — the caller keeps d for
+// itself (response encoding, cleanup) and hands the rest down.
+func (b Budget) Reserve(d time.Duration) Budget {
+	if !b.set || d <= 0 {
+		return b
+	}
+	return Budget{deadline: b.deadline.Add(-d), set: true}
+}
+
+// Context applies the budget's deadline to ctx. Unlimited budgets
+// return ctx with a no-op cancel, so callers can defer cancel()
+// unconditionally.
+func (b Budget) Context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if !b.set {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, b.deadline)
+}

@@ -1,0 +1,208 @@
+package resilience
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		b       Backoff
+		attempt int
+		want    float64
+	}{
+		{"attempt0", Backoff{Base: 0.5}, 0, 0.5},
+		{"doubling", Backoff{Base: 0.5}, 3, 4},
+		{"explicit factor", Backoff{Base: 1, Factor: 3}, 2, 9},
+		{"capped", Backoff{Base: 1, Max: 5}, 10, 5},
+		{"negative attempt", Backoff{Base: 2}, -4, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.b.Delay(tc.attempt); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Delay(%d) = %v, want %v", tc.name, tc.attempt, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffMatchesSimulatorChain(t *testing.T) {
+	// The simulator's degraded-mode chain was retryBase·2^k with
+	// retryBase = 0.5; the shared Backoff must reproduce it exactly so
+	// simulation outputs stay byte-identical.
+	b := Backoff{Base: 0.5, Factor: 2}
+	for k := 0; k < 8; k++ {
+		want := 0.5 * math.Pow(2, float64(k))
+		if got := b.Delay(k); got != want {
+			t.Fatalf("Delay(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestBackoffJitteredBounds(t *testing.T) {
+	b := Backoff{Base: 1, Jitter: 0.5}
+	d := b.Delay(2) // 4
+	for _, u := range []float64{0, 0.25, 0.5, 0.999, 1, -1} {
+		got := b.Jittered(2, u)
+		if got < d*(1-0.5)-1e-12 || got > d+1e-12 {
+			t.Errorf("Jittered(2, %v) = %v outside [%v, %v]", u, got, d/2, d)
+		}
+	}
+	// No jitter: identical for any sample.
+	nj := Backoff{Base: 1}
+	if nj.Jittered(3, 0.7) != nj.Delay(3) {
+		t.Error("zero jitter must reproduce Delay")
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep = %v", err)
+	}
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("short sleep = %v", err)
+	}
+}
+
+func TestBudgetLifecycle(t *testing.T) {
+	var zero Budget
+	if zero.Set() || zero.Expired() {
+		t.Fatal("zero budget must be unlimited")
+	}
+	if zero.Remaining() < time.Hour {
+		t.Fatal("unlimited budget must report a huge remaining time")
+	}
+	ctx, cancel := zero.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("unlimited budget must not impose a deadline")
+	}
+
+	b := BudgetFor(time.Hour)
+	if !b.Set() || b.Expired() {
+		t.Fatal("fresh one-hour budget must be live")
+	}
+	if r := b.Remaining(); r <= 59*time.Minute || r > time.Hour {
+		t.Fatalf("remaining %v, want ≈1h", r)
+	}
+	sub := b.Sub(0.5)
+	if r := sub.Remaining(); r <= 29*time.Minute || r > 31*time.Minute {
+		t.Fatalf("Sub(0.5) remaining %v, want ≈30m", r)
+	}
+	res := b.Reserve(30 * time.Minute)
+	if r := res.Remaining(); r <= 29*time.Minute || r > 31*time.Minute {
+		t.Fatalf("Reserve(30m) remaining %v, want ≈30m", r)
+	}
+
+	expired := BudgetFor(-time.Second)
+	if !expired.Expired() || expired.Remaining() != 0 {
+		t.Fatal("negative budget must be expired with zero remaining")
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Hour)
+	defer dcancel()
+	fromCtx := BudgetFromContext(dctx)
+	if !fromCtx.Set() {
+		t.Fatal("budget from deadline ctx must be set")
+	}
+	bctx, bcancel := fromCtx.Sub(1).Context(context.Background())
+	defer bcancel()
+	if _, ok := bctx.Deadline(); !ok {
+		t.Fatal("budget context must carry the deadline")
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(3, 10*time.Second)
+	b.Clock = clock
+
+	if !b.Allow() || b.State() != Closed {
+		t.Fatal("fresh breaker must be closed and allowing")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("below threshold must stay closed")
+	}
+	b.Success() // resets the consecutive count
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must fast-fail")
+	}
+
+	now = now.Add(11 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit one probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+	b.Failure() // probe failed: re-open
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+
+	now = now.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown must admit another probe")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestBulkheadLimitsAndReleases(t *testing.T) {
+	var nilB *Bulkhead
+	if !nilB.TryAcquire() || nilB.InUse() != 0 || nilB.Cap() != 0 {
+		t.Fatal("nil bulkhead must be a no-op limiter")
+	}
+	nilB.Release() // must not panic
+
+	b := NewBulkhead(2)
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("two acquires within capacity must succeed")
+	}
+	if b.TryAcquire() {
+		t.Fatal("third acquire must shed")
+	}
+	if b.InUse() != 2 || b.Cap() != 2 {
+		t.Fatalf("InUse=%d Cap=%d, want 2/2", b.InUse(), b.Cap())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := b.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full bulkhead = %v, want deadline exceeded", err)
+	}
+
+	b.Release()
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after release = %v", err)
+	}
+	b.Release()
+	b.Release()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release must panic")
+		}
+	}()
+	b.Release()
+}

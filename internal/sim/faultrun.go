@@ -15,7 +15,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"vodalloc/internal/disk"
 	"vodalloc/internal/faults"
@@ -23,14 +22,11 @@ import (
 	"vodalloc/internal/vcr"
 )
 
-const (
-	// maxFaultRetries bounds the backoff chain of a degraded viewer or a
-	// queued VCR request before it is shed/abandoned.
-	maxFaultRetries = 6
-	// retryBase is the first backoff delay in simulated minutes; attempt
-	// k waits retryBase·2^k.
-	retryBase = 0.5
-)
+// maxFaultRetries bounds the backoff chain of a degraded viewer or a
+// queued VCR request before it is shed/abandoned. The delays come from
+// disk.RetryBackoff (attempt k waits 0.5·2^k simulated minutes), the
+// shared policy for retrying transient allocation failures.
+const maxFaultRetries = 6
 
 // scheduleFaults turns the configured fault schedule into DES events.
 func (s *Server) scheduleFaults() {
@@ -275,7 +271,7 @@ func (s *Server) scheduleDegradedRetry(mv *movieState, now float64, v *viewer, p
 		s.depart(mv, now, v)
 		return
 	}
-	delay := retryBase * math.Pow(2, float64(v.retries))
+	delay := disk.RetryBackoff.Delay(v.retries)
 	v.retries++
 	mv.retries++
 	v.parkEv = mustSchedule(&s.k, now+delay, "degradedRetry", func(t float64) {
@@ -317,7 +313,7 @@ func (s *Server) scheduleOpRetry(mv *movieState, now float64, v *viewer, req vcr
 		s.scheduleThink(mv, now, v)
 		return
 	}
-	delay := retryBase * math.Pow(2, float64(attempt))
+	delay := disk.RetryBackoff.Delay(attempt)
 	mv.retries++
 	v.opRetryEv = mustSchedule(&s.k, now+delay, "opRetry", func(t float64) {
 		v.opRetryEv = nil

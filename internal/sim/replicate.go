@@ -40,6 +40,14 @@ func (r *Replication) HitCI95() float64 { return r.Runs.CI95() }
 // GOMAXPROCS replications in flight at once. Each replication gets its
 // own Simulator; the shared cfg is copied by value.
 func Replicate(cfg Config, runs int) (*Replication, error) {
+	return ReplicateCtx(context.Background(), cfg, runs)
+}
+
+// ReplicateCtx is Replicate with cancellation checkpoints: the context
+// is threaded into the worker pool (no new replications start once it is
+// done) and into each in-flight run (which stops within ctxCheckEvents
+// simulation events), so a canceled request frees its workers promptly.
+func ReplicateCtx(ctx context.Context, cfg Config, runs int) (*Replication, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("%w: replications %d", ErrBadConfig, runs)
 	}
@@ -51,15 +59,15 @@ func Replicate(cfg Config, runs int) (*Replication, error) {
 		return nil, fmt.Errorf("%w: tracing is per-run; replicate without a Tracer", ErrBadConfig)
 	}
 
-	results, err := parallel.Map(context.Background(), parallel.Opts{}, runs,
-		func(_ context.Context, i int) (*Result, error) {
+	results, err := parallel.Map(ctx, parallel.Opts{}, runs,
+		func(ctx context.Context, i int) (*Result, error) {
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)
 			s, err := New(c)
 			if err != nil {
 				return nil, err
 			}
-			return s.Run()
+			return s.RunCtx(ctx)
 		})
 	if err != nil {
 		var pe *parallel.Error

@@ -1,5 +1,7 @@
 package sim
 
+import "context"
+
 // Simulator is the single-movie front of the multi-movie Server: it
 // carries the paper's §4 validation experiments, which study one popular
 // movie at a time. Build with New, execute once with Run.
@@ -39,7 +41,12 @@ func New(cfg Config) (*Simulator, error) {
 // Run executes the simulation to the configured horizon and returns the
 // collected measurements. It can be called once.
 func (s *Simulator) Run() (*Result, error) {
-	sr, err := s.srv.Run()
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation checkpoints (see Server.RunCtx).
+func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
+	sr, err := s.srv.RunCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

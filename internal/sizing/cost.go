@@ -1,6 +1,7 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,6 +70,12 @@ func CostCurve(movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]
 	return Default.CostCurve(movies, r, phi, maxPoints)
 }
 
+// CostCurveCtx is CostCurve with cancellation checkpoints, via the
+// shared Default evaluator.
+func CostCurveCtx(ctx context.Context, movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]CurvePoint, error) {
+	return Default.CostCurveCtx(ctx, movies, r, phi, maxPoints)
+}
+
 // CostCurve traces the feasibility frontier of the catalog from the
 // minimum stream count (one per movie) to the buffer-minimal maximum,
 // reporting the Eq. 23 cost of each total at the given φ. Moving left
@@ -78,10 +85,17 @@ func CostCurve(movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]
 // worker budget and memo cache, so curves at different φ over one
 // catalog reuse each other's model evaluations.
 func (e *Evaluator) CostCurve(movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]CurvePoint, error) {
+	return e.CostCurveCtx(context.Background(), movies, r, phi, maxPoints)
+}
+
+// CostCurveCtx is CostCurve with cancellation checkpoints: the
+// underlying plan search honors the context (see MinBufferPlanCtx); the
+// curve walk itself is pure arithmetic and runs to completion.
+func (e *Evaluator) CostCurveCtx(ctx context.Context, movies []workload.Movie, r Rates, phi float64, maxPoints int) ([]CurvePoint, error) {
 	if !(phi > 0) || math.IsInf(phi, 0) {
 		return nil, fmt.Errorf("%w: phi %v", ErrBadParam, phi)
 	}
-	base, err := e.MinBufferPlan(movies, r, 0, 0)
+	base, err := e.MinBufferPlanCtx(ctx, movies, r, 0, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -69,8 +69,10 @@ func (e *Evaluator) opts() parallel.Opts {
 }
 
 // hitAt evaluates the model at (n, b) for the movie's mix, consulting
-// the cache first. key must be mixKey(m.Profile).
-func (e *Evaluator) hitAt(m workload.Movie, r Rates, key string, n int, b float64) (float64, error) {
+// the cache first. key must be mixKey(m.Profile). A done context stops
+// the evaluation within one quadrature panel (cache hits still return
+// their value — the work is already paid for).
+func (e *Evaluator) hitAt(ctx context.Context, m workload.Movie, r Rates, key string, n int, b float64) (float64, error) {
 	k := evalKey{l: m.Length, b: b, n: n, rates: r, mix: key}
 	e.mu.Lock()
 	if v, ok := e.cache[k]; ok {
@@ -78,7 +80,7 @@ func (e *Evaluator) hitAt(m workload.Movie, r Rates, key string, n int, b float6
 		return v, nil
 	}
 	e.mu.Unlock()
-	hit, err := hitAt(m, r, n, b)
+	hit, err := hitAt(ctx, m, r, n, b)
 	if err != nil {
 		return 0, err
 	}
@@ -101,6 +103,14 @@ func (e *Evaluator) hitAt(m workload.Movie, r Rates, key string, n int, b float6
 // long frontiers do not accumulate float drift; points are evaluated in
 // parallel and returned in ascending-B order.
 func (e *Evaluator) FeasibleByBufferStep(m workload.Movie, r Rates, step float64) ([]Point, error) {
+	return e.FeasibleByBufferStepCtx(context.Background(), m, r, step)
+}
+
+// FeasibleByBufferStepCtx is FeasibleByBufferStep with cancellation
+// checkpoints: the context is threaded into the worker fan-out (no new
+// grid points start once it is done) and into each model evaluation
+// (which stops within one quadrature panel).
+func (e *Evaluator) FeasibleByBufferStepCtx(ctx context.Context, m workload.Movie, r Rates, step float64) ([]Point, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -119,14 +129,14 @@ func (e *Evaluator) FeasibleByBufferStep(m workload.Movie, r Rates, step float64
 		return nil, nil
 	}
 	key := mixKey(m.Profile)
-	pts, err := parallel.Map(context.Background(), e.opts(), npts,
-		func(_ context.Context, i int) (Point, error) {
+	pts, err := parallel.Map(ctx, e.opts(), npts,
+		func(ctx context.Context, i int) (Point, error) {
 			n := gridN(i)
 			bb := m.Length - float64(n)*m.Wait // snap to integer n
 			if bb < 0 {
 				bb = 0
 			}
-			hit, err := e.hitAt(m, r, key, n, bb)
+			hit, err := e.hitAt(ctx, m, r, key, n, bb)
 			if err != nil {
 				return Point{}, err
 			}
@@ -147,6 +157,13 @@ func (e *Evaluator) FeasibleByBufferStep(m workload.Movie, r Rates, step float64
 // back to an exhaustive scan if a non-monotone configuration is
 // detected.
 func (e *Evaluator) MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error) {
+	return e.MaxFeasibleStreamsCtx(context.Background(), m, r)
+}
+
+// MaxFeasibleStreamsCtx is MaxFeasibleStreams with cancellation
+// checkpoints: each bisection probe consults the context, so a canceled
+// search returns within one model evaluation.
+func (e *Evaluator) MaxFeasibleStreamsCtx(ctx context.Context, m workload.Movie, r Rates) (Point, error) {
 	if err := m.Validate(); err != nil {
 		return Point{}, err
 	}
@@ -157,7 +174,7 @@ func (e *Evaluator) MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error)
 	key := mixKey(m.Profile)
 	eval := func(n int) (Point, error) {
 		b := math.Max(0, m.Length-float64(n)*m.Wait)
-		hit, err := e.hitAt(m, r, key, n, b)
+		hit, err := e.hitAt(ctx, m, r, key, n, b)
 		if err != nil {
 			return Point{}, err
 		}
@@ -233,13 +250,21 @@ func (e *Evaluator) maxFeasibleLinear(m workload.Movie, eval func(int) (Point, e
 // extra buffer minutes (Eq. 2), so this greedy order is buffer-optimal
 // for the linear tradeoff.
 func (e *Evaluator) MinBufferPlan(movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
+	return e.MinBufferPlanCtx(context.Background(), movies, r, maxStreams, maxBuffer)
+}
+
+// MinBufferPlanCtx is MinBufferPlan with cancellation checkpoints: the
+// context is threaded into the per-movie fan-out and every model
+// evaluation under it, so a canceled plan request frees its workers
+// within one evaluation.
+func (e *Evaluator) MinBufferPlanCtx(ctx context.Context, movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
 	if len(movies) == 0 {
 		return Plan{}, fmt.Errorf("%w: empty catalog", ErrBadParam)
 	}
 	var plan Plan
-	points, err := parallel.Map(context.Background(), e.opts(), len(movies),
-		func(_ context.Context, i int) (Point, error) {
-			return e.MaxFeasibleStreams(movies[i], r)
+	points, err := parallel.Map(ctx, e.opts(), len(movies),
+		func(ctx context.Context, i int) (Point, error) {
+			return e.MaxFeasibleStreamsCtx(ctx, movies[i], r)
 		})
 	if err != nil {
 		return Plan{}, parallel.Cause(err)
@@ -272,7 +297,7 @@ func (e *Evaluator) MinBufferPlan(movies []workload.Movie, r Rates, maxStreams i
 			deficit -= give
 			// Re-evaluate the hit at the new point (it only improves:
 			// larger B at fixed w).
-			hit, err := e.hitAt(movies[i], r, mixKey(movies[i].Profile), points[i].N, points[i].B)
+			hit, err := e.hitAt(ctx, movies[i], r, mixKey(movies[i].Profile), points[i].N, points[i].B)
 			if err != nil {
 				return Plan{}, err
 			}

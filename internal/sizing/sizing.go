@@ -7,6 +7,7 @@
 package sizing
 
 import (
+	"context"
 	"errors"
 
 	"vodalloc/internal/analytic"
@@ -48,8 +49,13 @@ type Point struct {
 	Feasible bool
 }
 
-// hitAt evaluates the model at (l, B, n) for the movie's mix.
-func hitAt(m workload.Movie, r Rates, n int, b float64) (float64, error) {
+// hitAt evaluates the model at (l, B, n) for the movie's mix. The
+// context is checked at entry and per quadrature panel inside the
+// integrals, so a canceled sweep stops within one model evaluation.
+func hitAt(ctx context.Context, m workload.Movie, r Rates, n int, b float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	model, err := analytic.New(analytic.Config{
 		L: m.Length, B: b, N: n,
 		RatePB: r.PB, RateFF: r.FF, RateRW: r.RW,
@@ -57,7 +63,7 @@ func hitAt(m workload.Movie, r Rates, n int, b float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return model.HitMix(MixFromProfile(m.Profile))
+	return model.HitMixCtx(ctx, MixFromProfile(m.Profile))
 }
 
 // FeasibleByBufferStep enumerates (B, n) pairs along the movie's
@@ -68,11 +74,23 @@ func FeasibleByBufferStep(m workload.Movie, r Rates, step float64) ([]Point, err
 	return Default.FeasibleByBufferStep(m, r, step)
 }
 
+// FeasibleByBufferStepCtx is FeasibleByBufferStep with cancellation
+// checkpoints, via the shared Default evaluator.
+func FeasibleByBufferStepCtx(ctx context.Context, m workload.Movie, r Rates, step float64) ([]Point, error) {
+	return Default.FeasibleByBufferStepCtx(ctx, m, r, step)
+}
+
 // MaxFeasibleStreams returns the buffer-minimal feasible point of the
 // movie's constant-wait frontier (paper step 3: minimize Σ B_i) via the
 // shared Default evaluator. See (*Evaluator).MaxFeasibleStreams.
 func MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error) {
 	return Default.MaxFeasibleStreams(m, r)
+}
+
+// MaxFeasibleStreamsCtx is MaxFeasibleStreams with cancellation
+// checkpoints, via the shared Default evaluator.
+func MaxFeasibleStreamsCtx(ctx context.Context, m workload.Movie, r Rates) (Point, error) {
+	return Default.MaxFeasibleStreamsCtx(ctx, m, r)
 }
 
 // Allocation is the resource assignment for one movie.
@@ -96,6 +114,12 @@ type Plan struct {
 // evaluations). See (*Evaluator).MinBufferPlan.
 func MinBufferPlan(movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
 	return Default.MinBufferPlan(movies, r, maxStreams, maxBuffer)
+}
+
+// MinBufferPlanCtx is MinBufferPlan with cancellation checkpoints, via
+// the shared Default evaluator.
+func MinBufferPlanCtx(ctx context.Context, movies []workload.Movie, r Rates, maxStreams int, maxBuffer float64) (Plan, error) {
+	return Default.MinBufferPlanCtx(ctx, movies, r, maxStreams, maxBuffer)
 }
 
 // sortByWait returns movie indices ordered by ascending wait target.

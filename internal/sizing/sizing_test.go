@@ -1,6 +1,7 @@
 package sizing
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -66,7 +67,7 @@ func TestMaxFeasibleStreamsAgainstLinearScan(t *testing.T) {
 	best := 0
 	for n := 1; n <= 60; n++ {
 		b := 60 - float64(n)
-		hit, err := hitAt(m, DefaultRates, n, b)
+		hit, err := hitAt(context.Background(), m, DefaultRates, n, b)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,6 +3,10 @@
 # benchmark smoke pass (one iteration each, so broken benchmarks fail CI
 # without paying for measurement). The race pass covers the parallel
 # sweep engine (internal/parallel) and every fan-out built on it.
+# A final chaos smoke boots vodserverd on an ephemeral port, soaks it
+# with vodchaos for a few seconds (mixed traffic, client cancellations,
+# oversized and malformed bodies), then SIGTERMs it mid-run and requires
+# zero invariant violations and a clean drain.
 # Run from anywhere; operates on the repository root.
 set -eu
 cd "$(dirname "$0")/.."
@@ -11,3 +15,34 @@ go build ./...
 go test ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+# --- chaos smoke ---
+tmp=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    if [ -n "$srv_pid" ] && kill -0 "$srv_pid" 2>/dev/null; then
+        kill "$srv_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+go build -o "$tmp/vodserverd" ./cmd/vodserverd
+go build -o "$tmp/vodchaos" ./cmd/vodchaos
+"$tmp/vodserverd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -drain 5s -timeout 2s >"$tmp/server.log" 2>&1 &
+srv_pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "ci: vodserverd never bound its listener" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$tmp/vodchaos" -addr "$(cat "$tmp/addr")" -dur 5s -clients 6 \
+    -sigterm-pid "$srv_pid"
+wait "$srv_pid"
+srv_pid=""
+echo "ci: chaos smoke passed"
