@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"vodalloc/internal/checkpoint"
 	"vodalloc/internal/experiments"
 	"vodalloc/internal/sizing"
 )
@@ -52,9 +53,15 @@ func main() {
 	par := flag.Int("parallel", 0, "worker cap for experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "append per-experiment wall-clock timings to this JSON file")
 	label := flag.String("label", "", "label recorded with the -json timings")
+	resume := flag.String("resume", "", "checkpoint directory: journal completed sweep items there and resume a killed run")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *par}
+	if *resume != "" {
+		if err := os.MkdirAll(*resume, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *par, ResumeDir: *resume}
 	// The sizing sweeps behind fig8/fig9/ex1/ex2 share the process-wide
 	// evaluator; pin its parallelism to the same budget.
 	sizing.Default.Workers = *par
@@ -218,7 +225,9 @@ func appendRun(path string, run benchRun) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Write-temp-then-rename: a crash mid-write must never leave the
+	// accumulated artifact half-serialized.
+	return checkpoint.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -23,6 +23,12 @@
 // On SIGINT/SIGTERM the process drains: readiness fails, new API
 // requests are shed with 503, and in-flight requests get up to -drain
 // to finish before the listener closes.
+//
+// With -cache-file the sizing evaluator's memo cache is loaded from the
+// given snapshot at startup, autosaved as it grows, and saved back once
+// the drain completes, so a restarted server answers repeat sizing
+// queries from cache instead of recomputing. Both outcomes are logged
+// and reported on /statusz.
 package main
 
 import (
@@ -38,7 +44,9 @@ import (
 	"syscall"
 	"time"
 
+	"vodalloc/internal/checkpoint"
 	"vodalloc/internal/httpapi"
+	"vodalloc/internal/sizing"
 )
 
 func run() error {
@@ -51,10 +59,29 @@ func run() error {
 	workers := flag.Int("workers", 0, "shared sizing-sweep worker pool across plan/curve requests (0 = GOMAXPROCS)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive simulation timeouts that trip the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the tripped breaker fast-fails before probing")
+	cacheFile := flag.String("cache-file", "", "persist the sizing evaluator's memo cache to this snapshot (loaded at startup, saved on drain)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	state := httpapi.NewState()
+	eval := &sizing.Evaluator{}
+	cacheState := &httpapi.CacheState{}
+	if *cacheFile != "" {
+		switch n, err := eval.LoadCache(*cacheFile); {
+		case err == nil:
+			cacheState.RecordLoad(n, nil)
+			log.Printf("cache: loaded %d model evaluations from %s", n, *cacheFile)
+		case errors.Is(err, os.ErrNotExist):
+			cacheState.RecordLoad(0, nil)
+			log.Printf("cache: cold start, %s does not exist yet", *cacheFile)
+		default:
+			// An unusable snapshot (corrupt, truncated, wrong version) is
+			// not fatal: start cold and overwrite it on the next save.
+			cacheState.RecordLoad(0, err)
+			log.Printf("cache: ignoring unusable snapshot %s: %v", *cacheFile, err)
+		}
+		eval.AutoSave(*cacheFile, 256)
+	}
 	srv := &http.Server{
 		Handler: httpapi.New(httpapi.Options{
 			Timeout:          *timeout,
@@ -65,6 +92,8 @@ func run() error {
 			BreakerThreshold: *breakerThreshold,
 			BreakerCooldown:  *breakerCooldown,
 			State:            state,
+			Evaluator:        eval,
+			Cache:            cacheState,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -76,8 +105,9 @@ func run() error {
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		// Written after the listener is bound, so a harness reading the
-		// file can connect immediately.
-		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+		// file can connect immediately; atomically, so it never reads a
+		// partial address.
+		if err := checkpoint.WriteFileAtomic(*addrFile, []byte(bound), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("write addr-file: %w", err)
 		}
@@ -106,12 +136,28 @@ func run() error {
 		} else {
 			log.Printf("drain complete: %d request(s) in flight", state.Inflight())
 		}
+		saveCache(eval, cacheState, *cacheFile)
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
 	}
 	return nil
+}
+
+// saveCache persists the evaluator cache after the drain, so everything
+// computed during this process's lifetime survives the restart.
+func saveCache(eval *sizing.Evaluator, cs *httpapi.CacheState, path string) {
+	if path == "" {
+		return
+	}
+	n, err := eval.SaveCache(path)
+	cs.RecordSave(n, err)
+	if err != nil {
+		log.Printf("cache: save to %s failed: %v", path, err)
+		return
+	}
+	log.Printf("cache: saved %d model evaluations to %s", n, path)
 }
 
 func main() {

@@ -11,12 +11,17 @@
 package main
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vodalloc/internal/analytic"
+	"vodalloc/internal/checkpoint"
 	"vodalloc/internal/cliutil"
 	"vodalloc/internal/dist"
 	"vodalloc/internal/faults"
@@ -49,6 +54,8 @@ func main() {
 	compare := flag.Bool("compare", true, "print the analytic model prediction alongside")
 	tracePath := flag.String("trace", "", "write a structured event trace to this file (\"-\" for stdout)")
 	reps := flag.Int("replications", 1, "independent replications (seeds seed..seed+R-1, run concurrently)")
+	resumeDir := flag.String("resume", "", "checkpoint directory: journal progress there and resume a killed run")
+	ckptEvery := flag.Int("checkpoint-every", 250000, "events between single-run checkpoints with -resume")
 	flag.Parse()
 
 	var buf float64
@@ -123,11 +130,32 @@ func main() {
 		TotalStreams: *streams,
 		Faults:       sched,
 	}
+	if *resumeDir != "" {
+		if cfg.Tracer != nil {
+			// A resumed run replays silently to its boundary, so a trace
+			// would be missing everything before the crash.
+			fatal(fmt.Errorf("-trace is incompatible with -resume"))
+		}
+		if err := os.MkdirAll(*resumeDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	if *reps > 1 {
 		if cfg.Tracer != nil {
 			fatal(fmt.Errorf("-trace is incompatible with -replications"))
 		}
-		rep, err := sim.Replicate(cfg, *reps)
+		var rep *sim.Replication
+		var err error
+		if *resumeDir != "" {
+			var info sim.ResumeInfo
+			rep, info, err = sim.ReplicateResumableCtx(context.Background(), cfg, *reps, *resumeDir)
+			if err == nil && (info.Resumed > 0 || info.TornBytes > 0) {
+				fmt.Fprintf(os.Stderr, "vodsim: resumed %d of %d replications from %s (torn tail: %d bytes)\n",
+					info.Resumed, *reps, *resumeDir, info.TornBytes)
+			}
+		} else {
+			rep, err = sim.Replicate(cfg, *reps)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -147,7 +175,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := s.Run()
+	var res *sim.Result
+	if *resumeDir != "" {
+		res, err = runResumable(s, cfg, *resumeDir, *ckptEvery)
+	} else {
+		res, err = s.Run()
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -158,6 +191,54 @@ func main() {
 	if *compare {
 		printModelComparison(*l, buf, *n, *rFF, *rRW, *pFF, *pRW, *pPAU, dur, res.HitProbability())
 	}
+}
+
+// runResumable executes a single run with periodic checkpoints in dir,
+// resuming from an existing checkpoint first. The snapshot payload is
+// the run's configuration identity followed by the 24-byte checkpoint;
+// the identity check refuses a snapshot from a different configuration
+// before any replay happens. On success the checkpoint is removed — a
+// finished run has nothing left to resume.
+func runResumable(s *sim.Simulator, cfg sim.Config, dir string, every int) (*sim.Result, error) {
+	identity := checkpoint.Identity("vodsim.run", fmt.Sprintf("%+v", cfg))
+	path := filepath.Join(dir, "sim.ckpt")
+	sink := func(cp sim.Checkpoint) error {
+		b, err := cp.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		payload := append(binary.BigEndian.AppendUint64(nil, identity), b...)
+		return checkpoint.WriteSnapshot(path, checkpoint.FormatVersion, checkpoint.KindSimRun, payload)
+	}
+
+	var res *sim.Result
+	kind, payload, err := checkpoint.ReadSnapshot(path, checkpoint.FormatVersion)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		res, err = s.RunCheckpointedCtx(context.Background(), every, sink)
+	case err != nil:
+		return nil, err
+	default:
+		if kind != checkpoint.KindSimRun || len(payload) != 32 {
+			return nil, fmt.Errorf("%s: not a vodsim run checkpoint", path)
+		}
+		if got := binary.BigEndian.Uint64(payload); got != identity {
+			return nil, fmt.Errorf("%s: %w: checkpoint was written by a different run configuration", path, checkpoint.ErrIdentity)
+		}
+		var cp sim.Checkpoint
+		if err := cp.UnmarshalBinary(payload[8:]); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "vodsim: resuming from checkpoint at t=%.2f (%d events) in %s\n", cp.Now, cp.Fired, dir)
+		res, err = s.ResumeCheckpointedCtx(context.Background(), cp, every, sink)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintln(os.Stderr, "vodsim: drop finished checkpoint:", err)
+	}
+	return res, nil
 }
 
 // printModelComparison prints the analytic prediction next to a measured

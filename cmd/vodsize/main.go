@@ -17,9 +17,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -39,6 +41,7 @@ func main() {
 	maxBuffer := flag.Float64("maxbuffer", 0, "buffer budget for -plan, minutes (0 = unbounded)")
 	configPath := flag.String("config", "", "JSON catalog file (see workload.CatalogSpec); overrides -movie")
 	par := flag.Int("parallel", 0, "worker cap for sizing sweeps (0 = GOMAXPROCS, 1 = sequential)")
+	resume := flag.String("resume", "", "checkpoint directory: load the model-evaluation cache from there and save it back on exit")
 	var movieSpecs multiFlag
 	flag.Var(&movieSpecs, "movie", "custom movie spec name:length:wait:target:dist…; repeatable (default: Example 1 catalog)")
 	flag.Parse()
@@ -46,6 +49,31 @@ func main() {
 	// A per-invocation evaluator: sweeps share its memo cache and worker
 	// budget without touching the process-wide sizing.Default.
 	eval := &sizing.Evaluator{Workers: *par}
+	var cachePath string
+	if *resume != "" {
+		if err := os.MkdirAll(*resume, 0o755); err != nil {
+			fatal(err)
+		}
+		cachePath = filepath.Join(*resume, "evalcache.ckpt")
+		switch n, err := eval.LoadCache(cachePath); {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "vodsize: loaded %d cached model evaluations from %s\n", n, cachePath)
+		case errors.Is(err, os.ErrNotExist):
+			// Cold start: nothing to load yet.
+		default:
+			fmt.Fprintf(os.Stderr, "vodsize: ignoring unusable cache: %v\n", err)
+		}
+		// Persist incrementally too, so a killed sweep still leaves most
+		// of its evaluations behind for the next run.
+		eval.AutoSave(cachePath, 64)
+		defer func() {
+			if n, err := eval.SaveCache(cachePath); err != nil {
+				fmt.Fprintf(os.Stderr, "vodsize: save cache: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "vodsize: saved %d model evaluations to %s\n", n, cachePath)
+			}
+		}()
+	}
 
 	movies := workload.Example1Movies()
 	if *configPath != "" {

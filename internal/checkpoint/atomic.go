@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces the file at path with data without ever
+// exposing a partial file: the bytes go to a temporary file in the same
+// directory, are fsynced, and are renamed over the target. A crash at
+// any instant leaves either the previous complete file or the new one.
+// The containing directory is fsynced after the rename so the new name
+// itself is durable.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("chmod %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return fmt.Errorf("close %s: %w", name, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return err
+	}
+	tmp = nil
+	// Persist the rename itself. Some filesystems reject fsync on a
+	// directory handle; the data is already safe, so that is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot file at path with the
+// enveloped payload (see EncodeSnapshot).
+func WriteSnapshot(path string, version, kind uint16, payload []byte) error {
+	return WriteFileAtomic(path, EncodeSnapshot(version, kind, payload), 0o644)
+}
+
+// ReadSnapshot reads and validates the snapshot file at path, returning
+// its payload kind and bytes. Missing files surface as os.ErrNotExist
+// so callers can treat "no snapshot yet" as a cold start.
+func ReadSnapshot(path string, wantVersion uint16) (kind uint16, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	kind, payload, err = DecodeSnapshot(data, wantVersion)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return kind, payload, nil
+}

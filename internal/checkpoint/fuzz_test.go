@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzCheckpointDecode drives both decoders with arbitrary bytes. The
+// contract under test: corrupted, truncated and version-skewed input
+// must return typed errors — never panic, never silently load partial
+// state — and a successful snapshot decode must round-trip exactly
+// (no two distinct byte images decode to the same accepted artifact).
+func FuzzCheckpointDecode(f *testing.F) {
+	// Well-formed artifacts, so mutation explores the near-valid space.
+	f.Add(EncodeSnapshot(FormatVersion, KindSimRun, []byte("sim checkpoint payload")))
+	f.Add(EncodeSnapshot(FormatVersion, KindEvalCache, nil))
+	journal := encodeJournalHeader(FormatVersion, KindSweep, Identity("seed"))
+	rec := encodeItem(3, []byte("result"))
+	frame := make([]byte, 8)
+	binary.BigEndian.PutUint32(frame, uint32(len(rec)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(rec, crcTable))
+	f.Add(append(append(bytes.Clone(journal), frame...), rec...))
+	// Hostile shapes: skew, tears, garbage.
+	f.Add(EncodeSnapshot(FormatVersion+7, KindSimRun, []byte("skewed")))
+	f.Add([]byte("VODCKPT\n"))
+	f.Add([]byte("VODJRNL\n\x00\x01\x00\x02"))
+	f.Add([]byte("VODJRNL\n\x00\x01\x00\x02AAAAAAAA\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := DecodeSnapshot(data, FormatVersion)
+		if err == nil {
+			// Acceptance implies exact round-trip: the envelope admits no
+			// mutation that decodes to the same artifact.
+			if !bytes.Equal(EncodeSnapshot(FormatVersion, kind, payload), data) {
+				t.Fatalf("accepted snapshot does not round-trip (kind=%d, %d payload bytes)", kind, len(payload))
+			}
+		} else if payload != nil {
+			t.Fatal("snapshot decode returned partial state with an error")
+		}
+
+		jkind, identity, records, goodLen, jerr := DecodeJournal(data, FormatVersion)
+		if goodLen < 0 || goodLen > int64(len(data)) {
+			t.Fatalf("journal goodLen %d outside [0, %d]", goodLen, len(data))
+		}
+		if jerr != nil && !errors.Is(jerr, ErrTornTail) && records != nil {
+			t.Fatal("journal decode returned records with a non-torn error")
+		}
+		if jerr == nil || errors.Is(jerr, ErrTornTail) {
+			// The accepted prefix must itself replay identically: decoding
+			// data[:goodLen] yields the same records with no error.
+			k2, id2, recs2, len2, err2 := DecodeJournal(data[:goodLen], FormatVersion)
+			if err2 != nil || k2 != jkind || id2 != identity || len2 != goodLen || len(recs2) != len(records) {
+				t.Fatalf("journal prefix does not replay: err=%v records %d vs %d", err2, len(recs2), len(records))
+			}
+			for i := range records {
+				if !bytes.Equal(records[i], recs2[i]) {
+					t.Fatalf("journal prefix record %d differs", i)
+				}
+			}
+			// Sweep-item decoding over replayed records must not panic
+			// either; errors are acceptable (not every journal is a sweep).
+			for _, r := range records {
+				decodeItem(r)
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal file layout:
+//
+//	header  [0:8) magic "VODJRNL\n" | [8:10) version | [10:12) kind |
+//	        [12:20) sweep identity | [20:24) CRC-32C over [8:20)
+//	records (repeated)
+//	        [0:4) payload length n | [4:8) CRC-32C of payload | [8:8+n) payload
+//
+// Records are self-framing, so a reader can replay everything written
+// before a crash and detect exactly where a torn append begins.
+const (
+	jrnlMagic     = "VODJRNL\n"
+	jrnlHeaderLen = 24
+	recHeaderLen  = 8
+)
+
+// maxRecordLen bounds one journal record. It exists so a corrupted
+// length field cannot drive a multi-gigabyte allocation; every real
+// record in the repository is under a kilobyte.
+const maxRecordLen = 1 << 26
+
+// encodeJournalHeader frames the journal file header.
+func encodeJournalHeader(version, kind uint16, identity uint64) []byte {
+	buf := make([]byte, jrnlHeaderLen)
+	copy(buf, jrnlMagic)
+	binary.BigEndian.PutUint16(buf[8:], version)
+	binary.BigEndian.PutUint16(buf[10:], kind)
+	binary.BigEndian.PutUint64(buf[12:], identity)
+	binary.BigEndian.PutUint32(buf[20:], crc32.Checksum(buf[8:20], crcTable))
+	return buf
+}
+
+// DecodeJournal validates a journal image and returns its payload kind,
+// sweep identity, the complete records, and goodLen — the byte offset
+// of the last complete record's end. A torn tail (a crash mid-append)
+// returns the intact prefix's records together with ErrTornTail;
+// everything else (bad magic, version skew, a checksum failure on a
+// complete record) returns the corresponding typed error and no
+// records. It never panics on arbitrary input.
+func DecodeJournal(data []byte, wantVersion uint16) (kind uint16, identity uint64, records [][]byte, goodLen int64, err error) {
+	if len(data) < jrnlHeaderLen {
+		return 0, 0, nil, 0, fmt.Errorf("%w: %d bytes, want %d-byte header", ErrTruncated, len(data), jrnlHeaderLen)
+	}
+	if string(data[:8]) != jrnlMagic {
+		return 0, 0, nil, 0, fmt.Errorf("%w: %q", ErrBadMagic, data[:8])
+	}
+	if want := binary.BigEndian.Uint32(data[20:]); crc32.Checksum(data[8:20], crcTable) != want {
+		return 0, 0, nil, 0, fmt.Errorf("%w: journal header", ErrChecksum)
+	}
+	version := binary.BigEndian.Uint16(data[8:])
+	if version != wantVersion {
+		return 0, 0, nil, 0, fmt.Errorf("%w: file version %d, reader version %d", ErrVersionSkew, version, wantVersion)
+	}
+	kind = binary.BigEndian.Uint16(data[10:])
+	identity = binary.BigEndian.Uint64(data[12:])
+
+	off := int64(jrnlHeaderLen)
+	total := int64(len(data))
+	for off < total {
+		rest := total - off
+		if rest < recHeaderLen {
+			return kind, identity, records, off, fmt.Errorf("%w: %d bytes at offset %d", ErrTornTail, rest, off)
+		}
+		n := int64(binary.BigEndian.Uint32(data[off:]))
+		if n > maxRecordLen {
+			// A length this large is not something Append ever wrote; treat
+			// it as corruption, not a tear.
+			return 0, 0, nil, off, fmt.Errorf("%w: record length %d at offset %d", ErrChecksum, n, off)
+		}
+		if rest < recHeaderLen+n {
+			return kind, identity, records, off, fmt.Errorf("%w: record cut at offset %d (%d of %d payload bytes)",
+				ErrTornTail, off, rest-recHeaderLen, n)
+		}
+		payload := data[off+recHeaderLen : off+recHeaderLen+n : off+recHeaderLen+n]
+		if want := binary.BigEndian.Uint32(data[off+4:]); crc32.Checksum(payload, crcTable) != want {
+			// A complete record with a bad checksum is bit rot, not a torn
+			// append; refuse the whole journal rather than resume over it.
+			return 0, 0, nil, off, fmt.Errorf("%w: record at offset %d", ErrChecksum, off)
+		}
+		records = append(records, payload)
+		off += recHeaderLen + n
+	}
+	return kind, identity, records, off, nil
+}
+
+// Journal is an append-only record log open for writing. Append is safe
+// for concurrent use (sweep workers journal completions from many
+// goroutines).
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	torn int64
+}
+
+// OpenJournal opens (or creates) the journal at path for the sweep
+// identified by (version, kind, identity) and replays its complete
+// records. A torn tail from an earlier crash is truncated away and
+// reported via TornBytes; a header that does not match the expected
+// version, kind or identity — a resume against the wrong sweep — is an
+// error, as is any mid-file corruption.
+func OpenJournal(path string, version, kind uint16, identity uint64) (*Journal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if len(data) == 0 {
+		if _, err := f.Write(encodeJournalHeader(version, kind, identity)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+	gotKind, gotIdentity, records, goodLen, derr := DecodeJournal(data, version)
+	if derr != nil && !isTorn(derr) {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, derr)
+	}
+	if gotKind != kind {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w: journal kind %d, want %d", path, ErrKind, gotKind, kind)
+	}
+	if gotIdentity != identity {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w: journal identity %016x, sweep identity %016x",
+			path, ErrIdentity, gotIdentity, identity)
+	}
+	if isTorn(derr) {
+		j.torn = int64(len(data)) - goodLen
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("%s: truncate torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, records, nil
+}
+
+func isTorn(err error) bool { return errors.Is(err, ErrTornTail) }
+
+// Append durably writes one record: the framed payload is written and
+// fsynced before Append returns, so a completed item is never lost to a
+// later crash.
+func (j *Journal) Append(payload []byte) error {
+	if int64(len(payload)) > maxRecordLen {
+		return fmt.Errorf("checkpoint: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordLen)
+	}
+	buf := make([]byte, recHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	copy(buf[recHeaderLen:], payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("append %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sync %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// TornBytes reports how many bytes of torn tail were truncated when the
+// journal was opened (0 for a clean open), so resuming tools can log
+// the recovery instead of hiding it.
+func (j *Journal) TornBytes() int64 { return j.torn }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sweep is a work-item journal for an index-addressed sweep: each
+// completed item's index, result digest and encoded result are appended
+// as one durable record, and a resumed sweep looks completed items up
+// instead of recomputing them. Safe for concurrent use by sweep
+// workers.
+type Sweep struct {
+	j    *Journal
+	done map[int][]byte
+}
+
+// OpenSweep opens (or creates) the sweep journal at path and replays
+// the completed items of an earlier run. identity must fingerprint
+// every parameter that shapes the sweep's items (see Identity); a
+// journal written under a different identity is refused, so stale
+// results from another configuration can never leak into a resumed
+// sweep.
+func OpenSweep(path string, identity uint64) (*Sweep, error) {
+	j, records, err := OpenJournal(path, FormatVersion, KindSweep, identity)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{j: j, done: make(map[int][]byte, len(records))}
+	for _, rec := range records {
+		idx, payload, err := decodeItem(rec)
+		if err != nil {
+			j.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		// Later records win: an item journaled twice (a resume that raced
+		// a crash) is harmless because results are deterministic.
+		s.done[idx] = payload
+	}
+	return s, nil
+}
+
+// Lookup returns the journaled result of item i, if any. The returned
+// bytes must not be mutated.
+func (s *Sweep) Lookup(i int) ([]byte, bool) {
+	// done is only written during OpenSweep and by Mark; Mark only adds
+	// entries for items no worker will look up again (each index is
+	// processed once per run), so concurrent Lookup/Mark of distinct
+	// indices is the only overlap and needs the journal's lock.
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	p, ok := s.done[i]
+	return p, ok
+}
+
+// Done reports how many items the journal already holds.
+func (s *Sweep) Done() int {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	return len(s.done)
+}
+
+// TornBytes reports the torn tail truncated at open (0 when clean).
+func (s *Sweep) TornBytes() int64 { return s.j.TornBytes() }
+
+// Mark durably records item i's result. It returns once the record is
+// synced, so a SIGKILL immediately after never loses the item.
+func (s *Sweep) Mark(i int, payload []byte) error {
+	if err := s.j.Append(encodeItem(i, payload)); err != nil {
+		return err
+	}
+	s.j.mu.Lock()
+	s.done[i] = payload
+	s.j.mu.Unlock()
+	return nil
+}
+
+// Close closes the journal file.
+func (s *Sweep) Close() error { return s.j.Close() }
+
+// Item record layout: uvarint index | 8-byte digest | result payload.
+func encodeItem(i int, payload []byte) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+8+len(payload))
+	buf = binary.AppendUvarint(buf, uint64(i))
+	buf = binary.BigEndian.AppendUint64(buf, Digest(payload))
+	return append(buf, payload...)
+}
+
+func decodeItem(rec []byte) (int, []byte, error) {
+	idx, n := binary.Uvarint(rec)
+	if n <= 0 || idx > 1<<31 {
+		return 0, nil, fmt.Errorf("%w: bad item index", ErrChecksum)
+	}
+	if len(rec)-n < 8 {
+		return 0, nil, fmt.Errorf("%w: item record too short", ErrTruncated)
+	}
+	digest := binary.BigEndian.Uint64(rec[n:])
+	payload := rec[n+8:]
+	if Digest(payload) != digest {
+		return 0, nil, fmt.Errorf("%w: item %d digest", ErrChecksum, idx)
+	}
+	return int(idx), payload, nil
+}

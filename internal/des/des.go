@@ -124,6 +124,58 @@ func (k *Kernel) Run() {
 	}
 }
 
+// State is an observable snapshot of the kernel's counters: the virtual
+// clock, the scheduling sequence number, the number of events executed,
+// and the pending-queue depth. Together with the determinism guarantee
+// (same initial schedule + same callbacks ⇒ same event sequence), a
+// State identifies a replayable boundary of a run: executing the same
+// simulation from scratch until Fired events have run lands on an
+// identical kernel — the foundation of crash-safe checkpointing.
+type State struct {
+	Now     float64
+	Seq     uint64
+	Fired   uint64
+	Pending int
+}
+
+// State returns the kernel's current counters.
+func (k *Kernel) State() State {
+	return State{Now: k.now, Seq: k.seq, Fired: k.fired, Pending: k.queue.Len()}
+}
+
+// ErrExhausted reports a replay that ran out of events before reaching
+// its target boundary — the checkpoint belongs to a different schedule.
+var ErrExhausted = errors.New("des: event queue exhausted before replay target")
+
+// RunToFired executes events until the cumulative fired count reaches
+// target — the replay half of checkpoint restore: a simulation rebuilt
+// from its configuration reaches the exact checkpointed state by
+// re-executing the deterministic event sequence up to the boundary.
+// Every `every` events (minimum 1) it calls check and stops with
+// check's error when non-nil; a nil check replays without interruption.
+// Reaching an empty queue first returns ErrExhausted.
+func (k *Kernel) RunToFired(target uint64, every int, check func() error) error {
+	if every < 1 {
+		every = 1
+	}
+	n := 0
+	for k.fired < target {
+		if !k.Step() {
+			return fmt.Errorf("%w: fired %d of %d", ErrExhausted, k.fired, target)
+		}
+		if check == nil {
+			continue
+		}
+		if n++; n >= every {
+			n = 0
+			if err := check(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // RunUntilCheck is RunUntil with a periodic abort hook: every `every`
 // events (minimum 1) it calls check and stops with check's error when
 // non-nil, leaving the clock at the last executed event. The simulator

@@ -226,3 +226,82 @@ func TestPropertyRandomScheduleOrdered(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStateObservesCounters(t *testing.T) {
+	var k Kernel
+	if s := k.State(); s != (State{}) {
+		t.Fatalf("zero kernel state = %+v", s)
+	}
+	k.Schedule(1, "a", func(float64) {})
+	k.Schedule(2, "b", func(float64) {})
+	if s := k.State(); s.Pending != 2 || s.Seq != 2 || s.Fired != 0 {
+		t.Fatalf("after scheduling: %+v", s)
+	}
+	k.Step()
+	if s := k.State(); s.Now != 1 || s.Fired != 1 || s.Pending != 1 {
+		t.Fatalf("after one step: %+v", s)
+	}
+}
+
+// Replaying a prefix with RunToFired and finishing with Run must land
+// on the same final state as an uninterrupted Run — including when the
+// schedule grows dynamically from inside callbacks.
+func TestRunToFiredReplayMatchesStraightRun(t *testing.T) {
+	build := func() *Kernel {
+		var k Kernel
+		var grow func(now float64)
+		depth := 0
+		grow = func(now float64) {
+			if depth++; depth < 40 {
+				k.Schedule(0.75, "grow", grow)
+				k.Schedule(1.5, "leaf", func(float64) {})
+			}
+		}
+		k.Schedule(1, "seed", grow)
+		return &k
+	}
+
+	straight := build()
+	straight.Run()
+	want := straight.State()
+
+	for target := uint64(1); target <= want.Fired; target++ {
+		k := build()
+		if err := k.RunToFired(target, 4, nil); err != nil {
+			t.Fatalf("replay to %d: %v", target, err)
+		}
+		if got := k.State().Fired; got != target {
+			t.Fatalf("replay to %d fired %d", target, got)
+		}
+		k.Run()
+		if got := k.State(); got != want {
+			t.Fatalf("replay to %d then Run: %+v != %+v", target, got, want)
+		}
+	}
+
+	k := build()
+	if err := k.RunToFired(want.Fired+1, 1, nil); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overshoot: want ErrExhausted, got %v", err)
+	}
+}
+
+func TestRunToFiredHonorsCheck(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 20; i++ {
+		k.Schedule(float64(i), "e", func(float64) {})
+	}
+	stop := errors.New("stop")
+	calls := 0
+	err := k.RunToFired(20, 5, func() error {
+		if calls++; calls == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("want check error, got %v", err)
+	}
+	if got := k.Fired(); got != 10 {
+		t.Fatalf("stopped after %d events, want 10", got)
+	}
+}

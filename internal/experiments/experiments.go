@@ -35,6 +35,11 @@ type Options struct {
 	// Every sweep assembles its results by index, so the output is
 	// byte-identical at any worker count.
 	Workers int
+	// ResumeDir, when set, makes the simulation-heavy sweeps crash-
+	// resumable: each completed work item is durably journaled under
+	// this directory, and a rerun restores completed items instead of
+	// recomputing them. Output is byte-identical either way.
+	ResumeDir string
 }
 
 // par is the parallel configuration shared by the experiment sweeps.
@@ -199,7 +204,7 @@ func Fig7Ctx(ctx context.Context, v Fig7Variant, o Options) ([]Fig7Series, error
 			jobs = append(jobs, job{series: si, w: w, n: n})
 		}
 	}
-	pts, err := parallel.Map(ctx, o.par(), len(jobs),
+	pts, err := mapResumable(ctx, o, fmt.Sprintf("fig7-%d", v), len(jobs),
 		func(ctx context.Context, i int) (Fig7Point, error) {
 			j := jobs[i]
 			cfg, err := analytic.FromWait(movieLen, j.w, j.n, paperRates.PB, paperRates.FF, paperRates.RW)
@@ -470,7 +475,7 @@ func VerifyTableCtx(ctx context.Context, o Options) ([]VerifyRow, error) {
 			cells = append(cells, cell{v: v, n: c.n, b: c.b})
 		}
 	}
-	rows, err := parallel.Map(ctx, o.par(), len(cells),
+	rows, err := mapResumable(ctx, o, "verify", len(cells),
 		func(ctx context.Context, i int) (VerifyRow, error) {
 			c := cells[i]
 			model, err := analytic.New(analytic.Config{

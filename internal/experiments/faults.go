@@ -106,7 +106,7 @@ func FaultsCtx(ctx context.Context, o Options) ([]FaultRow, error) {
 			{At: repairAt, Kind: faults.DiskRepair, Disk: 0},
 		},
 	})
-	rows, err := parallel.Map(ctx, o.par(), len(specs),
+	rows, err := mapResumable(ctx, o, "faults", len(specs),
 		func(ctx context.Context, i int) (FaultRow, error) {
 			return scenario(ctx, specs[i].label, specs[i].k, specs[i].sched)
 		})

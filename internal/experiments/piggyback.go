@@ -39,7 +39,7 @@ func Piggyback(o Options) ([]PiggybackRow, error) {
 func PiggybackCtx(ctx context.Context, o Options) ([]PiggybackRow, error) {
 	gam := dist.MustGamma(2, 4)
 	think := dist.MustExponential(10)
-	rows, err := parallel.Map(ctx, o.par(), len(piggybackSlews),
+	rows, err := mapResumable(ctx, o, "piggyback", len(piggybackSlews),
 		func(ctx context.Context, i int) (PiggybackRow, error) {
 			slew := piggybackSlews[i]
 			cfg := sim.Config{

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"vodalloc/internal/checkpoint"
+)
+
+type resumeProbe struct {
+	I int
+	V float64
+}
+
+func TestMapResumableRestoresInsteadOfRecomputing(t *testing.T) {
+	o := Options{Workers: 3, ResumeDir: t.TempDir()}
+	var calls atomic.Int64
+	fn := func(_ context.Context, i int) (resumeProbe, error) {
+		calls.Add(1)
+		// Awkward floats on purpose: the JSON codec must round-trip bits.
+		return resumeProbe{I: i, V: math.Sqrt(float64(i)) / 3}, nil
+	}
+
+	first, err := mapResumable(context.Background(), o, "probe", 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 16 {
+		t.Fatalf("first pass computed %d items", got)
+	}
+
+	second, err := mapResumable(context.Background(), o, "probe", 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 16 {
+		t.Fatalf("second pass recomputed: %d total calls", got)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("restored sweep differs from computed sweep")
+	}
+
+	// A different experiment name journals separately.
+	if _, err := mapResumable(context.Background(), o, "probe2", 16, fn); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 32 {
+		t.Fatalf("distinct experiment shared a journal: %d total calls", got)
+	}
+
+	// Changed fidelity options must refuse the stale journal.
+	o.Quick = true
+	if _, err := mapResumable(context.Background(), o, "probe", 16, fn); !errors.Is(err, checkpoint.ErrIdentity) {
+		t.Fatalf("changed options: want ErrIdentity, got %v", err)
+	}
+}
+
+func TestMapResumableWithoutDirIsPlainMap(t *testing.T) {
+	out, err := mapResumable(context.Background(), Options{}, "probe", 4,
+		func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []int{0, 1, 4, 9}) {
+		t.Fatalf("out = %v", out)
+	}
+}

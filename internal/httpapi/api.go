@@ -229,6 +229,21 @@ type StatusResponse struct {
 	WorkerCap    int `json:"workerCap"`
 	// Breaker is the simulation circuit state: closed, open, or half-open.
 	Breaker string `json:"breaker"`
+	// Cache is the sizing evaluator's memo-cache snapshot.
+	Cache CacheStatus `json:"cache"`
+}
+
+// CacheStatus describes the sizing evaluator's memo cache on /statusz:
+// live traffic gauges plus the persistence outcomes the serving binary
+// recorded. Load and Save are human-readable ("loaded 412 entries",
+// "error: …", or "none"); both are empty when the binary runs without a
+// cache file.
+type CacheStatus struct {
+	Entries uint64 `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Load    string `json:"load,omitempty"`
+	Save    string `json:"save,omitempty"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"vodalloc/internal/parallel"
 	"vodalloc/internal/resilience"
+	"vodalloc/internal/sizing"
 )
 
 // State tracks the serving lifecycle for the health endpoints: liveness
@@ -49,6 +51,47 @@ func (s *State) Inflight() int { return int(s.inflight.Load()) }
 func (s *State) begin() { s.inflight.Add(1) }
 func (s *State) end()   { s.inflight.Add(-1) }
 
+// CacheState records the evaluator-cache persistence outcomes the
+// serving binary observes — the load at startup and the saves on drain
+// or autosave — so /statusz can report them. Safe for concurrent use;
+// until an event is recorded the corresponding outcome reads "none".
+type CacheState struct {
+	mu   sync.Mutex
+	load string
+	save string
+}
+
+// RecordLoad records the startup cache-load outcome.
+func (c *CacheState) RecordLoad(entries int, err error) { c.record(&c.load, "loaded", entries, err) }
+
+// RecordSave records the most recent cache-save outcome.
+func (c *CacheState) RecordSave(entries int, err error) { c.record(&c.save, "saved", entries, err) }
+
+func (c *CacheState) record(slot *string, verb string, entries int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		*slot = "error: " + err.Error()
+		return
+	}
+	*slot = fmt.Sprintf("%s %d entries", verb, entries)
+}
+
+// Outcomes returns the recorded load and save outcomes, "none" for
+// events that have not happened yet.
+func (c *CacheState) Outcomes() (load, save string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	load, save = c.load, c.save
+	if load == "" {
+		load = "none"
+	}
+	if save == "" {
+		save = "none"
+	}
+	return load, save
+}
+
 // handleHealthz is the liveness probe: 200 whenever the process can
 // answer at all, ready or not.
 func handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -80,15 +123,17 @@ func readyzHandler(s *State) http.Handler {
 
 // statuszHandler exposes the introspection gauges the chaos harness
 // asserts on: goroutine count, in-flight requests, worker-pool and
-// simulation-bulkhead occupancy, and the circuit state. These are
+// simulation-bulkhead occupancy, the circuit state, and the sizing
+// evaluator's memo-cache traffic and persistence outcomes. These are
 // point-in-time reads, not a consistent snapshot.
-func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br *resilience.Breaker) http.Handler {
+func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br *resilience.Breaker, eval *sizing.Evaluator, cache *CacheState) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 			return
 		}
-		writeJSON(w, http.StatusOK, StatusResponse{
+		cs := eval.CacheStats()
+		resp := StatusResponse{
 			Goroutines:   runtime.NumGoroutine(),
 			Ready:        s.Ready(),
 			Draining:     s.Draining(),
@@ -98,7 +143,16 @@ func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br
 			WorkerTokens: pool.InUse(),
 			WorkerCap:    pool.Cap(),
 			Breaker:      br.State().String(),
-		})
+			Cache: CacheStatus{
+				Entries: cs.Entries,
+				Hits:    cs.Hits,
+				Misses:  cs.Misses,
+			},
+		}
+		if cache != nil {
+			resp.Cache.Load, resp.Cache.Save = cache.Outcomes()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 }
 

@@ -46,6 +46,16 @@ type Options struct {
 	// readiness around listen/shutdown. When nil, New creates one
 	// already marked ready (embedding and tests need no ceremony).
 	State *State
+	// Evaluator, when non-nil, is the model evaluator behind the sizing
+	// endpoints — the serving binary owns it so it can load a persisted
+	// memo cache before serving and save it back on drain. When nil, New
+	// creates a fresh one. Its Pool is attached to the shared worker
+	// pool unless already set.
+	Evaluator *sizing.Evaluator
+	// Cache, when non-nil, receives the cache persistence outcomes the
+	// serving binary records (load at startup, saves on drain) and
+	// surfaces them on /statusz.
+	Cache *CacheState
 }
 
 func (o Options) withDefaults() Options {
@@ -79,7 +89,13 @@ func New(o Options) http.Handler {
 		state.SetReady(true)
 	}
 	pool := parallel.NewPool(o.Workers)
-	eval := &sizing.Evaluator{Pool: pool}
+	eval := o.Evaluator
+	if eval == nil {
+		eval = &sizing.Evaluator{}
+	}
+	if eval.Pool == nil {
+		eval.Pool = pool
+	}
 	gate := resilience.NewBulkhead(o.MaxInflightSim)
 	br := resilience.NewBreaker(o.BreakerThreshold, o.BreakerCooldown)
 
@@ -99,7 +115,7 @@ func New(o Options) http.Handler {
 	outer := http.NewServeMux()
 	outer.HandleFunc("/healthz", handleHealthz)
 	outer.Handle("/readyz", readyzHandler(state))
-	outer.Handle("/statusz", statuszHandler(state, gate, pool, br))
+	outer.Handle("/statusz", statuszHandler(state, gate, pool, br, eval, o.Cache))
 	outer.Handle("/", h)
 	return outer
 }

@@ -245,3 +245,61 @@ func TestHealthEndpointsAndDrain(t *testing.T) {
 		t.Errorf("statusz during drain ready=%v draining=%v", st.Ready, st.Draining)
 	}
 }
+
+// TestStatuszReportsCacheOutcomes checks that /statusz surfaces the
+// evaluator-cache gauges and the persistence outcomes the serving
+// binary records around startup load and drain save.
+func TestStatuszReportsCacheOutcomes(t *testing.T) {
+	eval := &sizing.Evaluator{}
+	cache := &CacheState{}
+	srv := httptest.NewServer(New(Options{Evaluator: eval, Cache: cache}))
+	defer srv.Close()
+
+	statusz := func() StatusResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("statusz decode: %v", err)
+		}
+		return st
+	}
+
+	// Before any persistence event both outcomes read "none".
+	st := statusz()
+	if st.Cache.Load != "none" || st.Cache.Save != "none" {
+		t.Errorf("pre-persistence cache outcomes %+v want none/none", st.Cache)
+	}
+	if st.Cache.Entries != 0 || st.Cache.Hits != 0 || st.Cache.Misses != 0 {
+		t.Errorf("cold evaluator reports cache traffic: %+v", st.Cache)
+	}
+
+	cache.RecordLoad(412, nil)
+	cache.RecordSave(0, fmt.Errorf("disk full"))
+	st = statusz()
+	if st.Cache.Load != "loaded 412 entries" {
+		t.Errorf("load outcome %q want %q", st.Cache.Load, "loaded 412 entries")
+	}
+	if st.Cache.Save != "error: disk full" {
+		t.Errorf("save outcome %q want %q", st.Cache.Save, "error: disk full")
+	}
+
+	// A sizing request must show up in the traffic gauges: the shared
+	// evaluator is the one behind the endpoints.
+	body := bigPlanBody(t, 1)
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/plan = %d want 200", resp.StatusCode)
+	}
+	if st = statusz(); st.Cache.Entries == 0 || st.Cache.Misses == 0 {
+		t.Errorf("plan request left no cache traffic: %+v", st.Cache)
+	}
+}

@@ -82,6 +82,16 @@ type Proportion struct {
 	successes, trials uint64
 }
 
+// NewProportion rebuilds a proportion from its counts, as persisted by
+// a checkpoint journal; successes is clamped to trials so corrupt
+// counts cannot produce an estimate above 1.
+func NewProportion(successes, trials uint64) Proportion {
+	if successes > trials {
+		successes = trials
+	}
+	return Proportion{successes: successes, trials: trials}
+}
+
 // Observe records one trial.
 func (p *Proportion) Observe(success bool) {
 	p.trials++

@@ -1,0 +1,45 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+)
+
+// MapResume is Map with a completed-item cache, the bridge between a
+// sweep and its crash-recovery journal: items for which lookup returns
+// a value are restored without running fn, and each freshly computed
+// item is handed to record — typically a durable journal append —
+// before the sweep moves on. A record failure fails the item (and so
+// the sweep): a sweep that cannot journal must not pretend to be
+// resumable.
+//
+// Because Map is order-preserving and fn is deterministic, a resumed
+// sweep returns results byte-identical to an uninterrupted one at any
+// worker count, whatever mix of restored and recomputed items it ran.
+// lookup and record are called concurrently from sweep workers and
+// must be safe for concurrent use; either may be nil (no cache, or no
+// journaling).
+func MapResume[T any](ctx context.Context, o Opts, n int,
+	lookup func(i int) (T, bool),
+	record func(i int, v T) error,
+	fn func(ctx context.Context, i int) (T, error),
+) ([]T, error) {
+	return Map(ctx, o, n, func(ctx context.Context, i int) (T, error) {
+		if lookup != nil {
+			if v, ok := lookup(i); ok {
+				return v, nil
+			}
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return v, err
+		}
+		if record != nil {
+			if err := record(i, v); err != nil {
+				var zero T
+				return zero, fmt.Errorf("journal item %d: %w", i, err)
+			}
+		}
+		return v, nil
+	})
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestMapResumeSkipsCompletedItems(t *testing.T) {
+	const n = 64
+	done := map[int]int{3: 300, 17: 1700, 63: 6300}
+	var mu sync.Mutex
+	recorded := map[int]int{}
+	var ran []int
+
+	out, err := MapResume(context.Background(), Opts{Workers: 4}, n,
+		func(i int) (int, bool) { v, ok := done[i]; return v, ok },
+		func(i, v int) error {
+			mu.Lock()
+			recorded[i] = v
+			mu.Unlock()
+			return nil
+		},
+		func(_ context.Context, i int) (int, error) {
+			mu.Lock()
+			ran = append(ran, i)
+			mu.Unlock()
+			return i * 100, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] != i*100 {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+	if len(ran) != n-len(done) {
+		t.Fatalf("fn ran %d times, want %d", len(ran), n-len(done))
+	}
+	for i := range done {
+		if _, ok := recorded[i]; ok {
+			t.Fatalf("restored item %d was re-journaled", i)
+		}
+	}
+	if len(recorded) != n-len(done) {
+		t.Fatalf("journaled %d items, want %d", len(recorded), n-len(done))
+	}
+}
+
+func TestMapResumeRecordFailureFailsSweep(t *testing.T) {
+	boom := errors.New("journal full")
+	_, err := MapResume(context.Background(), Opts{Workers: 1}, 4,
+		nil,
+		func(i, _ int) error {
+			if i == 2 {
+				return boom
+			}
+			return nil
+		},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want journal error, got %v", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("want item 2's error, got %v", err)
+	}
+}
+
+func TestMapResumeNilHooksDegenerateToMap(t *testing.T) {
+	out, err := MapResume(context.Background(), Opts{Workers: 2}, 8, nil, nil,
+		func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"vodalloc/internal/checkpoint"
+	"vodalloc/internal/metrics"
+	"vodalloc/internal/parallel"
+)
+
+// runRecord is the journaled summary of one replication — exactly the
+// fields Replication's merge consumes, stored as raw bit patterns so a
+// resumed sweep merges to a byte-identical Replication.
+type runRecord struct {
+	successes, trials uint64
+	est               float64
+	avgDed            float64
+	avgBatch          float64
+	maxWait           float64
+}
+
+const runRecordLen = 48
+
+func recordOf(res *Result) runRecord {
+	return runRecord{
+		successes: res.Hits.Successes(),
+		trials:    res.Hits.N(),
+		est:       res.HitProbability(),
+		avgDed:    res.AvgDedicated,
+		avgBatch:  res.AvgBatch,
+		maxWait:   res.MaxWait,
+	}
+}
+
+func (r runRecord) encode() []byte {
+	buf := make([]byte, runRecordLen)
+	binary.BigEndian.PutUint64(buf[0:], r.successes)
+	binary.BigEndian.PutUint64(buf[8:], r.trials)
+	binary.BigEndian.PutUint64(buf[16:], math.Float64bits(r.est))
+	binary.BigEndian.PutUint64(buf[24:], math.Float64bits(r.avgDed))
+	binary.BigEndian.PutUint64(buf[32:], math.Float64bits(r.avgBatch))
+	binary.BigEndian.PutUint64(buf[40:], math.Float64bits(r.maxWait))
+	return buf
+}
+
+func decodeRunRecord(b []byte) (runRecord, error) {
+	if len(b) != runRecordLen {
+		return runRecord{}, fmt.Errorf("sim: replication record is %d bytes, want %d", len(b), runRecordLen)
+	}
+	return runRecord{
+		successes: binary.BigEndian.Uint64(b[0:]),
+		trials:    binary.BigEndian.Uint64(b[8:]),
+		est:       math.Float64frombits(binary.BigEndian.Uint64(b[16:])),
+		avgDed:    math.Float64frombits(binary.BigEndian.Uint64(b[24:])),
+		avgBatch:  math.Float64frombits(binary.BigEndian.Uint64(b[32:])),
+		maxWait:   math.Float64frombits(binary.BigEndian.Uint64(b[40:])),
+	}, nil
+}
+
+// mergeRecords folds per-run records, in index order, into the pooled
+// Replication — the single merge path shared by fresh and resumed
+// sweeps, so resuming cannot drift from running clean.
+func mergeRecords(recs []runRecord) *Replication {
+	rep := &Replication{}
+	for _, r := range recs {
+		p := metrics.NewProportion(r.successes, r.trials)
+		rep.PooledHits.Merge(p)
+		rep.PerRun = append(rep.PerRun, r.est)
+		rep.Runs.Add(r.est)
+		rep.AvgDedicated.Add(r.avgDed)
+		rep.AvgBatch.Add(r.avgBatch)
+		rep.MaxWait = math.Max(rep.MaxWait, r.maxWait)
+	}
+	return rep
+}
+
+// ResumeInfo reports what a resumable sweep recovered from its journal.
+type ResumeInfo struct {
+	// Resumed is how many replications were restored instead of re-run.
+	Resumed int
+	// TornBytes is the size of the torn journal tail truncated at open
+	// (non-zero exactly when the previous run died mid-append).
+	TornBytes int64
+}
+
+// ReplicateResumableCtx is ReplicateCtx backed by a work-item journal
+// in dir: each completed replication is durably recorded before the
+// sweep moves on, and a rerun after a crash restores completed
+// replications from the journal instead of recomputing them. The merged
+// Replication is byte-identical to an uninterrupted ReplicateCtx run —
+// whatever point the previous process died at, and at any worker count.
+// The journal is keyed to (cfg, runs); resuming with a changed
+// configuration refuses the stale journal with checkpoint.ErrIdentity.
+func ReplicateResumableCtx(ctx context.Context, cfg Config, runs int, dir string) (*Replication, ResumeInfo, error) {
+	if runs < 1 {
+		return nil, ResumeInfo{}, fmt.Errorf("%w: replications %d", ErrBadConfig, runs)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, ResumeInfo{}, err
+	}
+	if cfg.Tracer != nil {
+		// Tracing is both per-run (see ReplicateCtx) and non-resumable: a
+		// restored replication would emit no events.
+		return nil, ResumeInfo{}, fmt.Errorf("%w: tracing is per-run; replicate without a Tracer", ErrBadConfig)
+	}
+
+	identity := checkpoint.Identity("sim.replicate", runs, fmt.Sprintf("%+v", cfg))
+	sweep, err := checkpoint.OpenSweep(filepath.Join(dir, "replications.wal"), identity)
+	if err != nil {
+		return nil, ResumeInfo{}, err
+	}
+	defer sweep.Close()
+	info := ResumeInfo{Resumed: sweep.Done(), TornBytes: sweep.TornBytes()}
+
+	recs, err := parallel.MapResume(ctx, parallel.Opts{}, runs,
+		func(i int) (runRecord, bool) {
+			b, ok := sweep.Lookup(i)
+			if !ok {
+				return runRecord{}, false
+			}
+			r, derr := decodeRunRecord(b)
+			// An undecodable record with a valid digest means a format
+			// change; re-running the item is always safe.
+			return r, derr == nil
+		},
+		func(i int, r runRecord) error { return sweep.Mark(i, r.encode()) },
+		func(ctx context.Context, i int) (runRecord, error) {
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			s, err := New(c)
+			if err != nil {
+				return runRecord{}, err
+			}
+			res, err := s.RunCtx(ctx)
+			if err != nil {
+				return runRecord{}, err
+			}
+			return recordOf(res), nil
+		})
+	if err != nil {
+		var pe *parallel.Error
+		if errors.As(err, &pe) {
+			return nil, info, fmt.Errorf("replication %d: %w", pe.Index, pe.Err)
+		}
+		return nil, info, err
+	}
+	return mergeRecords(recs), info, nil
+}

@@ -316,12 +316,26 @@ const ctxCheckEvents = 2048
 // event sequence up to the stopping point is identical to Run's — the
 // checkpoints only observe, never perturb, the schedule.
 func (s *Server) RunCtx(ctx context.Context) (*ServerResult, error) {
+	if err := s.begin(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.k.RunUntilCheck(s.cfg.Horizon, ctxCheckEvents, ctx.Err); err != nil {
+		return nil, err
+	}
+	return s.finish()
+}
+
+// begin marks the server used and seeds the initial event schedule. The
+// schedule seeded here, plus the seeded RNG, fully determines the event
+// sequence — which is what makes replay-based checkpoint restore (see
+// snapshot.go) exact.
+func (s *Server) begin(ctx context.Context) error {
 	if s.ran {
-		return nil, fmt.Errorf("%w: server already ran", ErrBadConfig)
+		return fmt.Errorf("%w: server already ran", ErrBadConfig)
 	}
 	s.ran = true
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	s.dedicatedTW.Set(0, 0)
 	s.viewersTW.Set(0, 0)
@@ -332,9 +346,11 @@ func (s *Server) RunCtx(ctx context.Context) (*ServerResult, error) {
 		s.scheduleRestart(mv, 0)
 		s.scheduleArrival(mv, s.expGap(mv))
 	}
-	if err := s.k.RunUntilCheck(s.cfg.Horizon, ctxCheckEvents, ctx.Err); err != nil {
-		return nil, err
-	}
+	return nil
+}
+
+// finish surfaces a mid-run buffer exhaustion and collects results.
+func (s *Server) finish() (*ServerResult, error) {
 	if s.bufferErr != nil {
 		return nil, s.bufferErr
 	}

@@ -50,6 +50,12 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return singleResult(sr), nil
+}
+
+// singleResult projects the multi-movie server result onto the
+// single-movie Result shape.
+func singleResult(sr *ServerResult) *Result {
 	mv := sr.Movies[sr.Order[0]]
 	return &Result{
 		MovieResult:   *mv,
@@ -59,5 +65,5 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 		PeakViewers:   sr.PeakViewers,
 		BufferPeak:    sr.BufferPeak,
 		Faults:        sr.Faults,
-	}, nil
+	}
 }

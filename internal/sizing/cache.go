@@ -1,0 +1,192 @@
+package sizing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vodalloc/internal/checkpoint"
+)
+
+// Cache persistence: the evaluator's memo cache is pure — each entry is
+// a deterministic function of its key — so it can be snapshotted to
+// disk and reloaded by a later process with no coherence protocol. A
+// serving process persists the cache on drain and reloads it at
+// startup, turning the expensive first-sweep warm-up into a cold-start
+// read; entries that fail to round-trip are simply recomputed.
+
+// CacheStats reports the memo cache's occupancy and lookup traffic.
+type CacheStats struct {
+	Entries uint64 `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// CacheStats returns a snapshot of the cache gauges.
+func (e *Evaluator) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Entries: uint64(len(e.cache)), Hits: e.hits, Misses: e.misses}
+}
+
+// SaveCache atomically writes the cache to path as a checksummed
+// snapshot and returns how many entries it wrote. Concurrent
+// evaluations may keep running; they see the lock only while the
+// entries are copied out.
+func (e *Evaluator) SaveCache(path string) (int, error) {
+	e.mu.Lock()
+	keys := make([]evalKey, 0, len(e.cache))
+	vals := make([]float64, 0, len(e.cache))
+	for k, v := range e.cache {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	e.savedAt = len(e.cache)
+	e.mu.Unlock()
+
+	payload := binary.AppendUvarint(nil, uint64(len(keys)))
+	for i, k := range keys {
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(k.l))
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(k.b))
+		payload = binary.AppendVarint(payload, int64(k.n))
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(k.rates.PB))
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(k.rates.FF))
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(k.rates.RW))
+		payload = binary.AppendUvarint(payload, uint64(len(k.mix)))
+		payload = append(payload, k.mix...)
+		payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(vals[i]))
+	}
+	if err := checkpoint.WriteSnapshot(path, checkpoint.FormatVersion, checkpoint.KindEvalCache, payload); err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// LoadCache merges the snapshot at path into the cache and returns how
+// many entries it loaded. A missing file returns os.ErrNotExist (a
+// normal cold start); a corrupt or version-skewed snapshot returns the
+// checkpoint package's typed error and loads nothing — the cache only
+// ever re-warms by recomputation, never from doubtful bytes.
+func (e *Evaluator) LoadCache(path string) (int, error) {
+	kind, payload, err := checkpoint.ReadSnapshot(path, checkpoint.FormatVersion)
+	if err != nil {
+		return 0, err
+	}
+	if kind != checkpoint.KindEvalCache {
+		return 0, fmt.Errorf("%s: %w: snapshot kind %d, want %d", path, checkpoint.ErrKind, kind, checkpoint.KindEvalCache)
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count > maxCacheEntries {
+		return 0, fmt.Errorf("%s: %w: entry count", path, checkpoint.ErrChecksum)
+	}
+	payload = payload[n:]
+
+	u64 := func() (uint64, bool) {
+		if len(payload) < 8 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(payload)
+		payload = payload[8:]
+		return v, true
+	}
+	f64 := func() (float64, bool) {
+		v, ok := u64()
+		return math.Float64frombits(v), ok
+	}
+	entries := make(map[evalKey]float64, count)
+	for i := uint64(0); i < count; i++ {
+		var k evalKey
+		var ok bool
+		if k.l, ok = f64(); !ok {
+			return 0, truncatedCache(path)
+		}
+		if k.b, ok = f64(); !ok {
+			return 0, truncatedCache(path)
+		}
+		nn, n := binary.Varint(payload)
+		if n <= 0 {
+			return 0, truncatedCache(path)
+		}
+		payload = payload[n:]
+		k.n = int(nn)
+		if k.rates.PB, ok = f64(); !ok {
+			return 0, truncatedCache(path)
+		}
+		if k.rates.FF, ok = f64(); !ok {
+			return 0, truncatedCache(path)
+		}
+		if k.rates.RW, ok = f64(); !ok {
+			return 0, truncatedCache(path)
+		}
+		mixLen, n := binary.Uvarint(payload)
+		if n <= 0 || mixLen > uint64(len(payload[n:])) {
+			return 0, truncatedCache(path)
+		}
+		payload = payload[n:]
+		k.mix = string(payload[:mixLen])
+		payload = payload[mixLen:]
+		v, ok := f64()
+		if !ok {
+			return 0, truncatedCache(path)
+		}
+		entries[k] = v
+	}
+	if len(payload) != 0 {
+		return 0, fmt.Errorf("%s: %w: %d trailing bytes", path, checkpoint.ErrChecksum, len(payload))
+	}
+
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = make(map[evalKey]float64, len(entries))
+	}
+	for k, v := range entries {
+		if len(e.cache) >= maxCacheEntries {
+			break
+		}
+		// Entries are deterministic in their key, so on collision keeping
+		// either value is correct; keep the live one.
+		if _, exists := e.cache[k]; !exists {
+			e.cache[k] = v
+		}
+	}
+	e.savedAt = len(e.cache)
+	e.mu.Unlock()
+	return len(entries), nil
+}
+
+func truncatedCache(path string) error {
+	return fmt.Errorf("%s: %w: cache entry cut short", path, checkpoint.ErrTruncated)
+}
+
+// AutoSave arranges for the cache to be re-persisted to path in the
+// background whenever roughly `every` entries have been added since the
+// last save, so a crash between drains loses at most that much warm-up
+// work. every <= 0 disables periodic saving. Not safe to call
+// concurrently with evaluations; configure it before serving.
+func (e *Evaluator) AutoSave(path string, every int) {
+	e.mu.Lock()
+	e.autoPath = path
+	e.autoEvery = every
+	e.savedAt = len(e.cache)
+	e.mu.Unlock()
+}
+
+// maybeAutoSaveLocked kicks a background save when the growth threshold
+// is crossed. Caller holds e.mu. At most one save runs at a time; a
+// failed save retries at the next threshold crossing.
+func (e *Evaluator) maybeAutoSaveLocked() {
+	if e.autoPath == "" || e.autoEvery <= 0 || e.saving || len(e.cache)-e.savedAt < e.autoEvery {
+		return
+	}
+	e.saving = true
+	path := e.autoPath
+	go func() {
+		// SaveCache takes the lock itself to copy entries and advance
+		// savedAt; errors are dropped here and surfaced by the drain-time
+		// SaveCache, whose caller logs them.
+		_, _ = e.SaveCache(path)
+		e.mu.Lock()
+		e.saving = false
+		e.mu.Unlock()
+	}()
+}

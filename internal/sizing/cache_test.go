@@ -1,0 +1,124 @@
+package sizing
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vodalloc/internal/checkpoint"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/workload"
+)
+
+func cacheMovie(name string) workload.Movie {
+	return workload.Movie{
+		Name: name, Length: 60, Wait: 1, TargetHit: 0.5,
+		Profile: workload.MixedProfile(dist.MustExponential(5), dist.MustExponential(15)),
+	}
+}
+
+// warmEvaluator runs a handful of model evaluations through the cache.
+func warmEvaluator(t *testing.T, e *Evaluator) {
+	t.Helper()
+	m := cacheMovie("cache-movie")
+	key := mixKey(m.Profile)
+	for _, n := range []int{5, 10, 20} {
+		if _, err := e.hitAt(context.Background(), m, DefaultRates, key, n, 30); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCacheSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "evalcache.ckpt")
+	e := &Evaluator{Workers: 1}
+	warmEvaluator(t, e)
+	stats := e.CacheStats()
+	if stats.Entries == 0 || stats.Misses == 0 {
+		t.Fatalf("warm-up left no cache traffic: %+v", stats)
+	}
+
+	wrote, err := e.SaveCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(wrote) != stats.Entries {
+		t.Fatalf("saved %d of %d entries", wrote, stats.Entries)
+	}
+
+	fresh := &Evaluator{Workers: 1}
+	loaded, err := fresh.LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != wrote {
+		t.Fatalf("loaded %d of %d entries", loaded, wrote)
+	}
+	if !reflect.DeepEqual(fresh.cache, e.cache) {
+		t.Fatal("reloaded cache differs from the saved one")
+	}
+
+	// A warm cache answers the same evaluations without misses.
+	warmEvaluator(t, fresh)
+	if s := fresh.CacheStats(); s.Misses != 0 || s.Hits == 0 {
+		t.Fatalf("reloaded cache missed: %+v", s)
+	}
+}
+
+func TestCacheLoadRejectsCorruptionAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "evalcache.ckpt")
+	e := &Evaluator{Workers: 1}
+
+	if _, err := e.LoadCache(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("cold start: want ErrNotExist, got %v", err)
+	}
+
+	warmEvaluator(t, e)
+	if _, err := e.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &Evaluator{}
+	if _, err := fresh.LoadCache(path); !errors.Is(err, checkpoint.ErrChecksum) {
+		t.Fatalf("corrupt snapshot: want ErrChecksum, got %v", err)
+	}
+	if s := fresh.CacheStats(); s.Entries != 0 {
+		t.Fatalf("corrupt load left %d entries behind", s.Entries)
+	}
+
+	// A snapshot of the wrong kind is refused too.
+	if err := checkpoint.WriteSnapshot(path, checkpoint.FormatVersion, checkpoint.KindSimRun, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.LoadCache(path); !errors.Is(err, checkpoint.ErrKind) {
+		t.Fatalf("wrong kind: want ErrKind, got %v", err)
+	}
+}
+
+func TestCacheAutoSavePersistsInBackground(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "evalcache.ckpt")
+	e := &Evaluator{Workers: 1}
+	e.AutoSave(path, 1)
+	warmEvaluator(t, e)
+
+	// The save runs in a goroutine; SaveCache here both synchronizes with
+	// it (same mutex) and guarantees the file exists.
+	if _, err := e.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &Evaluator{}
+	if n, err := fresh.LoadCache(path); err != nil || n == 0 {
+		t.Fatalf("autosaved cache: %d entries, %v", n, err)
+	}
+}

@@ -32,6 +32,13 @@ type Evaluator struct {
 
 	mu    sync.Mutex
 	cache map[evalKey]float64
+	// hits/misses count hitAt lookups for the /statusz gauges; savedAt
+	// and saving throttle AutoSave (see cache.go).
+	hits, misses uint64
+	autoPath     string
+	autoEvery    int
+	savedAt      int
+	saving       bool
 }
 
 // Default is the process-wide evaluator behind the package-level
@@ -76,9 +83,11 @@ func (e *Evaluator) hitAt(ctx context.Context, m workload.Movie, r Rates, key st
 	k := evalKey{l: m.Length, b: b, n: n, rates: r, mix: key}
 	e.mu.Lock()
 	if v, ok := e.cache[k]; ok {
+		e.hits++
 		e.mu.Unlock()
 		return v, nil
 	}
+	e.misses++
 	e.mu.Unlock()
 	hit, err := hitAt(ctx, m, r, n, b)
 	if err != nil {
@@ -89,8 +98,10 @@ func (e *Evaluator) hitAt(ctx context.Context, m workload.Movie, r Rates, key st
 		e.cache = make(map[evalKey]float64)
 	} else if len(e.cache) >= maxCacheEntries {
 		clear(e.cache)
+		e.savedAt = 0
 	}
 	e.cache[k] = hit
+	e.maybeAutoSaveLocked()
 	e.mu.Unlock()
 	return hit, nil
 }

@@ -3,10 +3,13 @@
 # benchmark smoke pass (one iteration each, so broken benchmarks fail CI
 # without paying for measurement). The race pass covers the parallel
 # sweep engine (internal/parallel) and every fan-out built on it.
-# A final chaos smoke boots vodserverd on an ephemeral port, soaks it
-# with vodchaos for a few seconds (mixed traffic, client cancellations,
-# oversized and malformed bodies), then SIGTERMs it mid-run and requires
-# zero invariant violations and a clean drain.
+# A crash-resume smoke SIGKILLs checkpointed runs mid-flight and
+# requires the resumed output to be byte-identical (scripts/killresume.sh),
+# after a pass over the checkpoint decoder's fuzz corpus. A final chaos
+# smoke boots vodserverd on an ephemeral port, soaks it with vodchaos
+# for a few seconds (mixed traffic, client cancellations, oversized and
+# malformed bodies), then SIGTERMs it mid-run and requires zero
+# invariant violations and a clean drain.
 # Run from anywhere; operates on the repository root.
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,6 +18,10 @@ go build ./...
 go test ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+# --- checkpoint fuzz corpus + crash-resume smoke ---
+go test -run='^FuzzCheckpointDecode$' ./internal/checkpoint
+scripts/killresume.sh
 
 # --- chaos smoke ---
 tmp=$(mktemp -d)
