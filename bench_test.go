@@ -239,3 +239,28 @@ func BenchmarkEndToEnd(b *testing.B) {
 	}
 	b.ReportMetric(rel, "reserveRelErr")
 }
+
+// BenchmarkCluster packs the Zipf catalog onto growing node counts and
+// simulates each placement with node0 down for the middle third,
+// reporting the worst-case shed rate across cluster sizes.
+func BenchmarkCluster(b *testing.B) {
+	b.ReportAllocs()
+	var maxShed, minAvail float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Cluster(experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxShed, minAvail = 0, 1
+		for _, r := range rows {
+			if r.ShedRate > maxShed {
+				maxShed = r.ShedRate
+			}
+			if r.Availability < minAvail {
+				minAvail = r.Availability
+			}
+		}
+	}
+	b.ReportMetric(maxShed, "maxShedRate")
+	b.ReportMetric(minAvail, "minAvailability")
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/workload"
+)
+
+// TestPlanExample1ThreeNodes pins the acceptance scenario: the paper's
+// Example 1 catalog plans onto three auto-sized nodes with every movie
+// placed, and the refinement pass spreads the three movies over three
+// distinct nodes.
+func TestPlanExample1ThreeNodes(t *testing.T) {
+	movies := workload.Example1Movies()
+	allocs, err := Demands(context.Background(), nil, movies, sizing.DefaultRates)
+	if err != nil {
+		t.Fatalf("Demands: %v", err)
+	}
+	if len(allocs) != 3 {
+		t.Fatalf("got %d allocs, want 3", len(allocs))
+	}
+	nodes := AutoNodes(3, allocs, Options{}, 0)
+	p, err := PackAllocs(allocs, nodes, Options{})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("placement invalid: %v", err)
+	}
+	if len(p.Assignments) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(p.Assignments))
+	}
+	hosts := map[string]bool{}
+	for _, m := range movies {
+		reps := p.Replicas(m.Name)
+		if len(reps) != 1 {
+			t.Fatalf("movie %s has %d replicas, want 1", m.Name, len(reps))
+		}
+		hosts[reps[0].Node] = true
+	}
+	if len(hosts) != 3 {
+		t.Errorf("movies on %d distinct nodes, want 3 (refinement should spread): %+v", len(hosts), p.Assignments)
+	}
+	if p.TotalStreams <= 0 || p.TotalBuffer <= 0 {
+		t.Errorf("totals not accumulated: streams=%d buffer=%v", p.TotalStreams, p.TotalBuffer)
+	}
+}
+
+// TestPackAllocsProperty is the satellite property test: for random
+// allocations, nodes and options, the planner either returns a
+// placement satisfying every invariant (per-node Σn ≤ n_s, ΣB ≤ B_s,
+// every movie's primary placed, replicas on distinct nodes) or a typed
+// ErrUnplaceable.
+func TestPackAllocsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nMovies := 1 + rng.Intn(8)
+		allocs := make([]MovieAlloc, nMovies)
+		for i := range allocs {
+			allocs[i] = MovieAlloc{
+				Movie:  fmt.Sprintf("m%d", i),
+				N:      1 + rng.Intn(50),
+				B:      rng.Float64() * 30,
+				Weight: rng.Float64(),
+			}
+		}
+		nNodes := 1 + rng.Intn(5)
+		nodes := make([]NodeSpec, nNodes)
+		for i := range nodes {
+			nodes[i] = NodeSpec{
+				ID:         fmt.Sprintf("n%d", i),
+				MaxStreams: 1 + rng.Intn(120),
+				MaxBuffer:  rng.Float64()*80 + 0.1,
+			}
+		}
+		o := Options{Replicas: rng.Intn(4), HotMovies: rng.Intn(nMovies + 1)}
+		p, err := PackAllocs(allocs, nodes, o)
+		if err != nil {
+			return errors.Is(err, ErrUnplaceable)
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("invariant violated: %v", err)
+			return false
+		}
+		primary := map[string]bool{}
+		for _, a := range p.Assignments {
+			if a.Replica == 0 {
+				primary[a.Movie] = true
+			}
+		}
+		for _, a := range allocs {
+			if !primary[a.Movie] {
+				t.Logf("movie %s lost its primary", a.Movie)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackAllocsReplicatesHotMovie(t *testing.T) {
+	allocs := []MovieAlloc{
+		{Movie: "hot", N: 10, B: 5, Weight: 0.8},
+		{Movie: "cold", N: 10, B: 5, Weight: 0.2},
+	}
+	nodes := UniformNodes(3, 30, 20)
+	p, err := PackAllocs(allocs, nodes, Options{Replicas: 2, HotMovies: 1})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	hot := p.Replicas("hot")
+	if len(hot) != 2 {
+		t.Fatalf("hot movie has %d replicas, want 2", len(hot))
+	}
+	if hot[0].Node == hot[1].Node {
+		t.Errorf("both hot replicas on node %s", hot[0].Node)
+	}
+	if cold := p.Replicas("cold"); len(cold) != 1 {
+		t.Errorf("cold movie has %d replicas, want 1", len(cold))
+	}
+}
+
+func TestPackAllocsDropsUnplaceableReplica(t *testing.T) {
+	// Both primaries fit (one per node) but the second copies do not.
+	allocs := []MovieAlloc{
+		{Movie: "a", N: 8, B: 5, Weight: 0.5},
+		{Movie: "b", N: 8, B: 5, Weight: 0.5},
+	}
+	nodes := UniformNodes(2, 10, 8)
+	p, err := PackAllocs(allocs, nodes, Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	if p.DroppedReplicas == 0 {
+		t.Errorf("expected dropped replicas, got placement %+v", p.Assignments)
+	}
+	for _, m := range []string{"a", "b"} {
+		if len(p.Replicas(m)) == 0 {
+			t.Errorf("movie %s lost its primary", m)
+		}
+	}
+}
+
+func TestPackAllocsUnplaceablePrimary(t *testing.T) {
+	allocs := []MovieAlloc{{Movie: "big", N: 100, B: 50, Weight: 1}}
+	nodes := UniformNodes(2, 10, 8)
+	_, err := PackAllocs(allocs, nodes, Options{})
+	if !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("got %v, want ErrUnplaceable", err)
+	}
+}
+
+func TestPackAllocsRejectsBadInput(t *testing.T) {
+	good := []MovieAlloc{{Movie: "a", N: 1, B: 1, Weight: 1}}
+	cases := []struct {
+		name   string
+		allocs []MovieAlloc
+		nodes  []NodeSpec
+	}{
+		{"no nodes", good, nil},
+		{"no allocs", nil, UniformNodes(1, 10, 10)},
+		{"dup movie", []MovieAlloc{good[0], good[0]}, UniformNodes(1, 10, 10)},
+		{"dup node", good, []NodeSpec{{ID: "x", MaxStreams: 5, MaxBuffer: 5}, {ID: "x", MaxStreams: 5, MaxBuffer: 5}}},
+		{"bad alloc", []MovieAlloc{{Movie: "a", N: 0, B: 1}}, UniformNodes(1, 10, 10)},
+	}
+	for _, c := range cases {
+		if _, err := PackAllocs(c.allocs, c.nodes, Options{}); !errors.Is(err, ErrBadCluster) {
+			t.Errorf("%s: got %v, want ErrBadCluster", c.name, err)
+		}
+	}
+}
+
+func TestAutoNodesFitsWithReplication(t *testing.T) {
+	allocs := []MovieAlloc{
+		{Movie: "a", N: 40, B: 12, Weight: 0.6},
+		{Movie: "b", N: 25, B: 8, Weight: 0.3},
+		{Movie: "c", N: 10, B: 4, Weight: 0.1},
+	}
+	o := Options{Replicas: 2, HotMovies: 2}
+	for count := 1; count <= 5; count++ {
+		nodes := AutoNodes(count, allocs, o, 0)
+		if _, err := PackAllocs(allocs, nodes, o); err != nil {
+			t.Errorf("count=%d: auto-sized nodes cannot host the catalog: %v", count, err)
+		}
+	}
+}

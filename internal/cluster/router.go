@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Decision is one routing outcome: which node serves the request, and
+// whether the primary replica's node was down (a failover).
+type Decision struct {
+	Node     string
+	Failover bool
+}
+
+// RouterStats counts a router's outcomes.
+type RouterStats struct {
+	// Routed counts requests handed to a node.
+	Routed uint64
+	// Failovers counts routed requests whose primary host was down.
+	Failovers uint64
+	// Sheds counts requests with every replica host down.
+	Sheds uint64
+}
+
+// Router spreads requests for a placed catalog over replica hosts. The
+// choice is weighted by each host's placed stream capacity divided by
+// its live load (so bigger allocations and idler nodes attract more
+// requests), drawn from a seeded generator: a fixed seed and call
+// sequence reproduce the same decisions exactly. When a host is marked
+// down its replicas drop out of the draw; requests whose primary is
+// down but some replica is up fail over, and requests with no live
+// host return ErrUnavailable (a shed).
+type Router struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	ids  []string         // node index → ID
+	node map[string]int   // node ID → index
+	host map[string][]int // movie → host node indexes in replica order
+	cap  map[string][]int // movie → per-host placed streams, same order
+	down []bool
+	live []int // in-flight requests per node
+
+	stats RouterStats
+}
+
+// NewRouter builds a router over the placement, seeded for
+// reproducibility.
+func NewRouter(p Placement, seed int64) (*Router, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		rng:  rand.New(rand.NewSource(seed)),
+		ids:  make([]string, len(p.Nodes)),
+		node: make(map[string]int, len(p.Nodes)),
+		host: make(map[string][]int),
+		cap:  make(map[string][]int),
+		down: make([]bool, len(p.Nodes)),
+		live: make([]int, len(p.Nodes)),
+	}
+	for i, n := range p.Nodes {
+		r.ids[i] = n.ID
+		r.node[n.ID] = i
+	}
+	seenMovie := map[string]bool{}
+	for _, a := range p.Assignments {
+		seenMovie[a.Movie] = true
+	}
+	for m := range seenMovie {
+		for _, a := range p.Replicas(m) {
+			r.host[m] = append(r.host[m], r.node[a.Node])
+			r.cap[m] = append(r.cap[m], a.N)
+		}
+	}
+	return r, nil
+}
+
+// SetNodeDown marks a node down (true) or back up (false).
+func (r *Router) SetNodeDown(id string, down bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[id]
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrBadCluster, id)
+	}
+	r.down[i] = down
+	return nil
+}
+
+// Route picks a node for one request of the movie and counts it as
+// in-flight there until Done is called with the chosen node.
+func (r *Router) Route(movie string) (Decision, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hosts, ok := r.host[movie]
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %q", ErrUnknownMovie, movie)
+	}
+	// Collect live hosts and their weights capacity/(1+live).
+	var (
+		up    []int
+		wts   []float64
+		total float64
+	)
+	for k, n := range hosts {
+		if r.down[n] {
+			continue
+		}
+		w := float64(r.cap[movie][k]) / float64(1+r.live[n])
+		up = append(up, n)
+		wts = append(wts, w)
+		total += w
+	}
+	if len(up) == 0 {
+		r.stats.Sheds++
+		return Decision{}, fmt.Errorf("%w: %q", ErrUnavailable, movie)
+	}
+	choice := up[0]
+	if len(up) > 1 {
+		// One draw per multi-host decision keeps the stream aligned
+		// across runs regardless of single-host movies in between.
+		u := r.rng.Float64() * total
+		for k, w := range wts {
+			if u < w || k == len(up)-1 {
+				choice = up[k]
+				break
+			}
+			u -= w
+		}
+	}
+	d := Decision{Node: r.ids[choice], Failover: r.down[hosts[0]]}
+	r.live[choice]++
+	r.stats.Routed++
+	if d.Failover {
+		r.stats.Failovers++
+	}
+	return d, nil
+}
+
+// Done releases one in-flight request previously routed to the node.
+func (r *Router) Done(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.node[node]; ok && r.live[i] > 0 {
+		r.live[i]--
+	}
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

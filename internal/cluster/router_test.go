@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func testPlacement(t *testing.T) Placement {
+	t.Helper()
+	allocs := []MovieAlloc{
+		{Movie: "hot", N: 12, B: 6, Weight: 0.7},
+		{Movie: "cold", N: 8, B: 4, Weight: 0.3},
+	}
+	p, err := PackAllocs(allocs, UniformNodes(3, 30, 20), Options{Replicas: 2, HotMovies: 1})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	return p
+}
+
+// TestRouterDeterministic is the satellite property: two routers with
+// the same placement and seed, driven through the same call sequence,
+// make identical decisions.
+func TestRouterDeterministic(t *testing.T) {
+	p := testPlacement(t)
+	r1, err := NewRouter(p, 42)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	r2, err := NewRouter(p, 42)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	movies := []string{"hot", "cold", "hot", "hot", "cold"}
+	var done1, done2 []string
+	for i := 0; i < 400; i++ {
+		m := movies[i%len(movies)]
+		d1, err1 := r1.Route(m)
+		d2, err2 := r2.Route(m)
+		if (err1 == nil) != (err2 == nil) || d1 != d2 {
+			t.Fatalf("call %d: %v/%v vs %v/%v", i, d1, err1, d2, err2)
+		}
+		if err1 == nil {
+			done1 = append(done1, d1.Node)
+			done2 = append(done2, d2.Node)
+		}
+		if i%3 == 2 && len(done1) > 0 {
+			r1.Done(done1[0])
+			r2.Done(done2[0])
+			done1, done2 = done1[1:], done2[1:]
+		}
+	}
+	if r1.Stats() != r2.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", r1.Stats(), r2.Stats())
+	}
+}
+
+func TestRouterFailover(t *testing.T) {
+	p := testPlacement(t)
+	r, err := NewRouter(p, 7)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	reps := p.Replicas("hot")
+	if len(reps) != 2 {
+		t.Fatalf("hot has %d replicas, want 2", len(reps))
+	}
+	if err := r.SetNodeDown(reps[0].Node, true); err != nil {
+		t.Fatalf("SetNodeDown: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		d, err := r.Route("hot")
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		if d.Node != reps[1].Node || !d.Failover {
+			t.Fatalf("got %+v, want failover to %s", d, reps[1].Node)
+		}
+	}
+	if s := r.Stats(); s.Failovers != 10 {
+		t.Errorf("failovers=%d, want 10", s.Failovers)
+	}
+}
+
+func TestRouterShedsWhenAllReplicasDown(t *testing.T) {
+	p := testPlacement(t)
+	r, err := NewRouter(p, 7)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	for _, a := range p.Replicas("cold") {
+		if err := r.SetNodeDown(a.Node, true); err != nil {
+			t.Fatalf("SetNodeDown: %v", err)
+		}
+	}
+	if _, err := r.Route("cold"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+	if s := r.Stats(); s.Sheds != 1 {
+		t.Errorf("sheds=%d, want 1", s.Sheds)
+	}
+	// The node coming back restores service.
+	for _, a := range p.Replicas("cold") {
+		if err := r.SetNodeDown(a.Node, false); err != nil {
+			t.Fatalf("SetNodeDown: %v", err)
+		}
+	}
+	if _, err := r.Route("cold"); err != nil {
+		t.Fatalf("Route after repair: %v", err)
+	}
+}
+
+func TestRouterUnknownInputs(t *testing.T) {
+	r, err := NewRouter(testPlacement(t), 1)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	if _, err := r.Route("nope"); !errors.Is(err, ErrUnknownMovie) {
+		t.Errorf("Route(nope): got %v, want ErrUnknownMovie", err)
+	}
+	if err := r.SetNodeDown("nope", true); !errors.Is(err, ErrBadCluster) {
+		t.Errorf("SetNodeDown(nope): got %v, want ErrBadCluster", err)
+	}
+}
+
+// TestRouterConcurrent hammers the router from many goroutines so the
+// race detector can vet the locking; totals must balance.
+func TestRouterConcurrent(t *testing.T) {
+	r, err := NewRouter(testPlacement(t), 3)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			movie := "hot"
+			if g%2 == 1 {
+				movie = "cold"
+			}
+			for i := 0; i < per; i++ {
+				d, err := r.Route(movie)
+				if err != nil {
+					t.Errorf("Route: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					r.Done(d.Node)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := r.Stats(); s.Routed != goroutines*per {
+		t.Errorf("routed=%d, want %d", s.Routed, goroutines*per)
+	}
+}
+
+func TestRouterSpreadsLoadAcrossReplicas(t *testing.T) {
+	p := testPlacement(t)
+	r, err := NewRouter(p, 5)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 600; i++ {
+		d, err := r.Route("hot")
+		if err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+		counts[d.Node]++ // never Done: live load accumulates
+	}
+	reps := p.Replicas("hot")
+	for _, a := range reps {
+		if counts[a.Node] < 100 {
+			t.Errorf("replica host %s got %d of 600 requests — load weighting broken: %v",
+				a.Node, counts[a.Node], counts)
+		}
+	}
+}

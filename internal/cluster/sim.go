@@ -1,0 +1,653 @@
+package cluster
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vodalloc/internal/checkpoint"
+	"vodalloc/internal/faults"
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// NodeFault schedules one node-level outage: the node goes down at At
+// and comes back at Until. Until <= At means the outage is permanent.
+// While a node is down the router fails requests over to replicas (or
+// sheds them), and inside the node's own simulation every disk of its
+// array fails at At (and is repaired at Until).
+type NodeFault struct {
+	Node      string
+	At, Until float64
+}
+
+// Validate checks the fault against a set of known node IDs.
+func (f NodeFault) Validate(known map[string]bool) error {
+	switch {
+	case !known[f.Node]:
+		return fmt.Errorf("%w: fault targets unknown node %q", ErrBadCluster, f.Node)
+	case math.IsNaN(f.At) || math.IsInf(f.At, 0) || f.At < 0:
+		return fmt.Errorf("%w: fault time %v", ErrBadCluster, f.At)
+	case math.IsNaN(f.Until) || math.IsInf(f.Until, 0):
+		return fmt.Errorf("%w: fault repair time %v", ErrBadCluster, f.Until)
+	}
+	return nil
+}
+
+// ParseNodeFaults parses a node-outage spec: comma-separated
+// "node@start" (permanent) or "node@start-end" (repaired at end), e.g.
+// "node0@400,node2@500-1500". An empty spec is an empty schedule.
+func ParseNodeFaults(spec string) ([]NodeFault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []NodeFault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		node, times, ok := strings.Cut(part, "@")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("%w: bad fault %q: want node@start[-end]", ErrBadCluster, part)
+		}
+		f := NodeFault{Node: node}
+		at, until, ranged := strings.Cut(times, "-")
+		v, err := strconv.ParseFloat(at, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad fault %q: %v", ErrBadCluster, part, err)
+		}
+		f.At = v
+		if ranged {
+			v, err := strconv.ParseFloat(until, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad fault %q: %v", ErrBadCluster, part, err)
+			}
+			f.Until = v
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// SimConfig parameterizes a cluster simulation: a placement to deploy,
+// the catalog behind it, the offered load, and the node outages to
+// inject.
+type SimConfig struct {
+	// Placement pins every movie copy to a node (see Plan/PackAllocs).
+	Placement Placement
+	// Movies is the catalog the placement was planned for; every placed
+	// movie must appear here (lengths and VCR profiles drive the
+	// per-node simulations).
+	Movies []workload.Movie
+	// Rates are the display rates shared by all movies.
+	Rates vcr.Rates
+	// TotalRate is the cluster-wide Poisson arrival rate
+	// (viewers/minute), split over movies by popularity.
+	TotalRate float64
+	// Horizon and Warmup bound the run in simulated minutes;
+	// measurements start at Warmup.
+	Horizon, Warmup float64
+	// Seed makes the run reproducible: the router, the arrival
+	// processes and every per-node simulation derive their generators
+	// from it.
+	Seed int64
+	// Workers bounds the per-node simulation fan-out; 0 = GOMAXPROCS.
+	Workers int
+	// StreamsPerDisk is the disk-array granularity on every node;
+	// 0 = 10 (the sim default).
+	StreamsPerDisk int
+	// Faults are the node outages to inject.
+	Faults []NodeFault
+}
+
+func (c SimConfig) spd() int {
+	if c.StreamsPerDisk > 0 {
+		return c.StreamsPerDisk
+	}
+	return 10
+}
+
+// Validate checks the configuration.
+func (c SimConfig) Validate() error {
+	if err := c.Placement.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case !(c.TotalRate > 0) || math.IsInf(c.TotalRate, 0):
+		return fmt.Errorf("%w: total arrival rate %v", ErrBadCluster, c.TotalRate)
+	case !(c.Horizon > 0) || math.IsInf(c.Horizon, 0):
+		return fmt.Errorf("%w: horizon %v", ErrBadCluster, c.Horizon)
+	case math.IsNaN(c.Warmup) || c.Warmup < 0 || c.Warmup >= c.Horizon:
+		return fmt.Errorf("%w: warmup %v outside [0, horizon)", ErrBadCluster, c.Warmup)
+	case c.StreamsPerDisk < 0:
+		return fmt.Errorf("%w: streams per disk %d", ErrBadCluster, c.StreamsPerDisk)
+	}
+	catalog := make(map[string]bool, len(c.Movies))
+	for _, m := range c.Movies {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		catalog[m.Name] = true
+	}
+	placed := make(map[string]bool)
+	for _, a := range c.Placement.Assignments {
+		if !catalog[a.Movie] {
+			return fmt.Errorf("%w: placed movie %q missing from catalog", ErrBadCluster, a.Movie)
+		}
+		placed[a.Movie] = true
+	}
+	for _, m := range c.Movies {
+		if !placed[m.Name] {
+			return fmt.Errorf("%w: catalog movie %q not placed", ErrBadCluster, m.Name)
+		}
+	}
+	known := make(map[string]bool, len(c.Placement.Nodes))
+	for _, n := range c.Placement.Nodes {
+		known[n.ID] = true
+	}
+	for _, f := range c.Faults {
+		if err := f.Validate(known); err != nil {
+			return err
+		}
+	}
+	rates, err := workload.SplitRate(c.TotalRate, c.Movies)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCluster, err)
+	}
+	for i, r := range rates {
+		if !(r > 0) {
+			return fmt.Errorf("%w: movie %q receives no arrival rate", ErrBadCluster, c.Movies[i].Name)
+		}
+	}
+	return nil
+}
+
+// MovieOutcome is one movie's cluster-level measurements.
+type MovieOutcome struct {
+	Movie    string
+	Replicas int
+	// Routing-layer flow (post-warmup): Arrivals split into Routed and
+	// Shed; Failovers counts routed requests whose primary was down.
+	Arrivals, Routed, Shed, Failovers uint64
+	// Availability is Routed/Arrivals — the fraction of demand some
+	// replica could absorb.
+	Availability float64
+	// Hit pools the movie's resume hit probability over its hosting
+	// nodes' simulations.
+	HitSuccesses, HitTrials uint64
+	Hit                     float64
+}
+
+// NodeOutcome is one node's placed load and simulated measurements.
+type NodeOutcome struct {
+	Node          string
+	Movies        int
+	PlacedStreams int
+	PlacedBuffer  float64
+	// Hit pools the resume outcomes of every movie copy on the node.
+	HitSuccesses, HitTrials uint64
+	Hit                     float64
+	// Availability is the node simulation's fault-free time fraction;
+	// DiskFailures counts injected disk failures that took effect.
+	Availability float64
+	DiskFailures uint64
+	Faulted      bool
+}
+
+// Result is a cluster simulation's merged measurements.
+type Result struct {
+	Nodes  []NodeOutcome
+	Movies []MovieOutcome
+	// Cluster-level flow (post-warmup).
+	Arrivals, Routed, Shed uint64
+	// Rebalances counts failover reroutes (requests served by a
+	// non-primary replica because the primary's node was down).
+	Rebalances uint64
+	// Hit pools every node's resume outcomes; Availability and
+	// ShedRate are Routed/Arrivals and Shed/Arrivals.
+	Hit          float64
+	Availability float64
+	ShedRate     float64
+}
+
+// Summary renders a human-readable digest.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: nodes=%d movies=%d\n", len(r.Nodes), len(r.Movies))
+	fmt.Fprintf(&b, "  P(hit)=%.4f  availability=%.4f  shed rate=%.4f  rebalances=%d\n",
+		r.Hit, r.Availability, r.ShedRate, r.Rebalances)
+	fmt.Fprintf(&b, "  arrivals=%d routed=%d shed=%d\n", r.Arrivals, r.Routed, r.Shed)
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, "[%s] movies=%d streams=%d buffer=%.1f hit=%.4f avail=%.3f",
+			n.Node, n.Movies, n.PlacedStreams, n.PlacedBuffer, n.Hit, n.Availability)
+		if n.Faulted {
+			fmt.Fprintf(&b, " disk failures=%d FAULTED", n.DiskFailures)
+		}
+		b.WriteByte('\n')
+	}
+	for _, m := range r.Movies {
+		fmt.Fprintf(&b, "<%s> replicas=%d arrivals=%d routed=%d shed=%d failovers=%d avail=%.3f hit=%.4f\n",
+			m.Movie, m.Replicas, m.Arrivals, m.Routed, m.Shed, m.Failovers, m.Availability, m.Hit)
+	}
+	return b.String()
+}
+
+// ResumeInfo reports what a resumed simulation restored from its
+// journal.
+type ResumeInfo struct {
+	// Restored counts per-node rows replayed from the journal instead
+	// of re-simulated.
+	Restored int
+	// TornBytes is the size of the torn journal tail discarded on open
+	// (0 for a clean journal).
+	TornBytes int64
+}
+
+// nodeRow is the journaled per-node digest: everything the merge needs,
+// in JSON-stable scalar form (metrics.Proportion itself has unexported
+// fields and cannot round-trip).
+type nodeRow struct {
+	Node         string         `json:"node"`
+	Movies       []nodeMovieRow `json:"movies"`
+	Availability float64        `json:"availability"`
+	DiskFailures uint64         `json:"diskFailures"`
+}
+
+type nodeMovieRow struct {
+	Movie     string `json:"movie"`
+	Successes uint64 `json:"successes"`
+	Trials    uint64 `json:"trials"`
+}
+
+// Simulate runs the cluster: a deterministic routing pass spreads the
+// Poisson demand over replicas (exercising failover and shedding
+// around the injected node outages), and one internal/sim server per
+// node runs concurrently to measure the hit probability each node
+// delivers for its placed load. Per-node and per-movie measurements
+// are merged into cluster-level hit probability, availability, shed
+// rate and rebalance counts.
+func Simulate(ctx context.Context, cfg SimConfig) (*Result, error) {
+	res, _, err := simulate(ctx, cfg, nil)
+	return res, err
+}
+
+// SimulateResumable is Simulate journaling each node's digest to a WAL
+// at path via internal/checkpoint: a rerun after a crash replays the
+// journaled nodes and simulates only the missing ones, with identical
+// results. The journal is keyed to the full configuration and refuses
+// a mismatched one.
+func SimulateResumable(ctx context.Context, cfg SimConfig, path string) (*Result, *ResumeInfo, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sweep, err := checkpoint.OpenSweep(path, cfg.identity())
+	if err != nil {
+		return nil, nil, fmt.Errorf("open cluster resume journal: %w", err)
+	}
+	defer sweep.Close()
+	info := &ResumeInfo{Restored: sweep.Done(), TornBytes: sweep.TornBytes()}
+	res, _, err := simulate(ctx, cfg, sweep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
+}
+
+// identity fingerprints the configuration fields that shape per-node
+// results, for journal keying. Profiles are identified through the
+// catalog's names/lengths/waits plus the placement itself, not by
+// formatting distribution values.
+func (c SimConfig) identity() uint64 {
+	parts := []any{"cluster.simulate", c.TotalRate, c.Horizon, c.Warmup, c.Seed, c.spd(), c.Rates}
+	for _, n := range c.Placement.Nodes {
+		parts = append(parts, n)
+	}
+	for _, a := range c.Placement.Assignments {
+		parts = append(parts, a.Movie, a.Node, a.Replica, a.N, a.B)
+	}
+	for _, m := range c.Movies {
+		parts = append(parts, m.Name, m.Length, m.Wait, m.Popularity)
+	}
+	for _, f := range c.Faults {
+		parts = append(parts, f)
+	}
+	return checkpoint.Identity(parts...)
+}
+
+func simulate(ctx context.Context, cfg SimConfig, sweep *checkpoint.Sweep) (*Result, *ResumeInfo, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	p := cfg.Placement
+	movieRates, err := workload.SplitRate(cfg.TotalRate, cfg.Movies)
+	if err != nil {
+		return nil, nil, err
+	}
+	flows, rebalances, err := routeDemand(cfg, movieRates)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rows, err := simulateNodes(ctx, cfg, movieRates, sweep)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Merge per-node digests and routing flows.
+	res := &Result{Rebalances: rebalances}
+	loads := p.Loads()
+	var hitS, hitT uint64
+	movieHits := make(map[string]*MovieOutcome, len(cfg.Movies))
+	for i, row := range rows {
+		n := NodeOutcome{
+			Node:          row.Node,
+			Movies:        loads[i].Movies,
+			PlacedStreams: loads[i].Streams,
+			PlacedBuffer:  loads[i].Buffer,
+			Availability:  row.Availability,
+			DiskFailures:  row.DiskFailures,
+		}
+		for _, f := range cfg.Faults {
+			if f.Node == row.Node {
+				n.Faulted = true
+			}
+		}
+		for _, mr := range row.Movies {
+			n.HitSuccesses += mr.Successes
+			n.HitTrials += mr.Trials
+			mo := movieHits[mr.Movie]
+			if mo == nil {
+				mo = &MovieOutcome{Movie: mr.Movie}
+				movieHits[mr.Movie] = mo
+			}
+			mo.HitSuccesses += mr.Successes
+			mo.HitTrials += mr.Trials
+		}
+		if n.HitTrials > 0 {
+			n.Hit = float64(n.HitSuccesses) / float64(n.HitTrials)
+		}
+		hitS += n.HitSuccesses
+		hitT += n.HitTrials
+		res.Nodes = append(res.Nodes, n)
+	}
+	for i, m := range cfg.Movies {
+		mo := movieHits[m.Name]
+		if mo == nil {
+			mo = &MovieOutcome{Movie: m.Name}
+		}
+		f := flows[i]
+		mo.Replicas = len(p.Replicas(m.Name))
+		mo.Arrivals, mo.Routed, mo.Shed, mo.Failovers = f.arrivals, f.routed, f.shed, f.failovers
+		if mo.Arrivals > 0 {
+			mo.Availability = float64(mo.Routed) / float64(mo.Arrivals)
+		} else {
+			mo.Availability = 1
+		}
+		if mo.HitTrials > 0 {
+			mo.Hit = float64(mo.HitSuccesses) / float64(mo.HitTrials)
+		}
+		res.Arrivals += mo.Arrivals
+		res.Routed += mo.Routed
+		res.Shed += mo.Shed
+		res.Movies = append(res.Movies, *mo)
+	}
+	if hitT > 0 {
+		res.Hit = float64(hitS) / float64(hitT)
+	}
+	if res.Arrivals > 0 {
+		res.Availability = float64(res.Routed) / float64(res.Arrivals)
+		res.ShedRate = float64(res.Shed) / float64(res.Arrivals)
+	} else {
+		res.Availability = 1
+	}
+	return res, nil, nil
+}
+
+// movieFlow is one movie's post-warmup routing tallies.
+type movieFlow struct {
+	arrivals, routed, shed, failovers uint64
+}
+
+// Routing event kinds, in tie-break priority order at equal timestamps
+// (node transitions before traffic, departures before arrivals so a
+// slot frees before the next request lands).
+const (
+	evDown = iota
+	evUp
+	evDeparture
+	evArrival
+)
+
+type routeEvent struct {
+	t     float64
+	kind  int8
+	seq   uint64 // deterministic tie-break
+	movie int
+	node  string
+}
+
+type routeHeap []routeEvent
+
+func (h routeHeap) Len() int { return len(h) }
+func (h routeHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h routeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *routeHeap) Push(x any)   { *h = append(*h, x.(routeEvent)) }
+func (h *routeHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// routeDemand runs the routing layer: a sequential Monte Carlo pass
+// over merged per-movie Poisson arrival streams, node outage
+// transitions and viewer departures (which release live-load slots).
+// It is deterministic for a fixed configuration — the event order is a
+// pure function of the seeded generators and the (time, kind, seq)
+// tie-break — and independent of the per-node simulations.
+func routeDemand(cfg SimConfig, movieRates []float64) ([]movieFlow, uint64, error) {
+	router, err := NewRouter(cfg.Placement, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	flows := make([]movieFlow, len(cfg.Movies))
+	rngs := make([]*rand.Rand, len(cfg.Movies))
+	var h routeHeap
+	var seq uint64
+	push := func(e routeEvent) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+	for _, f := range cfg.Faults {
+		push(routeEvent{t: f.At, kind: evDown, node: f.Node})
+		if f.Until > f.At {
+			push(routeEvent{t: f.Until, kind: evUp, node: f.Node})
+		}
+	}
+	for i := range cfg.Movies {
+		rngs[i] = rand.New(rand.NewSource(cfg.Seed ^ (int64(i+1) * 0x5E3779B97F4A7C15)))
+		push(routeEvent{t: rngs[i].ExpFloat64() / movieRates[i], kind: evArrival, movie: i})
+	}
+	var rebalances uint64
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(routeEvent)
+		if e.t >= cfg.Horizon {
+			if e.kind != evArrival {
+				continue // drain departures/repairs past the horizon
+			}
+			break
+		}
+		switch e.kind {
+		case evDown:
+			if err := router.SetNodeDown(e.node, true); err != nil {
+				return nil, 0, err
+			}
+		case evUp:
+			if err := router.SetNodeDown(e.node, false); err != nil {
+				return nil, 0, err
+			}
+		case evDeparture:
+			router.Done(e.node)
+		case evArrival:
+			i := e.movie
+			push(routeEvent{t: e.t + rngs[i].ExpFloat64()/movieRates[i], kind: evArrival, movie: i})
+			measured := e.t >= cfg.Warmup
+			if measured {
+				flows[i].arrivals++
+			}
+			d, err := router.Route(cfg.Movies[i].Name)
+			if err != nil {
+				if !errors.Is(err, ErrUnavailable) {
+					return nil, 0, err
+				}
+				if measured {
+					flows[i].shed++
+				}
+				continue
+			}
+			push(routeEvent{t: e.t + cfg.Movies[i].Length, kind: evDeparture, node: d.Node})
+			if measured {
+				flows[i].routed++
+				if d.Failover {
+					flows[i].failovers++
+					rebalances++
+				}
+			}
+		}
+	}
+	return flows, rebalances, nil
+}
+
+// simulateNodes runs one internal/sim server per node concurrently,
+// journaling digests through sweep when resumable. A node with no
+// placed movies yields an empty, fully-available row.
+func simulateNodes(ctx context.Context, cfg SimConfig, movieRates []float64, sweep *checkpoint.Sweep) ([]nodeRow, error) {
+	p := cfg.Placement
+	catalog := make(map[string]workload.Movie, len(cfg.Movies))
+	rate := make(map[string]float64, len(cfg.Movies))
+	for i, m := range cfg.Movies {
+		catalog[m.Name] = m
+		rate[m.Name] = movieRates[i]
+	}
+	// Static replica shares: each copy of a movie absorbs the fraction
+	// of the movie's demand proportional to its placed streams. Static
+	// (rather than realized-routing) rates keep a single-replica node's
+	// simulation identical in distribution to a standalone single-node
+	// run — the parity the acceptance test pins.
+	totalN := make(map[string]int, len(cfg.Movies))
+	for _, a := range p.Assignments {
+		totalN[a.Movie] += a.N
+	}
+	byNode := make(map[string][]Assignment, len(p.Nodes))
+	for _, a := range p.Assignments {
+		byNode[a.Node] = append(byNode[a.Node], a)
+	}
+	faultsFor := make(map[string][]NodeFault)
+	for _, f := range cfg.Faults {
+		faultsFor[f.Node] = append(faultsFor[f.Node], f)
+	}
+
+	fn := func(ctx context.Context, i int) (nodeRow, error) {
+		node := p.Nodes[i]
+		row := nodeRow{Node: node.ID, Availability: 1}
+		placed := byNode[node.ID]
+		if len(placed) == 0 {
+			return row, nil
+		}
+		sc := sim.ServerConfig{
+			Rates:          cfg.Rates,
+			Horizon:        cfg.Horizon,
+			Warmup:         cfg.Warmup,
+			Seed:           cfg.Seed + int64(i+1)*1000003,
+			StreamsPerDisk: cfg.spd(),
+		}
+		sort.Slice(placed, func(a, b int) bool { return placed[a].Movie < placed[b].Movie })
+		for _, a := range placed {
+			m := catalog[a.Movie]
+			share := float64(a.N) / float64(totalN[a.Movie])
+			sc.Movies = append(sc.Movies, sim.MovieSetup{
+				Name: a.Movie, L: m.Length, B: a.B, N: a.N,
+				ArrivalRate: rate[a.Movie] * share,
+				Profile:     m.Profile,
+			})
+		}
+		// A faulted node simulates against its fixed array (so the
+		// fault schedule has disks to kill); healthy nodes stay
+		// elastic, preserving exact parity with standalone runs.
+		if nf := faultsFor[node.ID]; len(nf) > 0 {
+			sc.TotalStreams = node.MaxStreams
+			disks := (node.MaxStreams + cfg.spd() - 1) / cfg.spd()
+			var sched faults.Schedule
+			for _, f := range nf {
+				for d := 0; d < disks; d++ {
+					sched = append(sched, faults.Event{At: f.At, Kind: faults.DiskFail, Disk: d})
+				}
+				if f.Until > f.At {
+					for d := 0; d < disks; d++ {
+						sched = append(sched, faults.Event{At: f.Until, Kind: faults.DiskRepair, Disk: d})
+					}
+				}
+			}
+			sc.Faults = sched.Sorted()
+		}
+		srv, err := sim.NewServer(sc)
+		if err != nil {
+			return row, fmt.Errorf("node %s: %w", node.ID, err)
+		}
+		sr, err := srv.RunCtx(ctx)
+		if err != nil {
+			return row, fmt.Errorf("node %s: %w", node.ID, err)
+		}
+		row.Availability = sr.Faults.Availability
+		row.DiskFailures = sr.Faults.DiskFailures
+		for _, name := range sr.Order {
+			mr := sr.Movies[name]
+			row.Movies = append(row.Movies, nodeMovieRow{
+				Movie:     name,
+				Successes: mr.Hits.Successes(),
+				Trials:    mr.Hits.N(),
+			})
+		}
+		return row, nil
+	}
+
+	opts := parallel.Opts{Workers: cfg.Workers}
+	var rows []nodeRow
+	var err error
+	if sweep == nil {
+		rows, err = parallel.Map(ctx, opts, len(p.Nodes), fn)
+	} else {
+		rows, err = parallel.MapResume(ctx, opts, len(p.Nodes),
+			func(i int) (nodeRow, bool) {
+				var v nodeRow
+				b, ok := sweep.Lookup(i)
+				if !ok {
+					return v, false
+				}
+				return v, json.Unmarshal(b, &v) == nil
+			},
+			func(i int, v nodeRow) error {
+				b, err := json.Marshal(v)
+				if err != nil {
+					return err
+				}
+				return sweep.Mark(i, b)
+			},
+			fn)
+	}
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return rows, nil
+}

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+var testRates = vcr.Rates{PB: 1, FF: 3, RW: 3}
+
+func twoMovieCatalog() []workload.Movie {
+	think := dist.MustExponential(15)
+	return []workload.Movie{
+		{
+			Name: "hot", Length: 60, Wait: 0.5, TargetHit: 0.5,
+			Profile:    workload.MixedProfile(dist.MustExponential(5), think),
+			Popularity: 7,
+		},
+		{
+			Name: "cold", Length: 60, Wait: 0.5, TargetHit: 0.5,
+			Profile:    workload.MixedProfile(dist.MustExponential(5), think),
+			Popularity: 3,
+		},
+	}
+}
+
+func twoMoviePlacement(t *testing.T) Placement {
+	t.Helper()
+	allocs := []MovieAlloc{
+		{Movie: "hot", N: 20, B: 10, Weight: 0.7},
+		{Movie: "cold", N: 20, B: 10, Weight: 0.3},
+	}
+	p, err := PackAllocs(allocs, UniformNodes(2, 60, 40), Options{Replicas: 2, HotMovies: 1})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	return p
+}
+
+// TestClusterParitySingleNodePlacement pins the acceptance criterion:
+// with the Example 1 catalog planned one movie per node, the cluster
+// simulation reproduces each movie's standalone single-server hit
+// probability within CI noise.
+func TestClusterParitySingleNodePlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node DES parity run")
+	}
+	ctx := context.Background()
+	movies := workload.Example1Movies()
+	allocs, err := Demands(ctx, nil, movies, sizing.DefaultRates)
+	if err != nil {
+		t.Fatalf("Demands: %v", err)
+	}
+	nodes := AutoNodes(3, allocs, Options{}, 0)
+	p, err := PackAllocs(allocs, nodes, Options{})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	perNode := map[string]int{}
+	for _, a := range p.Assignments {
+		perNode[a.Node]++
+	}
+	for n, c := range perNode {
+		if c != 1 {
+			t.Fatalf("node %s hosts %d movies, want 1 per node: %+v", n, c, p.Assignments)
+		}
+	}
+
+	const horizon, warmup = 2000.0, 200.0
+	res, err := Simulate(ctx, SimConfig{
+		Placement: p,
+		Movies:    movies,
+		Rates:     testRates,
+		TotalRate: 1.5, // 0.5/min per movie — the §4 reference rate
+		Horizon:   horizon,
+		Warmup:    warmup,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Availability != 1 || res.Shed != 0 {
+		t.Fatalf("fault-free run lost traffic: avail=%v shed=%d", res.Availability, res.Shed)
+	}
+
+	for i, m := range movies {
+		srv, err := sim.NewServer(sim.ServerConfig{
+			Movies: []sim.MovieSetup{{
+				Name: m.Name, L: m.Length,
+				B: allocs[i].B, N: allocs[i].N,
+				ArrivalRate: 0.5, Profile: m.Profile,
+			}},
+			Rates:   testRates,
+			Horizon: horizon,
+			Warmup:  warmup,
+			Seed:    int64(99 + i), // independent seed: statistical, not mechanical, parity
+		})
+		if err != nil {
+			t.Fatalf("NewServer(%s): %v", m.Name, err)
+		}
+		sr, err := srv.RunCtx(ctx)
+		if err != nil {
+			t.Fatalf("standalone run %s: %v", m.Name, err)
+		}
+		want := sr.Movies[m.Name].HitProbability()
+		var got float64
+		for _, mo := range res.Movies {
+			if mo.Movie == m.Name {
+				got = mo.Hit
+			}
+		}
+		if d := math.Abs(got - want); d > 0.06 {
+			t.Errorf("movie %s: cluster hit %.4f vs standalone %.4f (|Δ|=%.4f > 0.06)",
+				m.Name, got, want, d)
+		}
+	}
+}
+
+// TestClusterFailoverAndShed pins the second acceptance criterion: a
+// node failed mid-run sheds the movies it exclusively hosts while
+// replicated movies stay available through failover.
+func TestClusterFailoverAndShed(t *testing.T) {
+	p := twoMoviePlacement(t)
+	coldHost := p.Replicas("cold")[0].Node
+	res, err := Simulate(context.Background(), SimConfig{
+		Placement: p,
+		Movies:    twoMovieCatalog(),
+		Rates:     testRates,
+		TotalRate: 1.0,
+		Horizon:   1200,
+		Warmup:    150,
+		Seed:      21,
+		Faults:    []NodeFault{{Node: coldHost, At: 400}}, // permanent
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var hot, cold MovieOutcome
+	for _, m := range res.Movies {
+		switch m.Movie {
+		case "hot":
+			hot = m
+		case "cold":
+			cold = m
+		}
+	}
+	if hot.Availability <= 0 {
+		t.Errorf("replicated movie availability %v, want > 0", hot.Availability)
+	}
+	if hot.Shed != 0 {
+		t.Errorf("replicated movie shed %d requests despite a live replica", hot.Shed)
+	}
+	if hot.Failovers == 0 && p.Replicas("hot")[0].Node == coldHost {
+		t.Errorf("primary host down but no failovers recorded")
+	}
+	if cold.Shed == 0 || cold.Availability >= 1 {
+		t.Errorf("unreplicated movie on failed node: shed=%d avail=%v, want shedding", cold.Shed, cold.Availability)
+	}
+	if res.Rebalances == 0 {
+		t.Errorf("no rebalances recorded with a node down")
+	}
+	for _, n := range res.Nodes {
+		if n.Node == coldHost {
+			if !n.Faulted || n.Availability >= 1 || n.DiskFailures == 0 {
+				t.Errorf("failed node outcome %+v, want faulted with degraded availability", n)
+			}
+		}
+	}
+}
+
+// TestClusterSimDeterminism checks worker-count independence: the
+// merge is a pure function of per-node runs, which are independently
+// seeded.
+func TestClusterSimDeterminism(t *testing.T) {
+	cfg := SimConfig{
+		Placement: twoMoviePlacement(t),
+		Movies:    twoMovieCatalog(),
+		Rates:     testRates,
+		TotalRate: 1.0,
+		Horizon:   500,
+		Warmup:    50,
+		Seed:      9,
+	}
+	cfg.Workers = 1
+	r1, err := Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Simulate workers=1: %v", err)
+	}
+	cfg.Workers = 4
+	r4, err := Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Simulate workers=4: %v", err)
+	}
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("results differ across worker counts:\n%+v\nvs\n%+v", r1, r4)
+	}
+}
+
+// TestClusterSimulateResumable checks the journal round trip: a second
+// run over a completed journal restores every node row and produces an
+// identical result.
+func TestClusterSimulateResumable(t *testing.T) {
+	cfg := SimConfig{
+		Placement: twoMoviePlacement(t),
+		Movies:    twoMovieCatalog(),
+		Rates:     testRates,
+		TotalRate: 1.0,
+		Horizon:   500,
+		Warmup:    50,
+		Seed:      13,
+	}
+	path := filepath.Join(t.TempDir(), "cluster.wal")
+	r1, info1, err := SimulateResumable(context.Background(), cfg, path)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if info1.Restored != 0 {
+		t.Fatalf("fresh journal restored %d rows", info1.Restored)
+	}
+	r2, info2, err := SimulateResumable(context.Background(), cfg, path)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if info2.Restored != len(cfg.Placement.Nodes) {
+		t.Errorf("restored %d rows, want %d", info2.Restored, len(cfg.Placement.Nodes))
+	}
+	if info2.TornBytes != 0 {
+		t.Errorf("clean journal reported torn tail %d", info2.TornBytes)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("resumed result differs:\n%+v\nvs\n%+v", r1, r2)
+	}
+	// A changed configuration must refuse the stale journal.
+	cfg.Seed = 14
+	if _, _, err := SimulateResumable(context.Background(), cfg, path); err == nil {
+		t.Fatalf("mismatched config accepted the old journal")
+	}
+}
+
+func TestSimConfigValidate(t *testing.T) {
+	base := func() SimConfig {
+		return SimConfig{
+			Placement: twoMoviePlacement(t),
+			Movies:    twoMovieCatalog(),
+			Rates:     testRates,
+			TotalRate: 1.0,
+			Horizon:   500,
+			Warmup:    50,
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*SimConfig)
+	}{
+		{"zero rate", func(c *SimConfig) { c.TotalRate = 0 }},
+		{"bad horizon", func(c *SimConfig) { c.Horizon = 0 }},
+		{"warmup past horizon", func(c *SimConfig) { c.Warmup = 500 }},
+		{"unknown fault node", func(c *SimConfig) { c.Faults = []NodeFault{{Node: "ghost", At: 1}} }},
+		{"movie not placed", func(c *SimConfig) {
+			extra := twoMovieCatalog()[0]
+			extra.Name = "stray"
+			c.Movies = append(c.Movies, extra)
+		}},
+		{"placed movie missing", func(c *SimConfig) { c.Movies = c.Movies[:1] }},
+	}
+	for _, c := range cases {
+		cfg := base()
+		c.mut(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadCluster) {
+			t.Errorf("%s: got %v, want ErrBadCluster", c.name, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vodalloc/internal/cluster"
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/workload"
+)
+
+// The cluster experiment extends the paper's single-server sizing to a
+// multi-node deployment: a six-movie Zipf catalog is sized per §5, the
+// per-movie (B_i, n_i) demands are bin-packed onto growing node counts
+// (the two hottest movies replicated twice once there is somewhere to
+// put the copy), and each placement is simulated with node0 knocked out
+// for the middle third of the run. The table shows how provisioned
+// hardware, the paper's relative cost φ·ΣB + Σn, and the failure
+// response (availability, shed rate, failover rebalances) move with the
+// cluster size.
+
+// ClusterRow is one node-count scenario's measurements.
+type ClusterRow struct {
+	Nodes         int
+	PlacedStreams int
+	PlacedBuffer  float64
+	RelativeCost  float64
+	Hit           float64
+	Availability  float64
+	ShedRate      float64
+	Rebalances    uint64
+}
+
+// clusterPhi prices buffer against streams as in Example 2.
+const clusterPhi = 11.0
+
+// clusterCatalogSize keeps the sizing pass cheap while leaving room for
+// hot/cold contrast under Zipf(0.8).
+const clusterCatalogSize = 6
+
+// clusterRate is the cluster-wide arrival rate split by popularity.
+const clusterRate = 1.5
+
+// Cluster sweeps the node count for a fixed Zipf catalog.
+func Cluster(o Options) ([]ClusterRow, error) {
+	return ClusterCtx(context.Background(), o)
+}
+
+// ClusterCtx is Cluster with cancellation checkpoints.
+func ClusterCtx(ctx context.Context, o Options) ([]ClusterRow, error) {
+	counts := []int{1, 2, 3, 4, 6, 8}
+	if o.Quick {
+		counts = []int{1, 2, 3}
+	}
+	movies, err := workload.ZipfCatalog(clusterCatalogSize, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	// One sizing pass serves every node count: demands depend only on
+	// the catalog.
+	eval := &sizing.Evaluator{Workers: o.Workers}
+	allocs, err := cluster.Demands(ctx, eval, movies, sizing.DefaultRates)
+	if err != nil {
+		return nil, err
+	}
+	horizon := o.horizon()
+
+	scenario := func(ctx context.Context, nodes int) (ClusterRow, error) {
+		opts := cluster.Options{Replicas: min(nodes, 2), HotMovies: clusterCatalogSize / 2}
+		specs := cluster.AutoNodes(nodes, allocs, opts, 0)
+		p, err := cluster.PackAllocs(allocs, specs, opts)
+		if err != nil {
+			return ClusterRow{}, err
+		}
+		res, err := cluster.Simulate(ctx, cluster.SimConfig{
+			Placement: p,
+			Movies:    movies,
+			Rates:     paperRates,
+			TotalRate: clusterRate,
+			Horizon:   horizon,
+			Warmup:    o.warmup(),
+			Seed:      o.seed(),
+			Workers:   1, // the sweep already runs scenarios in parallel
+			Faults: []cluster.NodeFault{
+				{Node: "node0", At: horizon / 3, Until: 2 * horizon / 3},
+			},
+		})
+		if err != nil {
+			return ClusterRow{}, err
+		}
+		return ClusterRow{
+			Nodes:         nodes,
+			PlacedStreams: p.TotalStreams,
+			PlacedBuffer:  p.TotalBuffer,
+			RelativeCost:  clusterPhi*p.TotalBuffer + float64(p.TotalStreams),
+			Hit:           res.Hit,
+			Availability:  res.Availability,
+			ShedRate:      res.ShedRate,
+			Rebalances:    res.Rebalances,
+		}, nil
+	}
+
+	rows, err := mapResumable(ctx, o, "cluster", len(counts),
+		func(ctx context.Context, i int) (ClusterRow, error) {
+			return scenario(ctx, counts[i])
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return rows, nil
+}
+
+// PrintCluster renders the cluster-sizing table.
+func PrintCluster(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintln(w, "Cluster-level sizing: Zipf(0.8) catalog packed onto growing node counts")
+	fmt.Fprintf(w, "(%d movies, λ=%.1f split by popularity, node0 down for the middle third, φ=%.0f)\n\n",
+		clusterCatalogSize, clusterRate, clusterPhi)
+	fmt.Fprintf(w, "%6s %8s %8s %9s %8s %8s %9s %11s\n",
+		"nodes", "streams", "buffer", "relCost", "hit", "avail", "shedRate", "rebalances")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %8d %8.1f %9.0f %8.4f %8.4f %9.4f %11d\n",
+			r.Nodes, r.PlacedStreams, r.PlacedBuffer, r.RelativeCost,
+			r.Hit, r.Availability, r.ShedRate, r.Rebalances)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterReplicationRestoresAvailability pins the experiment's
+// headline claim: a single node has nowhere to fail over, so the mid-run
+// outage sheds load, while replicated multi-node placements keep
+// availability near 1 by rebalancing onto survivors.
+func TestClusterReplicationRestoresAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep simulates several node counts")
+	}
+	rows, err := Cluster(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows want 3", len(rows))
+	}
+	single := rows[0]
+	if single.Nodes != 1 {
+		t.Fatalf("first row is not the single node: %+v", single)
+	}
+	if !(single.Availability < 1 && single.ShedRate > 0) {
+		t.Errorf("single node should shed during the outage: %+v", single)
+	}
+	for _, r := range rows[1:] {
+		if !(r.Availability > single.Availability) {
+			t.Errorf("%d nodes: availability %.4f not above single-node %.4f",
+				r.Nodes, r.Availability, single.Availability)
+		}
+		if r.Rebalances == 0 {
+			t.Errorf("%d nodes: no failover rebalances despite the outage", r.Nodes)
+		}
+		if r.PlacedStreams < single.PlacedStreams {
+			t.Errorf("%d nodes: replication should not shrink provisioning: %d < %d",
+				r.Nodes, r.PlacedStreams, single.PlacedStreams)
+		}
+	}
+}
+
+func TestPrintClusterRenders(t *testing.T) {
+	rows := []ClusterRow{
+		{Nodes: 1, PlacedStreams: 455, PlacedBuffer: 274.2, RelativeCost: 3472,
+			Hit: 0.47, Availability: 0.62, ShedRate: 0.38},
+		{Nodes: 3, PlacedStreams: 769, PlacedBuffer: 417.0, RelativeCost: 5356,
+			Hit: 0.45, Availability: 1, Rebalances: 523},
+	}
+	var b strings.Builder
+	PrintCluster(&b, rows)
+	out := b.String()
+	for _, want := range []string{"nodes", "relCost", "avail", "shedRate", "rebalances", "523"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -231,6 +231,8 @@ type StatusResponse struct {
 	Breaker string `json:"breaker"`
 	// Cache is the sizing evaluator's memo-cache snapshot.
 	Cache CacheStatus `json:"cache"`
+	// Cluster counts requests into the cluster endpoints.
+	Cluster ClusterStatus `json:"cluster"`
 }
 
 // CacheStatus describes the sizing evaluator's memo cache on /statusz:

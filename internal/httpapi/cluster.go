@@ -1,0 +1,290 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"vodalloc/internal/cluster"
+	"vodalloc/internal/sizing"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// maxClusterNodes bounds one cluster request's node count.
+const maxClusterNodes = 64
+
+// maxZipfMovies bounds a generated catalog: sizing is per-movie work.
+const maxZipfMovies = 256
+
+// ClusterCounters tallies the cluster endpoints' request counts for
+// /statusz, so the new routes are observable from day one. Safe for
+// concurrent use.
+type ClusterCounters struct {
+	plan     atomic.Uint64
+	simulate atomic.Uint64
+}
+
+// notePlan and noteSimulate record one request; a nil receiver (the
+// bare NewMux, which has no /statusz) drops the count.
+func (c *ClusterCounters) notePlan() {
+	if c != nil {
+		c.plan.Add(1)
+	}
+}
+
+func (c *ClusterCounters) noteSimulate() {
+	if c != nil {
+		c.simulate.Add(1)
+	}
+}
+
+// Snapshot returns the current counts.
+func (c *ClusterCounters) Snapshot() ClusterStatus {
+	if c == nil {
+		return ClusterStatus{}
+	}
+	return ClusterStatus{
+		PlanRequests:     c.plan.Load(),
+		SimulateRequests: c.simulate.Load(),
+	}
+}
+
+// ClusterStatus is the /statusz view of the cluster endpoints.
+type ClusterStatus struct {
+	PlanRequests     uint64 `json:"planRequests"`
+	SimulateRequests uint64 `json:"simulateRequests"`
+}
+
+// ClusterPlanRequest asks for a multi-node placement. The catalog is
+// either explicit (movies) or generated (zipfMovies/zipfTheta).
+type ClusterPlanRequest struct {
+	Movies []workload.MovieSpec `json:"movies,omitempty"`
+	// ZipfMovies generates an N-movie Zipf catalog when Movies is
+	// empty; ZipfTheta defaults to 0.8.
+	ZipfMovies int     `json:"zipfMovies,omitempty"`
+	ZipfTheta  float64 `json:"zipfTheta,omitempty"`
+	// Nodes is the node count; NodeStreams/NodeBuffer fix each node's
+	// (n_s, B_s) budget, or both zero auto-sizes with Headroom slack
+	// (default 1.3).
+	Nodes       int     `json:"nodes"`
+	NodeStreams int     `json:"nodeStreams,omitempty"`
+	NodeBuffer  float64 `json:"nodeBuffer,omitempty"`
+	Headroom    float64 `json:"headroom,omitempty"`
+	// Replicas copies each of the HotMovies most popular movies
+	// (0 hot = all, when replicas > 1).
+	Replicas  int `json:"replicas,omitempty"`
+	HotMovies int `json:"hotMovies,omitempty"`
+}
+
+// ClusterAssignmentJSON is one placed movie copy.
+type ClusterAssignmentJSON struct {
+	Movie   string  `json:"movie"`
+	Node    string  `json:"node"`
+	Replica int     `json:"replica"`
+	N       int     `json:"n"`
+	B       float64 `json:"b"`
+}
+
+// ClusterNodeJSON is one node's budget and placed load.
+type ClusterNodeJSON struct {
+	Node       string  `json:"node"`
+	MaxStreams int     `json:"maxStreams"`
+	MaxBuffer  float64 `json:"maxBuffer"`
+	Streams    int     `json:"streams"`
+	Buffer     float64 `json:"buffer"`
+	Movies     int     `json:"movies"`
+}
+
+// ClusterPlanResponse carries the placement.
+type ClusterPlanResponse struct {
+	Nodes           []ClusterNodeJSON       `json:"nodes"`
+	Assignments     []ClusterAssignmentJSON `json:"assignments"`
+	TotalStreams    int                     `json:"totalStreams"`
+	TotalBuffer     float64                 `json:"totalBuffer"`
+	DroppedReplicas int                     `json:"droppedReplicas,omitempty"`
+	RefineMoves     int                     `json:"refineMoves,omitempty"`
+}
+
+// ClusterSimulateRequest plans and then simulates the cluster.
+type ClusterSimulateRequest struct {
+	ClusterPlanRequest
+	// Lambda is the cluster-wide arrival rate, split by popularity.
+	Lambda  float64 `json:"lambda"`
+	Horizon float64 `json:"horizon,omitempty"` // default 3000; horizon×nodes capped
+	Warmup  float64 `json:"warmup,omitempty"`  // default horizon/10
+	Seed    int64   `json:"seed,omitempty"`
+	// Fail schedules node outages: "node0@400,node2@500-1500"
+	// (permanent without an end time).
+	Fail string `json:"fail,omitempty"`
+}
+
+// ClusterSimNodeJSON is one node's simulated outcome.
+type ClusterSimNodeJSON struct {
+	Node         string  `json:"node"`
+	Movies       int     `json:"movies"`
+	Streams      int     `json:"streams"`
+	Buffer       float64 `json:"buffer"`
+	Hit          float64 `json:"hit"`
+	Availability float64 `json:"availability"`
+	DiskFailures uint64  `json:"diskFailures,omitempty"`
+	Faulted      bool    `json:"faulted,omitempty"`
+}
+
+// ClusterSimMovieJSON is one movie's cluster-level outcome.
+type ClusterSimMovieJSON struct {
+	Movie        string  `json:"movie"`
+	Replicas     int     `json:"replicas"`
+	Arrivals     uint64  `json:"arrivals"`
+	Routed       uint64  `json:"routed"`
+	Shed         uint64  `json:"shed"`
+	Failovers    uint64  `json:"failovers"`
+	Availability float64 `json:"availability"`
+	Hit          float64 `json:"hit"`
+}
+
+// ClusterSimulateResponse merges the per-node runs.
+type ClusterSimulateResponse struct {
+	Hit          float64               `json:"hit"`
+	Availability float64               `json:"availability"`
+	ShedRate     float64               `json:"shedRate"`
+	Rebalances   uint64                `json:"rebalances"`
+	Arrivals     uint64                `json:"arrivals"`
+	Routed       uint64                `json:"routed"`
+	Shed         uint64                `json:"shed"`
+	Nodes        []ClusterSimNodeJSON  `json:"nodes"`
+	Movies       []ClusterSimMovieJSON `json:"movies"`
+}
+
+// clusterCatalog materializes the request's movie source.
+func (r ClusterPlanRequest) clusterCatalog() ([]workload.Movie, error) {
+	if len(r.Movies) > 0 {
+		return specsToMovies(r.Movies)
+	}
+	if r.ZipfMovies <= 0 {
+		return nil, fmt.Errorf("give movies or zipfMovies")
+	}
+	if r.ZipfMovies > maxZipfMovies {
+		return nil, fmt.Errorf("zipfMovies %d exceeds the service cap %d", r.ZipfMovies, maxZipfMovies)
+	}
+	theta := r.ZipfTheta
+	if theta == 0 {
+		theta = 0.8
+	}
+	return workload.ZipfCatalog(r.ZipfMovies, theta)
+}
+
+// clusterPlan sizes the catalog on eval and packs it per the request.
+func (r ClusterPlanRequest) clusterPlan(ctx context.Context, eval *sizing.Evaluator) (cluster.Placement, []workload.Movie, error) {
+	if r.Nodes < 1 || r.Nodes > maxClusterNodes {
+		return cluster.Placement{}, nil, fmt.Errorf("nodes %d outside [1, %d]", r.Nodes, maxClusterNodes)
+	}
+	movies, err := r.clusterCatalog()
+	if err != nil {
+		return cluster.Placement{}, nil, err
+	}
+	allocs, err := cluster.Demands(ctx, eval, movies, sizing.DefaultRates)
+	if err != nil {
+		return cluster.Placement{}, nil, err
+	}
+	opts := cluster.Options{Replicas: r.Replicas, HotMovies: r.HotMovies}
+	var nodes []cluster.NodeSpec
+	switch {
+	case r.NodeStreams > 0 && r.NodeBuffer > 0:
+		nodes = cluster.UniformNodes(r.Nodes, r.NodeStreams, r.NodeBuffer)
+	case r.NodeStreams > 0 || r.NodeBuffer > 0:
+		return cluster.Placement{}, nil, fmt.Errorf("give both nodeStreams and nodeBuffer, or neither")
+	default:
+		nodes = cluster.AutoNodes(r.Nodes, allocs, opts, r.Headroom)
+	}
+	p, err := cluster.PackAllocs(allocs, nodes, opts)
+	if err != nil {
+		return cluster.Placement{}, nil, err
+	}
+	return p, movies, nil
+}
+
+func handleClusterPlan(ctx context.Context, eval *sizing.Evaluator, req ClusterPlanRequest) (ClusterPlanResponse, error) {
+	p, _, err := req.clusterPlan(ctx, eval)
+	if err != nil {
+		return ClusterPlanResponse{}, err
+	}
+	resp := ClusterPlanResponse{
+		TotalStreams:    p.TotalStreams,
+		TotalBuffer:     p.TotalBuffer,
+		DroppedReplicas: p.DroppedReplicas,
+		RefineMoves:     p.RefineMoves,
+	}
+	for _, l := range p.Loads() {
+		resp.Nodes = append(resp.Nodes, ClusterNodeJSON{
+			Node: l.Node.ID, MaxStreams: l.Node.MaxStreams, MaxBuffer: l.Node.MaxBuffer,
+			Streams: l.Streams, Buffer: l.Buffer, Movies: l.Movies,
+		})
+	}
+	for _, a := range p.Assignments {
+		resp.Assignments = append(resp.Assignments, ClusterAssignmentJSON{
+			Movie: a.Movie, Node: a.Node, Replica: a.Replica, N: a.N, B: a.B,
+		})
+	}
+	return resp, nil
+}
+
+func handleClusterSimulate(ctx context.Context, eval *sizing.Evaluator, req ClusterSimulateRequest) (ClusterSimulateResponse, error) {
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = 3000
+	}
+	if req.Nodes > 0 && horizon*float64(req.Nodes) > maxSimHorizon {
+		return ClusterSimulateResponse{}, fmt.Errorf("horizon %g × %d nodes exceeds the service cap %d",
+			horizon, req.Nodes, maxSimHorizon)
+	}
+	warmup := req.Warmup
+	if warmup == 0 {
+		warmup = horizon / 10
+	}
+	p, movies, err := req.clusterPlan(ctx, eval)
+	if err != nil {
+		return ClusterSimulateResponse{}, err
+	}
+	nodeFaults, err := cluster.ParseNodeFaults(req.Fail)
+	if err != nil {
+		return ClusterSimulateResponse{}, err
+	}
+	res, err := cluster.Simulate(ctx, cluster.SimConfig{
+		Placement: p,
+		Movies:    movies,
+		Rates:     vcr.Rates{PB: 1, FF: 3, RW: 3},
+		TotalRate: req.Lambda,
+		Horizon:   horizon,
+		Warmup:    warmup,
+		Seed:      req.Seed,
+		Faults:    nodeFaults,
+	})
+	if err != nil {
+		return ClusterSimulateResponse{}, err
+	}
+	resp := ClusterSimulateResponse{
+		Hit:          res.Hit,
+		Availability: res.Availability,
+		ShedRate:     res.ShedRate,
+		Rebalances:   res.Rebalances,
+		Arrivals:     res.Arrivals,
+		Routed:       res.Routed,
+		Shed:         res.Shed,
+	}
+	for _, n := range res.Nodes {
+		resp.Nodes = append(resp.Nodes, ClusterSimNodeJSON{
+			Node: n.Node, Movies: n.Movies, Streams: n.PlacedStreams, Buffer: n.PlacedBuffer,
+			Hit: n.Hit, Availability: n.Availability,
+			DiskFailures: n.DiskFailures, Faulted: n.Faulted,
+		})
+	}
+	for _, m := range res.Movies {
+		resp.Movies = append(resp.Movies, ClusterSimMovieJSON{
+			Movie: m.Movie, Replicas: m.Replicas,
+			Arrivals: m.Arrivals, Routed: m.Routed, Shed: m.Shed, Failovers: m.Failovers,
+			Availability: m.Availability, Hit: m.Hit,
+		})
+	}
+	return resp, nil
+}

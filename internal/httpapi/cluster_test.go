@@ -1,0 +1,149 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// clusterServer runs the full hardened stack so /statusz is present and
+// the cluster counters are live.
+func clusterServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(Options{Workers: 2}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getStatus(t *testing.T, srv *httptest.Server) StatusResponse {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: %d", resp.StatusCode)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestClusterPlanEndpoint(t *testing.T) {
+	srv := clusterServer(t)
+	resp, body := postJSON(t, srv, "/v1/cluster/plan", `{
+		"zipfMovies": 4, "zipfTheta": 0.8,
+		"nodes": 2, "replicas": 2, "hotMovies": 1
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var plan ClusterPlanResponse
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(plan.Nodes) != 2 {
+		t.Errorf("got %d nodes, want 2", len(plan.Nodes))
+	}
+	// 4 movies + 1 extra copy of the hot one.
+	if len(plan.Assignments) != 5 {
+		t.Errorf("got %d assignments, want 5: %+v", len(plan.Assignments), plan.Assignments)
+	}
+	placed := map[string]bool{}
+	for _, a := range plan.Assignments {
+		if a.N <= 0 || a.B <= 0 {
+			t.Errorf("assignment %+v has empty allocation", a)
+		}
+		placed[a.Movie] = true
+	}
+	if len(placed) != 4 {
+		t.Errorf("placed %d distinct movies, want 4", len(placed))
+	}
+	if plan.TotalStreams <= 0 || plan.TotalBuffer <= 0 {
+		t.Errorf("empty totals: %+v", plan)
+	}
+}
+
+func TestClusterSimulateEndpoint(t *testing.T) {
+	srv := clusterServer(t)
+	resp, body := postJSON(t, srv, "/v1/cluster/simulate", `{
+		"zipfMovies": 3, "nodes": 2, "replicas": 2, "hotMovies": 1,
+		"lambda": 1.0, "horizon": 600, "warmup": 60, "seed": 7,
+		"fail": "node1@200"
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sim ClusterSimulateResponse
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(sim.Nodes) != 2 || len(sim.Movies) != 3 {
+		t.Fatalf("got %d nodes %d movies, want 2 and 3", len(sim.Nodes), len(sim.Movies))
+	}
+	if sim.Arrivals == 0 {
+		t.Error("no arrivals simulated")
+	}
+	if sim.Hit < 0 || sim.Hit > 1 || sim.Availability < 0 || sim.Availability > 1 {
+		t.Errorf("estimates outside [0,1]: %+v", sim)
+	}
+	faulted := false
+	for _, n := range sim.Nodes {
+		if n.Node == "node1" && n.Faulted {
+			faulted = true
+		}
+	}
+	if !faulted {
+		t.Errorf("node1 not marked faulted: %+v", sim.Nodes)
+	}
+}
+
+func TestClusterEndpointErrors(t *testing.T) {
+	srv := clusterServer(t)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"no catalog", "/v1/cluster/plan", `{"nodes": 2}`},
+		{"zero nodes", "/v1/cluster/plan", `{"zipfMovies": 3, "nodes": 0}`},
+		{"too many nodes", "/v1/cluster/plan", `{"zipfMovies": 3, "nodes": 1000}`},
+		{"catalog cap", "/v1/cluster/plan", `{"zipfMovies": 100000, "nodes": 2}`},
+		{"one-sided budget", "/v1/cluster/plan", `{"zipfMovies": 3, "nodes": 2, "nodeStreams": 50}`},
+		{"horizon cap", "/v1/cluster/simulate", `{"zipfMovies": 3, "nodes": 8, "lambda": 1, "horizon": 20000}`},
+		{"bad fail spec", "/v1/cluster/simulate", `{"zipfMovies": 3, "nodes": 2, "lambda": 1, "horizon": 500, "fail": "bogus"}`},
+		{"unknown fail node", "/v1/cluster/simulate", `{"zipfMovies": 3, "nodes": 2, "lambda": 1, "horizon": 500, "fail": "node9@100"}`},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, srv, c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 4xx error: %s", c.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "error") {
+			t.Errorf("%s: no error body: %s", c.name, body)
+		}
+	}
+}
+
+func TestStatuszCountsClusterRequests(t *testing.T) {
+	srv := clusterServer(t)
+	before := getStatus(t, srv).Cluster
+	if before.PlanRequests != 0 || before.SimulateRequests != 0 {
+		t.Fatalf("fresh server has nonzero cluster counts: %+v", before)
+	}
+	postJSON(t, srv, "/v1/cluster/plan", `{"zipfMovies": 3, "nodes": 2}`)
+	postJSON(t, srv, "/v1/cluster/plan", `{"nodes": 0}`) // errors still count
+	postJSON(t, srv, "/v1/cluster/simulate", `{
+		"zipfMovies": 2, "nodes": 2, "lambda": 0.5, "horizon": 300, "warmup": 30
+	}`)
+	after := getStatus(t, srv).Cluster
+	if after.PlanRequests != 2 {
+		t.Errorf("planRequests = %d, want 2", after.PlanRequests)
+	}
+	if after.SimulateRequests != 1 {
+		t.Errorf("simulateRequests = %d, want 1", after.SimulateRequests)
+	}
+}

@@ -34,7 +34,7 @@ const maxStreamsPerMovie = 1 << 20
 // load shedding; New composes the hardened stack around it. Sizing
 // endpoints get a fresh evaluator (per-mux memo cache, all CPUs).
 func NewMux() *http.ServeMux {
-	return newMux(maxBodyBytes, nil, nil, &sizing.Evaluator{})
+	return newMux(maxBodyBytes, nil, nil, &sizing.Evaluator{}, nil)
 }
 
 // newMux builds the routing table with a body limit, an evaluator for
@@ -43,7 +43,7 @@ func NewMux() *http.ServeMux {
 // requests share the evaluator's worker pool and memo cache, so load
 // fans out across at most the configured budget regardless of request
 // count.
-func newMux(maxBody int64, gate *resilience.Bulkhead, br *resilience.Breaker, eval *sizing.Evaluator) *http.ServeMux {
+func newMux(maxBody int64, gate *resilience.Bulkhead, br *resilience.Breaker, eval *sizing.Evaluator, cc *ClusterCounters) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.Handle("/v1/hit", jsonHandler(maxBody, handleHit))
@@ -54,20 +54,33 @@ func newMux(maxBody int64, gate *resilience.Bulkhead, br *resilience.Breaker, ev
 		return handleCurve(ctx, eval, req)
 	}))
 	mux.Handle("/v1/reserve", jsonHandler(maxBody, handleReserve))
+	mux.Handle("/v1/cluster/plan", jsonHandler(maxBody, func(ctx context.Context, req ClusterPlanRequest) (ClusterPlanResponse, error) {
+		cc.notePlan()
+		return handleClusterPlan(ctx, eval, req)
+	}))
 	var simulate http.Handler = jsonHandler(maxBody, handleSimulate)
 	var replicate http.Handler = jsonHandler(maxBody, handleReplicate)
+	// Cluster simulation fans a Monte Carlo run out per node, so it
+	// shares the simulation endpoints' admission control.
+	var clusterSim http.Handler = jsonHandler(maxBody, func(ctx context.Context, req ClusterSimulateRequest) (ClusterSimulateResponse, error) {
+		cc.noteSimulate()
+		return handleClusterSimulate(ctx, eval, req)
+	})
 	// The breaker sits outside the bulkhead so an open circuit fast-fails
 	// without consuming an admission slot.
 	if gate != nil {
 		simulate = limitInflight(gate, simulate)
 		replicate = limitInflight(gate, replicate)
+		clusterSim = limitInflight(gate, clusterSim)
 	}
 	if br != nil {
 		simulate = breakerGate(br, simulate)
 		replicate = breakerGate(br, replicate)
+		clusterSim = breakerGate(br, clusterSim)
 	}
 	mux.Handle("/v1/simulate", simulate)
 	mux.Handle("/v1/replicate", replicate)
+	mux.Handle("/v1/cluster/simulate", clusterSim)
 	return mux
 }
 

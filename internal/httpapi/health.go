@@ -126,7 +126,7 @@ func readyzHandler(s *State) http.Handler {
 // simulation-bulkhead occupancy, the circuit state, and the sizing
 // evaluator's memo-cache traffic and persistence outcomes. These are
 // point-in-time reads, not a consistent snapshot.
-func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br *resilience.Breaker, eval *sizing.Evaluator, cache *CacheState) http.Handler {
+func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br *resilience.Breaker, eval *sizing.Evaluator, cache *CacheState, cc *ClusterCounters) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -148,6 +148,7 @@ func statuszHandler(s *State, gate *resilience.Bulkhead, pool *parallel.Pool, br
 				Hits:    cs.Hits,
 				Misses:  cs.Misses,
 			},
+			Cluster: cc.Snapshot(),
 		}
 		if cache != nil {
 			resp.Cache.Load, resp.Cache.Save = cache.Outcomes()

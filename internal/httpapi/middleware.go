@@ -99,7 +99,8 @@ func New(o Options) http.Handler {
 	gate := resilience.NewBulkhead(o.MaxInflightSim)
 	br := resilience.NewBreaker(o.BreakerThreshold, o.BreakerCooldown)
 
-	var h http.Handler = newMux(o.MaxBodyBytes, gate, br, eval)
+	cc := &ClusterCounters{}
+	var h http.Handler = newMux(o.MaxBodyBytes, gate, br, eval, cc)
 	// The timeout handler caps handler wall time and cancels r.Context;
 	// its body is written verbatim on expiry.
 	h = http.TimeoutHandler(h, o.Timeout, `{"error":"request timed out"}`)
@@ -115,7 +116,7 @@ func New(o Options) http.Handler {
 	outer := http.NewServeMux()
 	outer.HandleFunc("/healthz", handleHealthz)
 	outer.Handle("/readyz", readyzHandler(state))
-	outer.Handle("/statusz", statuszHandler(state, gate, pool, br, eval, o.Cache))
+	outer.Handle("/statusz", statuszHandler(state, gate, pool, br, eval, o.Cache, cc))
 	outer.Handle("/", h)
 	return outer
 }

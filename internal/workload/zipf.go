@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+
+	"vodalloc/internal/dist"
+)
+
+// catalogTemplate cycles through representative title shapes when
+// ZipfCatalog stamps out an N-movie catalog: lengths and wait targets
+// span the paper's Example 1 range, and the VCR duration alternates
+// between the skewed Gamma(2,4) of §4 and the exponential profiles of
+// Example 1. Every template keeps wait ≤ length so Movie.Validate holds
+// for any cycle position.
+var catalogTemplate = []struct {
+	length, wait float64
+	dur          func() dist.Distribution
+}{
+	{length: 90, wait: 0.25, dur: func() dist.Distribution { return dist.MustGamma(2, 4) }},
+	{length: 120, wait: 1, dur: func() dist.Distribution { return dist.MustExponential(5) }},
+	{length: 75, wait: 0.5, dur: func() dist.Distribution { return dist.MustExponential(2) }},
+	{length: 60, wait: 0.5, dur: func() dist.Distribution { return dist.MustGamma(2, 4) }},
+	{length: 110, wait: 1, dur: func() dist.Distribution { return dist.MustExponential(5) }},
+	{length: 100, wait: 2, dur: func() dist.Distribution { return dist.MustExponential(2) }},
+}
+
+// ZipfCatalog generates an n-movie catalog whose popularities follow
+// ZipfWeights(n, theta) — rank 1 is the hottest title — with lengths,
+// wait targets and VCR profiles cycling through a fixed template set.
+// Every movie shares the §4 mixed profile probabilities (0.2/0.2/0.6),
+// Exp(15) think times, and the P* = 0.5 hit target. The catalog is a
+// pure function of (n, theta), so two callers agree on it without
+// exchanging movie lists.
+func ZipfCatalog(n int, theta float64) ([]Movie, error) {
+	weights, err := ZipfWeights(n, theta)
+	if err != nil {
+		return nil, err
+	}
+	think := dist.MustExponential(15)
+	movies := make([]Movie, n)
+	for i := range movies {
+		t := catalogTemplate[i%len(catalogTemplate)]
+		movies[i] = Movie{
+			Name:       fmt.Sprintf("m%02d", i+1),
+			Length:     t.length,
+			Wait:       t.wait,
+			TargetHit:  0.5,
+			Profile:    MixedProfile(t.dur(), think),
+			Popularity: weights[i],
+		}
+		if err := movies[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return movies, nil
+}

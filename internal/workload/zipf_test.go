@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestZipfCatalog(t *testing.T) {
+	movies, err := ZipfCatalog(10, 0.8)
+	if err != nil {
+		t.Fatalf("ZipfCatalog: %v", err)
+	}
+	if len(movies) != 10 {
+		t.Fatalf("got %d movies, want 10", len(movies))
+	}
+	var sum float64
+	names := map[string]bool{}
+	for i, m := range movies {
+		if err := m.Validate(); err != nil {
+			t.Errorf("movie %d invalid: %v", i, err)
+		}
+		if names[m.Name] {
+			t.Errorf("duplicate movie name %q", m.Name)
+		}
+		names[m.Name] = true
+		if i > 0 && m.Popularity > movies[i-1].Popularity {
+			t.Errorf("popularity not decreasing at rank %d: %v > %v", i+1, m.Popularity, movies[i-1].Popularity)
+		}
+		sum += m.Popularity
+	}
+	if d := sum - 1; d > 1e-9 || d < -1e-9 {
+		t.Errorf("popularities sum to %v, want 1", sum)
+	}
+	// The catalog is a pure function of (n, theta).
+	again, err := ZipfCatalog(10, 0.8)
+	if err != nil {
+		t.Fatalf("ZipfCatalog again: %v", err)
+	}
+	for i := range movies {
+		if movies[i].Name != again[i].Name || movies[i].Length != again[i].Length ||
+			movies[i].Popularity != again[i].Popularity {
+			t.Fatalf("catalog not reproducible at %d: %+v vs %+v", i, movies[i], again[i])
+		}
+	}
+}
+
+func TestZipfCatalogErrors(t *testing.T) {
+	if _, err := ZipfCatalog(0, 0.8); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ZipfCatalog(3, -1); err == nil {
+		t.Error("negative theta accepted")
+	}
+}

@@ -5,7 +5,9 @@
 # sweep engine (internal/parallel) and every fan-out built on it.
 # A crash-resume smoke SIGKILLs checkpointed runs mid-flight and
 # requires the resumed output to be byte-identical (scripts/killresume.sh),
-# after a pass over the checkpoint decoder's fuzz corpus. A final chaos
+# after a pass over the checkpoint decoder's fuzz corpus. A cluster
+# smoke plans Example 1 onto three nodes and runs a short failover
+# simulation. A final chaos
 # smoke boots vodserverd on an ephemeral port, soaks it with vodchaos
 # for a few seconds (mixed traffic, client cancellations, oversized and
 # malformed bodies), then SIGTERMs it mid-run and requires zero
@@ -22,6 +24,13 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # --- checkpoint fuzz corpus + crash-resume smoke ---
 go test -run='^FuzzCheckpointDecode$' ./internal/checkpoint
 scripts/killresume.sh
+
+# --- cluster smoke: plan Example 1 onto 3 nodes, then a short
+# failover simulation with one node down mid-run ---
+go run ./cmd/vodcluster plan -nodes 3 >/dev/null
+go run ./cmd/vodcluster simulate -nodes 3 -replicas 2 -hot 1 -headroom 2 \
+    -lambda 1.5 -horizon 400 -warmup 50 -fail node2@150 >/dev/null
+echo "ci: cluster smoke passed"
 
 # --- chaos smoke ---
 tmp=$(mktemp -d)

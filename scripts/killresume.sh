@@ -1,11 +1,12 @@
 #!/bin/sh
-# Kill-resume verification harness: SIGKILL a checkpointed vodsim run at
-# a random point mid-flight, resume it from the surviving checkpoint
+# Kill-resume verification harness: SIGKILL a checkpointed run at a
+# random point mid-flight, resume it from the surviving checkpoint
 # directory, and require the final output to be byte-identical to an
-# uninterrupted run. Two stages:
+# uninterrupted run. Three stages:
 #
-#   single  one long simulation with periodic state checkpoints
-#   sweep   a replication sweep journaling completed items to a WAL
+#   single   one long vodsim simulation with periodic state checkpoints
+#   sweep    a vodsim replication sweep journaling completed items
+#   cluster  a vodcluster node-count sweep journaling per-node sim rows
 #
 # A kill that lands before any progress was journaled (or after the run
 # finished) proves nothing, so each stage retries with a fresh random
@@ -25,6 +26,7 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$tmp/vodsim" ./cmd/vodsim
+go build -o "$tmp/vodcluster" ./cmd/vodcluster
 
 # rand_delay MIN MAX SALT: a uniform delay in seconds, seeded by pid+salt
 # so retries within the same second still draw fresh values.
@@ -34,13 +36,19 @@ rand_delay() {
         echo "0.8"
 }
 
-# run_stage NAME VODSIM_ARGS…: golden run, then kill/resume until the
-# resume demonstrably recovered journaled progress.
+# run_stage NAME MIN MAX BINARY ARGS…: golden run, then kill at a random
+# point in [MIN, MAX] seconds and resume, retrying until the resume
+# demonstrably recovered journaled progress. Pick the window to overlap
+# the checkpointed phase: vodcluster spends ~2s sizing the catalog
+# before its first journal write, so its window starts later.
 run_stage() {
     name=$1
-    shift
+    kmin=$2
+    kmax=$3
+    bin=$4
+    shift 4
     golden="$tmp/$name.golden"
-    "$tmp/vodsim" "$@" >"$golden" 2>/dev/null
+    "$bin" "$@" >"$golden" 2>/dev/null
 
     attempt=0
     while :; do
@@ -50,8 +58,8 @@ run_stage() {
             exit 1
         fi
         dir="$tmp/$name.ckpt.$attempt"
-        delay=$(rand_delay 0.4 1.4 "$attempt")
-        "$tmp/vodsim" "$@" -resume "$dir" >/dev/null 2>&1 &
+        delay=$(rand_delay "$kmin" "$kmax" "$attempt")
+        "$bin" "$@" -resume "$dir" >/dev/null 2>&1 &
         pid=$!
         sleep "$delay"
         if ! kill -0 "$pid" 2>/dev/null; then
@@ -66,7 +74,7 @@ run_stage() {
 
         out="$tmp/$name.out"
         err="$tmp/$name.err"
-        "$tmp/vodsim" "$@" -resume "$dir" >"$out" 2>"$err"
+        "$bin" "$@" -resume "$dir" >"$out" 2>"$err"
         if ! grep -q 'resum' "$err"; then
             # Killed before anything was journaled; the rerun was a clean
             # recompute and proves nothing about recovery. Retry.
@@ -82,9 +90,11 @@ run_stage() {
     done
 }
 
-run_stage single -l 120 -b 60 -n 30 -lambda 0.5 -horizon 100000 -warmup 500 \
-    -seed 7 -compare=false -checkpoint-every 10000
-run_stage sweep -l 120 -b 60 -n 30 -lambda 0.5 -horizon 15000 -warmup 500 \
-    -seed 7 -compare=false -replications 16
+run_stage single 0.4 1.4 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
+    -horizon 100000 -warmup 500 -seed 7 -compare=false -checkpoint-every 10000
+run_stage sweep 0.4 1.4 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
+    -horizon 15000 -warmup 500 -seed 7 -compare=false -replications 16
+run_stage cluster 2.4 4.0 "$tmp/vodcluster" sweep -min-nodes 2 -max-nodes 5 \
+    -lambda 1.5 -horizon 12000 -warmup 600 -seed 7
 
 echo "killresume: all stages passed"
