@@ -229,8 +229,40 @@ func (h *harness) ops() []op {
 					r.Int63n(1<<30)+1))
 			},
 			accept: []int{200, 503}},
+		{name: "cluster-plan", weight: 5, method: http.MethodPost, path: "/v1/cluster/plan",
+			// Varying the catalog size keeps part of the load outside
+			// the sizing memo cache, like plan-canceled does for /v1/plan.
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(`{"zipfMovies":%d,"nodes":2,"replicas":2,"hotMovies":1}`,
+					2+r.Intn(4)))
+			},
+			accept: []int{200, 503}},
+		{name: "cluster-oversize", weight: 3, method: http.MethodPost, path: "/v1/cluster/simulate",
+			body:   func(r *rand.Rand) []byte { return clusterOversizeBody },
+			accept: []int{413, 503}},
+		{name: "cluster-sim-canceled", weight: 5, method: http.MethodPost, path: "/v1/cluster/simulate",
+			cancelWithin: 50 * time.Millisecond,
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(
+					`{"zipfMovies":3,"nodes":4,"lambda":1.0,"horizon":8000,"seed":%d}`,
+					r.Int63n(1<<30)+1))
+			},
+			accept: []int{200, 503}},
+		{name: "cluster-churn", weight: 4, method: http.MethodPost, path: "/v1/cluster/churn",
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(
+					`{"zipfMovies":3,"nodes":2,"replicas":2,"hotMovies":1,"lambda":0.5,"horizon":600,"warmup":60,"flash":"m01@200:3","budgetMB":20000,"seed":%d}`,
+					r.Int63n(1<<30)+1))
+			},
+			accept: []int{200, 503}},
 	}
 }
+
+// clusterOversizeBody exceeds the body cap on the cluster simulate
+// route: a structurally valid request padded past 1 MiB, so only the
+// size limiter can be the thing that rejects it.
+var clusterOversizeBody = []byte(`{"zipfMovies":3,"nodes":2,"lambda":0.5,"horizon":500,` +
+	`"fail":"` + strings.Repeat("x", 1<<20+1024) + `"}`)
 
 // oversizeBody exceeds the server's default 1 MiB body cap: valid JSON
 // shape, so only the limiter can reject it.
@@ -372,6 +404,11 @@ func (h *harness) sigtermPhase(pid int, exitWait time.Duration) {
 	for i := 0; i < 10; i++ {
 		h.do(probe, op{name: "drain-probe", method: http.MethodPost, path: "/v1/hit",
 			body:   func(r *rand.Rand) []byte { return []byte(`{"config":{"l":120,"b":60,"n":30},"profile":{}}`) },
+			accept: []int{200, 503}})
+		// The cluster routes sit behind the same drain gates; probe one
+		// so a drain regression scoped to the newer mux paths is caught.
+		h.do(probe, op{name: "drain-probe-cluster", method: http.MethodPost, path: "/v1/cluster/plan",
+			body:   func(r *rand.Rand) []byte { return []byte(`{"zipfMovies":2,"nodes":2}`) },
 			accept: []int{200, 503}})
 		time.Sleep(20 * time.Millisecond)
 	}

@@ -10,10 +10,13 @@
 //	vodcluster plan -nodes 4 -movies 12 -theta 0.8 -replicas 2 -hot 4
 //	vodcluster simulate -nodes 3 -lambda 1.5 -horizon 3000 -fail "node0@500-1500"
 //	vodcluster sweep -min-nodes 1 -max-nodes 6 -lambda 1.5 -resume ckpt/
+//	vodcluster churn -nodes 4 -lambda 1.5 -flash "m01@300:4" -budget-mb 20000 -resume ckpt/
 package main
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +24,9 @@ import (
 	"sort"
 	"strings"
 
+	"vodalloc/internal/checkpoint"
 	"vodalloc/internal/cluster"
+	"vodalloc/internal/sim"
 	"vodalloc/internal/sizing"
 	"vodalloc/internal/vcr"
 	"vodalloc/internal/workload"
@@ -38,7 +43,7 @@ func main() {
 	cmd := "plan"
 	if len(args) > 0 {
 		switch args[0] {
-		case "plan", "simulate", "sweep":
+		case "plan", "simulate", "sweep", "churn":
 			cmd, args = args[0], args[1:]
 		case "help", "-h", "-help", "--help":
 			usage()
@@ -53,6 +58,8 @@ func main() {
 		err = runSimulate(args)
 	case "sweep":
 		err = runSweep(args)
+	case "churn":
+		err = runChurn(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodcluster:", err)
@@ -66,6 +73,7 @@ func usage() {
   plan      size the catalog and bin-pack it onto nodes (the default)
   simulate  plan, then run one simulated server per node with failover routing
   sweep     plan+simulate across a range of node counts
+  churn     drive a time-varying workload with the live rebalancing controller
 
 Run "vodcluster <subcommand> -h" for flags.`)
 }
@@ -343,4 +351,150 @@ func runSweep(args []string) error {
 			r.res.Hit, r.res.Availability, r.res.ShedRate, r.res.Rebalances)
 	}
 	return nil
+}
+
+// runChurn drives the live control plane: a time-varying workload
+// (diurnal swing, Zipf drift, flash crowds) against the planned
+// placement, with the budgeted rebalancing controller reacting online
+// (or frozen, with -controller=false, for the baseline). With -resume
+// the run journals replay checkpoints and survives a SIGKILL — even one
+// landing mid-rebalance — byte-identically.
+func runChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	cat := addCatalogFlags(fs)
+	cf := addClusterFlags(fs)
+	sf := addSimFlags(fs)
+	failSpec := fs.String("fail", "", `node outages: "node0@400,node2@500-1500"`)
+	flashSpec := fs.String("flash", "", `flash crowds: "m01@300:4" or "m01@300:4:10:60:30" (movie@at:peak[:ramp[:hold[:decay]]])`)
+	diurnalPeriod := fs.Float64("diurnal-period", 0, "diurnal cycle length, minutes (0 = no diurnal swing)")
+	diurnalAmp := fs.Float64("diurnal-amp", 0.3, "diurnal amplitude in [0,1), with -diurnal-period")
+	driftTheta1 := fs.Float64("drift-theta1", -1, "Zipf exponent drifts from -theta to this over -drift-period (<0 = no drift)")
+	driftPeriod := fs.Float64("drift-period", 0, "drift span, minutes (0 = horizon)")
+	rotate := fs.Float64("rotate", 0, "minutes per one-position popularity rank rotation (0 = none)")
+	epoch := fs.Float64("epoch", 0, "piecewise-constant rate step, minutes (0 = default)")
+	budgetMB := fs.Float64("budget-mb", 0, "total migration budget, MB (0 = unlimited)")
+	migrations := fs.Int("migrations", 0, "max concurrent migrations (0 = default 2)")
+	interval := fs.Float64("interval", 0, "controller tick interval, minutes (0 = default 15)")
+	controller := fs.Bool("controller", true, "enable the rebalancing controller (false = frozen placement baseline)")
+	window := fs.Float64("window", 0, "availability-floor window, minutes (0 = 60)")
+	ckptEvery := fs.Int("checkpoint-every", 2000, "events between checkpoints, with -resume")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	movies, err := cat.load()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	p, _, err := cf.plan(ctx, movies, *cf.nodes)
+	if err != nil {
+		return err
+	}
+	faults, err := cluster.ParseNodeFaults(*failSpec)
+	if err != nil {
+		return err
+	}
+	flashes, err := workload.ParseFlashCrowds(*flashSpec)
+	if err != nil {
+		return err
+	}
+	dyn := workload.DynamicWorkload{
+		Movies:   movies,
+		BaseRate: *sf.lambda,
+		Epoch:    *epoch,
+		Flashes:  flashes,
+	}
+	if *diurnalPeriod > 0 {
+		dyn.Diurnal = &workload.Diurnal{Period: *diurnalPeriod, Amplitude: *diurnalAmp}
+	}
+	if *driftTheta1 >= 0 {
+		period := *driftPeriod
+		if period <= 0 {
+			period = *sf.horizon
+		}
+		dyn.Drift = &workload.ZipfDrift{Theta0: *cat.theta, Theta1: *driftTheta1, Period: period, Rotate: *rotate}
+	} else if *rotate > 0 {
+		dyn.Drift = &workload.ZipfDrift{Theta0: *cat.theta, Theta1: *cat.theta, Period: *sf.horizon, Rotate: *rotate}
+	}
+	cfg := cluster.ChurnConfig{
+		Placement: p,
+		Workload:  dyn,
+		Horizon:   *sf.horizon,
+		Warmup:    sf.warmupVal(),
+		Seed:      *sf.seed,
+		Controller: cluster.ControllerConfig{
+			Interval:      *interval,
+			BudgetBytes:   *budgetMB * 1e6,
+			MaxConcurrent: *migrations,
+		},
+		ControllerOff: !*controller,
+		Faults:        faults,
+		Window:        *window,
+	}
+	var res *cluster.ChurnResult
+	if *sf.resume != "" {
+		res, err = runChurnResumable(ctx, cfg, *sf.resume, *ckptEvery)
+	} else {
+		res, err = cluster.RunChurn(ctx, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	mode := "controller on"
+	if cfg.ControllerOff {
+		mode = "frozen placement"
+	}
+	fmt.Printf("churn: %d movies on %d nodes, lambda=%g, horizon=%g (%s)\n",
+		len(movies), *cf.nodes, *sf.lambda, *sf.horizon, mode)
+	fmt.Print(res.Summary())
+	return nil
+}
+
+// runChurnResumable mirrors vodsim's replay-checkpoint protocol for the
+// churn engine: the snapshot payload is the configuration identity
+// followed by the 24-byte checkpoint, a mismatched identity is refused
+// before any replay, and a finished run removes its checkpoint.
+func runChurnResumable(ctx context.Context, cfg cluster.ChurnConfig, dir string, every int) (*cluster.ChurnResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	identity := cfg.Identity()
+	path := filepath.Join(dir, "churn.ckpt")
+	sink := func(cp sim.Checkpoint) error {
+		b, err := cp.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		payload := append(binary.BigEndian.AppendUint64(nil, identity), b...)
+		return checkpoint.WriteSnapshot(path, checkpoint.FormatVersion, checkpoint.KindChurnRun, payload)
+	}
+
+	var res *cluster.ChurnResult
+	kind, payload, err := checkpoint.ReadSnapshot(path, checkpoint.FormatVersion)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		res, err = cluster.RunChurnCheckpointed(ctx, cfg, every, sink)
+	case err != nil:
+		return nil, err
+	default:
+		if kind != checkpoint.KindChurnRun || len(payload) != 32 {
+			return nil, fmt.Errorf("%s: not a churn run checkpoint", path)
+		}
+		if got := binary.BigEndian.Uint64(payload); got != identity {
+			return nil, fmt.Errorf("%s: %w: checkpoint was written by a different churn configuration", path, checkpoint.ErrIdentity)
+		}
+		var cp sim.Checkpoint
+		if err := cp.UnmarshalBinary(payload[8:]); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "vodcluster: resuming churn from checkpoint at t=%.2f (%d events) in %s\n", cp.Now, cp.Fired, dir)
+		res, err = cluster.ResumeChurnCheckpointed(ctx, cfg, cp, every, sink)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintln(os.Stderr, "vodcluster: drop finished checkpoint:", err)
+	}
+	return res, nil
 }

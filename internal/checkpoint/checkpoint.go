@@ -72,6 +72,9 @@ const (
 	KindSweep uint16 = 2
 	// KindEvalCache is a persisted sizing.Evaluator memo cache.
 	KindEvalCache uint16 = 3
+	// KindChurnRun is a cluster churn-simulation replay checkpoint
+	// (cmd/vodcluster churn).
+	KindChurnRun uint16 = 4
 )
 
 // Envelope layout (snapshot files):

@@ -1,0 +1,650 @@
+package cluster
+
+import (
+	"container/heap"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"vodalloc/internal/checkpoint"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/workload"
+)
+
+// The churn simulator: a sequential DES over the routing layer that
+// drives a time-varying workload (drifting Zipf, diurnal swing, flash
+// crowds) against a live cluster, with the rebalancing Controller in
+// the loop. Unlike Simulate — which measures per-node hit probability
+// under a frozen placement — churn measures what viewers experience
+// *while the placement moves*: availability and P(hit) during
+// rebalances, typed shed counts, migration spend, and how long the
+// controller takes to reconverge after a flash crowd.
+//
+// Arrivals are a non-homogeneous Poisson process discretized into
+// piecewise-constant epochs: within an epoch each movie's gap is
+// exponential at the epoch's rate, and at every boundary the pending
+// gaps are re-drawn at the new rates — exact for exponential gaps by
+// memorylessness. Arrival events carry their epoch index so a stale
+// pre-boundary draw is dropped deterministically instead of firing at
+// the wrong rate.
+
+// ChurnConfig parameterizes a churn run.
+type ChurnConfig struct {
+	// Placement is the initial deployment; the controller evolves it.
+	Placement Placement
+	// Workload is the time-varying demand over the placed catalog.
+	Workload workload.DynamicWorkload
+	// Horizon and Warmup bound the run in simulated minutes;
+	// measurements start at Warmup.
+	Horizon, Warmup float64
+	// Seed drives the arrival processes and the router draws.
+	Seed int64
+	// Controller tunes the rebalancer; ControllerOff freezes the
+	// placement instead (the baseline the controlled run is judged
+	// against).
+	Controller    ControllerConfig
+	ControllerOff bool
+	// Faults are node outages to inject.
+	Faults []NodeFault
+	// Window is the availability-floor window length, minutes (0 = 60):
+	// FloorAvailability is the worst per-window availability after
+	// warmup, the metric a flash crowd degrades first.
+	Window float64
+}
+
+func (c ChurnConfig) window() float64 {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 60
+}
+
+// Validate checks the configuration.
+func (c ChurnConfig) Validate() error {
+	if err := c.Placement.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCluster, err)
+	}
+	if err := c.Controller.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case !(c.Horizon > 0) || math.IsInf(c.Horizon, 0):
+		return fmt.Errorf("%w: horizon %v", ErrBadCluster, c.Horizon)
+	case math.IsNaN(c.Warmup) || c.Warmup < 0 || c.Warmup >= c.Horizon:
+		return fmt.Errorf("%w: warmup %v outside [0, horizon)", ErrBadCluster, c.Warmup)
+	case c.Window < 0 || math.IsNaN(c.Window) || math.IsInf(c.Window, 0):
+		return fmt.Errorf("%w: window %v", ErrBadCluster, c.Window)
+	}
+	catalog := make(map[string]bool, len(c.Workload.Movies))
+	for _, m := range c.Workload.Movies {
+		catalog[m.Name] = true
+	}
+	placed := make(map[string]bool)
+	for _, a := range c.Placement.Assignments {
+		if !catalog[a.Movie] {
+			return fmt.Errorf("%w: placed movie %q missing from catalog", ErrBadCluster, a.Movie)
+		}
+		placed[a.Movie] = true
+	}
+	for _, m := range c.Workload.Movies {
+		if !placed[m.Name] {
+			return fmt.Errorf("%w: catalog movie %q not placed", ErrBadCluster, m.Name)
+		}
+	}
+	known := make(map[string]bool, len(c.Placement.Nodes))
+	for _, n := range c.Placement.Nodes {
+		known[n.ID] = true
+	}
+	for _, f := range c.Faults {
+		if err := f.Validate(known); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Identity fingerprints everything that shapes the run, for keying the
+// resume snapshot: a checkpoint taken under one configuration refuses
+// to restore under another.
+func (c ChurnConfig) Identity() uint64 {
+	w := c.Workload
+	parts := []any{"cluster.churn", c.Horizon, c.Warmup, c.Seed, c.ControllerOff,
+		c.window(), w.BaseRate, w.EpochLength()}
+	cc := c.Controller.withDefaults()
+	parts = append(parts, cc.Interval, cc.BudgetBytes, cc.MaxConcurrent,
+		cc.MigrationRate, cc.BytesPerMinute, cc.TargetUtil, cc.DropUtil,
+		cc.DegradeAt, cc.RestoreAt, cc.RestoreTicks, cc.Cooldown, cc.Alpha, cc.AlphaSlow)
+	if w.Diurnal != nil {
+		parts = append(parts, *w.Diurnal)
+	}
+	if w.Drift != nil {
+		parts = append(parts, *w.Drift)
+	}
+	for _, f := range w.Flashes {
+		parts = append(parts, f)
+	}
+	for _, n := range c.Placement.Nodes {
+		parts = append(parts, n)
+	}
+	for _, a := range c.Placement.Assignments {
+		parts = append(parts, a.Movie, a.Node, a.Replica, a.N, a.B)
+	}
+	for _, m := range w.Movies {
+		parts = append(parts, m.Name, m.Length, m.Wait, m.Popularity)
+	}
+	for _, f := range c.Faults {
+		parts = append(parts, f)
+	}
+	return checkpoint.Identity(parts...)
+}
+
+// ChurnWindow is one post-warmup measurement window.
+type ChurnWindow struct {
+	Start              float64
+	Arrivals, Admitted uint64
+	Availability       float64
+	Hit                float64
+}
+
+// ChurnResult is a churn run's measurements (all post-warmup).
+type ChurnResult struct {
+	// Arrivals partition into Admitted and the typed sheds.
+	Arrivals, Admitted                         uint64
+	ShedNoReplica, ShedSaturated, ShedDegraded uint64
+	// Failovers counts admitted viewers served by a non-primary replica
+	// while the primary's node was down.
+	Failovers uint64
+	// Availability is Admitted/Arrivals; FloorAvailability is the worst
+	// single window's availability.
+	Availability      float64
+	FloorAvailability float64
+	// Hit is the mean expected resume-hit probability over admitted
+	// viewers, contention-discounted: a replica serving more viewers
+	// than its pre-allocation sized for dilutes its buffer hit rate.
+	Hit float64
+	// Windows is the availability/hit timeline.
+	Windows []ChurnWindow
+	// Controller is the rebalancer's spend and activity (zero when the
+	// controller was off).
+	Controller ControllerStats
+	// ConvergedAt is when the controller went quiet after the last
+	// flash crowd decayed; TimeToConverge is the gap. Both -1 when not
+	// measured (no flashes, controller off, or never converged).
+	ConvergedAt, TimeToConverge float64
+}
+
+// Summary renders a human-readable digest.
+func (r *ChurnResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "churn: arrivals=%d admitted=%d availability=%.4f floor=%.4f P(hit)=%.4f\n",
+		r.Arrivals, r.Admitted, r.Availability, r.FloorAvailability, r.Hit)
+	fmt.Fprintf(&b, "  shed: no-replica=%d saturated=%d degraded=%d  failovers=%d\n",
+		r.ShedNoReplica, r.ShedSaturated, r.ShedDegraded, r.Failovers)
+	c := r.Controller
+	fmt.Fprintf(&b, "  controller: adds=%d drops=%d migrations=%d/%d/%d (started/done/aborted) spent=%.1f MB",
+		c.ReplicaAdds, c.ReplicaDrops, c.MigrationsStarted, c.MigrationsCompleted, c.MigrationsAborted,
+		c.SpentBytes/1e6)
+	if c.BudgetExhausted {
+		b.WriteString(" BUDGET-EXHAUSTED")
+	}
+	fmt.Fprintf(&b, " peak-level=%s\n", c.PeakLevel)
+	if r.TimeToConverge >= 0 {
+		fmt.Fprintf(&b, "  reconverged %.1f min after the last flash (t=%.1f)\n", r.TimeToConverge, r.ConvergedAt)
+	}
+	for _, w := range r.Windows {
+		fmt.Fprintf(&b, "  [%6.0f] arrivals=%d availability=%.4f hit=%.4f\n",
+			w.Start, w.Arrivals, w.Availability, w.Hit)
+	}
+	return b.String()
+}
+
+// Churn event kinds, in tie-break priority order at equal timestamps:
+// node transitions first, then migration completions (a replica landing
+// at time t serves traffic at time t), the epoch re-draw and the
+// control tick before traffic, and departures before arrivals so slots
+// free first.
+const (
+	cevDown = iota
+	cevUp
+	cevMigDone
+	cevEpoch
+	cevTick
+	cevDeparture
+	cevArrival
+)
+
+type churnEvent struct {
+	t     float64
+	kind  int8
+	seq   uint64
+	movie int
+	node  string
+	epoch int
+	mig   Migration
+}
+
+type churnHeap []churnEvent
+
+func (h churnHeap) Len() int { return len(h) }
+func (h churnHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h churnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *churnHeap) Push(x any)   { *h = append(*h, x.(churnEvent)) }
+func (h *churnHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// churnRun is the engine's live state. The run is strictly sequential;
+// determinism comes from the seeded generators and the (t, kind, seq)
+// event order.
+type churnRun struct {
+	cfg      ChurnConfig
+	router   *Router
+	ctrl     *Controller // nil when ControllerOff
+	movies   []workload.Movie
+	alloc    map[string]MovieAlloc
+	rngs     []*rand.Rand
+	rates    []float64
+	h        churnHeap
+	seq      uint64
+	epoch    int
+	now      float64
+	fired    uint64
+	flashEnd float64
+
+	arrivals, admitted uint64
+	shed               [3]uint64 // by ShedReason
+	failovers          uint64
+	hitSum             float64
+	wins               []churnWinAcc
+	convergedAt        float64
+}
+
+type churnWinAcc struct {
+	arrivals, admitted uint64
+	hitSum             float64
+}
+
+func newChurnRun(cfg ChurnConfig) (*churnRun, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	router, err := NewRouter(cfg.Placement, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &churnRun{
+		cfg:         cfg,
+		router:      router,
+		movies:      cfg.Workload.Movies,
+		alloc:       make(map[string]MovieAlloc, len(cfg.Workload.Movies)),
+		rngs:        make([]*rand.Rand, len(cfg.Workload.Movies)),
+		rates:       make([]float64, len(cfg.Workload.Movies)),
+		flashEnd:    cfg.Workload.LastFlashEnd(),
+		convergedAt: -1,
+	}
+	if !cfg.ControllerOff {
+		r.ctrl, err = NewController(cfg.Controller, cfg.Placement, r.movies, router)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range cfg.Placement.Assignments {
+		if a.Replica == 0 {
+			r.alloc[a.Movie] = a.MovieAlloc
+		}
+	}
+	for _, f := range cfg.Faults {
+		r.push(churnEvent{t: f.At, kind: cevDown, node: f.Node})
+		if f.Until > f.At {
+			r.push(churnEvent{t: f.Until, kind: cevUp, node: f.Node})
+		}
+	}
+	cfg.Workload.RatesInto(0, r.rates)
+	for i := range r.movies {
+		r.rngs[i] = rand.New(rand.NewSource(cfg.Seed ^ (int64(i+1) * 0x5E3779B97F4A7C15)))
+		r.scheduleArrival(i, 0)
+	}
+	if el := cfg.Workload.EpochLength(); el < cfg.Horizon && !cfg.Workload.Static() {
+		r.push(churnEvent{t: el, kind: cevEpoch})
+	}
+	if r.ctrl != nil {
+		r.push(churnEvent{t: r.ctrl.cfg.Interval, kind: cevTick})
+	}
+	return r, nil
+}
+
+func (r *churnRun) push(e churnEvent) {
+	e.seq = r.seq
+	r.seq++
+	heap.Push(&r.h, e)
+}
+
+// scheduleArrival draws movie i's next gap at the current epoch rate.
+// A zero-rate movie schedules nothing; the next epoch boundary re-draws
+// it if its rate returns.
+func (r *churnRun) scheduleArrival(i int, from float64) {
+	if !(r.rates[i] > 0) {
+		return
+	}
+	r.push(churnEvent{
+		t:     from + r.rngs[i].ExpFloat64()/r.rates[i],
+		kind:  cevArrival,
+		movie: i,
+		epoch: r.epoch,
+	})
+}
+
+// winFor returns the accumulator of the window containing time t,
+// growing the timeline as needed.
+func (r *churnRun) winFor(t float64) *churnWinAcc {
+	wi := int((t - r.cfg.Warmup) / r.cfg.window())
+	for len(r.wins) <= wi {
+		r.wins = append(r.wins, churnWinAcc{})
+	}
+	return &r.wins[wi]
+}
+
+// step executes one event. It reports false when the run is over (the
+// first arrival at or past the horizon).
+func (r *churnRun) step() (bool, error) {
+	if r.h.Len() == 0 {
+		return false, nil
+	}
+	e := heap.Pop(&r.h).(churnEvent)
+	r.now = e.t
+	r.fired++
+	if e.t >= r.cfg.Horizon {
+		if e.kind != cevArrival {
+			return true, nil // drain non-traffic events past the horizon
+		}
+		return false, nil
+	}
+	switch e.kind {
+	case cevDown, cevUp:
+		down := e.kind == cevDown
+		if err := r.router.SetNodeDown(e.node, down); err != nil {
+			return false, err
+		}
+		if r.ctrl != nil {
+			// Aborted migrations stay charged; nothing to schedule.
+			r.ctrl.SetNodeDown(e.node, down)
+		}
+	case cevMigDone:
+		if r.ctrl != nil {
+			if err := r.ctrl.Complete(e.mig); err != nil {
+				return false, err
+			}
+		}
+	case cevEpoch:
+		r.epoch++
+		r.cfg.Workload.RatesInto(e.t, r.rates)
+		// Re-draw every movie's pending gap at the new rate (exact by
+		// memorylessness); the stale draws in the heap die by epoch stamp.
+		for i := range r.movies {
+			r.scheduleArrival(i, e.t)
+		}
+		if next := e.t + r.cfg.Workload.EpochLength(); next < r.cfg.Horizon {
+			r.push(churnEvent{t: next, kind: cevEpoch})
+		}
+	case cevTick:
+		started := r.ctrl.Tick(e.t)
+		for _, m := range started {
+			r.push(churnEvent{t: m.Done, kind: cevMigDone, mig: m})
+		}
+		if r.convergedAt < 0 && r.flashEnd > 0 && e.t >= r.flashEnd &&
+			r.ctrl.InFlight() == 0 && r.ctrl.QuietTicks() >= 2 {
+			r.convergedAt = e.t
+		}
+		if next := e.t + r.ctrl.cfg.Interval; next < r.cfg.Horizon {
+			r.push(churnEvent{t: next, kind: cevTick})
+		}
+	case cevDeparture:
+		r.router.Release(r.movies[e.movie].Name, e.node)
+	case cevArrival:
+		if e.epoch != r.epoch {
+			return true, nil // stale pre-boundary draw
+		}
+		i := e.movie
+		r.scheduleArrival(i, e.t)
+		measured := e.t >= r.cfg.Warmup
+		var win *churnWinAcc
+		if measured {
+			r.arrivals++
+			win = r.winFor(e.t)
+			win.arrivals++
+		}
+		if r.ctrl != nil {
+			r.ctrl.ObserveArrival(i)
+			if !r.ctrl.Admit(i) {
+				if measured {
+					r.shed[ShedDegraded]++
+				}
+				return true, nil
+			}
+		}
+		d, err := r.router.RouteLoad(r.movies[i].Name)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrUnavailable):
+				if measured {
+					r.shed[ShedNoReplica]++
+				}
+			case errors.Is(err, ErrSaturated):
+				if measured {
+					r.shed[ShedSaturated]++
+				}
+			default:
+				return false, err
+			}
+			return true, nil
+		}
+		r.push(churnEvent{t: e.t + r.movies[i].Length, kind: cevDeparture, movie: i, node: d.Node})
+		if measured {
+			r.admitted++
+			win.admitted++
+			// Contention-aware hit: a replica carrying more live viewers
+			// than its pre-allocated streams dilutes its buffer hit rate
+			// proportionally — the paper's sizing holds at or under N.
+			hit := r.alloc[r.movies[i].Name].Hit
+			if d.Live > d.AllocN && d.AllocN > 0 {
+				hit *= float64(d.AllocN) / float64(d.Live)
+			}
+			r.hitSum += hit
+			win.hitSum += hit
+			if d.Failover {
+				r.failovers++
+			}
+		}
+	}
+	return true, nil
+}
+
+// digest hashes the run's observable mutable state — counters, window
+// accumulators, clock, epoch, router and controller state — for
+// checkpoint verification. Floats hash by bit pattern: exact, not
+// approximate.
+func (r *churnRun) digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	f64(r.now)
+	u64(r.fired)
+	u64(uint64(r.epoch))
+	u64(uint64(r.h.Len()))
+	u64(r.arrivals)
+	u64(r.admitted)
+	for _, s := range r.shed {
+		u64(s)
+	}
+	u64(r.failovers)
+	f64(r.hitSum)
+	f64(r.convergedAt)
+	u64(uint64(len(r.wins)))
+	for _, w := range r.wins {
+		u64(w.arrivals)
+		u64(w.admitted)
+		f64(w.hitSum)
+	}
+	r.router.digest(u64)
+	if r.ctrl != nil {
+		r.ctrl.digest(u64)
+	}
+	return h.Sum64()
+}
+
+func (r *churnRun) checkpointNow() sim.Checkpoint {
+	return sim.Checkpoint{Fired: r.fired, Now: r.now, Digest: r.digest()}
+}
+
+// run drives the event loop to the horizon, handing a checkpoint to
+// sink every `every` events. The checkpoints only observe the schedule:
+// the event sequence and result are identical at any cadence.
+func (r *churnRun) run(ctx context.Context, every int, sink func(sim.Checkpoint) error) error {
+	for {
+		if r.fired%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		more, err := r.step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		if sink != nil && every > 0 && r.fired%uint64(every) == 0 {
+			if err := sink(r.checkpointNow()); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// result finalizes the measurements.
+func (r *churnRun) result() *ChurnResult {
+	res := &ChurnResult{
+		Arrivals:      r.arrivals,
+		Admitted:      r.admitted,
+		ShedNoReplica: r.shed[ShedNoReplica],
+		ShedSaturated: r.shed[ShedSaturated],
+		ShedDegraded:  r.shed[ShedDegraded],
+		Failovers:     r.failovers,
+		Availability:  1,
+		ConvergedAt:   r.convergedAt,
+	}
+	if r.ctrl != nil {
+		res.Controller = r.ctrl.Stats()
+	}
+	if r.arrivals > 0 {
+		res.Availability = float64(r.admitted) / float64(r.arrivals)
+	}
+	if r.admitted > 0 {
+		res.Hit = r.hitSum / float64(r.admitted)
+	}
+	res.FloorAvailability = 1
+	for k, w := range r.wins {
+		cw := ChurnWindow{
+			Start:        r.cfg.Warmup + float64(k)*r.cfg.window(),
+			Arrivals:     w.arrivals,
+			Admitted:     w.admitted,
+			Availability: 1,
+		}
+		if w.arrivals > 0 {
+			cw.Availability = float64(w.admitted) / float64(w.arrivals)
+			if cw.Availability < res.FloorAvailability {
+				res.FloorAvailability = cw.Availability
+			}
+		}
+		if w.admitted > 0 {
+			cw.Hit = w.hitSum / float64(w.admitted)
+		}
+		res.Windows = append(res.Windows, cw)
+	}
+	if r.convergedAt >= 0 {
+		res.TimeToConverge = r.convergedAt - r.flashEnd
+	} else {
+		res.TimeToConverge = -1
+	}
+	return res
+}
+
+// RunChurn runs the churn simulation to the horizon.
+func RunChurn(ctx context.Context, cfg ChurnConfig) (*ChurnResult, error) {
+	r, err := newChurnRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.run(ctx, 0, nil); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}
+
+// RunChurnCheckpointed is RunChurn handing a restart checkpoint to sink
+// every `every` events, so a SIGKILL mid-run (mid-rebalance included —
+// in-flight migrations are part of the digested state) can resume.
+func RunChurnCheckpointed(ctx context.Context, cfg ChurnConfig, every int, sink func(sim.Checkpoint) error) (*ChurnResult, error) {
+	r, err := newChurnRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.run(ctx, every, sink); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}
+
+// ResumeChurnCheckpointed restores a churn run to cp by deterministic
+// replay — the engine is rebuilt from the configuration and re-executes
+// events up to the boundary, then verifies the clock bits and state
+// digest — and continues to the horizon. Divergence (different
+// configuration, seed or binary) returns sim.ErrCheckpointMismatch.
+func ResumeChurnCheckpointed(ctx context.Context, cfg ChurnConfig, cp sim.Checkpoint, every int, sink func(sim.Checkpoint) error) (*ChurnResult, error) {
+	r, err := newChurnRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for r.fired < cp.Fired {
+		if r.fired%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		more, err := r.step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			return nil, fmt.Errorf("%w: run ended at %d events, checkpoint at %d",
+				sim.ErrCheckpointMismatch, r.fired, cp.Fired)
+		}
+	}
+	if d := r.digest(); r.fired != cp.Fired || math.Float64bits(r.now) != math.Float64bits(cp.Now) || d != cp.Digest {
+		return nil, fmt.Errorf("%w: replayed fired=%d now=%x digest=%016x, checkpoint fired=%d now=%x digest=%016x",
+			sim.ErrCheckpointMismatch, r.fired, math.Float64bits(r.now), d,
+			cp.Fired, math.Float64bits(cp.Now), cp.Digest)
+	}
+	if err := r.run(ctx, every, sink); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}

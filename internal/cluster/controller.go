@@ -1,0 +1,691 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vodalloc/internal/workload"
+)
+
+// The live control plane: a Controller watches per-node load and
+// per-movie demand while a churn simulation runs, and incrementally
+// re-solves the placement — adding replicas of hot movies on idle
+// nodes, dropping replicas of cold ones — under an explicit migration
+// budget (total bytes moved, concurrent transfers). It never re-packs
+// the cluster wholesale: every action is one replica move, executed as
+// a DES event whose completion atomically switches the router's flows.
+// When the budget is exhausted or the nodes saturate, the controller
+// degrades gracefully through a typed shedding ladder instead of
+// failing: first the cold tail of the catalog is shed to protect the
+// hot set, then everything but the head.
+
+// ShedReason types one shed request, so "why did we turn viewers away"
+// is measurable per cause.
+type ShedReason int
+
+// The shedding tiers, mildest first.
+const (
+	// ShedNoReplica: every replica host of the movie was down.
+	ShedNoReplica ShedReason = iota
+	// ShedSaturated: hosts were up but every one was at stream capacity.
+	ShedSaturated
+	// ShedDegraded: the degradation ladder proactively shed the request
+	// to protect hotter titles.
+	ShedDegraded
+)
+
+// String names the reason.
+func (s ShedReason) String() string {
+	switch s {
+	case ShedNoReplica:
+		return "no-replica"
+	case ShedSaturated:
+		return "saturated"
+	case ShedDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("shed(%d)", int(s))
+	}
+}
+
+// DegradeLevel is the controller's graceful-degradation rung.
+type DegradeLevel int
+
+// The degradation ladder.
+const (
+	// DegradeNone: all titles admitted.
+	DegradeNone DegradeLevel = iota
+	// DegradeCold: the cold tail (titles beyond the top 90% of observed
+	// demand share) is shed.
+	DegradeCold
+	// DegradeHotOnly: only the head (titles within the top 50% of
+	// observed demand share) is admitted.
+	DegradeHotOnly
+)
+
+// String names the level.
+func (d DegradeLevel) String() string {
+	switch d {
+	case DegradeNone:
+		return "none"
+	case DegradeCold:
+		return "shed-cold"
+	case DegradeHotOnly:
+		return "hot-only"
+	default:
+		return fmt.Sprintf("level(%d)", int(d))
+	}
+}
+
+// admitShare is the cumulative observed-demand share admitted at each
+// degradation level.
+func (d DegradeLevel) admitShare() float64 {
+	switch d {
+	case DegradeCold:
+		return 0.90
+	case DegradeHotOnly:
+		return 0.50
+	default:
+		return 1
+	}
+}
+
+// ControllerConfig tunes the control loop. The zero value of any field
+// selects its default.
+type ControllerConfig struct {
+	// Interval is the control-tick period, simulated minutes (default 15).
+	Interval float64
+	// BudgetBytes caps the total bytes migrated over the run
+	// (0 = unlimited). Started migrations count even if later aborted.
+	BudgetBytes float64
+	// MaxConcurrent caps simultaneous migrations (default 2).
+	MaxConcurrent int
+	// MigrationRate is one transfer's throughput, bytes per simulated
+	// minute (default 3e9 ≈ 50 MB/s).
+	MigrationRate float64
+	// BytesPerMinute converts movie length to copy size (default 45e6,
+	// ≈ a 6 Mbit/s encode).
+	BytesPerMinute float64
+	// TargetUtil is the per-replica stream utilization the controller
+	// sizes replica counts for (default 0.7).
+	TargetUtil float64
+	// DropUtil is the hysteresis floor: a replica is only dropped when
+	// the survivors would still sit below this utilization (default
+	// 0.45; must be < TargetUtil for the loop to have a fixed point).
+	DropUtil float64
+	// DegradeAt / RestoreAt are the cluster live-utilization thresholds
+	// for climbing / descending the degradation ladder (defaults 0.92 /
+	// 0.75). Descent requires RestoreTicks consecutive calm ticks
+	// (default 2).
+	DegradeAt, RestoreAt float64
+	RestoreTicks         int
+	// Cooldown is the minimum time between actions on one movie
+	// (default 2·Interval).
+	Cooldown float64
+	// Alpha and AlphaSlow smooth the observed arrival rates (defaults
+	// 0.3 and 0.05). The fast estimate drives replica adds, so a flash
+	// crowd registers within a tick or two; drops require the SLOW
+	// estimate to agree, so Poisson noise in a single window cannot tear
+	// down a replica the next tick re-adds — the dual-rate split is what
+	// keeps the loop oscillation-free on a noisy but stationary
+	// workload.
+	Alpha, AlphaSlow float64
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 15
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MigrationRate <= 0 {
+		c.MigrationRate = 3e9
+	}
+	if c.BytesPerMinute <= 0 {
+		c.BytesPerMinute = 45e6
+	}
+	if c.TargetUtil <= 0 || c.TargetUtil > 1 {
+		c.TargetUtil = 0.7
+	}
+	if c.DropUtil <= 0 || c.DropUtil >= c.TargetUtil {
+		c.DropUtil = 0.45 * c.TargetUtil / 0.7
+	}
+	if c.DegradeAt <= 0 || c.DegradeAt > 1 {
+		c.DegradeAt = 0.92
+	}
+	if c.RestoreAt <= 0 || c.RestoreAt >= c.DegradeAt {
+		c.RestoreAt = math.Min(0.75, 0.8*c.DegradeAt)
+	}
+	if c.RestoreTicks <= 0 {
+		c.RestoreTicks = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.AlphaSlow <= 0 || c.AlphaSlow > 1 {
+		c.AlphaSlow = 0.05
+	}
+	return c
+}
+
+// Validate rejects non-finite or negative tuning.
+func (c ControllerConfig) Validate() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"interval", c.Interval}, {"budget", c.BudgetBytes},
+		{"migration rate", c.MigrationRate}, {"bytes per minute", c.BytesPerMinute},
+		{"target util", c.TargetUtil}, {"drop util", c.DropUtil},
+		{"degrade at", c.DegradeAt}, {"restore at", c.RestoreAt},
+		{"cooldown", c.Cooldown}, {"alpha", c.Alpha}, {"alpha slow", c.AlphaSlow},
+	} {
+		if v.v < 0 || math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return fmt.Errorf("%w: controller %s %v", ErrBadCluster, v.name, v.v)
+		}
+	}
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("%w: controller max concurrent %d", ErrBadCluster, c.MaxConcurrent)
+	}
+	return nil
+}
+
+// Migration is one in-flight replica copy: Bytes move from the source
+// replica on From to the new replica on To between Start and Done; at
+// Done the router switches flows to include the new replica.
+type Migration struct {
+	Movie    string
+	From, To string
+	N        int
+	B        float64
+	Bytes    float64
+	Start    float64
+	Done     float64
+}
+
+// ControllerStats counts the controller's lifetime activity.
+type ControllerStats struct {
+	// ReplicaAdds / ReplicaDrops are completed placement changes.
+	ReplicaAdds, ReplicaDrops int
+	// MigrationsStarted / Completed / Aborted partition every transfer.
+	MigrationsStarted, MigrationsCompleted, MigrationsAborted int
+	// SpentBytes is the total migration bytes charged against the
+	// budget (aborted transfers stay charged — the bytes moved).
+	SpentBytes float64
+	// BudgetExhausted reports that at least one wanted move was blocked
+	// by the byte budget.
+	BudgetExhausted bool
+	// Level and PeakLevel are the current and worst degradation rungs.
+	Level, PeakLevel DegradeLevel
+	// LastMoveAt is the time of the most recent started migration or
+	// drop (-1 before any).
+	LastMoveAt float64
+}
+
+// Controller is the online rebalancer. It is driven synchronously by
+// the churn DES — ObserveArrival on every arrival, Tick on the control
+// cadence, Complete when a migration's transfer finishes — and is not
+// itself goroutine-safe (the DES is single-threaded by construction).
+type Controller struct {
+	cfg    ControllerConfig
+	router *Router
+	movies []workload.Movie
+	nodes  []NodeSpec
+	nodeID map[string]int
+
+	// alloc is each movie's per-copy (N, B) demand, from its primary
+	// placement assignment; new replicas are sized identically.
+	alloc map[string]MovieAlloc
+	// replicas mirrors the router's topology: movie → hosting node IDs
+	// in replica order. The controller owns all mutations.
+	replicas map[string][]string
+	// used is each node's committed load: placed replicas plus
+	// in-flight migration reservations.
+	used []struct {
+		streams int
+		buffer  float64
+	}
+	down []bool
+
+	win      []uint64  // arrivals per movie since the last tick
+	ewma     []float64 // fast-smoothed arrival rate per movie (adds)
+	ewmaSlow []float64 // slow-smoothed arrival rate per movie (drops)
+	haveRate bool
+
+	inflight   []Migration
+	pendingTo  map[string]int // movie → migrations in flight
+	lastAction map[string]float64
+
+	admit     []bool
+	calm      int
+	quiet     int // consecutive ticks with no started/dropped move
+	stats     ControllerStats
+	budgetCap float64
+}
+
+// NewController builds a controller over the deployed placement. The
+// router must have been built from the same placement.
+func NewController(cfg ControllerConfig, p Placement, movies []workload.Movie, r *Router) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfgD := cfg.withDefaults()
+	c := &Controller{
+		cfg:        cfgD,
+		router:     r,
+		movies:     movies,
+		nodes:      p.Nodes,
+		nodeID:     make(map[string]int, len(p.Nodes)),
+		alloc:      make(map[string]MovieAlloc, len(movies)),
+		replicas:   make(map[string][]string, len(movies)),
+		down:       make([]bool, len(p.Nodes)),
+		win:        make([]uint64, len(movies)),
+		ewma:       make([]float64, len(movies)),
+		ewmaSlow:   make([]float64, len(movies)),
+		pendingTo:  make(map[string]int),
+		lastAction: make(map[string]float64),
+		admit:      make([]bool, len(movies)),
+		budgetCap:  cfgD.BudgetBytes,
+	}
+	c.stats.LastMoveAt = -1
+	for i, n := range p.Nodes {
+		c.nodeID[n.ID] = i
+	}
+	c.used = make([]struct {
+		streams int
+		buffer  float64
+	}, len(p.Nodes))
+	for _, a := range p.Assignments {
+		i := c.nodeID[a.Node]
+		c.used[i].streams += a.N
+		c.used[i].buffer += a.B
+		c.replicas[a.Movie] = append(c.replicas[a.Movie], a.Node)
+		if a.Replica == 0 {
+			c.alloc[a.Movie] = a.MovieAlloc
+		}
+	}
+	for i, m := range movies {
+		if _, ok := c.alloc[m.Name]; !ok {
+			return nil, fmt.Errorf("%w: movie %q not in placement", ErrBadCluster, m.Name)
+		}
+		c.admit[i] = true
+	}
+	return c, nil
+}
+
+// ObserveArrival records one arrival of movie i (by catalog index) for
+// the demand estimator.
+func (c *Controller) ObserveArrival(i int) { c.win[i]++ }
+
+// Admit reports whether the current degradation level admits movie i.
+// A false return is a typed ShedDegraded decision.
+func (c *Controller) Admit(i int) bool { return c.admit[i] }
+
+// Level returns the current degradation rung.
+func (c *Controller) Level() DegradeLevel { return c.stats.Level }
+
+// Stats returns the lifetime counters.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// InFlight reports the number of active migrations.
+func (c *Controller) InFlight() int { return len(c.inflight) }
+
+// QuietTicks reports how many consecutive ticks made no move.
+func (c *Controller) QuietTicks() int { return c.quiet }
+
+// SetNodeDown tracks a node transition and aborts migrations touching
+// the node (their bytes stay charged; the copy is abandoned). Returns
+// the aborted migrations.
+func (c *Controller) SetNodeDown(node string, isDown bool) []Migration {
+	i, ok := c.nodeID[node]
+	if !ok {
+		return nil
+	}
+	c.down[i] = isDown
+	if !isDown {
+		return nil
+	}
+	var aborted []Migration
+	kept := c.inflight[:0]
+	for _, m := range c.inflight {
+		if m.From == node || m.To == node {
+			aborted = append(aborted, m)
+			c.unreserve(m)
+			c.pendingTo[m.Movie]--
+			c.stats.MigrationsAborted++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	c.inflight = kept
+	return aborted
+}
+
+// Complete lands a finished migration: the destination replica goes
+// live and the router atomically switches flows onto it. A migration
+// aborted earlier (node outage) is no longer tracked and is ignored.
+func (c *Controller) Complete(m Migration) error {
+	for k, f := range c.inflight {
+		if f == m {
+			c.inflight = append(c.inflight[:k:k], c.inflight[k+1:]...)
+			c.pendingTo[m.Movie]--
+			c.stats.MigrationsCompleted++
+			c.stats.ReplicaAdds++
+			c.replicas[m.Movie] = append(c.replicas[m.Movie], m.To)
+			return c.router.AddReplica(m.Movie, m.To, m.N)
+		}
+	}
+	return nil
+}
+
+// unreserve releases a migration's destination capacity reservation.
+func (c *Controller) unreserve(m Migration) {
+	i := c.nodeID[m.To]
+	c.used[i].streams -= m.N
+	c.used[i].buffer -= m.B
+}
+
+// bytesFor sizes one replica copy of the movie.
+func (c *Controller) bytesFor(m workload.Movie) float64 {
+	return m.Length * c.cfg.BytesPerMinute
+}
+
+// Tick runs one control decision at time now: refresh demand estimates,
+// start replica migrations for under-provisioned movies (budget and
+// concurrency permitting), drop replicas of over-provisioned ones, and
+// move the degradation ladder. The returned migrations have been
+// started; the caller owns scheduling Complete at each one's Done time.
+func (c *Controller) Tick(now float64) []Migration {
+	// 1. Demand estimate: dual-rate EWMA of the per-tick observed rates
+	// — fast for adds, slow for drops.
+	for i := range c.movies {
+		obs := float64(c.win[i]) / c.cfg.Interval
+		c.win[i] = 0
+		if !c.haveRate {
+			c.ewma[i] = obs
+			c.ewmaSlow[i] = obs
+		} else {
+			c.ewma[i] = c.cfg.Alpha*obs + (1-c.cfg.Alpha)*c.ewma[i]
+			c.ewmaSlow[i] = c.cfg.AlphaSlow*obs + (1-c.cfg.AlphaSlow)*c.ewmaSlow[i]
+		}
+	}
+	c.haveRate = true
+
+	moved := false
+
+	// 2. Replica sizing per movie: Little's law concurrency estimate
+	// against the per-copy stream allocation. Only up replicas count as
+	// serving capacity — a replica on a downed node relieves nothing.
+	type want struct {
+		idx      int
+		pressure float64
+	}
+	var wants []want
+	for i, m := range c.movies {
+		a := c.alloc[m.Name]
+		cur := c.upReplicas(m.Name) + c.pendingTo[m.Name]
+		if cur == 0 {
+			continue // every host down and nothing in flight: no source to copy from
+		}
+		load := c.ewma[i] * m.Length // expected concurrent viewers
+		perReplica := load / float64(cur*a.N)
+		if perReplica > c.cfg.TargetUtil && len(c.replicas[m.Name])+c.pendingTo[m.Name] < len(c.nodes) {
+			wants = append(wants, want{idx: i, pressure: perReplica})
+		}
+	}
+	// Hottest pressure first; index tie-break keeps it deterministic.
+	sort.SliceStable(wants, func(a, b int) bool {
+		if wants[a].pressure != wants[b].pressure {
+			return wants[a].pressure > wants[b].pressure
+		}
+		return wants[a].idx < wants[b].idx
+	})
+
+	var started []Migration
+	for _, w := range wants {
+		if len(c.inflight) >= c.cfg.MaxConcurrent {
+			break
+		}
+		m := c.movies[w.idx]
+		if now-c.lastAction[m.Name] < c.cfg.Cooldown && c.lastAction[m.Name] > 0 {
+			continue
+		}
+		bytes := c.bytesFor(m)
+		if c.budgetCap > 0 && c.stats.SpentBytes+bytes > c.budgetCap {
+			c.stats.BudgetExhausted = true
+			continue
+		}
+		dest := c.pickDest(m.Name)
+		if dest < 0 {
+			continue
+		}
+		src := c.pickSource(m.Name)
+		if src == "" {
+			continue
+		}
+		a := c.alloc[m.Name]
+		mig := Migration{
+			Movie: m.Name, From: src, To: c.nodes[dest].ID,
+			N: a.N, B: a.B, Bytes: bytes,
+			Start: now, Done: now + bytes/c.cfg.MigrationRate,
+		}
+		c.used[dest].streams += a.N
+		c.used[dest].buffer += a.B
+		c.inflight = append(c.inflight, mig)
+		c.pendingTo[m.Name]++
+		c.lastAction[m.Name] = now
+		c.stats.MigrationsStarted++
+		c.stats.SpentBytes += bytes
+		c.stats.LastMoveAt = now
+		started = append(started, mig)
+		moved = true
+	}
+
+	// 3. Drops: a movie whose surviving replicas would still sit below
+	// DropUtil sheds its newest replica. Free (no bytes move), but three
+	// guards rule out add/drop churn: the DropUtil < TargetUtil
+	// hysteresis gap, the per-movie cooldown, and the requirement that
+	// BOTH the fast and the slow demand estimates agree the load is gone
+	// — a single quiet window never tears down what the next window
+	// would re-add (and re-pay for). Movies with a downed host hold
+	// steady until the outage resolves.
+	for i, m := range c.movies {
+		cur := len(c.replicas[m.Name])
+		if cur <= 1 || c.pendingTo[m.Name] > 0 || cur != c.upReplicas(m.Name) {
+			continue
+		}
+		if now-c.lastAction[m.Name] < c.cfg.Cooldown && c.lastAction[m.Name] > 0 {
+			continue
+		}
+		a := c.alloc[m.Name]
+		load := math.Max(c.ewma[i], c.ewmaSlow[i]) * m.Length
+		if load/float64((cur-1)*a.N) >= c.cfg.DropUtil {
+			continue
+		}
+		hosts := c.replicas[m.Name]
+		victim := hosts[len(hosts)-1]
+		if c.router.RemoveReplica(m.Name, victim) != nil {
+			continue
+		}
+		c.replicas[m.Name] = hosts[: len(hosts)-1 : len(hosts)-1]
+		vi := c.nodeID[victim]
+		c.used[vi].streams -= a.N
+		c.used[vi].buffer -= a.B
+		c.lastAction[m.Name] = now
+		c.stats.ReplicaDrops++
+		c.stats.LastMoveAt = now
+		moved = true
+	}
+
+	// 4. Degradation ladder: escalate when the cluster runs hot and
+	// this tick could not relieve it with a migration; descend after
+	// RestoreTicks consecutive cool ticks.
+	live, capacity := c.router.Load()
+	util := 0.0
+	if capacity > 0 {
+		util = float64(live) / float64(capacity)
+	}
+	switch {
+	case util >= c.cfg.DegradeAt && len(started) == 0:
+		if c.stats.Level < DegradeHotOnly {
+			c.stats.Level++
+			if c.stats.Level > c.stats.PeakLevel {
+				c.stats.PeakLevel = c.stats.Level
+			}
+		}
+		c.calm = 0
+	case util <= c.cfg.RestoreAt:
+		c.calm++
+		if c.calm >= c.cfg.RestoreTicks && c.stats.Level > DegradeNone {
+			c.stats.Level--
+			c.calm = 0
+		}
+	default:
+		c.calm = 0
+	}
+	c.refreshAdmit()
+
+	if moved {
+		c.quiet = 0
+	} else {
+		c.quiet++
+	}
+	return started
+}
+
+// refreshAdmit recomputes the per-movie admission set for the current
+// level: titles are ranked by observed demand and admitted until the
+// level's cumulative share is covered (every title with any share at
+// level none).
+func (c *Controller) refreshAdmit() {
+	share := c.stats.Level.admitShare()
+	if share >= 1 {
+		for i := range c.admit {
+			c.admit[i] = true
+		}
+		return
+	}
+	total := 0.0
+	for _, r := range c.ewma {
+		total += r
+	}
+	if total <= 0 {
+		for i := range c.admit {
+			c.admit[i] = true
+		}
+		return
+	}
+	order := make([]int, len(c.ewma))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if c.ewma[order[a]] != c.ewma[order[b]] {
+			return c.ewma[order[a]] > c.ewma[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	cum := 0.0
+	for _, i := range order {
+		// Admit while the running share is still below the cutoff, so
+		// the head always stays and the tail sheds first.
+		c.admit[i] = cum < share*total
+		cum += c.ewma[i]
+	}
+}
+
+// pickDest chooses the destination node for a new replica of the
+// movie: the feasible up-node with the lowest committed stream
+// utilization (index tie-break). Returns -1 when none fits.
+func (c *Controller) pickDest(movie string) int {
+	hosts := make(map[string]bool, 4)
+	for _, n := range c.replicas[movie] {
+		hosts[n] = true
+	}
+	for _, m := range c.inflight {
+		if m.Movie == movie {
+			hosts[m.To] = true
+		}
+	}
+	a := c.alloc[movie]
+	best, bestUtil := -1, math.Inf(1)
+	for i, n := range c.nodes {
+		if c.down[i] || hosts[n.ID] {
+			continue
+		}
+		if c.used[i].streams+a.N > n.MaxStreams ||
+			c.used[i].buffer+a.B > n.MaxBuffer+bufferSlack {
+			continue
+		}
+		u := float64(c.used[i].streams+a.N) / float64(n.MaxStreams)
+		if u < bestUtil {
+			best, bestUtil = i, u
+		}
+	}
+	return best
+}
+
+// upReplicas counts the movie's replicas on up nodes.
+func (c *Controller) upReplicas(movie string) int {
+	n := 0
+	for _, host := range c.replicas[movie] {
+		if !c.down[c.nodeID[host]] {
+			n++
+		}
+	}
+	return n
+}
+
+// pickSource chooses the copy source: the first up replica host.
+func (c *Controller) pickSource(movie string) string {
+	for _, n := range c.replicas[movie] {
+		if !c.down[c.nodeID[n]] {
+			return n
+		}
+	}
+	return ""
+}
+
+// digest folds the controller's mutable state into h for checkpoint
+// verification.
+func (c *Controller) digest(h func(uint64)) {
+	f64 := func(v float64) { h(math.Float64bits(v)) }
+	h(uint64(c.stats.ReplicaAdds))
+	h(uint64(c.stats.ReplicaDrops))
+	h(uint64(c.stats.MigrationsStarted))
+	h(uint64(c.stats.MigrationsCompleted))
+	h(uint64(c.stats.MigrationsAborted))
+	f64(c.stats.SpentBytes)
+	h(uint64(c.stats.Level))
+	h(uint64(c.stats.PeakLevel))
+	f64(c.stats.LastMoveAt)
+	h(uint64(len(c.inflight)))
+	for _, m := range c.inflight {
+		f64(m.Start)
+		f64(m.Done)
+	}
+	for i := range c.movies {
+		h(c.win[i])
+		f64(c.ewma[i])
+		f64(c.ewmaSlow[i])
+		if c.admit[i] {
+			h(1)
+		} else {
+			h(0)
+		}
+	}
+	for i := range c.used {
+		h(uint64(c.used[i].streams))
+		f64(c.used[i].buffer)
+	}
+	h(uint64(c.calm))
+	h(uint64(c.quiet))
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vodalloc/internal/workload"
+)
+
+// driveController runs the controller standalone for `ticks` intervals
+// against a constant per-movie arrival rate (deterministic integer
+// arrivals per tick), completing migrations at their Done times, and
+// returns the tick index of the last move (-1 when it never moved). It
+// fails the test if the byte budget is ever exceeded.
+func driveController(t *testing.T, ctrl *Controller, rates []float64, ticks int, budget float64) int {
+	t.Helper()
+	interval := ctrl.cfg.Interval
+	var pending []Migration
+	lastMove := -1
+	prevMoves := 0
+	for k := 1; k <= ticks; k++ {
+		now := float64(k) * interval
+		// Land migrations due by this tick, in completion order.
+		sort.SliceStable(pending, func(a, b int) bool { return pending[a].Done < pending[b].Done })
+		for len(pending) > 0 && pending[0].Done <= now {
+			if err := ctrl.Complete(pending[0]); err != nil {
+				t.Fatalf("Complete: %v", err)
+			}
+			pending = pending[1:]
+		}
+		for i, r := range rates {
+			for a := 0; a < int(math.Round(r*interval)); a++ {
+				ctrl.ObserveArrival(i)
+			}
+		}
+		started := ctrl.Tick(now)
+		pending = append(pending, started...)
+		s := ctrl.Stats()
+		if budget > 0 && s.SpentBytes > budget {
+			t.Fatalf("tick %d: spent %.0f bytes exceeds budget %.0f", k, s.SpentBytes, budget)
+		}
+		if moves := s.MigrationsStarted + s.ReplicaDrops; moves != prevMoves {
+			prevMoves = moves
+			lastMove = k
+		}
+	}
+	return lastMove
+}
+
+// TestControllerQuickBudgetAndFixedPoint is the satellite property:
+// over randomized catalogs, rates and budgets, the controller (a) never
+// spends a migration byte past the configured budget, and (b) reaches a
+// fixed point on a static workload — after convergence there are zero
+// further moves.
+func TestControllerQuickBudgetAndFixedPoint(t *testing.T) {
+	const ticks, tail = 120, 40
+	prop := func(seed int64, budgetMB uint16, thetaTenths, rateCentis uint8) bool {
+		theta := float64(thetaTenths%12) / 10
+		totalRate := 0.1 + float64(rateCentis)/100 // 0.1 .. 2.65 arrivals/min
+		budget := float64(budgetMB) * 1e6          // 0 .. ~65 GB (0 = unlimited)
+		n := 3 + int(uint64(seed)%4)
+
+		movies, err := workload.ZipfCatalog(n, theta)
+		if err != nil {
+			t.Logf("ZipfCatalog: %v", err)
+			return false
+		}
+		allocs := make([]MovieAlloc, n)
+		for i, m := range movies {
+			allocs[i] = MovieAlloc{Movie: m.Name, N: 10, B: 8, Hit: 0.7, Wait: 0.3, Weight: m.Popularity}
+		}
+		p, err := PackAllocs(allocs, UniformNodes(4, 40, 40), Options{})
+		if err != nil {
+			t.Logf("PackAllocs: %v", err)
+			return false
+		}
+		router, err := NewRouter(p, seed)
+		if err != nil {
+			t.Logf("NewRouter: %v", err)
+			return false
+		}
+		ctrl, err := NewController(ControllerConfig{
+			Interval:    10,
+			BudgetBytes: budget,
+			Cooldown:    20,
+		}, p, movies, router)
+		if err != nil {
+			t.Logf("NewController: %v", err)
+			return false
+		}
+
+		rates := make([]float64, n)
+		var wsum float64
+		for _, m := range movies {
+			wsum += m.Popularity
+		}
+		for i, m := range movies {
+			rates[i] = totalRate * m.Popularity / wsum
+		}
+
+		lastMove := driveController(t, ctrl, rates, ticks, budget)
+		if lastMove > ticks-tail {
+			t.Logf("seed=%d budget=%.0f theta=%.1f rate=%.2f: move at tick %d of %d — no fixed point (stats %+v)",
+				seed, budget, theta, totalRate, lastMove, ticks, ctrl.Stats())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerAddsUnderPressure pins the basic reaction: a hot movie
+// whose load exceeds the per-replica target gains replicas, and the
+// migration respects destination capacity.
+func TestControllerAddsUnderPressure(t *testing.T) {
+	movies, allocs := churnCatalog(t, 4)
+	p, err := PackAllocs(allocs, UniformNodes(4, 30, 40), Options{})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	router, err := NewRouter(p, 1)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	ctrl, err := NewController(ControllerConfig{Interval: 10, BudgetBytes: 50e9}, p, movies, router)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	// 0.5 arrivals/min on m01 (length 90) ≈ 45 concurrent viewers — far
+	// past one replica's 10-stream target.
+	rates := []float64{0.5, 0.01, 0.01, 0.01}
+	driveController(t, ctrl, rates, 60, 50e9)
+	s := ctrl.Stats()
+	if s.ReplicaAdds == 0 {
+		t.Fatalf("no replicas added under sustained 4.5x overload: %+v", s)
+	}
+	if got := router.Replicas("m01"); got < 2 {
+		t.Fatalf("router sees %d replicas of m01, want >= 2", got)
+	}
+	if s.SpentBytes != float64(s.MigrationsStarted)*movies[0].Length*45e6 {
+		t.Fatalf("spent %.0f bytes, want %d x %.0f", s.SpentBytes, s.MigrationsStarted, movies[0].Length*45e6)
+	}
+}
+
+// TestControllerBudgetBlocksMigrations pins budget semantics: a budget
+// smaller than one copy means zero migrations, with the exhaustion flag
+// raised.
+func TestControllerBudgetBlocksMigrations(t *testing.T) {
+	movies, allocs := churnCatalog(t, 4)
+	p, err := PackAllocs(allocs, UniformNodes(4, 30, 40), Options{})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	router, err := NewRouter(p, 1)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	ctrl, err := NewController(ControllerConfig{Interval: 10, BudgetBytes: 1e6}, p, movies, router)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	driveController(t, ctrl, []float64{0.5, 0.01, 0.01, 0.01}, 30, 1e6)
+	s := ctrl.Stats()
+	if s.MigrationsStarted != 0 || s.SpentBytes != 0 {
+		t.Fatalf("migrations ran past a too-small budget: %+v", s)
+	}
+	if !s.BudgetExhausted {
+		t.Fatalf("budget exhaustion not flagged: %+v", s)
+	}
+}
+
+// TestControllerDegradationLadder walks the ladder directly: saturating
+// the router with no migration headroom escalates, and sustained calm
+// descends with hysteresis.
+func TestControllerDegradationLadder(t *testing.T) {
+	movies, allocs := churnCatalog(t, 4)
+	p, err := PackAllocs(allocs, UniformNodes(2, 20, 40), Options{})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	router, err := NewRouter(p, 1)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	// Budget 1 byte: the controller can never migrate its way out.
+	ctrl, err := NewController(ControllerConfig{Interval: 10, BudgetBytes: 1}, p, movies, router)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	// Saturate: fill the cluster to its stream capacity.
+	for i := 0; i < 40; i++ {
+		if _, err := router.RouteLoad(movies[i%4].Name); err != nil {
+			break
+		}
+	}
+	for i := range movies {
+		ctrl.ObserveArrival(i)
+	}
+	ctrl.Tick(10)
+	if ctrl.Level() != DegradeCold {
+		t.Fatalf("level after one saturated tick = %v, want %v", ctrl.Level(), DegradeCold)
+	}
+	for i := range movies {
+		ctrl.ObserveArrival(i)
+	}
+	ctrl.Tick(20)
+	if ctrl.Level() != DegradeHotOnly {
+		t.Fatalf("level after two saturated ticks = %v, want %v", ctrl.Level(), DegradeHotOnly)
+	}
+	// At hot-only, the cold tail must be refused and the head admitted.
+	if !ctrl.Admit(0) {
+		t.Fatal("hottest title shed at hot-only level")
+	}
+	if ctrl.Admit(3) {
+		t.Fatal("coldest title admitted at hot-only level")
+	}
+	// Drain the cluster; RestoreTicks calm ticks descend one rung each.
+	live, _ := router.Load()
+	for _, m := range movies {
+		for i := 0; i < live; i++ {
+			for _, a := range p.Replicas(m.Name) {
+				router.Release(m.Name, a.Node)
+			}
+		}
+	}
+	for k := 0; ctrl.Level() != DegradeNone && k < 10; k++ {
+		ctrl.Tick(30 + 10*float64(k))
+	}
+	if ctrl.Level() != DegradeNone {
+		t.Fatalf("level never restored after drain: %v", ctrl.Level())
+	}
+	if ctrl.Stats().PeakLevel != DegradeHotOnly {
+		t.Fatalf("peak level = %v, want %v", ctrl.Stats().PeakLevel, DegradeHotOnly)
+	}
+	for i := range movies {
+		if !ctrl.Admit(i) {
+			t.Fatalf("movie %d still shed after restore", i)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 )
 
@@ -41,6 +43,14 @@ type Router struct {
 	down []bool
 	live []int // in-flight requests per node
 
+	// maxStreams is each node's stream capacity; RouteLoad (the churn
+	// path) sheds a host whose live load has reached it, while Route
+	// (the static path) ignores it for parity with pre-capacity runs.
+	maxStreams []int
+	// liveBy tracks in-flight viewers per (movie, node) replica, for the
+	// contention-aware hit accounting of the churn simulator.
+	liveBy map[string]int
+
 	stats RouterStats
 }
 
@@ -51,17 +61,20 @@ func NewRouter(p Placement, seed int64) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{
-		rng:  rand.New(rand.NewSource(seed)),
-		ids:  make([]string, len(p.Nodes)),
-		node: make(map[string]int, len(p.Nodes)),
-		host: make(map[string][]int),
-		cap:  make(map[string][]int),
-		down: make([]bool, len(p.Nodes)),
-		live: make([]int, len(p.Nodes)),
+		rng:        rand.New(rand.NewSource(seed)),
+		ids:        make([]string, len(p.Nodes)),
+		node:       make(map[string]int, len(p.Nodes)),
+		host:       make(map[string][]int),
+		cap:        make(map[string][]int),
+		down:       make([]bool, len(p.Nodes)),
+		live:       make([]int, len(p.Nodes)),
+		maxStreams: make([]int, len(p.Nodes)),
+		liveBy:     make(map[string]int),
 	}
 	for i, n := range p.Nodes {
 		r.ids[i] = n.ID
 		r.node[n.ID] = i
+		r.maxStreams[i] = n.MaxStreams
 	}
 	seenMovie := map[string]bool{}
 	for _, a := range p.Assignments {
@@ -152,4 +165,240 @@ func (r *Router) Stats() RouterStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stats
+}
+
+// --- live control plane extensions -----------------------------------
+//
+// The methods below let a controller rebalance the catalog while
+// traffic flows: replicas are added and removed atomically under the
+// router's lock, so every Route call sees either the old or the new
+// replica set, never a partial one; and RouteLoad is the capacity-aware
+// routing used by the churn simulator, which distinguishes "every host
+// down" from "hosts up but saturated" so shedding can be typed.
+
+// ErrSaturated reports a routing request whose every live replica host
+// is at its stream capacity; the request is shed (typed ShedSaturated).
+var ErrSaturated = errors.New("cluster: every live replica host is saturated")
+
+// AddReplica atomically adds a live replica of the movie on the node
+// with placed stream capacity n. New flows start landing on it with the
+// very next Route/RouteLoad call — the "atomic flow switch" a completed
+// migration performs.
+func (r *Router) AddReplica(movie, node string, n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrBadCluster, node)
+	}
+	hosts, ok := r.host[movie]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMovie, movie)
+	}
+	if n < 1 {
+		return fmt.Errorf("%w: replica capacity %d", ErrBadCluster, n)
+	}
+	for _, h := range hosts {
+		if h == i {
+			return fmt.Errorf("%w: movie %q already has a replica on node %q", ErrBadCluster, movie, node)
+		}
+	}
+	r.host[movie] = append(hosts, i)
+	r.cap[movie] = append(r.cap[movie], n)
+	return nil
+}
+
+// RemoveReplica atomically removes the movie's replica on the node.
+// The primary (the first host) and the last remaining replica cannot be
+// removed; viewers already streaming from the removed replica play out
+// (their Release still balances the books).
+func (r *Router) RemoveReplica(movie, node string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrBadCluster, node)
+	}
+	hosts, ok := r.host[movie]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMovie, movie)
+	}
+	for k, h := range hosts {
+		if h != i {
+			continue
+		}
+		if k == 0 {
+			return fmt.Errorf("%w: cannot remove the primary replica of %q", ErrBadCluster, movie)
+		}
+		r.host[movie] = append(hosts[:k:k], hosts[k+1:]...)
+		caps := r.cap[movie]
+		r.cap[movie] = append(caps[:k:k], caps[k+1:]...)
+		return nil
+	}
+	return fmt.Errorf("%w: movie %q has no replica on node %q", ErrBadCluster, movie, node)
+}
+
+// Replicas reports the movie's current replica count.
+func (r *Router) Replicas(movie string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.host[movie])
+}
+
+// IsDown reports whether the node is currently marked down.
+func (r *Router) IsDown(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	return ok && r.down[i]
+}
+
+// Load reports the cluster's live stream load against its total
+// capacity (down nodes excluded from capacity).
+func (r *Router) Load() (live, capacity int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.ids {
+		live += r.live[i]
+		if !r.down[i] {
+			capacity += r.maxStreams[i]
+		}
+	}
+	return live, capacity
+}
+
+// NodeLoad reports one node's live streams and capacity.
+func (r *Router) NodeLoad(node string) (live, capacity int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: unknown node %q", ErrBadCluster, node)
+	}
+	return r.live[i], r.maxStreams[i], nil
+}
+
+// LoadDecision is RouteLoad's outcome: the serving node, whether the
+// primary was down (failover), the chosen replica's placed stream
+// capacity, and the replica's live viewer count including this one —
+// the inputs of the contention-aware hit model.
+type LoadDecision struct {
+	Node     string
+	Failover bool
+	AllocN   int
+	Live     int
+}
+
+// RouteLoad picks a node for one request like Route, but additionally
+// respects node stream capacities (a host at capacity drops out of the
+// draw) and tracks per-replica live load. Typed failures: every host
+// down → ErrUnavailable; some host up but all at capacity →
+// ErrSaturated. Call Release(movie, node) when the viewer departs.
+func (r *Router) RouteLoad(movie string) (LoadDecision, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hosts, ok := r.host[movie]
+	if !ok {
+		return LoadDecision{}, fmt.Errorf("%w: %q", ErrUnknownMovie, movie)
+	}
+	var (
+		up    []int // indexes into hosts
+		wts   []float64
+		total float64
+		alive bool
+	)
+	for k, n := range hosts {
+		if r.down[n] {
+			continue
+		}
+		alive = true
+		if r.maxStreams[n] > 0 && r.live[n] >= r.maxStreams[n] {
+			continue
+		}
+		w := float64(r.cap[movie][k]) / float64(1+r.live[n])
+		up = append(up, k)
+		wts = append(wts, w)
+		total += w
+	}
+	if len(up) == 0 {
+		r.stats.Sheds++
+		if alive {
+			return LoadDecision{}, fmt.Errorf("%w: %q", ErrSaturated, movie)
+		}
+		return LoadDecision{}, fmt.Errorf("%w: %q", ErrUnavailable, movie)
+	}
+	choice := up[0]
+	if len(up) > 1 {
+		// Same single-draw discipline as Route: one Float64 per
+		// multi-candidate decision keeps the stream aligned across runs.
+		u := r.rng.Float64() * total
+		for k, w := range wts {
+			if u < w || k == len(up)-1 {
+				choice = up[k]
+				break
+			}
+			u -= w
+		}
+	}
+	node := hosts[choice]
+	r.live[node]++
+	key := movie + "\x00" + r.ids[node]
+	r.liveBy[key]++
+	r.stats.Routed++
+	d := LoadDecision{
+		Node:     r.ids[node],
+		Failover: r.down[hosts[0]],
+		AllocN:   r.cap[movie][choice],
+		Live:     r.liveBy[key],
+	}
+	if d.Failover {
+		r.stats.Failovers++
+	}
+	return d, nil
+}
+
+// Release balances one RouteLoad: the viewer routed to the movie's
+// replica on the node has departed.
+func (r *Router) Release(movie, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.node[node]; ok && r.live[i] > 0 {
+		r.live[i]--
+	}
+	key := movie + "\x00" + node
+	if r.liveBy[key] > 0 {
+		r.liveBy[key]--
+	}
+}
+
+// digest folds the router's mutable state into h (a 64-bit FNV-1a
+// accumulator) for checkpoint verification: live loads, down flags and
+// the replica topology. Deterministic iteration order throughout.
+func (r *Router) digest(h func(uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.ids {
+		h(uint64(r.live[i]))
+		if r.down[i] {
+			h(1)
+		} else {
+			h(0)
+		}
+	}
+	movies := make([]string, 0, len(r.host))
+	for m := range r.host {
+		movies = append(movies, m)
+	}
+	sort.Strings(movies)
+	for _, m := range movies {
+		h(uint64(len(r.host[m])))
+		for k, n := range r.host[m] {
+			h(uint64(n))
+			h(uint64(r.cap[m][k]))
+			h(uint64(r.liveBy[m+"\x00"+r.ids[n]]))
+		}
+	}
+	h(r.stats.Routed)
+	h(r.stats.Failovers)
+	h(r.stats.Sheds)
 }

@@ -181,3 +181,195 @@ func TestRouterSpreadsLoadAcrossReplicas(t *testing.T) {
 		}
 	}
 }
+
+// TestRouterRebalanceDeterministic extends the determinism property
+// across live rebalances: two same-seed routers driven through an
+// identical interleaving of RouteLoad, Release, AddReplica,
+// RemoveReplica and SetNodeDown make identical decisions throughout.
+func TestRouterRebalanceDeterministic(t *testing.T) {
+	p := testPlacement(t)
+	r1, err := NewRouter(p, 42)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	r2, err := NewRouter(p, 42)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	spare := func(r *Router) string {
+		// A node without a "hot" replica yet, same on both routers.
+		for _, n := range []string{"node0", "node1", "node2"} {
+			hosts := map[string]bool{}
+			for _, a := range p.Replicas("hot") {
+				hosts[a.Node] = true
+			}
+			if !hosts[n] {
+				return n
+			}
+		}
+		t.Fatal("no spare node")
+		return ""
+	}
+	movies := []string{"hot", "cold", "hot", "hot", "cold"}
+	var live1, live2 []struct{ movie, node string }
+	for i := 0; i < 600; i++ {
+		switch {
+		case i == 150:
+			if err := r1.AddReplica("hot", spare(r1), 12); err != nil {
+				t.Fatalf("AddReplica r1: %v", err)
+			}
+			if err := r2.AddReplica("hot", spare(r2), 12); err != nil {
+				t.Fatalf("AddReplica r2: %v", err)
+			}
+		case i == 300:
+			r1.SetNodeDown("node0", true)
+			r2.SetNodeDown("node0", true)
+		case i == 400:
+			r1.SetNodeDown("node0", false)
+			r2.SetNodeDown("node0", false)
+		case i == 450:
+			// Remove the replica added at step 150 on both.
+			if err := r1.RemoveReplica("hot", spare(r1)); err != nil {
+				t.Fatalf("RemoveReplica r1: %v", err)
+			}
+			if err := r2.RemoveReplica("hot", spare(r2)); err != nil {
+				t.Fatalf("RemoveReplica r2: %v", err)
+			}
+		}
+		m := movies[i%len(movies)]
+		d1, err1 := r1.RouteLoad(m)
+		d2, err2 := r2.RouteLoad(m)
+		if (err1 == nil) != (err2 == nil) || d1 != d2 {
+			t.Fatalf("call %d: %+v/%v vs %+v/%v", i, d1, err1, d2, err2)
+		}
+		if err1 == nil {
+			live1 = append(live1, struct{ movie, node string }{m, d1.Node})
+			live2 = append(live2, struct{ movie, node string }{m, d2.Node})
+		}
+		if i%3 == 2 && len(live1) > 0 {
+			r1.Release(live1[0].movie, live1[0].node)
+			r2.Release(live2[0].movie, live2[0].node)
+			live1, live2 = live1[1:], live2[1:]
+		}
+	}
+	if r1.Stats() != r2.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", r1.Stats(), r2.Stats())
+	}
+}
+
+// TestRouterRebalanceConcurrent hammers RouteLoad/Release while another
+// goroutine adds and removes replicas and flips node state — the -race
+// certification that rebalances are atomic against traffic.
+func TestRouterRebalanceConcurrent(t *testing.T) {
+	p := testPlacement(t)
+	r, err := NewRouter(p, 3)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	hosts := map[string]bool{}
+	for _, a := range p.Replicas("cold") {
+		hosts[a.Node] = true
+	}
+	var spare string
+	for _, n := range []string{"node0", "node1", "node2"} {
+		if !hosts[n] {
+			spare = n
+			break
+		}
+	}
+	const goroutines, per = 6, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			movie := "hot"
+			if g%2 == 1 {
+				movie = "cold"
+			}
+			for i := 0; i < per; i++ {
+				d, err := r.RouteLoad(movie)
+				if err != nil {
+					continue // saturation is legal mid-rebalance
+				}
+				if i%2 == 0 {
+					r.Release(movie, d.Node)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := r.AddReplica("cold", spare, 8); err != nil {
+				t.Errorf("AddReplica: %v", err)
+				return
+			}
+			_ = r.Replicas("cold")
+			_, _ = r.Load()
+			_ = r.IsDown(spare)
+			if err := r.RemoveReplica("cold", spare); err != nil {
+				t.Errorf("RemoveReplica: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestRouterLoadTypedErrors pins the typed shedding split: saturated
+// hosts yield ErrSaturated, downed hosts ErrUnavailable.
+func TestRouterLoadTypedErrors(t *testing.T) {
+	allocs := []MovieAlloc{{Movie: "only", N: 2, B: 1, Weight: 1}}
+	p, err := PackAllocs(allocs, UniformNodes(1, 2, 10), Options{})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	r, err := NewRouter(p, 1)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.RouteLoad("only"); err != nil {
+			t.Fatalf("RouteLoad %d under capacity: %v", i, err)
+		}
+	}
+	if _, err := r.RouteLoad("only"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("at capacity: err = %v, want ErrSaturated", err)
+	}
+	r.SetNodeDown("node0", true)
+	if _, err := r.RouteLoad("only"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("node down: err = %v, want ErrUnavailable", err)
+	}
+	r.SetNodeDown("node0", false)
+	r.Release("only", "node0")
+	if d, err := r.RouteLoad("only"); err != nil || d.Node != "node0" {
+		t.Fatalf("after release: %+v, %v", d, err)
+	}
+}
+
+// TestRouterReplicaGuards pins the rebalance-safety invariants.
+func TestRouterReplicaGuards(t *testing.T) {
+	p := testPlacement(t)
+	r, err := NewRouter(p, 1)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	primary := p.Replicas("hot")[0].Node
+	if err := r.AddReplica("hot", primary, 12); err == nil {
+		t.Error("duplicate AddReplica accepted")
+	}
+	if err := r.AddReplica("nope", "node0", 12); err == nil {
+		t.Error("AddReplica of unknown movie accepted")
+	}
+	if err := r.AddReplica("hot", "node9", 12); err == nil {
+		t.Error("AddReplica on unknown node accepted")
+	}
+	if err := r.RemoveReplica("hot", primary); err == nil {
+		t.Error("RemoveReplica of the primary accepted")
+	}
+	if err := r.RemoveReplica("cold", "node9"); err == nil {
+		t.Error("RemoveReplica on unknown node accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vodalloc/internal/cluster"
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/workload"
+)
+
+// The churn experiment measures the live control plane under the two
+// hostile scenarios of the robustness roadmap: a 4× flash crowd on the
+// hottest title, and the same flash landing while that title's primary
+// node is down. Each scenario runs twice on an identical seed — once
+// with the placement frozen (the baseline every static sizing result
+// implies) and once with the budgeted rebalancing controller live — so
+// every difference in a row pair is attributable to the controller.
+
+// ChurnRow is one (scenario, controller) cell's measurements.
+type ChurnRow struct {
+	Scenario      string
+	Controller    bool
+	Availability  float64
+	Floor         float64
+	Hit           float64
+	ShedNoReplica uint64
+	ShedSaturated uint64
+	ShedDegraded  uint64
+	ReplicaAdds   int
+	MigrationMB   float64
+	ConvergeMin   float64 // minutes after the flash subsides; -1 = never
+}
+
+// churnCatalogSize matches the cluster experiment's catalog so the two
+// tables describe the same deployment.
+const churnCatalogSize = 6
+
+// churnBudgetBytes caps total migration traffic; generous enough to
+// absorb the flash, tight enough that the budget check is live.
+const churnBudgetBytes = 20e9
+
+// churnScenario builds one of the experiment's configurations. The
+// hand-sized per-copy allocation (10 streams, 8 buffer-minutes, 0.7
+// hit) keeps the experiment sizing-free and fast; outage selects the
+// flash-plus-failure variant.
+func churnScenario(o Options, outage, off bool) (cluster.ChurnConfig, error) {
+	movies, err := workload.ZipfCatalog(churnCatalogSize, 0.8)
+	if err != nil {
+		return cluster.ChurnConfig{}, err
+	}
+	allocs := make([]cluster.MovieAlloc, len(movies))
+	for i, m := range movies {
+		allocs[i] = cluster.MovieAlloc{Movie: m.Name, N: 10, B: 8, Hit: 0.7, Wait: 0.3, Weight: m.Popularity}
+	}
+	opts := cluster.Options{}
+	if outage {
+		// Two replicas of the hot title so the controller has a live
+		// migration source while the primary is out.
+		opts = cluster.Options{Replicas: 2, HotMovies: 1}
+	}
+	p, err := cluster.PackAllocs(allocs, cluster.UniformNodes(4, 30, 40), opts)
+	if err != nil {
+		return cluster.ChurnConfig{}, err
+	}
+	cfg := cluster.ChurnConfig{
+		Placement: p,
+		Workload: workload.DynamicWorkload{
+			Movies:   movies,
+			BaseRate: 0.5,
+			Flashes: []workload.FlashCrowd{
+				{Movie: "m01", At: 300, Peak: 4, Ramp: 10, Hold: 60, Decay: 30},
+			},
+		},
+		Horizon: 900,
+		Warmup:  100,
+		Seed:    o.seed(),
+		Controller: cluster.ControllerConfig{
+			Interval:    10,
+			Cooldown:    15,
+			BudgetBytes: churnBudgetBytes,
+		},
+		ControllerOff: off,
+		Window:        60,
+	}
+	if outage {
+		hosts := p.Replicas("m01")
+		if len(hosts) == 0 {
+			return cluster.ChurnConfig{}, fmt.Errorf("churn: hot movie unplaced")
+		}
+		cfg.Faults = []cluster.NodeFault{{Node: hosts[0].Node, At: 290, Until: 450}}
+	}
+	return cfg, nil
+}
+
+// Churn compares frozen and controlled placements under flash crowds.
+func Churn(o Options) ([]ChurnRow, error) {
+	return ChurnCtx(context.Background(), o)
+}
+
+// ChurnCtx is Churn with cancellation checkpoints.
+func ChurnCtx(ctx context.Context, o Options) ([]ChurnRow, error) {
+	type cell struct {
+		scenario string
+		outage   bool
+		off      bool
+	}
+	cells := []cell{
+		{"flash", false, true},
+		{"flash", false, false},
+		{"flash+outage", true, true},
+		{"flash+outage", true, false},
+	}
+	rows, err := mapResumable(ctx, o, "churn", len(cells),
+		func(ctx context.Context, i int) (ChurnRow, error) {
+			c := cells[i]
+			cfg, err := churnScenario(o, c.outage, c.off)
+			if err != nil {
+				return ChurnRow{}, err
+			}
+			res, err := cluster.RunChurn(ctx, cfg)
+			if err != nil {
+				return ChurnRow{}, err
+			}
+			row := ChurnRow{
+				Scenario:      c.scenario,
+				Controller:    !c.off,
+				Availability:  res.Availability,
+				Floor:         res.FloorAvailability,
+				Hit:           res.Hit,
+				ShedNoReplica: res.ShedNoReplica,
+				ShedSaturated: res.ShedSaturated,
+				ShedDegraded:  res.ShedDegraded,
+				ReplicaAdds:   res.Controller.ReplicaAdds,
+				MigrationMB:   res.Controller.SpentBytes / 1e6,
+				ConvergeMin:   res.TimeToConverge,
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return rows, nil
+}
+
+// PrintChurn renders the control-plane churn table.
+func PrintChurn(w io.Writer, rows []ChurnRow) {
+	fmt.Fprintln(w, "Live control plane under churn: frozen placement vs budgeted rebalancing")
+	fmt.Fprintf(w, "(%d movies on 4 nodes, 4x flash crowd on the hottest title at t=300;\n"+
+		" the outage rows also fail its primary node for t=290..450)\n\n", churnCatalogSize)
+	fmt.Fprintf(w, "%-13s %-10s %7s %7s %7s %7s %6s %6s %5s %8s %9s\n",
+		"scenario", "placement", "avail", "floor", "hit",
+		"noRep", "sat", "deg", "adds", "migMB", "converge")
+	for _, r := range rows {
+		mode := "frozen"
+		if r.Controller {
+			mode = "controlled"
+		}
+		converge := "-"
+		if r.Controller && r.ConvergeMin >= 0 {
+			converge = fmt.Sprintf("%.0f min", r.ConvergeMin)
+		}
+		fmt.Fprintf(w, "%-13s %-10s %7.4f %7.4f %7.4f %7d %6d %6d %5d %8.0f %9s\n",
+			r.Scenario, mode, r.Availability, r.Floor, r.Hit,
+			r.ShedNoReplica, r.ShedSaturated, r.ShedDegraded,
+			r.ReplicaAdds, r.MigrationMB, converge)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnControllerBeatsFrozen pins the experiment's headline claim:
+// in both scenarios the controlled run's availability floor sits above
+// the frozen baseline's, the controller actually migrated (adds > 0,
+// within budget), and the frozen rows show zero controller activity.
+func TestChurnControllerBeatsFrozen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn runs four full simulations")
+	}
+	rows, err := Churn(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows want 4", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		frozen, controlled := rows[i], rows[i+1]
+		if frozen.Controller || !controlled.Controller {
+			t.Fatalf("row order changed: %+v / %+v", frozen, controlled)
+		}
+		if frozen.Scenario != controlled.Scenario {
+			t.Fatalf("row pairing changed: %q vs %q", frozen.Scenario, controlled.Scenario)
+		}
+		if !(controlled.Floor > frozen.Floor) {
+			t.Errorf("%s: controlled floor %.4f not above frozen %.4f",
+				controlled.Scenario, controlled.Floor, frozen.Floor)
+		}
+		if controlled.ReplicaAdds == 0 {
+			t.Errorf("%s: controller made no replica adds", controlled.Scenario)
+		}
+		if controlled.MigrationMB*1e6 > churnBudgetBytes {
+			t.Errorf("%s: migration traffic %.0f MB exceeds the budget",
+				controlled.Scenario, controlled.MigrationMB)
+		}
+		if frozen.ReplicaAdds != 0 || frozen.MigrationMB != 0 {
+			t.Errorf("%s: frozen run shows controller activity: %+v", frozen.Scenario, frozen)
+		}
+	}
+}
+
+func TestPrintChurnRenders(t *testing.T) {
+	rows := []ChurnRow{
+		{Scenario: "flash", Controller: false, Availability: 0.95, Floor: 0.71, Hit: 0.54,
+			ShedSaturated: 23},
+		{Scenario: "flash", Controller: true, Availability: 1, Floor: 1, Hit: 0.67,
+			ReplicaAdds: 4, MigrationMB: 18900, ConvergeMin: 10},
+	}
+	var b strings.Builder
+	PrintChurn(&b, rows)
+	out := b.String()
+	for _, want := range []string{"scenario", "floor", "frozen", "controlled", "18900", "10 min"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

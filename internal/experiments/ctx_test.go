@@ -28,6 +28,7 @@ func TestExperimentsCtxPreCanceled(t *testing.T) {
 		{"FaultsCtx", func() error { _, err := FaultsCtx(dead, o); return err }},
 		{"PiggybackCtx", func() error { _, err := PiggybackCtx(dead, o); return err }},
 		{"EndToEndCtx", func() error { _, err := EndToEndCtx(dead, o); return err }},
+		{"ChurnCtx", func() error { _, err := ChurnCtx(dead, o); return err }},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

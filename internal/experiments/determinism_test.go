@@ -76,6 +76,14 @@ var renderers = []struct {
 		PrintFaults(w, r)
 		return nil
 	}},
+	{"churn", func(o Options, w io.Writer) error {
+		r, err := Churn(o)
+		if err != nil {
+			return err
+		}
+		PrintChurn(w, r)
+		return nil
+	}},
 	{"verify", func(o Options, w io.Writer) error {
 		r, err := VerifyTable(o)
 		if err != nil {

@@ -12,6 +12,10 @@
 //	POST /v1/reserve  — dedicated-stream reserve estimate
 //	POST /v1/simulate — one discrete-event simulation run
 //	POST /v1/replicate — R independent replications with pooled CIs
+//	POST /v1/cluster/plan — multi-node placement
+//	POST /v1/cluster/simulate — cluster simulation with node faults
+//	POST /v1/cluster/churn — time-varying workload with the live
+//	     rebalancing controller (flash crowds, budgeted migrations)
 //	GET  /v1/healthz  — liveness probe (legacy path)
 //
 // The hardened stack built by New additionally serves, outside the

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"vodalloc/internal/cluster"
@@ -23,6 +24,12 @@ const maxZipfMovies = 256
 type ClusterCounters struct {
 	plan     atomic.Uint64
 	simulate atomic.Uint64
+	churn    atomic.Uint64
+	// mu guards the last-churn gauges: the most recent successful churn
+	// run's headline numbers, surfaced on /statusz so an operator can
+	// see what the control plane last did without re-running it.
+	mu   sync.Mutex
+	last *ChurnLastRun
 }
 
 // notePlan and noteSimulate record one request; a nil receiver (the
@@ -39,14 +46,39 @@ func (c *ClusterCounters) noteSimulate() {
 	}
 }
 
+func (c *ClusterCounters) noteChurn() {
+	if c != nil {
+		c.churn.Add(1)
+	}
+}
+
+// noteChurnResult publishes a completed churn run's gauges.
+func (c *ClusterCounters) noteChurnResult(last ChurnLastRun) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.last = &last
+	c.mu.Unlock()
+}
+
 // Snapshot returns the current counts.
 func (c *ClusterCounters) Snapshot() ClusterStatus {
 	if c == nil {
 		return ClusterStatus{}
 	}
+	c.mu.Lock()
+	last := c.last
+	if last != nil {
+		cp := *last
+		last = &cp
+	}
+	c.mu.Unlock()
 	return ClusterStatus{
 		PlanRequests:     c.plan.Load(),
 		SimulateRequests: c.simulate.Load(),
+		ChurnRequests:    c.churn.Load(),
+		LastChurn:        last,
 	}
 }
 
@@ -54,6 +86,19 @@ func (c *ClusterCounters) Snapshot() ClusterStatus {
 type ClusterStatus struct {
 	PlanRequests     uint64 `json:"planRequests"`
 	SimulateRequests uint64 `json:"simulateRequests"`
+	ChurnRequests    uint64 `json:"churnRequests"`
+	// LastChurn is the most recent successful churn run (nil before
+	// the first one).
+	LastChurn *ChurnLastRun `json:"lastChurn,omitempty"`
+}
+
+// ChurnLastRun is the /statusz digest of the latest churn simulation.
+type ChurnLastRun struct {
+	Availability      float64 `json:"availability"`
+	FloorAvailability float64 `json:"floorAvailability"`
+	MigrationMB       float64 `json:"migrationMB"`
+	TimeToConverge    float64 `json:"timeToConverge"`
+	PeakLevel         string  `json:"peakLevel"`
 }
 
 // ClusterPlanRequest asks for a multi-node placement. The catalog is
@@ -154,6 +199,50 @@ type ClusterSimulateResponse struct {
 	Shed         uint64                `json:"shed"`
 	Nodes        []ClusterSimNodeJSON  `json:"nodes"`
 	Movies       []ClusterSimMovieJSON `json:"movies"`
+}
+
+// ClusterChurnRequest plans the cluster and then drives a time-varying
+// workload against it with the live rebalancing controller (or with the
+// placement frozen, for a baseline).
+type ClusterChurnRequest struct {
+	ClusterSimulateRequest
+	// Flash schedules flash crowds: "m01@300:4" or
+	// "m01@300:4:10:60:30" (movie@at:peak[:ramp[:hold[:decay]]]).
+	Flash string `json:"flash,omitempty"`
+	// DiurnalPeriod/DiurnalAmp add a sinusoidal rate swing.
+	DiurnalPeriod float64 `json:"diurnalPeriod,omitempty"`
+	DiurnalAmp    float64 `json:"diurnalAmp,omitempty"`
+	// BudgetMB caps total migration traffic (0 = unlimited).
+	BudgetMB float64 `json:"budgetMB,omitempty"`
+	// Interval is the controller cadence in minutes (0 = default).
+	Interval float64 `json:"interval,omitempty"`
+	// Frozen disables the controller: the placement never changes.
+	Frozen bool `json:"frozen,omitempty"`
+	// Window is the availability-floor window in minutes (0 = 60).
+	Window float64 `json:"window,omitempty"`
+}
+
+// ClusterChurnResponse reports the run's availability, typed sheds and
+// the controller's activity.
+type ClusterChurnResponse struct {
+	Arrivals          uint64  `json:"arrivals"`
+	Admitted          uint64  `json:"admitted"`
+	Availability      float64 `json:"availability"`
+	FloorAvailability float64 `json:"floorAvailability"`
+	Hit               float64 `json:"hit"`
+	ShedNoReplica     uint64  `json:"shedNoReplica"`
+	ShedSaturated     uint64  `json:"shedSaturated"`
+	ShedDegraded      uint64  `json:"shedDegraded"`
+	Failovers         uint64  `json:"failovers"`
+	ReplicaAdds       int     `json:"replicaAdds"`
+	ReplicaDrops      int     `json:"replicaDrops"`
+	MigrationsStarted int     `json:"migrationsStarted"`
+	MigrationMB       float64 `json:"migrationMB"`
+	BudgetExhausted   bool    `json:"budgetExhausted"`
+	PeakLevel         string  `json:"peakLevel"`
+	// TimeToConverge is minutes from the last flash's end to controller
+	// quiescence (-1 when not measured).
+	TimeToConverge float64 `json:"timeToConverge"`
 }
 
 // clusterCatalog materializes the request's movie source.
@@ -287,4 +376,84 @@ func handleClusterSimulate(ctx context.Context, eval *sizing.Evaluator, req Clus
 		})
 	}
 	return resp, nil
+}
+
+func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *ClusterCounters, req ClusterChurnRequest) (ClusterChurnResponse, error) {
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = 3000
+	}
+	if horizon > maxSimHorizon {
+		return ClusterChurnResponse{}, fmt.Errorf("horizon %g exceeds the service cap %d", horizon, maxSimHorizon)
+	}
+	warmup := req.Warmup
+	if warmup == 0 {
+		warmup = horizon / 10
+	}
+	p, movies, err := req.clusterPlan(ctx, eval)
+	if err != nil {
+		return ClusterChurnResponse{}, err
+	}
+	nodeFaults, err := cluster.ParseNodeFaults(req.Fail)
+	if err != nil {
+		return ClusterChurnResponse{}, err
+	}
+	flashes, err := workload.ParseFlashCrowds(req.Flash)
+	if err != nil {
+		return ClusterChurnResponse{}, err
+	}
+	dyn := workload.DynamicWorkload{
+		Movies:   movies,
+		BaseRate: req.Lambda,
+		Flashes:  flashes,
+	}
+	if req.DiurnalPeriod > 0 {
+		amp := req.DiurnalAmp
+		if amp == 0 {
+			amp = 0.3
+		}
+		dyn.Diurnal = &workload.Diurnal{Period: req.DiurnalPeriod, Amplitude: amp}
+	}
+	res, err := cluster.RunChurn(ctx, cluster.ChurnConfig{
+		Placement: p,
+		Workload:  dyn,
+		Horizon:   horizon,
+		Warmup:    warmup,
+		Seed:      req.Seed,
+		Controller: cluster.ControllerConfig{
+			Interval:    req.Interval,
+			BudgetBytes: req.BudgetMB * 1e6,
+		},
+		ControllerOff: req.Frozen,
+		Faults:        nodeFaults,
+		Window:        req.Window,
+	})
+	if err != nil {
+		return ClusterChurnResponse{}, err
+	}
+	cc.noteChurnResult(ChurnLastRun{
+		Availability:      res.Availability,
+		FloorAvailability: res.FloorAvailability,
+		MigrationMB:       res.Controller.SpentBytes / 1e6,
+		TimeToConverge:    res.TimeToConverge,
+		PeakLevel:         res.Controller.PeakLevel.String(),
+	})
+	return ClusterChurnResponse{
+		Arrivals:          res.Arrivals,
+		Admitted:          res.Admitted,
+		Availability:      res.Availability,
+		FloorAvailability: res.FloorAvailability,
+		Hit:               res.Hit,
+		ShedNoReplica:     res.ShedNoReplica,
+		ShedSaturated:     res.ShedSaturated,
+		ShedDegraded:      res.ShedDegraded,
+		Failovers:         res.Failovers,
+		ReplicaAdds:       res.Controller.ReplicaAdds,
+		ReplicaDrops:      res.Controller.ReplicaDrops,
+		MigrationsStarted: res.Controller.MigrationsStarted,
+		MigrationMB:       res.Controller.SpentBytes / 1e6,
+		BudgetExhausted:   res.Controller.BudgetExhausted,
+		PeakLevel:         res.Controller.PeakLevel.String(),
+		TimeToConverge:    res.TimeToConverge,
+	}, nil
 }

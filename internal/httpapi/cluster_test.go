@@ -103,6 +103,101 @@ func TestClusterSimulateEndpoint(t *testing.T) {
 	}
 }
 
+func TestClusterChurnEndpoint(t *testing.T) {
+	srv := clusterServer(t)
+	resp, body := postJSON(t, srv, "/v1/cluster/churn", `{
+		"zipfMovies": 3, "nodes": 2, "replicas": 2, "hotMovies": 1,
+		"lambda": 0.5, "horizon": 600, "warmup": 60, "seed": 7,
+		"flash": "m01@200:3", "budgetMB": 20000, "interval": 10
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var churn ClusterChurnResponse
+	if err := json.Unmarshal(body, &churn); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if churn.Arrivals == 0 {
+		t.Error("no arrivals simulated")
+	}
+	if churn.Admitted+churn.ShedNoReplica+churn.ShedSaturated+churn.ShedDegraded != churn.Arrivals {
+		t.Errorf("arrivals do not partition into admitted+sheds: %+v", churn)
+	}
+	if churn.Availability < 0 || churn.Availability > 1 ||
+		churn.FloorAvailability < 0 || churn.FloorAvailability > churn.Availability {
+		t.Errorf("availability out of range: %+v", churn)
+	}
+	if churn.MigrationMB*1e6 > 20000e6 {
+		t.Errorf("migration traffic exceeds the requested budget: %+v", churn)
+	}
+	if churn.PeakLevel == "" {
+		t.Errorf("missing peak degradation level: %+v", churn)
+	}
+
+	// A frozen run on the same scenario must show no controller activity.
+	resp, body = postJSON(t, srv, "/v1/cluster/churn", `{
+		"zipfMovies": 3, "nodes": 2, "replicas": 2, "hotMovies": 1,
+		"lambda": 0.5, "horizon": 600, "warmup": 60, "seed": 7,
+		"flash": "m01@200:3", "frozen": true
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frozen run status %d: %s", resp.StatusCode, body)
+	}
+	var frozen ClusterChurnResponse
+	if err := json.Unmarshal(body, &frozen); err != nil {
+		t.Fatalf("decode frozen: %v", err)
+	}
+	if frozen.ReplicaAdds != 0 || frozen.MigrationsStarted != 0 || frozen.MigrationMB != 0 {
+		t.Errorf("frozen run shows controller activity: %+v", frozen)
+	}
+}
+
+func TestClusterChurnErrors(t *testing.T) {
+	srv := clusterServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"bad flash spec", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "flash": "bogus"}`},
+		{"unknown flash movie", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "flash": "m99@100:4"}`},
+		{"horizon cap", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 60000}`},
+		{"zero lambda", `{"zipfMovies": 3, "nodes": 2, "horizon": 500}`},
+		{"bad fail spec", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "fail": "bogus"}`},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, srv, "/v1/cluster/churn", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", c.name, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestStatuszReportsLastChurn(t *testing.T) {
+	srv := clusterServer(t)
+	if st := getStatus(t, srv).Cluster; st.ChurnRequests != 0 || st.LastChurn != nil {
+		t.Fatalf("fresh server has churn state: %+v", st)
+	}
+	resp, body := postJSON(t, srv, "/v1/cluster/churn", `{
+		"zipfMovies": 2, "nodes": 2, "lambda": 0.5, "horizon": 300, "warmup": 30
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn run failed: %d %s", resp.StatusCode, body)
+	}
+	postJSON(t, srv, "/v1/cluster/churn", `{"nodes": 0}`) // errors count requests, not gauges
+	st := getStatus(t, srv).Cluster
+	if st.ChurnRequests != 2 {
+		t.Errorf("churnRequests = %d, want 2", st.ChurnRequests)
+	}
+	if st.LastChurn == nil {
+		t.Fatal("no lastChurn gauges after a successful run")
+	}
+	if st.LastChurn.Availability <= 0 || st.LastChurn.Availability > 1 {
+		t.Errorf("lastChurn availability out of range: %+v", st.LastChurn)
+	}
+	if st.LastChurn.PeakLevel == "" {
+		t.Errorf("lastChurn missing peak level: %+v", st.LastChurn)
+	}
+}
+
 func TestClusterEndpointErrors(t *testing.T) {
 	srv := clusterServer(t)
 	cases := []struct {

@@ -66,21 +66,30 @@ func newMux(maxBody int64, gate *resilience.Bulkhead, br *resilience.Breaker, ev
 		cc.noteSimulate()
 		return handleClusterSimulate(ctx, eval, req)
 	})
+	// Churn drives a full control-plane simulation, so it shares the
+	// same admission control as the other simulation endpoints.
+	var clusterChurn http.Handler = jsonHandler(maxBody, func(ctx context.Context, req ClusterChurnRequest) (ClusterChurnResponse, error) {
+		cc.noteChurn()
+		return handleClusterChurn(ctx, eval, cc, req)
+	})
 	// The breaker sits outside the bulkhead so an open circuit fast-fails
 	// without consuming an admission slot.
 	if gate != nil {
 		simulate = limitInflight(gate, simulate)
 		replicate = limitInflight(gate, replicate)
 		clusterSim = limitInflight(gate, clusterSim)
+		clusterChurn = limitInflight(gate, clusterChurn)
 	}
 	if br != nil {
 		simulate = breakerGate(br, simulate)
 		replicate = breakerGate(br, replicate)
 		clusterSim = breakerGate(br, clusterSim)
+		clusterChurn = breakerGate(br, clusterChurn)
 	}
 	mux.Handle("/v1/simulate", simulate)
 	mux.Handle("/v1/replicate", replicate)
 	mux.Handle("/v1/cluster/simulate", clusterSim)
+	mux.Handle("/v1/cluster/churn", clusterChurn)
 	return mux
 }
 

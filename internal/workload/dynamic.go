@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file models the demand side of the live control plane: arrival
+// processes whose per-movie rates vary over simulated time. Three
+// deterministic modulations compose multiplicatively on top of a base
+// catalog: the popularity law itself can drift (the Zipf exponent moves
+// and the rank order rotates, modeling new releases), the total offered
+// load breathes diurnally, and individual titles can take flash-crowd
+// bursts. Every modulation is a pure function of the virtual clock, so
+// two runs with the same configuration and seed see byte-identical
+// demand — the property the churn simulator's replay checkpoints rely
+// on.
+
+// Diurnal modulates the total arrival rate sinusoidally:
+// factor(t) = 1 + Amplitude·sin(2π(t−Phase)/Period).
+type Diurnal struct {
+	// Period is the cycle length in minutes (e.g. 1440 for a day).
+	Period float64
+	// Amplitude is the peak-to-mean swing, in [0, 1).
+	Amplitude float64
+	// Phase shifts the cycle start, minutes.
+	Phase float64
+}
+
+// Validate checks the modulation's fields.
+func (d Diurnal) Validate() error {
+	switch {
+	case !(d.Period > 0) || math.IsInf(d.Period, 0):
+		return fmt.Errorf("%w: diurnal period %v", ErrBadParam, d.Period)
+	case d.Amplitude < 0 || d.Amplitude >= 1 || math.IsNaN(d.Amplitude):
+		return fmt.Errorf("%w: diurnal amplitude %v outside [0, 1)", ErrBadParam, d.Amplitude)
+	case math.IsNaN(d.Phase) || math.IsInf(d.Phase, 0):
+		return fmt.Errorf("%w: diurnal phase %v", ErrBadParam, d.Phase)
+	}
+	return nil
+}
+
+func (d Diurnal) factor(t float64) float64 {
+	return 1 + d.Amplitude*math.Sin(2*math.Pi*(t-d.Phase)/d.Period)
+}
+
+// ZipfDrift evolves the catalog's popularity law over time: the Zipf
+// exponent moves linearly from Theta0 at t=0 to Theta1 at t=Period
+// (clamped after), and, when Rotate > 0, the rank order rotates by one
+// position every Rotate minutes — the catalog's "new release" churn,
+// where today's tail title is next week's chart-topper.
+type ZipfDrift struct {
+	Theta0, Theta1 float64
+	// Period is the drift span in minutes; theta is Theta1 from then on.
+	Period float64
+	// Rotate is minutes per one-position rank rotation (0 = none).
+	Rotate float64
+}
+
+// Validate checks the drift's fields.
+func (z ZipfDrift) Validate() error {
+	switch {
+	case z.Theta0 < 0 || math.IsNaN(z.Theta0) || math.IsInf(z.Theta0, 0):
+		return fmt.Errorf("%w: drift theta0 %v", ErrBadParam, z.Theta0)
+	case z.Theta1 < 0 || math.IsNaN(z.Theta1) || math.IsInf(z.Theta1, 0):
+		return fmt.Errorf("%w: drift theta1 %v", ErrBadParam, z.Theta1)
+	case !(z.Period > 0) || math.IsInf(z.Period, 0):
+		return fmt.Errorf("%w: drift period %v", ErrBadParam, z.Period)
+	case z.Rotate < 0 || math.IsNaN(z.Rotate) || math.IsInf(z.Rotate, 0):
+		return fmt.Errorf("%w: drift rotation %v", ErrBadParam, z.Rotate)
+	}
+	return nil
+}
+
+// theta interpolates the exponent at time t.
+func (z ZipfDrift) theta(t float64) float64 {
+	f := t / z.Period
+	if f < 0 {
+		f = 0
+	}
+	if f >= 1 {
+		return z.Theta1 // exact at and past the clamp, no float residue
+	}
+	return z.Theta0 + f*(z.Theta1-z.Theta0)
+}
+
+// shift is the rank rotation offset at time t.
+func (z ZipfDrift) shift(t float64, n int) int {
+	if z.Rotate <= 0 || t <= 0 || n == 0 {
+		return 0
+	}
+	return int(t/z.Rotate) % n
+}
+
+// FlashCrowd is one title's demand burst: the movie's arrival rate is
+// multiplied by a trapezoidal factor that ramps from 1 to Peak over
+// Ramp minutes starting at At, holds Peak for Hold minutes, and decays
+// linearly back to 1 over Decay minutes.
+type FlashCrowd struct {
+	Movie string
+	At    float64
+	// Peak is the rate multiplier at the top of the burst (≥ 1).
+	Peak float64
+	// Ramp, Hold, Decay shape the trapezoid, minutes (≥ 0 each).
+	Ramp, Hold, Decay float64
+}
+
+// Validate checks the burst's fields against the catalog names.
+func (f FlashCrowd) Validate(known map[string]bool) error {
+	switch {
+	case f.Movie == "":
+		return fmt.Errorf("%w: flash crowd with empty movie", ErrBadParam)
+	case known != nil && !known[f.Movie]:
+		return fmt.Errorf("%w: flash crowd targets unknown movie %q", ErrBadParam, f.Movie)
+	case math.IsNaN(f.At) || f.At < 0 || math.IsInf(f.At, 0):
+		return fmt.Errorf("%w: flash crowd at %v", ErrBadParam, f.At)
+	case !(f.Peak >= 1) || math.IsInf(f.Peak, 0):
+		return fmt.Errorf("%w: flash crowd peak %v (want ≥ 1)", ErrBadParam, f.Peak)
+	case f.Ramp < 0 || math.IsNaN(f.Ramp) || math.IsInf(f.Ramp, 0):
+		return fmt.Errorf("%w: flash crowd ramp %v", ErrBadParam, f.Ramp)
+	case f.Hold < 0 || math.IsNaN(f.Hold) || math.IsInf(f.Hold, 0):
+		return fmt.Errorf("%w: flash crowd hold %v", ErrBadParam, f.Hold)
+	case f.Decay < 0 || math.IsNaN(f.Decay) || math.IsInf(f.Decay, 0):
+		return fmt.Errorf("%w: flash crowd decay %v", ErrBadParam, f.Decay)
+	}
+	return nil
+}
+
+// End is the time the burst has fully decayed.
+func (f FlashCrowd) End() float64 { return f.At + f.Ramp + f.Hold + f.Decay }
+
+func (f FlashCrowd) factor(t float64) float64 {
+	switch {
+	case t < f.At || t >= f.End():
+		return 1
+	case t < f.At+f.Ramp:
+		return 1 + (f.Peak-1)*(t-f.At)/f.Ramp
+	case t < f.At+f.Ramp+f.Hold:
+		return f.Peak
+	default:
+		return f.Peak - (f.Peak-1)*(t-f.At-f.Ramp-f.Hold)/f.Decay
+	}
+}
+
+// ParseFlashCrowds parses a burst spec: comma-separated
+// "movie@at:peak[:ramp[:hold[:decay]]]", e.g. "m05@800:8" or
+// "m05@800:8:5:30:60". Omitted shape fields default to ramp=5, hold=30,
+// decay=60 minutes. An empty spec is an empty schedule.
+func ParseFlashCrowds(spec string) ([]FlashCrowd, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []FlashCrowd
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		movie, rest, ok := strings.Cut(part, "@")
+		if !ok || movie == "" {
+			return nil, fmt.Errorf("%w: bad flash crowd %q: want movie@at:peak[:ramp[:hold[:decay]]]", ErrBadParam, part)
+		}
+		fields := strings.Split(rest, ":")
+		if len(fields) < 2 || len(fields) > 5 {
+			return nil, fmt.Errorf("%w: bad flash crowd %q: want at:peak[:ramp[:hold[:decay]]]", ErrBadParam, part)
+		}
+		f := FlashCrowd{Movie: movie, Ramp: 5, Hold: 30, Decay: 60}
+		dst := []*float64{&f.At, &f.Peak, &f.Ramp, &f.Hold, &f.Decay}
+		for i, field := range fields {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad flash crowd %q: %v", ErrBadParam, part, err)
+			}
+			*dst[i] = v
+		}
+		if err := f.Validate(nil); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// DefaultEpoch is the piecewise-constant discretization step of a
+// dynamic workload, minutes: within one epoch the per-movie rates are
+// frozen, and the arrival processes re-draw at epoch boundaries (exact
+// for exponential gaps, by memorylessness).
+const DefaultEpoch = 5.0
+
+// DynamicWorkload is a time-varying demand description over a fixed
+// catalog: per-movie arrival rates at time t are
+//
+//	rate_i(t) = BaseRate · diurnal(t) · weight_i(t) · flash_i(t)
+//
+// where weight_i(t) comes from the (possibly drifting) popularity law,
+// normalized over the catalog. Flash crowds multiply after
+// normalization, so a burst adds traffic instead of stealing share.
+// Everything is a pure function of t.
+type DynamicWorkload struct {
+	Movies []Movie
+	// BaseRate is the mean cluster-wide arrival rate, viewers/minute.
+	BaseRate float64
+	// Epoch is the piecewise-constant step (0 = DefaultEpoch).
+	Epoch   float64
+	Diurnal *Diurnal
+	Drift   *ZipfDrift
+	Flashes []FlashCrowd
+}
+
+// Validate checks the workload.
+func (w *DynamicWorkload) Validate() error {
+	if len(w.Movies) == 0 {
+		return fmt.Errorf("%w: dynamic workload with empty catalog", ErrBadParam)
+	}
+	known := make(map[string]bool, len(w.Movies))
+	var popSum float64
+	for _, m := range w.Movies {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		known[m.Name] = true
+		popSum += m.Popularity
+	}
+	if w.Drift == nil && !(popSum > 0) {
+		return fmt.Errorf("%w: catalog has no popularity mass", ErrBadParam)
+	}
+	if !(w.BaseRate > 0) || math.IsInf(w.BaseRate, 0) {
+		return fmt.Errorf("%w: base rate %v", ErrBadParam, w.BaseRate)
+	}
+	if w.Epoch < 0 || math.IsNaN(w.Epoch) || math.IsInf(w.Epoch, 0) {
+		return fmt.Errorf("%w: epoch %v", ErrBadParam, w.Epoch)
+	}
+	if w.Diurnal != nil {
+		if err := w.Diurnal.Validate(); err != nil {
+			return err
+		}
+	}
+	if w.Drift != nil {
+		if err := w.Drift.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, f := range w.Flashes {
+		if err := f.Validate(known); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EpochLength is the configured or default discretization step.
+func (w *DynamicWorkload) EpochLength() float64 {
+	if w.Epoch > 0 {
+		return w.Epoch
+	}
+	return DefaultEpoch
+}
+
+// Static reports whether the rates are constant in time — no diurnal
+// swing, no drift, no flash crowds.
+func (w *DynamicWorkload) Static() bool {
+	return w.Diurnal == nil && w.Drift == nil && len(w.Flashes) == 0
+}
+
+// LastFlashEnd is the time the final flash crowd has fully decayed
+// (0 with no flashes) — the earliest moment reconvergence can be
+// measured from.
+func (w *DynamicWorkload) LastFlashEnd() float64 {
+	var end float64
+	for _, f := range w.Flashes {
+		end = math.Max(end, f.End())
+	}
+	return end
+}
+
+// weightsInto fills dst with the normalized popularity weights at t.
+func (w *DynamicWorkload) weightsInto(t float64, dst []float64) {
+	n := len(w.Movies)
+	if w.Drift == nil {
+		var sum float64
+		for i, m := range w.Movies {
+			dst[i] = m.Popularity
+			sum += m.Popularity
+		}
+		for i := range dst {
+			dst[i] /= sum
+		}
+		return
+	}
+	theta := w.Drift.theta(t)
+	shift := w.Drift.shift(t, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		// Movie i holds rank ((i + shift) mod n) + 1 at time t: ranks
+		// rotate so the hot seat moves through the catalog.
+		rank := float64((i+shift)%n + 1)
+		dst[i] = 1 / math.Pow(rank, theta)
+		sum += dst[i]
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// RatesInto fills dst (length = catalog size) with the per-movie
+// arrival rates at time t.
+func (w *DynamicWorkload) RatesInto(t float64, dst []float64) {
+	w.weightsInto(t, dst)
+	base := w.BaseRate
+	if w.Diurnal != nil {
+		base *= w.Diurnal.factor(t)
+	}
+	for i := range dst {
+		dst[i] *= base
+	}
+	for _, f := range w.Flashes {
+		for i, m := range w.Movies {
+			if m.Name == f.Movie {
+				dst[i] *= f.factor(t)
+			}
+		}
+	}
+}
+
+// RatesAt returns the per-movie arrival rates at time t.
+func (w *DynamicWorkload) RatesAt(t float64) []float64 {
+	dst := make([]float64, len(w.Movies))
+	w.RatesInto(t, dst)
+	return dst
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func dynCatalog(t *testing.T, n int) []Movie {
+	t.Helper()
+	movies, err := ZipfCatalog(n, 0.8)
+	if err != nil {
+		t.Fatalf("ZipfCatalog: %v", err)
+	}
+	return movies
+}
+
+func TestFlashCrowdTrapezoid(t *testing.T) {
+	f := FlashCrowd{Movie: "m01", At: 100, Peak: 5, Ramp: 10, Hold: 20, Decay: 40}
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 1}, {99.9, 1},
+		{105, 3},   // halfway up the ramp
+		{110, 5},   // ramp done
+		{120, 5},   // holding
+		{130, 5},   // hold boundary
+		{150, 3},   // halfway down
+		{170, 1},   // fully decayed
+		{10000, 1}, // long after
+	}
+	for _, c := range cases {
+		if got := f.factor(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("factor(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got, want := f.End(), 170.0; got != want {
+		t.Errorf("End() = %v, want %v", got, want)
+	}
+}
+
+func TestParseFlashCrowds(t *testing.T) {
+	got, err := ParseFlashCrowds("m05@800:8,m01@100:3:5:10:20")
+	if err != nil {
+		t.Fatalf("ParseFlashCrowds: %v", err)
+	}
+	want := []FlashCrowd{
+		{Movie: "m05", At: 800, Peak: 8, Ramp: 5, Hold: 30, Decay: 60},
+		{Movie: "m01", At: 100, Peak: 3, Ramp: 5, Hold: 10, Decay: 20},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if got, err := ParseFlashCrowds(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"m05", "m05@", "@800:8", "m05@800", "m05@800:0.5", "m05@x:8", "m05@800:8:1:2:3:4"} {
+		if _, err := ParseFlashCrowds(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	if err := (Diurnal{Period: 1440, Amplitude: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid diurnal rejected: %v", err)
+	}
+	for _, bad := range []Diurnal{
+		{Period: 0, Amplitude: 0.5},
+		{Period: 1440, Amplitude: 1},
+		{Period: 1440, Amplitude: -0.1},
+		{Period: 1440, Amplitude: 0.5, Phase: math.Inf(1)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("diurnal %+v accepted", bad)
+		}
+	}
+}
+
+func TestZipfDriftThetaAndRotation(t *testing.T) {
+	z := ZipfDrift{Theta0: 1.0, Theta1: 0.2, Period: 100, Rotate: 50}
+	if got := z.theta(0); got != 1.0 {
+		t.Errorf("theta(0) = %v", got)
+	}
+	if got := z.theta(50); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("theta(50) = %v, want 0.6", got)
+	}
+	if got := z.theta(1e6); got != 0.2 {
+		t.Errorf("theta clamps to Theta1, got %v", got)
+	}
+	if got := z.shift(120, 6); got != 2 {
+		t.Errorf("shift(120) = %v, want 2", got)
+	}
+	if got := (ZipfDrift{Theta0: 1, Theta1: 1, Period: 100}).shift(1e6, 6); got != 0 {
+		t.Errorf("shift without rotation = %v, want 0", got)
+	}
+}
+
+func TestDynamicRatesStaticMatchesSplit(t *testing.T) {
+	movies := dynCatalog(t, 6)
+	w := DynamicWorkload{Movies: movies, BaseRate: 1.5}
+	if !w.Static() {
+		t.Fatal("workload with no modulation reports non-static")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want, err := SplitRate(1.5, movies)
+	if err != nil {
+		t.Fatalf("SplitRate: %v", err)
+	}
+	got := w.RatesAt(123.0)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("movie %d: dynamic %v vs split %v", i, got[i], want[i])
+		}
+	}
+	// Purity: the same t yields the same rates, always.
+	if !reflect.DeepEqual(w.RatesAt(777.0), w.RatesAt(777.0)) {
+		t.Error("RatesAt is not a pure function of t")
+	}
+}
+
+func TestDynamicRatesFlashAddsTraffic(t *testing.T) {
+	movies := dynCatalog(t, 6)
+	w := DynamicWorkload{
+		Movies:   movies,
+		BaseRate: 1.0,
+		Flashes:  []FlashCrowd{{Movie: "m01", At: 100, Peak: 4, Ramp: 0, Hold: 50, Decay: 0}},
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	before, during := w.RatesAt(50), w.RatesAt(120)
+	if math.Abs(during[0]-4*before[0]) > 1e-12 {
+		t.Errorf("flashed movie rate %v, want 4x %v", during[0], before[0])
+	}
+	for i := 1; i < len(movies); i++ {
+		if before[i] != during[i] {
+			t.Errorf("movie %d rate moved during a foreign flash: %v -> %v", i, before[i], during[i])
+		}
+	}
+	if got, want := w.LastFlashEnd(), 150.0; got != want {
+		t.Errorf("LastFlashEnd = %v, want %v", got, want)
+	}
+}
+
+func TestDynamicRatesDiurnalSwing(t *testing.T) {
+	movies := dynCatalog(t, 4)
+	w := DynamicWorkload{
+		Movies:   movies,
+		BaseRate: 1.0,
+		Diurnal:  &Diurnal{Period: 1440, Amplitude: 0.5},
+	}
+	sum := func(t float64) float64 {
+		var s float64
+		for _, r := range w.RatesAt(t) {
+			s += r
+		}
+		return s
+	}
+	peak, trough := sum(1440.0/4), sum(3*1440.0/4)
+	if math.Abs(peak-1.5) > 1e-9 || math.Abs(trough-0.5) > 1e-9 {
+		t.Errorf("diurnal peak/trough = %v/%v, want 1.5/0.5", peak, trough)
+	}
+}
+
+func TestDynamicRatesDriftRotation(t *testing.T) {
+	movies := dynCatalog(t, 6)
+	w := DynamicWorkload{
+		Movies:   movies,
+		BaseRate: 1.0,
+		Drift:    &ZipfDrift{Theta0: 0.8, Theta1: 0.8, Period: 1, Rotate: 100},
+	}
+	r0 := w.RatesAt(0)
+	r1 := w.RatesAt(150) // one rotation: movie i holds movie i+1's old rank
+	for i := range movies {
+		j := (i + 1) % len(movies)
+		if math.Abs(r1[i]-r0[j]) > 1e-12 {
+			t.Errorf("after one rotation movie %d rate %v, want movie %d's original %v", i, r1[i], j, r0[j])
+		}
+	}
+	// Sum is conserved under rotation (no flash: weights renormalize).
+	var s0, s1 float64
+	for i := range movies {
+		s0, s1 = s0+r0[i], s1+r1[i]
+	}
+	if math.Abs(s0-s1) > 1e-9 {
+		t.Errorf("rotation changed total rate: %v -> %v", s0, s1)
+	}
+}
+
+func TestDynamicValidateRejects(t *testing.T) {
+	movies := dynCatalog(t, 4)
+	bad := []DynamicWorkload{
+		{Movies: nil, BaseRate: 1},
+		{Movies: movies, BaseRate: 0},
+		{Movies: movies, BaseRate: math.Inf(1)},
+		{Movies: movies, BaseRate: 1, Epoch: -1},
+		{Movies: movies, BaseRate: 1, Diurnal: &Diurnal{Period: 0}},
+		{Movies: movies, BaseRate: 1, Drift: &ZipfDrift{Theta0: -1, Period: 10}},
+		{Movies: movies, BaseRate: 1, Flashes: []FlashCrowd{{Movie: "nope", At: 1, Peak: 2}}},
+		{Movies: movies, BaseRate: 1, Flashes: []FlashCrowd{{Movie: "m01", At: 1, Peak: 0.5}}},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad workload %d accepted", i)
+		}
+	}
+}
+
+// TestZipfCatalogNameWidth is the satellite fix: names scale their
+// zero-pad width with the catalog so lexical order equals rank order at
+// any size, while small catalogs keep their historical m01 style.
+func TestZipfCatalogNameWidth(t *testing.T) {
+	small := dynCatalog(t, 6)
+	if small[0].Name != "m01" || small[5].Name != "m06" {
+		t.Errorf("small catalog names changed: %s..%s", small[0].Name, small[5].Name)
+	}
+	big := dynCatalog(t, 120)
+	if big[0].Name != "m001" || big[99].Name != "m100" || big[119].Name != "m120" {
+		t.Errorf("large catalog names: %s, %s, %s", big[0].Name, big[99].Name, big[119].Name)
+	}
+	for i := 1; i < len(big); i++ {
+		if strings.Compare(big[i-1].Name, big[i].Name) >= 0 {
+			t.Fatalf("names not strictly increasing lexically: %s >= %s", big[i-1].Name, big[i].Name)
+		}
+	}
+}

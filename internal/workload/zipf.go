@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
 
 	"vodalloc/internal/dist"
 )
@@ -37,11 +38,18 @@ func ZipfCatalog(n int, theta float64) ([]Movie, error) {
 		return nil, err
 	}
 	think := dist.MustExponential(15)
+	// Zero-pad names to the catalog's own digit width (at least 2, so
+	// small catalogs keep their historical m01-style names): a fixed
+	// %02d breaks lexical ordering past 99 titles ("m100" < "m99").
+	width := len(strconv.Itoa(n))
+	if width < 2 {
+		width = 2
+	}
 	movies := make([]Movie, n)
 	for i := range movies {
 		t := catalogTemplate[i%len(catalogTemplate)]
 		movies[i] = Movie{
-			Name:       fmt.Sprintf("m%02d", i+1),
+			Name:       fmt.Sprintf("m%0*d", width, i+1),
 			Length:     t.length,
 			Wait:       t.wait,
 			TargetHit:  0.5,

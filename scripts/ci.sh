@@ -7,7 +7,8 @@
 # requires the resumed output to be byte-identical (scripts/killresume.sh),
 # after a pass over the checkpoint decoder's fuzz corpus. A cluster
 # smoke plans Example 1 onto three nodes and runs a short failover
-# simulation. A final chaos
+# simulation; a churn smoke drives a flash crowd through the live
+# rebalancing controller. A final chaos
 # smoke boots vodserverd on an ephemeral port, soaks it with vodchaos
 # for a few seconds (mixed traffic, client cancellations, oversized and
 # malformed bodies), then SIGTERMs it mid-run and requires zero
@@ -31,6 +32,13 @@ go run ./cmd/vodcluster plan -nodes 3 >/dev/null
 go run ./cmd/vodcluster simulate -nodes 3 -replicas 2 -hot 1 -headroom 2 \
     -lambda 1.5 -horizon 400 -warmup 50 -fail node2@150 >/dev/null
 echo "ci: cluster smoke passed"
+
+# --- churn smoke: the live control plane under a flash crowd, with the
+# rebalancing controller migrating replicas under a byte budget ---
+go run ./cmd/vodcluster churn -nodes 4 -movies 6 -node-streams 300 \
+    -node-buffer 200 -lambda 0.5 -flash "m01@300:4" -budget-mb 20000 \
+    -horizon 900 -warmup 100 -seed 7 -interval 10 >/dev/null
+echo "ci: churn smoke passed"
 
 # --- chaos smoke ---
 tmp=$(mktemp -d)

@@ -7,6 +7,8 @@
 #   single   one long vodsim simulation with periodic state checkpoints
 #   sweep    a vodsim replication sweep journaling completed items
 #   cluster  a vodcluster node-count sweep journaling per-node sim rows
+#   churn    a vodcluster churn run (live rebalancing controller) with
+#            replay checkpoints — the kill may land mid-rebalance
 #
 # A kill that lands before any progress was journaled (or after the run
 # finished) proves nothing, so each stage retries with a fresh random
@@ -94,7 +96,14 @@ run_stage single 0.4 1.4 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
     -horizon 100000 -warmup 500 -seed 7 -compare=false -checkpoint-every 10000
 run_stage sweep 0.4 1.4 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
     -horizon 15000 -warmup 500 -seed 7 -compare=false -replications 16
-run_stage cluster 2.4 4.0 "$tmp/vodcluster" sweep -min-nodes 2 -max-nodes 5 \
-    -lambda 1.5 -horizon 12000 -warmup 600 -seed 7
+# -parallel 1 serializes the per-node sims so journaled rows spread
+# over ~2.5s of wall clock instead of landing nearly at once; the kill
+# window sits past the ~3.3s sizing phase that precedes the first row.
+run_stage cluster 3.4 5.6 "$tmp/vodcluster" sweep -min-nodes 2 -max-nodes 5 \
+    -lambda 1.5 -horizon 12000 -warmup 600 -seed 7 -parallel 1
+run_stage churn 1.8 3.6 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
+    -node-streams 400 -node-buffer 200 -lambda 6 -flash "m01@40000:4" \
+    -budget-mb 40000 -horizon 120000 -warmup 500 -seed 7 -interval 10 \
+    -checkpoint-every 2000
 
 echo "killresume: all stages passed"
