@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,7 +55,22 @@ func main() {
 	jsonPath := flag.String("json", "", "append per-experiment wall-clock timings to this JSON file")
 	label := flag.String("label", "", "label recorded with the -json timings")
 	resume := flag.String("resume", "", "checkpoint directory: journal completed sweep items there and resume a killed run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	baseline := flag.String("baseline", "", "compare this run's total against the latest entry of the JSON artifact at this path (warn on >15% slowdown)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *resume != "" {
 		if err := os.MkdirAll(*resume, 0o755); err != nil {
@@ -211,6 +227,20 @@ func main() {
 		})
 	}
 	run.TotalSeconds = time.Since(start).Seconds()
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // flush recently freed objects so the profile shows live + cumulative allocs accurately
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	if len(run.Experiments) == 0 {
 		fmt.Fprintf(os.Stderr, "vodbench: unknown experiment %q\n", *exp)
@@ -222,6 +252,39 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, run); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compareBaseline diffs this run's total wall clock against the latest
+// entry of the bench artifact at path (the BENCH_sweeps.json protocol)
+// and prints a regression warning when the run is more than 15% slower.
+// Only a missing or malformed artifact is an error: a slowdown warns on
+// stderr — machines differ — leaving the judgment call to CI logs.
+func compareBaseline(path string, run benchRun) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var runs []benchRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return fmt.Errorf("%s is not a bench-run array: %v", path, err)
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("%s holds no baseline runs", path)
+	}
+	base := runs[len(runs)-1]
+	ratio := run.TotalSeconds / base.TotalSeconds
+	verdict := "ok"
+	if ratio > 1.15 {
+		verdict = "WARNING: >15% slower than baseline"
+	}
+	fmt.Fprintf(os.Stderr, "vodbench: total %.2fs vs baseline %.2fs (%q): %.0f%% — %s\n",
+		run.TotalSeconds, base.TotalSeconds, base.Label, 100*ratio, verdict)
+	return nil
 }
 
 // appendRun appends the run to the JSON array at path, creating the file

@@ -39,6 +39,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers mounted only behind the -pprof flag
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,7 @@ func run() error {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive simulation timeouts that trip the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the tripped breaker fast-fails before probing")
 	cacheFile := flag.String("cache-file", "", "persist the sizing evaluator's memo cache to this snapshot (loaded at startup, saved on drain)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling endpoints; keep off unless the listener is trusted)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -82,19 +84,31 @@ func run() error {
 		}
 		eval.AutoSave(*cacheFile, 256)
 	}
+	var handler http.Handler = httpapi.New(httpapi.Options{
+		Timeout:          *timeout,
+		MaxBodyBytes:     *maxBody,
+		MaxInflightSim:   *maxInflight,
+		Workers:          *workers,
+		Log:              logger,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		State:            state,
+		Evaluator:        eval,
+		Cache:            cacheState,
+	})
+	if *pprofOn {
+		// The pprof import registers on DefaultServeMux; only a -pprof
+		// server routes the debug prefix there, and profile requests skip
+		// the API middleware (its per-request timeout would truncate
+		// 30-second CPU profiles).
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof: profiling endpoints enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
-		Handler: httpapi.New(httpapi.Options{
-			Timeout:          *timeout,
-			MaxBodyBytes:     *maxBody,
-			MaxInflightSim:   *maxInflight,
-			Workers:          *workers,
-			Log:              logger,
-			BreakerThreshold: *breakerThreshold,
-			BreakerCooldown:  *breakerCooldown,
-			State:            state,
-			Evaluator:        eval,
-			Cache:            cacheState,
-		}),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

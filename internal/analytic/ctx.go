@@ -31,7 +31,10 @@ func (m *Model) HitFFCtx(ctx context.Context, d dist.Distribution) (float64, err
 	if err != nil {
 		return 0, err
 	}
-	return s + end, nil
+	// The sweep and end terms are each correct to quadrature accuracy,
+	// but their float sum can poke past 1 by ~1e-15 when both saturate
+	// (B = L with a short-tailed duration); clamp like HitMix does.
+	return clampProb(s + end), nil
 }
 
 // HitRWCtx is HitRW with cancellation checkpoints.
@@ -39,7 +42,11 @@ func (m *Model) HitRWCtx(ctx context.Context, d dist.Distribution) (float64, err
 	if m.cfg.B == 0 {
 		return 0, ctx.Err()
 	}
-	return m.clippedSumCtx(ctx, m.durFnFor(d), m.rwIntervals())
+	v, err := m.clippedSumCtx(ctx, m.durFnFor(d), m.rwIntervals())
+	if err != nil {
+		return 0, err
+	}
+	return clampProb(v), nil
 }
 
 // HitPAUCtx is HitPAU with cancellation checkpoints.
@@ -60,7 +67,8 @@ func (m *Model) HitPAUCtx(ctx context.Context, d dist.Distribution) (float64, er
 			if a < 0 {
 				a = 0
 			}
-			tail := 1 - f.F(a)
+			fa := f.F(a)
+			tail := 1 - fa
 			if tail < pauTailEps {
 				break
 			}
@@ -73,7 +81,7 @@ func (m *Model) HitPAUCtx(ctx context.Context, d dist.Distribution) (float64, er
 				sum += tail * coverage
 				break
 			}
-			sum += f.mass(a, b)
+			sum += f.massAt(a, b, fa)
 		}
 		return sum
 	}
@@ -81,7 +89,7 @@ func (m *Model) HitPAUCtx(ctx context.Context, d dist.Distribution) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	return float64(c.N) / c.B * v, nil
+	return clampProb(float64(c.N) / c.B * v), nil
 }
 
 // HitCtx is Hit with cancellation checkpoints.
@@ -145,14 +153,17 @@ func (m *Model) clippedSumCtx(ctx context.Context, f durFn, iv ivSpec) (float64,
 			if !ok {
 				break
 			}
+			// ivSpec.at clamps a to ≥ 0, so F(a)/G(a) are evaluated once
+			// here and shared with the clipped-mass computation below.
+			fa, ga := f.FG(a)
 			// The intervals are disjoint and ascending, so everything
 			// still ahead carries at most the duration tail beyond a;
 			// stop once that is negligible. This bounds the scan for
 			// configurations with astronomically many partitions.
-			if 1-f.F(a) < pauTailEps {
+			if 1-fa < pauTailEps {
 				break
 			}
-			sum += f.clippedMass(a, b, c.L)
+			sum += f.clippedMassAt(a, b, c.L, fa, ga)
 		}
 		return sum
 	}

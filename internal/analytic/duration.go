@@ -16,6 +16,25 @@ import (
 type durFn struct {
 	F func(x float64) float64
 	G func(x float64) float64
+	// FG evaluates F and G at one point, sharing the subexpressions the
+	// closed forms have in common (the Gamma family's G contains F as a
+	// term, so the fused path halves the incomplete-gamma evaluations on
+	// the model's hot loop). Always returns the same bits as calling F
+	// and G separately.
+	FG func(x float64) (fx, gx float64)
+	// Gl caches G(l) for the construction-time movie length: the movie-end
+	// clip branch of clippedMass needs it on every call.
+	Gl float64
+	l  float64
+}
+
+// gl returns G(l), served from the cache when l is the construction-time
+// movie length (always, in model evaluation; tests may pass other values).
+func (f durFn) gl(l float64) float64 {
+	if l == f.l {
+		return f.Gl
+	}
+	return f.G(l)
 }
 
 // gridPoints is the resolution of the generic G fallback grid over [0, l].
@@ -25,6 +44,19 @@ const gridPoints = 8192
 // closed-form ∫F. The grid fallback only ever needs G on [0, l]: every
 // G argument in the model is clamped to the movie length before use.
 func newDurFn(d dist.Distribution, l float64) durFn {
+	f := rawDurFn(d, l)
+	if f.FG == nil {
+		F, G := f.F, f.G
+		f.FG = func(x float64) (float64, float64) { return F(x), G(x) }
+	}
+	f.l = l
+	f.Gl = f.G(l)
+	return f
+}
+
+// rawDurFn builds the family-specific functionals; newDurFn fills in the
+// generic FG fallback and the G(l) cache.
+func rawDurFn(d dist.Distribution, l float64) durFn {
 	F := d.CDF
 	switch t := d.(type) {
 	case dist.Exponential:
@@ -45,6 +77,14 @@ func newDurFn(d dist.Distribution, l float64) durFn {
 			}
 			// ∫₀ˣ F = x·P(k, x/θ) − kθ·P(k+1, x/θ).
 			return x*t.CDF(x) - k*th*up.CDF(x)
+		}, FG: func(x float64) (float64, float64) {
+			// G contains F as a subterm; evaluating them together costs
+			// two incomplete-gamma calls instead of three.
+			fx := t.CDF(x)
+			if x <= 0 {
+				return fx, 0
+			}
+			return fx, x*fx - k*th*up.CDF(x)
 		}}
 	case dist.Uniform:
 		lo, hi := t.Support()
@@ -110,31 +150,45 @@ func gridG(d dist.Distribution, l float64) func(float64) float64 {
 // paper's case (a)/(b) split (complete vs. partial hits, Eqs. 4–18): the
 // clip c plays the role of the catch-up horizon.
 func (f durFn) clippedMass(a, b, l float64) float64 {
-	if b <= a || a >= l {
-		return 0
-	}
 	if a < 0 {
 		a = 0
 	}
-	fa := f.F(a)
+	fa, ga := f.FG(a)
+	return f.clippedMassAt(a, b, l, fa, ga)
+}
+
+// clippedMassAt is clippedMass with F(a) and G(a) supplied by the caller
+// — the model's integrands already evaluate them for their tail-stop
+// checks, so the hot loops avoid recomputing the most expensive terms.
+// a must be pre-clamped to ≥ 0.
+func (f durFn) clippedMassAt(a, b, l, fa, ga float64) float64 {
+	if b <= a || a >= l {
+		return 0
+	}
 	if b >= l {
 		// ∫_a^l (F(c) − F(a)) dc
-		return f.G(l) - f.G(a) - (l-a)*fa
+		return f.gl(l) - ga - (l-a)*fa
 	}
 	// ∫_a^b (F(c) − F(a)) dc + (l − b)(F(b) − F(a))
-	return f.G(b) - f.G(a) - (b-a)*fa + (l-b)*(f.F(b)-fa)
+	fb, gb := f.FG(b)
+	return gb - ga - (b-a)*fa + (l-b)*(fb-fa)
 }
 
 // mass returns the unclipped probability F(b) − F(a) of the interval,
 // clamped to [0, 1].
 func (f durFn) mass(a, b float64) float64 {
-	if b <= a {
-		return 0
-	}
 	if a < 0 {
 		a = 0
 	}
-	p := f.F(b) - f.F(a)
+	return f.massAt(a, b, f.F(a))
+}
+
+// massAt is mass with F(a) precomputed; a must be pre-clamped to ≥ 0.
+func (f durFn) massAt(a, b, fa float64) float64 {
+	if b <= a {
+		return 0
+	}
+	p := f.F(b) - fa
 	if p < 0 {
 		return 0
 	}

@@ -88,10 +88,25 @@ func (o Op) String() string {
 	}
 }
 
+// durKey keys the process-wide durFn cache. The functionals depend only
+// on the distribution value and the movie length, so they are shareable
+// across Model instances.
+type durKey struct {
+	d dist.Distribution
+	l float64
+}
+
+// globalDurCache shares built durFns across Models: a sizing sweep
+// constructs one Model per (B, n) candidate but evaluates the same
+// handful of duration distributions at the same L throughout, and the
+// grid-fallback families are expensive to rebuild per point.
+var globalDurCache sync.Map
+
 // durFnFor returns the cached (F, G) pair for d, building and memoizing
-// it on first use. Distributions whose dynamic type is not comparable
-// (mixtures, empirical data) bypass the cache — the map would panic on
-// them — and rebuild per call as before.
+// it on first use — first in the model-local map, then in the
+// process-wide (distribution, L) cache. Distributions whose dynamic type
+// is not comparable (mixtures, empirical data) bypass both caches — the
+// maps would panic on them — and rebuild per call as before.
 func (m *Model) durFnFor(d dist.Distribution) durFn {
 	if m.durCache == nil || !reflect.TypeOf(d).Comparable() {
 		return newDurFn(d, m.cfg.L)
@@ -99,7 +114,12 @@ func (m *Model) durFnFor(d dist.Distribution) durFn {
 	if v, ok := m.durCache.Load(d); ok {
 		return v.(durFn)
 	}
-	f := newDurFn(d, m.cfg.L)
+	k := durKey{d: d, l: m.cfg.L}
+	v, ok := globalDurCache.Load(k)
+	if !ok {
+		v, _ = globalDurCache.LoadOrStore(k, newDurFn(d, m.cfg.L))
+	}
+	f := v.(durFn)
 	m.durCache.Store(d, f)
 	return f
 }
@@ -205,7 +225,7 @@ func (m *Model) rwIntervals() ivSpec {
 // fast-forward carries the viewer past the end of the movie, releasing
 // the phase-1 resources outright.
 func (m *Model) pEnd(f durFn) float64 {
-	p := 1 - f.G(m.cfg.L)/m.cfg.L
+	p := 1 - f.gl(m.cfg.L)/m.cfg.L
 	if p < 0 {
 		return 0
 	}

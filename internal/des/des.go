@@ -5,44 +5,94 @@
 // The VOD simulator (internal/sim) runs entirely on this kernel; keeping
 // the kernel free of domain knowledge makes its ordering guarantees easy
 // to test in isolation.
+//
+// Allocation strategy. Simulations schedule millions of short-lived
+// events, so the kernel never heap-allocates per event: event records
+// live in slab blocks owned by the kernel and are recycled through a
+// free list the moment they fire or are canceled. Callers hold
+// generation-tagged Handles rather than pointers — recycling bumps the
+// record's generation, so a stale Cancel (on an event that already fired
+// and whose slot now carries a different event) is a safe no-op instead
+// of a use-after-free. The (time, seq) total order is untouched by the
+// arena: any heap over a strict total order pops the identical sequence,
+// so checkpoint digests and replay boundaries are bit-identical to the
+// previous per-event-allocation kernel (the slab property test pins
+// this against a reference heap kernel).
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. The callback receives the simulation so
-// it can schedule further events.
-type Event struct {
+// event is one scheduled-callback slot in the kernel's arena. Slots are
+// recycled after firing or cancellation; the generation counter
+// invalidates Handles to previous incarnations.
+type event struct {
 	time   float64
 	seq    uint64 // FIFO tie-break for equal timestamps
-	index  int    // heap index; -1 once popped or canceled
-	Action func(now float64)
-	// Label optionally names the event for tracing and diagnostics.
-	Label string
+	index  int32  // heap index; -1 once popped or canceled
+	gen    uint32 // incremented on recycle; stale Handles mismatch
+	action func(now float64)
+	label  string
 }
 
-// Time returns the event's scheduled time.
-func (e *Event) Time() float64 { return e.time }
+// Handle is a generation-tagged reference to a scheduled event, usable
+// with Cancel. The zero Handle references nothing: canceling it is a
+// no-op. Handles to events that have fired or been canceled go stale
+// (their slot's generation moves on) and are equally inert.
+type Handle struct {
+	ev  *event
+	gen uint32
+}
 
-// Canceled reports whether the event has been canceled or already fired.
-func (e *Event) Canceled() bool { return e.index < 0 }
+// Active reports whether the referenced event is still pending.
+func (h Handle) Active() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+}
+
+// Canceled reports whether the event has been canceled or already fired
+// (or the Handle is zero).
+func (h Handle) Canceled() bool { return !h.Active() }
+
+// Time returns the event's scheduled time while it is pending, and NaN
+// once the Handle has gone stale.
+func (h Handle) Time() float64 {
+	if !h.Active() {
+		return math.NaN()
+	}
+	return h.ev.time
+}
+
+// Label returns the event's diagnostic label while it is pending, and
+// "" once the Handle has gone stale.
+func (h Handle) Label() string {
+	if !h.Active() {
+		return ""
+	}
+	return h.ev.label
+}
 
 // ErrPastEvent is returned when scheduling before the current clock.
 var ErrPastEvent = errors.New("des: cannot schedule event in the past")
+
+// slabBlock is the number of event records allocated per slab growth.
+// One block is 16 KiB; a simulation's live arena converges on its peak
+// pending-event count and allocates nothing afterwards.
+const slabBlock = 256
 
 // Kernel is the simulation driver. The zero value is ready to use with a
 // clock at 0. Kernel is not safe for concurrent use; a simulation is a
 // single logical thread of control.
 type Kernel struct {
 	now    float64
-	queue  eventQueue
+	queue  []*event // binary min-heap ordered by (time, seq)
 	seq    uint64
 	fired  uint64
 	halted bool
+	free   []*event // recycled slots, LIFO for cache warmth
+	slab   []event  // tail of the current allocation block
 }
 
 // Now returns the current simulation time.
@@ -52,34 +102,67 @@ func (k *Kernel) Now() float64 { return k.now }
 func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Pending returns the number of events currently scheduled.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// alloc takes a slot from the free list, growing the slab when empty.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free) - 1; n >= 0 {
+		e := k.free[n]
+		k.free[n] = nil
+		k.free = k.free[:n]
+		return e
+	}
+	if len(k.slab) == 0 {
+		k.slab = make([]event, slabBlock)
+	}
+	e := &k.slab[0]
+	k.slab = k.slab[1:]
+	return e
+}
+
+// recycle returns a fired or canceled slot to the free list. Bumping the
+// generation invalidates every outstanding Handle to this incarnation;
+// clearing the action releases the closure (and whatever it captures)
+// to the GC immediately rather than at next reuse.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.action = nil
+	e.label = ""
+	k.free = append(k.free, e)
+}
 
 // ScheduleAt registers action to run at absolute time t. Events at equal
 // times fire in scheduling order. It returns the event handle, usable
 // with Cancel.
-func (k *Kernel) ScheduleAt(t float64, label string, action func(now float64)) (*Event, error) {
+func (k *Kernel) ScheduleAt(t float64, label string, action func(now float64)) (Handle, error) {
 	if math.IsNaN(t) || t < k.now {
-		return nil, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, k.now, label)
+		return Handle{}, fmt.Errorf("%w: t=%v now=%v (%s)", ErrPastEvent, t, k.now, label)
 	}
-	e := &Event{time: t, seq: k.seq, Action: action, Label: label}
+	e := k.alloc()
+	e.time = t
+	e.seq = k.seq
+	e.action = action
+	e.label = label
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e, nil
+	k.push(e)
+	return Handle{ev: e, gen: e.gen}, nil
 }
 
 // Schedule registers action to run delay time units from now.
-func (k *Kernel) Schedule(delay float64, label string, action func(now float64)) (*Event, error) {
+func (k *Kernel) Schedule(delay float64, label string, action func(now float64)) (Handle, error) {
 	return k.ScheduleAt(k.now+delay, label, action)
 }
 
-// Cancel removes a pending event. Canceling a fired or already-canceled
-// event is a no-op returning false.
-func (k *Kernel) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event. Canceling a fired, already-canceled,
+// stale or zero Handle is a no-op returning false.
+func (k *Kernel) Cancel(h Handle) bool {
+	e := h.ev
+	if e == nil || e.gen != h.gen || e.index < 0 {
 		return false
 	}
-	heap.Remove(&k.queue, e.index)
+	k.remove(int(e.index))
 	e.index = -1
+	k.recycle(e)
 	return true
 }
 
@@ -87,16 +170,20 @@ func (k *Kernel) Cancel(e *Event) bool {
 func (k *Kernel) Halt() { k.halted = true }
 
 // Step executes the next pending event, advancing the clock to its time.
-// It reports whether an event was executed.
+// It reports whether an event was executed. The slot is recycled before
+// the callback runs — nested ScheduleAt calls reuse it immediately —
+// which is safe because outstanding Handles go stale at recycle.
 func (k *Kernel) Step() bool {
-	if k.queue.Len() == 0 {
+	if len(k.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*Event)
+	e := k.popMin()
 	e.index = -1
 	k.now = e.time
 	k.fired++
-	e.Action(k.now)
+	act := e.action
+	k.recycle(e)
+	act(k.now)
 	return true
 }
 
@@ -106,13 +193,13 @@ func (k *Kernel) Step() bool {
 // outlives it).
 func (k *Kernel) RunUntil(horizon float64) {
 	k.halted = false
-	for !k.halted && k.queue.Len() > 0 {
+	for !k.halted && len(k.queue) > 0 {
 		if k.queue[0].time > horizon {
 			break
 		}
 		k.Step()
 	}
-	if k.now < horizon && (k.queue.Len() == 0 || k.queue[0].time > horizon) {
+	if k.now < horizon && (len(k.queue) == 0 || k.queue[0].time > horizon) {
 		k.now = horizon
 	}
 }
@@ -140,7 +227,7 @@ type State struct {
 
 // State returns the kernel's current counters.
 func (k *Kernel) State() State {
-	return State{Now: k.now, Seq: k.seq, Fired: k.fired, Pending: k.queue.Len()}
+	return State{Now: k.now, Seq: k.seq, Fired: k.fired, Pending: len(k.queue)}
 }
 
 // ErrExhausted reports a replay that ran out of events before reaching
@@ -192,7 +279,7 @@ func (k *Kernel) RunUntilCheck(horizon float64, every int, check func() error) e
 	}
 	k.halted = false
 	n := 0
-	for !k.halted && k.queue.Len() > 0 {
+	for !k.halted && len(k.queue) > 0 {
 		if k.queue[0].time > horizon {
 			break
 		}
@@ -204,41 +291,105 @@ func (k *Kernel) RunUntilCheck(horizon float64, every int, check func() error) e
 			}
 		}
 	}
-	if k.now < horizon && (k.queue.Len() == 0 || k.queue[0].time > horizon) {
+	if k.now < horizon && (len(k.queue) == 0 || k.queue[0].time > horizon) {
 		k.now = horizon
 	}
 	return nil
 }
 
-// eventQueue implements heap.Interface ordered by (time, seq).
-type eventQueue []*Event
+// The heap below is a specialized binary min-heap over (time, seq) —
+// container/heap without the interface boxing and with sift paths that
+// move the displaced element once instead of swapping pairwise. (time,
+// seq) is a strict total order (seq is unique), so the pop sequence is
+// independent of the internal arrangement; any correct heap fires the
+// same events in the same order.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push appends e and sifts it up.
+func (k *Kernel) push(e *event) {
+	i := len(k.queue)
+	e.index = int32(i)
+	k.queue = append(k.queue, e)
+	k.up(i)
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// up sifts the element at i toward the root.
+func (k *Kernel) up(i int) {
+	q := k.queue
+	e := q[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = int32(i)
+		i = p
+	}
+	q[i] = e
+	e.index = int32(i)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+// down sifts the element at i toward the leaves.
+func (k *Kernel) down(i int) {
+	q := k.queue
+	n := len(q)
+	e := q[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(q[r], q[l]) {
+			m = r
+		}
+		if !eventLess(q[m], e) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = int32(i)
+		i = m
+	}
+	q[i] = e
+	e.index = int32(i)
+}
+
+// popMin removes and returns the earliest event.
+func (k *Kernel) popMin() *event {
+	q := k.queue
+	n := len(q) - 1
+	e := q[0]
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		q[0] = last
+		last.index = 0
+		k.down(0)
+	}
 	return e
+}
+
+// remove deletes the element at heap index i.
+func (k *Kernel) remove(i int) {
+	q := k.queue
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if i < n {
+		q[i] = last
+		last.index = int32(i)
+		k.down(i)
+		if int(last.index) == i {
+			k.up(i)
+		}
+	}
 }

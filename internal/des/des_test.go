@@ -93,8 +93,8 @@ func TestCancel(t *testing.T) {
 	if k.Cancel(e) {
 		t.Error("second cancel should be a no-op")
 	}
-	if k.Cancel(nil) {
-		t.Error("nil cancel should be a no-op")
+	if k.Cancel(Handle{}) {
+		t.Error("zero-handle cancel should be a no-op")
 	}
 	k.Run()
 	if fired {
@@ -108,7 +108,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var k Kernel
 	var got []float64
-	events := make([]*Event, 0, 20)
+	events := make([]Handle, 0, 20)
 	for i := 0; i < 20; i++ {
 		tm := float64(i)
 		e, err := k.ScheduleAt(tm, "e", func(now float64) { got = append(got, now) })
@@ -198,7 +198,7 @@ func TestPropertyRandomScheduleOrdered(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		var k Kernel
 		var fired []float64
-		var pending []*Event
+		var pending []Handle
 		for i := 0; i < 50; i++ {
 			tm := rng.Float64() * 100
 			e, err := k.ScheduleAt(tm, "p", func(now float64) {

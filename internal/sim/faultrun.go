@@ -119,7 +119,7 @@ func (s *Server) onDiskFail(d int, now float64) {
 			s.k.Cancel(v.resumeEv)
 			s.k.Cancel(v.mergeEv)
 			s.k.Cancel(v.thinkEv)
-			v.finishEv, v.resumeEv, v.mergeEv, v.thinkEv = nil, nil, nil, nil
+			v.finishEv, v.resumeEv, v.mergeEv, v.thinkEv = noEv, noEv, noEv, noEv
 			s.releaseDedicated(now, v)
 			s.fallbackToBatch(mv, now, v, pos, true)
 		}
@@ -146,7 +146,7 @@ func (s *Server) killPartition(mv *movieState, ap *activePart, now float64, why 
 		mv.batchTW.Add(now, -1) // the stream was still reading
 	}
 	s.k.Cancel(ap.expireEv)
-	ap.readEndEv, ap.expireEv = nil, nil
+	ap.readEndEv, ap.expireEv = noEv, noEv
 	ap.gone = true
 	if ap.slot != nil {
 		ap.slot.Release()
@@ -173,7 +173,7 @@ func (s *Server) killPartition(mv *movieState, ap *activePart, now float64, why 
 		s.k.Cancel(v.finishEv)
 		s.k.Cancel(v.thinkEv)
 		s.k.Cancel(v.opRetryEv)
-		v.finishEv, v.thinkEv, v.opRetryEv = nil, nil, nil
+		v.finishEv, v.thinkEv, v.opRetryEv = noEv, noEv, noEv
 		s.fallbackToBatch(mv, now, v, pos, true)
 	}
 }
@@ -229,7 +229,7 @@ func (s *Server) preempt(mv *movieState, now float64, v *viewer) {
 	s.k.Cancel(v.resumeEv)
 	s.k.Cancel(v.mergeEv)
 	s.k.Cancel(v.thinkEv)
-	v.finishEv, v.resumeEv, v.mergeEv, v.thinkEv = nil, nil, nil, nil
+	v.finishEv, v.resumeEv, v.mergeEv, v.thinkEv = noEv, noEv, noEv, noEv
 	s.releaseDedicated(now, v)
 	s.fallbackToBatch(mv, now, v, pos, true)
 }
@@ -275,7 +275,7 @@ func (s *Server) scheduleDegradedRetry(mv *movieState, now float64, v *viewer, p
 	v.retries++
 	mv.retries++
 	v.parkEv = mustSchedule(&s.k, now+delay, "degradedRetry", func(t float64) {
-		v.parkEv = nil
+		v.parkEv = noEv
 		s.onDegradedRetry(mv, t, v, pos)
 	})
 }
@@ -316,7 +316,7 @@ func (s *Server) scheduleOpRetry(mv *movieState, now float64, v *viewer, req vcr
 	delay := disk.RetryBackoff.Delay(attempt)
 	mv.retries++
 	v.opRetryEv = mustSchedule(&s.k, now+delay, "opRetry", func(t float64) {
-		v.opRetryEv = nil
+		v.opRetryEv = noEv
 		s.onOpRetry(mv, t, v, req, attempt+1)
 	})
 }
@@ -337,7 +337,7 @@ func (s *Server) onOpRetry(mv *movieState, now float64, v *viewer, req vcr.Reque
 	s.emit(now, trace.Recovered, mv.setup.Name, v.id, pos, "queued vcr request")
 	s.leavePartition(v)
 	s.k.Cancel(v.finishEv)
-	v.finishEv = nil
+	v.finishEv = noEv
 	v.state = stateVCR
 	v.pending = req
 	v.outcome = vcr.Apply(req, pos, mv.setup.L, s.cfg.Rates)

@@ -67,7 +67,13 @@ func ReplicateCtx(ctx context.Context, cfg Config, runs int) (*Replication, erro
 			if err != nil {
 				return nil, err
 			}
-			return s.RunCtx(ctx)
+			res, err := s.RunCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			// The Server dies here; hand its viewer slabs to the next run.
+			s.releaseScratch()
+			return res, nil
 		})
 	if err != nil {
 		var pe *parallel.Error
@@ -77,7 +83,7 @@ func ReplicateCtx(ctx context.Context, cfg Config, runs int) (*Replication, erro
 		return nil, err
 	}
 
-	rep := &Replication{}
+	rep := &Replication{PerRun: make([]float64, 0, runs)}
 	for i := 0; i < runs; i++ {
 		res := results[i]
 		rep.PooledHits.Merge(res.Hits)

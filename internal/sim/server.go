@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"vodalloc/internal/buffer"
 	"vodalloc/internal/des"
@@ -173,6 +174,9 @@ type Server struct {
 	movies []*movieState
 	nextID uint64
 	tr     trace.Tracer
+	// tracing is false when the tracer is the Nop default; hot paths
+	// skip building fmt.Sprintf details behind it.
+	tracing bool
 
 	// dedInUse/dedPeak enforce and report the MaxDedicated cap; the disk
 	// array itself is shared with batch streams, so its own peak mixes
@@ -193,6 +197,48 @@ type Server struct {
 
 	bufferErr error // fixed-pool exhaustion captured mid-run
 	ran       bool
+
+	// viewerSlab is the tail of the current viewer allocation block;
+	// viewerBlocks records every block handed out, so a finished
+	// replication can return them to the process-wide pool.
+	viewerSlab   []viewer
+	viewerBlocks [][]viewer
+}
+
+// viewerSlabBlock is the number of viewer records allocated per slab
+// growth.
+const viewerSlabBlock = 128
+
+// viewerBlockPool recycles viewer slab blocks across simulator
+// instances: replication sweeps construct thousands of Servers, and each
+// run's viewer records die with it.
+var viewerBlockPool = sync.Pool{New: func() any { return make([]viewer, viewerSlabBlock) }}
+
+// allocViewer hands out the next zeroed slot of the viewer slab. Viewers
+// live to the end of the run — the census and the state digest iterate
+// them — so slots are never recycled within a run; the slab batches the
+// allocations and keeps arrival-order viewers adjacent in memory.
+func (s *Server) allocViewer() *viewer {
+	if len(s.viewerSlab) == 0 {
+		blk := viewerBlockPool.Get().([]viewer)
+		s.viewerSlab = blk
+		s.viewerBlocks = append(s.viewerBlocks, blk)
+	}
+	v := &s.viewerSlab[0]
+	s.viewerSlab = s.viewerSlab[1:]
+	return v
+}
+
+// releaseScratch returns the viewer slab blocks to the pool, cleared so
+// pooled blocks pin no dead run's closures. Only call once the Server
+// and every pointer into its state are dead — Results are safe, they
+// copy. Replicate calls this per finished run.
+func (s *Server) releaseScratch() {
+	for _, blk := range s.viewerBlocks {
+		clear(blk)
+		viewerBlockPool.Put(blk)
+	}
+	s.viewerBlocks, s.viewerSlab = nil, nil
 }
 
 // movieState carries one movie's batch machinery and measurements.
@@ -265,11 +311,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tr = trace.Nop{}
 	}
 	srv := &Server{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		disks: arr,
-		pool:  pool,
-		tr:    tr,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		disks:   arr,
+		pool:    pool,
+		tr:      tr,
+		tracing: cfg.Tracer != nil,
 	}
 	for _, ms := range cfg.Movies {
 		sched, err := stream.NewSchedule(ms.period())
@@ -409,7 +456,9 @@ func (s *Server) onRestart(mv *movieState, now float64) {
 	s.nextID++
 	mv.parts = append(mv.parts, ap)
 	mv.batchTW.Add(now, 1)
-	s.emit(now, trace.BatchStart, ms.Name, 0, 0, fmt.Sprintf("partition=%d", ap.id))
+	if s.tracing {
+		s.emit(now, trace.BatchStart, ms.Name, 0, 0, fmt.Sprintf("partition=%d", ap.id))
+	}
 
 	// Admit the queued type-1 viewers at position 0 (they all coalesce
 	// into the partition's first viewer).
@@ -427,18 +476,22 @@ func (s *Server) onRestart(mv *movieState, now float64) {
 	mv.waitq = mv.waitq[:0]
 
 	ap.readEndEv = mustSchedule(&s.k, part.ReadEndTime(), "readEnd", func(t float64) {
-		ap.readEndEv = nil
+		ap.readEndEv = noEv
 		if ap.slot != nil {
 			ap.slot.Release() // the I/O stream is done; the buffer drains on
 			ap.slot = nil
 		}
 		mv.batchTW.Add(t, -1)
-		s.emit(t, trace.BatchEnd, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
+		if s.tracing {
+			s.emit(t, trace.BatchEnd, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
+		}
 	})
 	ap.expireEv = mustSchedule(&s.k, part.ExpireTime(), "expire", func(t float64) {
-		ap.expireEv = nil
+		ap.expireEv = noEv
 		ap.gone = true
-		s.emit(t, trace.PartitionExpire, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
+		if s.tracing {
+			s.emit(t, trace.PartitionExpire, ms.Name, 0, ms.L, fmt.Sprintf("partition=%d", ap.id))
+		}
 		if err := s.pool.Release(part.Gross()); err != nil {
 			panic(fmt.Sprintf("sim: pool release failed: %v", err))
 		}
@@ -454,7 +507,7 @@ func (s *Server) onRestart(mv *movieState, now float64) {
 
 // mustSchedule wraps Kernel.ScheduleAt for internally generated times
 // that are never in the past by construction.
-func mustSchedule(k *des.Kernel, at float64, label string, fn func(float64)) *des.Event {
+func mustSchedule(k *des.Kernel, at float64, label string, fn func(float64)) des.Handle {
 	e, err := k.ScheduleAt(at, label, fn)
 	if err != nil {
 		panic(fmt.Sprintf("sim: schedule %s: %v", label, err))
@@ -473,7 +526,8 @@ func (s *Server) scheduleArrival(mv *movieState, at float64) {
 
 func (s *Server) onArrival(mv *movieState, now float64) {
 	mv.arrivals++
-	v := &viewer{id: s.nextID, arrived: now}
+	v := s.allocViewer()
+	v.id, v.arrived = s.nextID, now
 	s.nextID++
 	mv.viewers = append(mv.viewers, v)
 	s.viewersTW.Add(now, 1)
@@ -481,7 +535,7 @@ func (s *Server) onArrival(mv *movieState, now float64) {
 	if mv.setup.AbandonMean > 0 {
 		patience := s.rng.ExpFloat64() * mv.setup.AbandonMean
 		v.abandonEv = mustSchedule(&s.k, now+patience, "abandon", func(t float64) {
-			v.abandonEv = nil
+			v.abandonEv = noEv
 			if v.state == stateDone {
 				return
 			}
@@ -538,7 +592,9 @@ func (s *Server) joinPartition(mv *movieState, now float64, v *viewer, ap *activ
 	v.lag = lag
 	ap.members++
 	pos := ap.part.Head(now) - lag
-	s.emit(now, trace.Enroll, mv.setup.Name, v.id, pos, fmt.Sprintf("partition=%d lag=%.3f", ap.id, lag))
+	if s.tracing {
+		s.emit(now, trace.Enroll, mv.setup.Name, v.id, pos, fmt.Sprintf("partition=%d lag=%.3f", ap.id, lag))
+	}
 	v.finishEv = mustSchedule(&s.k, now+(mv.setup.L-pos), "finish", func(t float64) { s.onFinish(mv, t, v) })
 	s.scheduleThink(mv, now, v)
 }
@@ -551,7 +607,7 @@ func (s *Server) leavePartition(v *viewer) {
 }
 
 func (s *Server) onFinish(mv *movieState, now float64, v *viewer) {
-	v.finishEv = nil
+	v.finishEv = noEv
 	s.depart(mv, now, v)
 }
 
@@ -604,7 +660,7 @@ func (s *Server) scheduleThink(mv *movieState, now float64, v *viewer) {
 }
 
 func (s *Server) onThink(mv *movieState, now float64, v *viewer) {
-	v.thinkEv = nil
+	v.thinkEv = noEv
 	if v.state != stateWatching && v.state != stateDedicated {
 		return
 	}
@@ -638,16 +694,18 @@ func (s *Server) onThink(mv *movieState, now float64, v *viewer) {
 	}
 	s.leavePartition(v)
 	s.k.Cancel(v.finishEv)
-	v.finishEv = nil
+	v.finishEv = noEv
 	v.state = stateVCR
 	v.pending = req
 	v.outcome = vcr.Apply(req, pos, mv.setup.L, s.cfg.Rates)
-	s.emit(now, trace.VCRStart, mv.setup.Name, v.id, pos, fmt.Sprintf("%s amount=%.2f", req.Kind, req.Amount))
+	if s.tracing {
+		s.emit(now, trace.VCRStart, mv.setup.Name, v.id, pos, fmt.Sprintf("%s amount=%.2f", req.Kind, req.Amount))
+	}
 	v.resumeEv = mustSchedule(&s.k, now+v.outcome.Wall, "resume", func(t float64) { s.onResume(mv, t, v) })
 }
 
 func (s *Server) onResume(mv *movieState, now float64, v *viewer) {
-	v.resumeEv = nil
+	v.resumeEv = noEv
 	v.vcrOps++
 	kind := v.pending.Kind
 	out := v.outcome
@@ -735,12 +793,14 @@ func (s *Server) planMerge(mv *movieState, now, pos float64) (stream.MergePlan, 
 }
 
 func (s *Server) onMergeDone(mv *movieState, now float64, v *viewer, plan stream.MergePlan) {
-	v.mergeEv = nil
+	v.mergeEv = noEv
 	pos := plan.MergePos
 	if ap := s.coveringPartition(mv, now, pos); ap != nil {
 		if lag, ok := ap.part.LagOf(now, pos); ok {
 			mv.merges++
-			s.emit(now, trace.MergeDone, mv.setup.Name, v.id, pos, fmt.Sprintf("ahead=%t", plan.Ahead))
+			if s.tracing {
+				s.emit(now, trace.MergeDone, mv.setup.Name, v.id, pos, fmt.Sprintf("ahead=%t", plan.Ahead))
+			}
 			s.releaseDedicated(now, v)
 			s.joinPartition(mv, now, v, ap, lag)
 			return
@@ -767,7 +827,7 @@ func (s *Server) park(mv *movieState, now float64, v *viewer, pos float64) {
 }
 
 func (s *Server) onUnpark(mv *movieState, now float64, v *viewer, pos float64) {
-	v.parkEv = nil
+	v.parkEv = noEv
 	if ap := s.coveringPartition(mv, now, pos); ap != nil {
 		if lag, ok := ap.part.LagOf(now, pos); ok {
 			s.joinPartition(mv, now, v, ap, lag)

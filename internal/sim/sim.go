@@ -53,6 +53,10 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	return singleResult(sr), nil
 }
 
+// releaseScratch forwards to the underlying server; see
+// Server.releaseScratch for the (strict) lifetime contract.
+func (s *Simulator) releaseScratch() { s.srv.releaseScratch() }
+
 // singleResult projects the multi-movie server result onto the
 // single-movie Result shape.
 func singleResult(sr *ServerResult) *Result {

@@ -78,10 +78,10 @@ type viewer struct {
 	outcome vcr.Outcome
 
 	// Cancellable scheduled events.
-	finishEv, thinkEv, resumeEv, mergeEv, parkEv, abandonEv *des.Event
+	finishEv, thinkEv, resumeEv, mergeEv, parkEv, abandonEv des.Handle
 	// opRetryEv is the pending backoff retry of a blocked VCR request
 	// (degraded mode; the viewer stays watching meanwhile).
-	opRetryEv *des.Event
+	opRetryEv des.Handle
 
 	// retries counts backoff attempts of the current degraded episode.
 	retries int
@@ -103,6 +103,10 @@ func (v *viewer) position(now float64) float64 {
 	}
 }
 
+// noEv is the inert zero handle; assigning it releases nothing (stale
+// cancels are no-ops) but keeps the field state readable.
+var noEv des.Handle
+
 // cancelTimers cancels every pending event of the viewer.
 func (v *viewer) cancelTimers(k *des.Kernel) {
 	k.Cancel(v.finishEv)
@@ -112,7 +116,7 @@ func (v *viewer) cancelTimers(k *des.Kernel) {
 	k.Cancel(v.parkEv)
 	k.Cancel(v.abandonEv)
 	k.Cancel(v.opRetryEv)
-	v.finishEv, v.thinkEv, v.resumeEv, v.mergeEv, v.parkEv, v.abandonEv, v.opRetryEv = nil, nil, nil, nil, nil, nil, nil
+	v.finishEv, v.thinkEv, v.resumeEv, v.mergeEv, v.parkEv, v.abandonEv, v.opRetryEv = noEv, noEv, noEv, noEv, noEv, noEv, noEv
 }
 
 // activePart is a live batch stream with its buffer partition, disk
@@ -126,7 +130,7 @@ type activePart struct {
 	slot *disk.Slot
 	// readEndEv and expireEv are the partition's lifecycle events, kept
 	// so fault injection can kill a partition early.
-	readEndEv, expireEv *des.Event
+	readEndEv, expireEv des.Handle
 	// expired is flipped by the expiry event; defensive double-check for
 	// coverage queries racing the removal.
 	gone bool

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"vodalloc/internal/checkpoint"
 	"vodalloc/internal/dist"
@@ -110,6 +111,21 @@ func TestCacheAutoSavePersistsInBackground(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "evalcache.ckpt")
 	e := &Evaluator{Workers: 1}
 	e.AutoSave(path, 1)
+	// A background save kicked by the last insertion can outlive the
+	// test body; drain it before TempDir cleanup removes the directory
+	// out from under its temp file. (Cleanups run LIFO, so this waits
+	// before the TempDir removal registered above.)
+	t.Cleanup(func() {
+		for {
+			e.mu.Lock()
+			saving := e.saving
+			e.mu.Unlock()
+			if !saving {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
 	warmEvaluator(t, e)
 
 	// The save runs in a goroutine; SaveCache here both synchronizes with

@@ -50,12 +50,25 @@ var Default = &Evaluator{}
 
 // evalKey identifies one model evaluation. The mix string fingerprints
 // the movie's VCR profile (type + parameters of each duration
-// distribution), making equal-profile movies share cache entries.
+// distribution), making equal-profile movies share cache entries. The
+// float fields are quantized (see quantize) so arithmetically-equal
+// points reached along different float paths — a frontier walked by
+// index versus by accumulation — share one entry instead of near-miss
+// duplicates.
 type evalKey struct {
 	l, b  float64
 	n     int
 	rates Rates
 	mix   string
+}
+
+// quantize rounds a key coordinate to 1e-6: coarse enough to merge
+// float-drift duplicates (~1e-12 apart), fine enough that genuinely
+// distinct sweep points (≥ 1e-2 apart in practice) never collide.
+// Evaluations still run at the caller's exact coordinates; only the
+// cache key is rounded.
+func quantize(x float64) float64 {
+	return math.Round(x*1e6) / 1e6
 }
 
 // maxCacheEntries bounds the memo cache; at ~100 bytes per entry the cap
@@ -80,7 +93,7 @@ func (e *Evaluator) opts() parallel.Opts {
 // the evaluation within one quadrature panel (cache hits still return
 // their value — the work is already paid for).
 func (e *Evaluator) hitAt(ctx context.Context, m workload.Movie, r Rates, key string, n int, b float64) (float64, error) {
-	k := evalKey{l: m.Length, b: b, n: n, rates: r, mix: key}
+	k := evalKey{l: quantize(m.Length), b: quantize(b), n: n, rates: r, mix: key}
 	e.mu.Lock()
 	if v, ok := e.cache[k]; ok {
 		e.hits++
@@ -161,19 +174,24 @@ func (e *Evaluator) FeasibleByBufferStepCtx(ctx context.Context, m workload.Movi
 
 // MaxFeasibleStreams returns the largest stream count n (and the
 // corresponding B = l − n·w) whose predicted hit probability still meets
-// the movie's target. Because the hit probability decreases along the
-// constant-wait frontier as n grows (buffer shrinks), the feasibility
-// boundary is found by bisection rather than a linear scan; a
-// verification guard samples the supposedly infeasible region and falls
-// back to an exhaustive scan if a non-monotone configuration is
-// detected.
+// the movie's target. The hit probability decreases along the
+// constant-wait frontier as n grows (buffer shrinks — see DESIGN §12 for
+// the monotonicity argument), so the feasibility boundary is found by a
+// frontier walk: gallop upward in doubling steps until the first
+// infeasible probe brackets the boundary, then bisect inside the
+// bracket. The walk costs O(log n*) evaluations concentrated near the
+// answer n* — unlike plain bisection over [1, nMax] it never evaluates
+// the far-infeasible tail (whose tiny-B models are the most expensive to
+// integrate), and small answers cost only a handful of probes. The
+// exhaustive scan survives as maxFeasibleLinear, the oracle the property
+// tests cross-check the walk against.
 func (e *Evaluator) MaxFeasibleStreams(m workload.Movie, r Rates) (Point, error) {
 	return e.MaxFeasibleStreamsCtx(context.Background(), m, r)
 }
 
 // MaxFeasibleStreamsCtx is MaxFeasibleStreams with cancellation
-// checkpoints: each bisection probe consults the context, so a canceled
-// search returns within one model evaluation.
+// checkpoints: each probe consults the context, so a canceled search
+// returns within one model evaluation.
 func (e *Evaluator) MaxFeasibleStreamsCtx(ctx context.Context, m workload.Movie, r Rates) (Point, error) {
 	if err := m.Validate(); err != nil {
 		return Point{}, err
@@ -199,16 +217,37 @@ func (e *Evaluator) MaxFeasibleStreamsCtx(ctx context.Context, m workload.Movie,
 		return Point{}, fmt.Errorf("%w: movie %q cannot reach P*=%.3f even with n=1 (hit %.3f)",
 			ErrInfeasible, m.Name, m.TargetHit, lo.Hit)
 	}
-	hi, err := eval(nMax)
-	if err != nil {
-		return Point{}, err
+	// Gallop: double the probe until it turns infeasible (bracketing the
+	// boundary) or reaches a feasible nMax (the answer outright).
+	loN, best := 1, lo
+	hiN := nMax + 1
+	for probe := 2; probe <= nMax; probe *= 2 {
+		p, err := eval(probe)
+		if err != nil {
+			return Point{}, err
+		}
+		if !p.Feasible {
+			hiN = probe
+			break
+		}
+		loN, best = probe, p
+		if probe == nMax {
+			return best, nil
+		}
 	}
-	if hi.Feasible {
-		return hi, nil
+	if hiN > nMax {
+		// The gallop's last sub-nMax probe was feasible; the boundary
+		// lies in (loN, nMax].
+		p, err := eval(nMax)
+		if err != nil {
+			return Point{}, err
+		}
+		if p.Feasible {
+			return p, nil
+		}
+		hiN = nMax
 	}
-	// Bisect the feasibility boundary on the monotone frontier.
-	loN, hiN := 1, nMax
-	best := lo
+	// Bisect the bracket: loN feasible, hiN infeasible throughout.
 	for hiN-loN > 1 {
 		mid := (loN + hiN) / 2
 		p, err := eval(mid)
@@ -219,19 +258,6 @@ func (e *Evaluator) MaxFeasibleStreamsCtx(ctx context.Context, m workload.Movie,
 			loN, best = mid, p
 		} else {
 			hiN = mid
-		}
-	}
-	// Verification guard: bisection is only valid if no n beyond the
-	// boundary is feasible. Probe a logarithmic sample of (hiN, nMax);
-	// if any probe is feasible the frontier is not monotone for this
-	// configuration, and the exhaustive scan gives the true answer.
-	for span := 1; hiN+span < nMax; span *= 2 {
-		p, err := eval(hiN + span)
-		if err != nil {
-			return Point{}, err
-		}
-		if p.Feasible {
-			return e.maxFeasibleLinear(m, eval, nMax)
 		}
 	}
 	return best, nil

@@ -8,7 +8,9 @@
 # after a pass over the checkpoint decoder's fuzz corpus. A cluster
 # smoke plans Example 1 onto three nodes and runs a short failover
 # simulation; a churn smoke drives a flash crowd through the live
-# rebalancing controller. A final chaos
+# rebalancing controller; a bench-regression stage replays the quick
+# experiment sweep against the recorded BENCH_sweeps.json baseline and
+# warns on >15% slowdown. A final chaos
 # smoke boots vodserverd on an ephemeral port, soaks it with vodchaos
 # for a few seconds (mixed traffic, client cancellations, oversized and
 # malformed bodies), then SIGTERMs it mid-run and requires zero
@@ -20,7 +22,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
-go test -run='^$' -bench=. -benchtime=1x ./...
+go test -run='^$' -bench=. -benchtime=1x -benchmem ./...
 
 # --- checkpoint fuzz corpus + crash-resume smoke ---
 go test -run='^FuzzCheckpointDecode$' ./internal/checkpoint
@@ -39,6 +41,15 @@ go run ./cmd/vodcluster churn -nodes 4 -movies 6 -node-streams 300 \
     -node-buffer 200 -lambda 0.5 -flash "m01@300:4" -budget-mb 20000 \
     -horizon 900 -warmup 100 -seed 7 -interval 10 >/dev/null
 echo "ci: churn smoke passed"
+
+# --- bench regression: the quick experiment sweep against the latest
+# recorded entry in BENCH_sweeps.json; a >15% slowdown warns on the CI
+# log (machines differ), a missing or malformed artifact fails ---
+bench_dir=$(mktemp -d)
+go run ./cmd/vodbench -exp all -quick -json "$bench_dir/bench.json" \
+    -baseline BENCH_sweeps.json >/dev/null
+rm -rf "$bench_dir"
+echo "ci: bench regression stage passed"
 
 # --- chaos smoke ---
 tmp=$(mktemp -d)

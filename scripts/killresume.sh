@@ -92,16 +92,23 @@ run_stage() {
     done
 }
 
-run_stage single 0.4 1.4 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
+# The single run finishes in ~0.6s with its first state checkpoint on
+# disk by ~0.1s; the replication sweep takes ~1.1s journaling items
+# throughout. Windows cover the checkpointed middle of each.
+run_stage single 0.15 0.5 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
     -horizon 100000 -warmup 500 -seed 7 -compare=false -checkpoint-every 10000
-run_stage sweep 0.4 1.4 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
+run_stage sweep 0.25 0.9 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
     -horizon 15000 -warmup 500 -seed 7 -compare=false -replications 16
 # -parallel 1 serializes the per-node sims so journaled rows spread
-# over ~2.5s of wall clock instead of landing nearly at once; the kill
-# window sits past the ~3.3s sizing phase that precedes the first row.
-run_stage cluster 3.4 5.6 "$tmp/vodcluster" sweep -min-nodes 2 -max-nodes 5 \
+# over ~1.4s of wall clock instead of landing nearly at once; the kill
+# window sits past the ~0.8s sizing phase that precedes the first row
+# and ends before the ~2.2s finish (timings from the PR 7 engine —
+# recalibrate both if the sweep gets materially faster or slower).
+run_stage cluster 1.0 1.9 "$tmp/vodcluster" sweep -min-nodes 2 -max-nodes 5 \
     -lambda 1.5 -horizon 12000 -warmup 600 -seed 7 -parallel 1
-run_stage churn 1.8 3.6 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
+# The churn run finishes in ~1.8s with replay checkpoints every 2000
+# events from early in the run, so its window covers the middle.
+run_stage churn 0.4 1.4 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
     -node-streams 400 -node-buffer 200 -lambda 6 -flash "m01@40000:4" \
     -budget-mb 40000 -horizon 120000 -warmup 500 -seed 7 -interval 10 \
     -checkpoint-every 2000
