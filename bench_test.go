@@ -264,3 +264,27 @@ func BenchmarkCluster(b *testing.B) {
 	b.ReportMetric(maxShed, "maxShedRate")
 	b.ReportMetric(minAvail, "minAvailability")
 }
+
+// BenchmarkGray drives the slow-disk + brownout gray-failure timeline
+// under all three routing policies, reporting the blind baseline's and
+// the hedged policy's availability floors.
+func BenchmarkGray(b *testing.B) {
+	b.ReportAllocs()
+	var blindFloor, hedgeFloor float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Gray(experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Policy {
+			case "blind":
+				blindFloor = r.Floor
+			case "hedge":
+				hedgeFloor = r.Floor
+			}
+		}
+	}
+	b.ReportMetric(blindFloor, "blindFloor")
+	b.ReportMetric(hedgeFloor, "hedgeFloor")
+}

@@ -125,6 +125,8 @@ func run() error {
 			final.Goroutines, baseline.Goroutines, final.Breaker)
 	}
 
+	h.grayPhase()
+
 	if *sigtermPid != 0 {
 		h.sigtermPhase(*sigtermPid, *exitWait)
 	}
@@ -255,6 +257,18 @@ func (h *harness) ops() []op {
 					r.Int63n(1<<30)+1))
 			},
 			accept: []int{200, 503}},
+		{name: "cluster-churn-gray", weight: 3, method: http.MethodPost, path: "/v1/cluster/churn",
+			body: func(r *rand.Rand) []byte {
+				return []byte(fmt.Sprintf(
+					`{"zipfMovies":3,"nodes":2,"replicas":2,"headroom":1.6,"lambda":0.5,"horizon":600,"warmup":60,"frozen":true,"gray":"slow:node0@100-500:15","policy":"hedge","seed":%d}`,
+					r.Int63n(1<<30)+1))
+			},
+			accept: []int{200, 503}},
+		{name: "cluster-churn-gray-bad", weight: 2, method: http.MethodPost, path: "/v1/cluster/churn",
+			body: func(r *rand.Rand) []byte {
+				return []byte(`{"zipfMovies":3,"nodes":2,"lambda":0.5,"horizon":500,"gray":"slow:node0@100:NaN","policy":"hedge"}`)
+			},
+			accept: []int{400, 503}},
 	}
 }
 
@@ -386,6 +400,83 @@ func (h *harness) settleCheck(baseline httpapi.StatusResponse, wait time.Duratio
 			last.Goroutines, baseline.Goroutines, slack)
 	}
 	return last, false
+}
+
+// grayPhase runs one gray-failure churn — a single 15x slow node under
+// the hedged routing policy — on a settled server and asserts the stack
+// treats it as a degraded-but-healthy run: the request completes with
+// 200, the response carries per-node health, and the simulation circuit
+// breaker stays closed. A gray node is the routing layer's problem to
+// absorb; if it opened the breaker, one limping disk would blind the
+// whole service.
+func (h *harness) grayPhase() {
+	before, err := h.status()
+	if err != nil {
+		h.violate("gray: /statusz before run: %v", err)
+		return
+	}
+	if before.Breaker == "open" {
+		h.violate("gray: breaker already open before the gray run")
+		return
+	}
+	body := []byte(`{"zipfMovies":3,"nodes":2,"replicas":2,"headroom":1.6,` +
+		`"lambda":0.5,"horizon":600,"warmup":60,"seed":7,"frozen":true,` +
+		`"gray":"slow:node0@100-500:15","policy":"hedge"}`)
+	var resp *http.Response
+	for attempt := 0; attempt < 5; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, "http://"+h.addr+"/v1/cluster/churn", bytes.NewReader(body))
+		if err != nil {
+			h.violate("gray: build request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = h.client.Do(req)
+		if err != nil {
+			h.violate("gray: transport error: %v", err)
+			return
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			break
+		}
+		// A lingering shed from the soak; give the server a beat.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp = nil
+		time.Sleep(500 * time.Millisecond)
+	}
+	if resp == nil {
+		h.violate("gray: churn request shed on every attempt")
+		return
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		h.violate("gray: churn status %d: %s", resp.StatusCode, raw)
+		return
+	}
+	var churn httpapi.ClusterChurnResponse
+	if err := json.Unmarshal(raw, &churn); err != nil {
+		h.violate("gray: decode churn response: %v", err)
+		return
+	}
+	if len(churn.NodeHealth) == 0 {
+		h.violate("gray: churn response has no node health: %s", raw)
+	}
+	if churn.HedgeWins > churn.Hedges {
+		h.violate("gray: hedge wins %d exceed hedges %d", churn.HedgeWins, churn.Hedges)
+	}
+	after, err := h.status()
+	if err != nil {
+		h.violate("gray: /statusz after run: %v", err)
+		return
+	}
+	if after.Breaker != "closed" {
+		h.violate("gray: breaker %q after a single slow node — gray degradation must not trip the circuit", after.Breaker)
+		return
+	}
+	h.count("gray-phase:ok")
+	log.Printf("gray phase: single slow node absorbed, breaker=%s quarantines=%d hedges=%d",
+		after.Breaker, churn.Quarantines, churn.Hedges)
 }
 
 // sigtermPhase sends SIGTERM, verifies the drain window sheds new work

@@ -365,6 +365,9 @@ func runChurn(args []string) error {
 	cf := addClusterFlags(fs)
 	sf := addSimFlags(fs)
 	failSpec := fs.String("fail", "", `node outages: "node0@400,node2@500-1500"`)
+	graySpec := fs.String("gray", "", `gray faults: "slow:node0@300-700:12,brownout:node2@400-800:0.4" (kind:node@start[-end]:factor)`)
+	policy := fs.String("policy", "", "routing policy under gray faults: blind|health|hedge (default blind)")
+	starveWait := fs.Float64("starve-wait", 0, "admitted waits above this count as starved, minutes (0 = default 8)")
 	flashSpec := fs.String("flash", "", `flash crowds: "m01@300:4" or "m01@300:4:10:60:30" (movie@at:peak[:ramp[:hold[:decay]]])`)
 	diurnalPeriod := fs.Float64("diurnal-period", 0, "diurnal cycle length, minutes (0 = no diurnal swing)")
 	diurnalAmp := fs.Float64("diurnal-amp", 0.3, "diurnal amplitude in [0,1), with -diurnal-period")
@@ -391,6 +394,14 @@ func runChurn(args []string) error {
 		return err
 	}
 	faults, err := cluster.ParseNodeFaults(*failSpec)
+	if err != nil {
+		return err
+	}
+	gray, err := cluster.ParseGrayFaults(*graySpec)
+	if err != nil {
+		return err
+	}
+	pol, err := cluster.ParseRoutePolicy(*policy)
 	if err != nil {
 		return err
 	}
@@ -430,6 +441,9 @@ func runChurn(args []string) error {
 		ControllerOff: !*controller,
 		Faults:        faults,
 		Window:        *window,
+		Gray:          gray,
+		Policy:        pol,
+		StarveWait:    *starveWait,
 	}
 	var res *cluster.ChurnResult
 	if *sf.resume != "" {

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"vodalloc/internal/checkpoint"
@@ -51,10 +52,36 @@ type ChurnConfig struct {
 	ControllerOff bool
 	// Faults are node outages to inject.
 	Faults []NodeFault
+	// Gray are gray failures — slow disks, latency jitter, brownouts —
+	// to inject: the node stays up but serves late.
+	Gray []GrayFault
+	// Policy is the router's gray-failure posture (default PolicyBlind,
+	// the pre-gray router); Health tunes the scorer, quarantine machine
+	// and hedging (zero value = defaults).
+	Policy RoutePolicy
+	Health HealthConfig
+	// StarveWait is the wait (normalized units, 1.0 = nominal service)
+	// beyond which an admitted viewer counts as starved and is deducted
+	// from availability (0 = 8). Only meaningful on gray runs: without
+	// gray faults every wait is nominal and nothing starves.
+	StarveWait float64
 	// Window is the availability-floor window length, minutes (0 = 60):
 	// FloorAvailability is the worst per-window availability after
 	// warmup, the metric a flash crowd degrades first.
 	Window float64
+}
+
+// grayActive reports whether this run exercises the gray machinery at
+// all; when false the run is byte-identical to a pre-gray build.
+func (c ChurnConfig) grayActive() bool {
+	return len(c.Gray) > 0 || c.Policy != PolicyBlind
+}
+
+func (c ChurnConfig) starveWait() float64 {
+	if c.StarveWait > 0 {
+		return c.StarveWait
+	}
+	return 8
 }
 
 func (c ChurnConfig) window() float64 {
@@ -108,6 +135,20 @@ func (c ChurnConfig) Validate() error {
 			return err
 		}
 	}
+	for _, g := range c.Gray {
+		if err := g.Validate(known); err != nil {
+			return err
+		}
+	}
+	if c.Policy < PolicyBlind || c.Policy > PolicyHedge {
+		return fmt.Errorf("%w: routing policy %d", ErrBadCluster, int(c.Policy))
+	}
+	if err := c.Health.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(c.StarveWait) || math.IsInf(c.StarveWait, 0) || c.StarveWait < 0 {
+		return fmt.Errorf("%w: starve wait %v", ErrBadCluster, c.StarveWait)
+	}
 	return nil
 }
 
@@ -143,6 +184,20 @@ func (c ChurnConfig) Identity() uint64 {
 	for _, f := range c.Faults {
 		parts = append(parts, f)
 	}
+	// Gray parts are appended only on gray runs so every pre-gray
+	// snapshot identity is unchanged.
+	if c.grayActive() {
+		parts = append(parts, "gray", int(c.Policy), c.starveWait())
+		hc := c.Health.withDefaults()
+		parts = append(parts, hc.Alpha, hc.Window, hc.Quantile,
+			hc.SuspectBelow, hc.QuarantineBelow, hc.RestoreAbove,
+			hc.SuspectAfter, hc.QuarantineAfter, hc.RestoreTicks,
+			hc.ProbationAfter, hc.ProbeEvery, hc.ProbeOK,
+			hc.HedgeQuantile, hc.HedgeMin, hc.HedgeWarm)
+		for _, g := range c.Gray {
+			parts = append(parts, int(g.Kind), g.Node, g.At, g.Until, g.Factor)
+		}
+	}
 	return checkpoint.Identity(parts...)
 }
 
@@ -150,8 +205,11 @@ func (c ChurnConfig) Identity() uint64 {
 type ChurnWindow struct {
 	Start              float64
 	Arrivals, Admitted uint64
-	Availability       float64
-	Hit                float64
+	// Starved counts admitted viewers whose wait blew StarveWait; they
+	// are deducted from the window's availability.
+	Starved      uint64
+	Availability float64
+	Hit          float64
 }
 
 // ChurnResult is a churn run's measurements (all post-warmup).
@@ -179,6 +237,18 @@ type ChurnResult struct {
 	// flash crowd decayed; TimeToConverge is the gap. Both -1 when not
 	// measured (no flashes, controller off, or never converged).
 	ConvergedAt, TimeToConverge float64
+
+	// Gray-run measurements (all zero on non-gray runs). Starved counts
+	// admitted viewers whose service wait exceeded StarveWait — admitted
+	// but effectively unserved, so Availability deducts them. The wait
+	// quantiles are over admitted post-warmup viewers, in normalized
+	// service units (1.0 = nominal).
+	Starved                                      uint64
+	WaitMean, WaitP50, WaitP95, WaitP99, WaitMax float64
+	// Gray counts the router's resilience activity; NodeHealth is the
+	// end-of-run per-node health (nil on non-gray runs).
+	Gray       GrayRouterStats
+	NodeHealth []NodeHealthInfo
 }
 
 // Summary renders a human-readable digest.
@@ -199,6 +269,17 @@ func (r *ChurnResult) Summary() string {
 	if r.TimeToConverge >= 0 {
 		fmt.Fprintf(&b, "  reconverged %.1f min after the last flash (t=%.1f)\n", r.TimeToConverge, r.ConvergedAt)
 	}
+	if len(r.NodeHealth) > 0 {
+		fmt.Fprintf(&b, "  gray: starved=%d wait mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			r.Starved, r.WaitMean, r.WaitP50, r.WaitP95, r.WaitP99, r.WaitMax)
+		g := r.Gray
+		fmt.Fprintf(&b, "  gray: hedges=%d wins=%d cancels=%d probes=%d suspects=%d quarantines=%d restores=%d\n",
+			g.Hedges, g.HedgeWins, g.HedgeCancels, g.Probes, g.Suspects, g.Quarantines, g.Restores)
+		for _, nh := range r.NodeHealth {
+			fmt.Fprintf(&b, "  node %-8s %-11s score=%.3f ewma=%.2f samples=%d\n",
+				nh.Node, nh.State, nh.Score, nh.EWMA, nh.Samples)
+		}
+	}
 	for _, w := range r.Windows {
 		fmt.Fprintf(&b, "  [%6.0f] arrivals=%d availability=%.4f hit=%.4f\n",
 			w.Start, w.Arrivals, w.Availability, w.Hit)
@@ -207,13 +288,15 @@ func (r *ChurnResult) Summary() string {
 }
 
 // Churn event kinds, in tie-break priority order at equal timestamps:
-// node transitions first, then migration completions (a replica landing
-// at time t serves traffic at time t), the epoch re-draw and the
-// control tick before traffic, and departures before arrivals so slots
-// free first.
+// node transitions first (outages, then gray set/clear), then migration
+// completions (a replica landing at time t serves traffic at time t),
+// the epoch re-draw and the control tick before traffic, and departures
+// before arrivals so slots free first.
 const (
 	cevDown = iota
 	cevUp
+	cevGraySet
+	cevGrayClear
 	cevMigDone
 	cevEpoch
 	cevTick
@@ -228,6 +311,7 @@ type churnEvent struct {
 	movie int
 	node  string
 	epoch int
+	gray  int // index into cfg.Gray for cevGraySet/cevGrayClear
 	mig   Migration
 }
 
@@ -271,10 +355,23 @@ type churnRun struct {
 	hitSum             float64
 	wins               []churnWinAcc
 	convergedAt        float64
+
+	// Gray-run state (nil/zero on non-gray runs). graySlow/graySigma/
+	// grayFrac are the per-node multipliers currently in force; grayRNG
+	// is the dedicated jitter stream; waits holds every post-warmup
+	// admitted wait for result-time quantiles (its sum/max/len — not the
+	// slice — feed the digest).
+	grayOn                        bool
+	graySlow, graySigma, grayFrac []float64
+	grayRNG                       *rand.Rand
+	waits                         []float64
+	waitSum, waitMax              float64
+	starved                       uint64
 }
 
 type churnWinAcc struct {
 	arrivals, admitted uint64
+	starved            uint64
 	hitSum             float64
 }
 
@@ -311,6 +408,26 @@ func newChurnRun(cfg ChurnConfig) (*churnRun, error) {
 		r.push(churnEvent{t: f.At, kind: cevDown, node: f.Node})
 		if f.Until > f.At {
 			r.push(churnEvent{t: f.Until, kind: cevUp, node: f.Node})
+		}
+	}
+	if cfg.grayActive() {
+		r.grayOn = true
+		if err := router.SetGrayPolicy(cfg.Policy, cfg.Health); err != nil {
+			return nil, err
+		}
+		n := len(cfg.Placement.Nodes)
+		r.graySlow = make([]float64, n)
+		r.graySigma = make([]float64, n)
+		r.grayFrac = make([]float64, n)
+		for i := 0; i < n; i++ {
+			r.graySlow[i], r.grayFrac[i] = 1, 1
+		}
+		r.grayRNG = rand.New(rand.NewSource(cfg.Seed ^ churnGraySalt))
+		for gi, g := range cfg.Gray {
+			r.push(churnEvent{t: g.At, kind: cevGraySet, gray: gi})
+			if g.Until > g.At {
+				r.push(churnEvent{t: g.Until, kind: cevGrayClear, gray: gi})
+			}
 		}
 	}
 	cfg.Workload.RatesInto(0, r.rates)
@@ -383,6 +500,10 @@ func (r *churnRun) step() (bool, error) {
 			// Aborted migrations stay charged; nothing to schedule.
 			r.ctrl.SetNodeDown(e.node, down)
 		}
+	case cevGraySet:
+		r.applyGray(r.cfg.Gray[e.gray], true)
+	case cevGrayClear:
+		r.applyGray(r.cfg.Gray[e.gray], false)
 	case cevMigDone:
 		if r.ctrl != nil {
 			if err := r.ctrl.Complete(e.mig); err != nil {
@@ -436,7 +557,18 @@ func (r *churnRun) step() (bool, error) {
 				return true, nil
 			}
 		}
-		d, err := r.router.RouteLoad(r.movies[i].Name)
+		var (
+			d    LoadDecision
+			wait float64
+			err  error
+		)
+		if r.grayOn {
+			var gd GrayDecision
+			gd, err = r.router.RouteGray(r.movies[i].Name, e.t, r.nodeWait)
+			d, wait = gd.LoadDecision, gd.Wait
+		} else {
+			d, err = r.router.RouteLoad(r.movies[i].Name)
+		}
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrUnavailable):
@@ -468,9 +600,78 @@ func (r *churnRun) step() (bool, error) {
 			if d.Failover {
 				r.failovers++
 			}
+			if r.grayOn {
+				r.waits = append(r.waits, wait)
+				r.waitSum += wait
+				if wait > r.waitMax {
+					r.waitMax = wait
+				}
+				if wait > r.cfg.starveWait() {
+					r.starved++
+					win.starved++
+				}
+			}
 		}
 	}
 	return true, nil
+}
+
+// churnGraySalt derives the dedicated jitter stream from the run seed,
+// so gray noise never perturbs the arrival or routing draws.
+const churnGraySalt = 0x677261796368726e
+
+// applyGray installs (set) or lifts (clear) one gray fault's multiplier
+// on its node. Overlapping same-kind faults don't stack: the event
+// applying last wins, and clearing restores nominal.
+func (r *churnRun) applyGray(g GrayFault, set bool) {
+	ni, ok := r.router.node[g.Node]
+	if !ok {
+		return // validated at config time; defensive
+	}
+	switch g.Kind {
+	case GraySlow:
+		if set {
+			r.graySlow[ni] = g.Factor
+		} else {
+			r.graySlow[ni] = 1
+		}
+	case GrayJitter:
+		if set {
+			r.graySigma[ni] = g.Factor
+		} else {
+			r.graySigma[ni] = 0
+		}
+	case GrayBrownout:
+		if set {
+			r.grayFrac[ni] = g.Factor
+		} else {
+			r.grayFrac[ni] = 1
+		}
+	}
+}
+
+// nodeWait is the physical service-wait model the router routes
+// against but never sees directly: the node's slow-disk multiplier,
+// amplified by queueing congestion against its *browned-out* capacity
+// (the router still believes nominal capacity — that gap is what makes
+// the failure gray), stretched by mean-one lognormal jitter.
+func (r *churnRun) nodeWait(node, liveAfter int) float64 {
+	w := r.graySlow[node]
+	eff := float64(r.router.maxStreams[node])
+	if frac := r.grayFrac[node]; frac > 0 && frac < 1 {
+		eff *= frac
+	}
+	if eff > 0 {
+		rho := float64(liveAfter) / eff
+		if rho > 0.95 {
+			rho = 0.95
+		}
+		w *= 1 + rho/(1-rho)
+	}
+	if sg := r.graySigma[node]; sg > 0 {
+		w *= math.Exp(sg*r.grayRNG.NormFloat64() - sg*sg/2)
+	}
+	return w
 }
 
 // digest hashes the run's observable mutable state — counters, window
@@ -501,7 +702,19 @@ func (r *churnRun) digest() uint64 {
 	for _, w := range r.wins {
 		u64(w.arrivals)
 		u64(w.admitted)
+		u64(w.starved)
 		f64(w.hitSum)
+	}
+	// Gray state folds as sum/max/count — not the waits slice, whose
+	// only job is result-time quantiles — plus the multipliers in force.
+	f64(r.waitSum)
+	f64(r.waitMax)
+	u64(uint64(len(r.waits)))
+	u64(r.starved)
+	for i := range r.graySlow {
+		f64(r.graySlow[i])
+		f64(r.graySigma[i])
+		f64(r.grayFrac[i])
 	}
 	r.router.digest(u64)
 	if r.ctrl != nil {
@@ -548,6 +761,7 @@ func (r *churnRun) result() *ChurnResult {
 		ShedSaturated: r.shed[ShedSaturated],
 		ShedDegraded:  r.shed[ShedDegraded],
 		Failovers:     r.failovers,
+		Starved:       r.starved,
 		Availability:  1,
 		ConvergedAt:   r.convergedAt,
 	}
@@ -555,7 +769,9 @@ func (r *churnRun) result() *ChurnResult {
 		res.Controller = r.ctrl.Stats()
 	}
 	if r.arrivals > 0 {
-		res.Availability = float64(r.admitted) / float64(r.arrivals)
+		// Starved viewers were admitted but effectively unserved; on
+		// non-gray runs starved is always zero and this is Admitted/Arrivals.
+		res.Availability = float64(r.admitted-r.starved) / float64(r.arrivals)
 	}
 	if r.admitted > 0 {
 		res.Hit = r.hitSum / float64(r.admitted)
@@ -566,10 +782,11 @@ func (r *churnRun) result() *ChurnResult {
 			Start:        r.cfg.Warmup + float64(k)*r.cfg.window(),
 			Arrivals:     w.arrivals,
 			Admitted:     w.admitted,
+			Starved:      w.starved,
 			Availability: 1,
 		}
 		if w.arrivals > 0 {
-			cw.Availability = float64(w.admitted) / float64(w.arrivals)
+			cw.Availability = float64(w.admitted-w.starved) / float64(w.arrivals)
 			if cw.Availability < res.FloorAvailability {
 				res.FloorAvailability = cw.Availability
 			}
@@ -578,6 +795,25 @@ func (r *churnRun) result() *ChurnResult {
 			cw.Hit = w.hitSum / float64(w.admitted)
 		}
 		res.Windows = append(res.Windows, cw)
+	}
+	if r.grayOn {
+		res.Gray = r.router.GrayStats()
+		res.NodeHealth = r.router.HealthSnapshot()
+		if n := len(r.waits); n > 0 {
+			s := make([]float64, n)
+			copy(s, r.waits)
+			sort.Float64s(s)
+			q := func(p float64) float64 {
+				i := int(math.Ceil(p*float64(n))) - 1
+				if i < 0 {
+					i = 0
+				}
+				return s[i]
+			}
+			res.WaitMean = r.waitSum / float64(n)
+			res.WaitP50, res.WaitP95, res.WaitP99 = q(0.50), q(0.95), q(0.99)
+			res.WaitMax = r.waitMax
+		}
 	}
 	if r.convergedAt >= 0 {
 		res.TimeToConverge = r.convergedAt - r.flashEnd

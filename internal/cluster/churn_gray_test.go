@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"vodalloc/internal/sim"
+	"vodalloc/internal/workload"
+)
+
+// grayScenario is the gray-failure timeline the policy comparison and
+// the resume test share: a frozen 4-node placement (controller off, so
+// the routing policy alone explains any difference) hit by a 12× slow
+// disk on node0 over t=300–700 and a 0.4 brownout on node2 over
+// t=400–800.
+func grayScenario(t *testing.T, pol RoutePolicy) ChurnConfig {
+	t.Helper()
+	movies, allocs := churnCatalog(t, 6)
+	p, err := PackAllocs(allocs, UniformNodes(4, 60, 60), Options{Replicas: 2})
+	if err != nil {
+		t.Fatalf("PackAllocs: %v", err)
+	}
+	return ChurnConfig{
+		Placement: p,
+		Workload: workload.DynamicWorkload{
+			Movies:   movies,
+			BaseRate: 0.8,
+		},
+		Horizon:       1000,
+		Warmup:        100,
+		Seed:          11,
+		ControllerOff: true,
+		Controller: ControllerConfig{
+			Interval:    10,
+			Cooldown:    15,
+			BudgetBytes: 20e9,
+		},
+		Window: 60,
+		Gray: []GrayFault{
+			{Kind: GraySlow, Node: "node0", At: 300, Until: 700, Factor: 12},
+			{Kind: GrayBrownout, Node: "node2", At: 400, Until: 800, Factor: 0.4},
+		},
+		Policy: pol,
+	}
+}
+
+// TestChurnGrayDeterminism pins replay: the same gray configuration
+// run twice yields identical results, counters and health included.
+func TestChurnGrayDeterminism(t *testing.T) {
+	ctx := context.Background()
+	a, err := RunChurn(ctx, grayScenario(t, PolicyHedge))
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	b, err := RunChurn(ctx, grayScenario(t, PolicyHedge))
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("gray runs diverged:\n%s\nvs\n%s", a.Summary(), b.Summary())
+	}
+}
+
+// TestChurnGrayPolicies is the tentpole acceptance comparison: under
+// the same slow-disk + brownout timeline, health-aware routing beats
+// blind routing, and hedging beats both on tail wait — strictly better
+// availability floor and P99 wait than blind.
+func TestChurnGrayPolicies(t *testing.T) {
+	ctx := context.Background()
+	run := func(pol RoutePolicy) *ChurnResult {
+		res, err := RunChurn(ctx, grayScenario(t, pol))
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		return res
+	}
+	blind := run(PolicyBlind)
+	health := run(PolicyHealth)
+	hedge := run(PolicyHedge)
+
+	// The blind router keeps feeding the slow node: viewers starve.
+	if blind.Starved == 0 {
+		t.Fatalf("blind run starved nobody — the gray faults are not biting\n%s", blind.Summary())
+	}
+	if blind.Gray.Quarantines != 0 || blind.Gray.Hedges != 0 {
+		t.Fatalf("blind run acted on health: %+v", blind.Gray)
+	}
+	// Health-aware routing detects and reacts.
+	if health.Gray.Suspects == 0 || health.Gray.Quarantines == 0 {
+		t.Fatalf("health run never quarantined the slow node\n%s", health.Summary())
+	}
+	if hedge.Gray.Hedges == 0 {
+		t.Fatalf("hedge run never hedged\n%s", hedge.Summary())
+	}
+	if hedge.Gray.Hedges != hedge.Gray.HedgeCancels {
+		t.Fatalf("hedge cancels %d != hedges %d", hedge.Gray.HedgeCancels, hedge.Gray.Hedges)
+	}
+
+	// The acceptance ordering: strictly better floor and P99 than blind.
+	if !(health.FloorAvailability > blind.FloorAvailability) {
+		t.Errorf("health floor %.4f not above blind %.4f\nblind:\n%s\nhealth:\n%s",
+			health.FloorAvailability, blind.FloorAvailability, blind.Summary(), health.Summary())
+	}
+	if !(hedge.FloorAvailability > blind.FloorAvailability) {
+		t.Errorf("hedge floor %.4f not above blind %.4f\nblind:\n%s\nhedge:\n%s",
+			hedge.FloorAvailability, blind.FloorAvailability, blind.Summary(), hedge.Summary())
+	}
+	if !(hedge.WaitP99 < blind.WaitP99) {
+		t.Errorf("hedge P99 wait %.2f not below blind %.2f\nblind:\n%s\nhedge:\n%s",
+			hedge.WaitP99, blind.WaitP99, blind.Summary(), hedge.Summary())
+	}
+	if !(hedge.Starved < blind.Starved) {
+		t.Errorf("hedge starved %d not below blind %d", hedge.Starved, blind.Starved)
+	}
+	for _, res := range []*ChurnResult{blind, health, hedge} {
+		if len(res.NodeHealth) != 4 {
+			t.Fatalf("gray run reported %d node healths, want 4", len(res.NodeHealth))
+		}
+		if res.WaitMean <= 0 || res.WaitMax < res.WaitP99 || res.WaitP99 < res.WaitP50 {
+			t.Fatalf("wait quantiles inconsistent: mean=%v p50=%v p99=%v max=%v",
+				res.WaitMean, res.WaitP50, res.WaitP99, res.WaitMax)
+		}
+	}
+}
+
+// TestChurnNonGrayUnchanged pins the baseline: a run with no gray
+// faults and the default policy reports no gray measurements at all —
+// the pre-gray semantics (availability = admitted/arrivals) hold
+// exactly.
+func TestChurnNonGrayUnchanged(t *testing.T) {
+	res, err := RunChurn(context.Background(), flashScenario(t, true))
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if res.Starved != 0 || res.NodeHealth != nil || res.Gray != (GrayRouterStats{}) {
+		t.Fatalf("non-gray run has gray measurements: starved=%d health=%v gray=%+v",
+			res.Starved, res.NodeHealth, res.Gray)
+	}
+	if res.WaitMean != 0 || res.WaitMax != 0 {
+		t.Fatalf("non-gray run has wait stats: mean=%v max=%v", res.WaitMean, res.WaitMax)
+	}
+	if res.Arrivals > 0 && res.Availability != float64(res.Admitted)/float64(res.Arrivals) {
+		t.Fatalf("availability %v != admitted/arrivals", res.Availability)
+	}
+}
+
+// TestChurnGrayIdentity pins snapshot keying: gray parameters fold
+// into the config identity (a checkpoint under one policy or fault
+// timeline refuses to restore under another), while a config with no
+// gray machinery keeps the identity it had before gray existed.
+func TestChurnGrayIdentity(t *testing.T) {
+	base := grayScenario(t, PolicyHedge)
+	if base.Identity() == grayScenario(t, PolicyHealth).Identity() {
+		t.Error("identity ignores the routing policy")
+	}
+	moved := grayScenario(t, PolicyHedge)
+	moved.Gray[0].At = 301
+	if base.Identity() == moved.Identity() {
+		t.Error("identity ignores the gray fault timeline")
+	}
+	starve := grayScenario(t, PolicyHedge)
+	starve.StarveWait = 5
+	if base.Identity() == starve.Identity() {
+		t.Error("identity ignores StarveWait")
+	}
+
+	plain := grayScenario(t, PolicyBlind)
+	plain.Gray = nil
+	if plain.grayActive() {
+		t.Fatal("blind policy with no faults counts as gray-active")
+	}
+	tweaked := grayScenario(t, PolicyBlind)
+	tweaked.Gray = nil
+	tweaked.Health.Window = 128 // inert without gray machinery
+	tweaked.StarveWait = 3
+	if plain.Identity() != tweaked.Identity() {
+		t.Error("inert gray fields perturb a non-gray identity")
+	}
+}
+
+// TestChurnGrayResumeMidQuarantine is the satellite: a checkpoint
+// captured while a node is quarantined restores to bit-identical
+// results — hedge counters, health states and wait quantiles included.
+func TestChurnGrayResumeMidQuarantine(t *testing.T) {
+	ctx := context.Background()
+	cfg := grayScenario(t, PolicyHedge)
+
+	// Golden run, collecting a checkpoint from deep inside the fault
+	// window (t≈500: node0 quarantined, node2 browned out).
+	var mid sim.Checkpoint
+	golden, err := RunChurnCheckpointed(ctx, cfg, 64, func(cp sim.Checkpoint) error {
+		if cp.Now >= 500 && mid.Fired == 0 {
+			mid = cp
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if mid.Fired == 0 {
+		t.Fatal("no checkpoint captured at t>=500")
+	}
+	if golden.Gray.Quarantines == 0 {
+		t.Fatalf("scenario never quarantined — checkpoint is not mid-quarantine\n%s", golden.Summary())
+	}
+
+	resumed, err := ResumeChurnCheckpointed(ctx, cfg, mid, 0, nil)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(golden, resumed) {
+		t.Fatalf("resumed result diverged from golden:\n%s\nvs\n%s", golden.Summary(), resumed.Summary())
+	}
+
+	// A different gray timeline must refuse the checkpoint outright
+	// (identity) or fail digest verification.
+	other := grayScenario(t, PolicyHealth)
+	if _, err := ResumeChurnCheckpointed(ctx, other, mid, 0, nil); err == nil {
+		t.Fatal("checkpoint restored under a different routing policy")
+	}
+}
+
+// TestChurnGrayValidate pins the config-level typed rejections.
+func TestChurnGrayValidate(t *testing.T) {
+	bad := grayScenario(t, PolicyHedge)
+	bad.Gray[0].Node = "nowhere"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown gray node validated")
+	}
+	bad = grayScenario(t, PolicyHedge)
+	bad.Gray[0].Factor = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN gray factor validated")
+	}
+	bad = grayScenario(t, RoutePolicy(9))
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown policy validated")
+	}
+	bad = grayScenario(t, PolicyHedge)
+	bad.StarveWait = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Error("infinite starve wait validated")
+	}
+	bad = grayScenario(t, PolicyHedge)
+	bad.Health.Alpha = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bad health config validated")
+	}
+}

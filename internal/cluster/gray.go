@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Node-level gray failures for the churn simulator: unlike a NodeFault
+// outage, a gray-faulted node stays formally in service — it just
+// serves late. SlowDisk multiplies its service latency, Jitter
+// stretches the latency tail with a seeded mean-one lognormal, and
+// Brownout cuts its effective throughput so load piles into queueing
+// delay. All three are injected as DES events (a set event at At, a
+// clear event at Until), so gray runs replay and checkpoint-resume
+// exactly like outage runs.
+
+// GrayKind classifies a node-level gray fault.
+type GrayKind int8
+
+// The gray fault kinds.
+const (
+	// GraySlow serves every request Factor times slower.
+	GraySlow GrayKind = iota
+	// GrayJitter inflates latency by a mean-one lognormal with sigma
+	// Factor, drawn from a dedicated seeded stream.
+	GrayJitter
+	// GrayBrownout reduces effective throughput to fraction Factor of
+	// nominal: the router still believes full capacity, so load beyond
+	// the browned-out ceiling turns into queueing delay.
+	GrayBrownout
+)
+
+// String names the kind as in the ParseGrayFaults syntax.
+func (k GrayKind) String() string {
+	switch k {
+	case GraySlow:
+		return "slow"
+	case GrayJitter:
+		return "jitter"
+	case GrayBrownout:
+		return "brownout"
+	default:
+		return "unknown"
+	}
+}
+
+// GrayFault degrades one node over [At, Until) (Until 0 = permanent).
+type GrayFault struct {
+	Kind   GrayKind
+	Node   string
+	At     float64
+	Until  float64
+	Factor float64
+}
+
+// String renders the fault in the ParseGrayFaults syntax.
+func (f GrayFault) String() string {
+	if f.Until > 0 {
+		return fmt.Sprintf("%s:%s@%g-%g:%g", f.Kind, f.Node, f.At, f.Until, f.Factor)
+	}
+	return fmt.Sprintf("%s:%s@%g:%g", f.Kind, f.Node, f.At, f.Factor)
+}
+
+// Validate checks the fault against a set of known node IDs. NaN,
+// infinite, and non-positive factors are rejected with typed errors.
+func (f GrayFault) Validate(known map[string]bool) error {
+	switch {
+	case f.Kind < GraySlow || f.Kind > GrayBrownout:
+		return fmt.Errorf("%w: gray kind %d", ErrBadCluster, int(f.Kind))
+	case !known[f.Node]:
+		return fmt.Errorf("%w: gray fault targets unknown node %q", ErrBadCluster, f.Node)
+	case math.IsNaN(f.At) || math.IsInf(f.At, 0) || f.At < 0:
+		return fmt.Errorf("%w: gray fault time %v", ErrBadCluster, f.At)
+	case math.IsNaN(f.Until) || math.IsInf(f.Until, 0) || f.Until < 0:
+		return fmt.Errorf("%w: gray fault end time %v", ErrBadCluster, f.Until)
+	case f.Until != 0 && f.Until <= f.At:
+		return fmt.Errorf("%w: empty gray interval [%v, %v)", ErrBadCluster, f.At, f.Until)
+	case !(f.Factor > 0 && !math.IsInf(f.Factor, 0)):
+		return fmt.Errorf("%w: %s factor %v (want a positive finite value)", ErrBadCluster, f.Kind, f.Factor)
+	case f.Kind == GrayBrownout && f.Factor > 1:
+		return fmt.Errorf("%w: brownout fraction %v outside (0, 1]", ErrBadCluster, f.Factor)
+	}
+	return nil
+}
+
+// ParseGrayFaults parses a comma-separated gray-failure spec:
+//
+//	slow:NODE@T[-T2]:F      node serves at F× latency over [T, T2)
+//	jitter:NODE@T[-T2]:S    latency jitters (lognormal sigma S)
+//	brownout:NODE@T[-T2]:F  throughput browns out to fraction F
+//
+// Omitting -T2 holds the fault to the end of the run. An empty spec is
+// an empty schedule. ParseGrayFaults(GrayFault.String()) round-trips.
+func ParseGrayFaults(spec string) ([]GrayFault, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []GrayFault
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: gray fault %q wants kind:node@start[-end]:factor", ErrBadCluster, tok)
+		}
+		var f GrayFault
+		switch kindStr {
+		case "slow":
+			f.Kind = GraySlow
+		case "jitter":
+			f.Kind = GrayJitter
+		case "brownout":
+			f.Kind = GrayBrownout
+		default:
+			return nil, fmt.Errorf("%w: unknown gray kind %q in %q", ErrBadCluster, kindStr, tok)
+		}
+		node, timesFactor, ok := strings.Cut(rest, "@")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("%w: gray fault %q wants kind:node@start[-end]:factor", ErrBadCluster, tok)
+		}
+		f.Node = node
+		times, factorStr, ok := strings.Cut(timesFactor, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: gray fault %q wants kind:node@start[-end]:factor", ErrBadCluster, tok)
+		}
+		fromStr, toStr, ranged := cutTimeRange(times)
+		v, err := strconv.ParseFloat(fromStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: gray fault %q: %v", ErrBadCluster, tok, err)
+		}
+		f.At = v
+		if ranged {
+			v, err := strconv.ParseFloat(toStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: gray fault %q: %v", ErrBadCluster, tok, err)
+			}
+			f.Until = v
+		}
+		v, err = strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: gray fault %q: %v", ErrBadCluster, tok, err)
+		}
+		f.Factor = v
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// cutTimeRange splits "T-T2" into its endpoints, leaving exponent
+// notation like 1e-3 intact: the separator is the first '-' that is
+// neither leading nor preceded by an exponent marker.
+func cutTimeRange(s string) (from, to string, ranged bool) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '-' && s[i-1] != 'e' && s[i-1] != 'E' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}

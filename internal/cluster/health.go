@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Latency-aware health scoring and the quarantine state machine.
+//
+// Every routed request reports its service wait (normalized units,
+// 1.0 = nominal) back to the router, which folds it into a per-node
+// EWMA plus a fixed-size ring of recent samples. A node's health signal
+// is the worse of the EWMA and a high quantile of the ring — the EWMA
+// reacts to sustained shifts, the quantile to a stretching tail — and
+// its score is reference/signal clipped to (0, 1], where the reference
+// is the cluster median EWMA (≥ 1): a uniformly loaded cluster scores
+// everyone healthy, while a single gray node stands out.
+//
+// Scores drive a four-state machine with hysteresis:
+//
+//	Healthy → Suspect       score below SuspectBelow for SuspectAfter
+//	                        consecutive observations
+//	Suspect → Quarantined   score below QuarantineBelow for
+//	                        QuarantineAfter more observations (guarded:
+//	                        never strands a movie with no routable host)
+//	Suspect → Healthy       score above RestoreAbove for RestoreTicks
+//	Quarantined → Probation after ProbationAfter minutes of dwell; the
+//	                        tracker resets so probes are judged fresh
+//	Probation → Healthy     ProbeOK consecutive good probes
+//	Probation → Quarantined one bad probe (dwell restarts)
+//
+// Entering and leaving use different thresholds and consecutive-streak
+// requirements, and every relapse pays the full quarantine dwell again,
+// so a flapping node oscillates no faster than once per dwell period.
+
+// HealthState is a node's position in the quarantine state machine.
+type HealthState int8
+
+// The quarantine states.
+const (
+	// Healthy nodes route normally.
+	Healthy HealthState = iota
+	// Suspect nodes still route (down-weighted by score) while the
+	// scorer accumulates evidence.
+	Suspect
+	// Quarantined nodes receive no traffic at all.
+	Quarantined
+	// Probation nodes receive only periodic probe requests; good probes
+	// restore them, one bad probe re-quarantines them.
+	Probation
+)
+
+// String names the state.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Probation:
+		return "probation"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthConfig tunes the health scorer, the quarantine machine, and
+// hedged dispatch. The zero value means "all defaults".
+type HealthConfig struct {
+	// Alpha is the per-node latency EWMA smoothing factor (0 = 0.3).
+	Alpha float64
+	// Window is the per-node recent-sample ring size (0 = 64).
+	Window int
+	// Quantile is the ring quantile blended (by max) with the EWMA into
+	// the health signal (0 = 0.9).
+	Quantile float64
+	// SuspectBelow / QuarantineBelow / RestoreAbove are the score
+	// thresholds of the state machine (0 = 0.6 / 0.45 / 0.85). Distinct
+	// enter and exit thresholds are the hysteresis band.
+	SuspectBelow, QuarantineBelow, RestoreAbove float64
+	// SuspectAfter / QuarantineAfter / RestoreTicks are the
+	// consecutive-observation streaks the transitions require
+	// (0 = 6 / 10 / 8).
+	SuspectAfter, QuarantineAfter, RestoreTicks int
+	// ProbationAfter is the quarantine dwell in simulated minutes before
+	// probing begins (0 = 30).
+	ProbationAfter float64
+	// ProbeEvery routes every Nth eligible request to a Probation node
+	// as a probe (0 = 8); ProbeOK consecutive good probes restore it
+	// (0 = 4).
+	ProbeEvery, ProbeOK int
+	// HedgeQuantile is the observed-wait percentile used as the hedging
+	// deadline (0 = 0.95); HedgeMin floors the deadline in wait units
+	// (0 = 4); HedgeWarm is how many waits must be observed before
+	// hedging arms (0 = 64).
+	HedgeQuantile float64
+	HedgeMin      float64
+	HedgeWarm     int
+}
+
+func defF(v, d float64) float64 {
+	if v != 0 {
+		return v
+	}
+	return d
+}
+
+func defI(v, d int) int {
+	if v != 0 {
+		return v
+	}
+	return d
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	c.Alpha = defF(c.Alpha, 0.3)
+	c.Window = defI(c.Window, 64)
+	c.Quantile = defF(c.Quantile, 0.9)
+	c.SuspectBelow = defF(c.SuspectBelow, 0.6)
+	c.QuarantineBelow = defF(c.QuarantineBelow, 0.45)
+	c.RestoreAbove = defF(c.RestoreAbove, 0.85)
+	c.SuspectAfter = defI(c.SuspectAfter, 6)
+	c.QuarantineAfter = defI(c.QuarantineAfter, 10)
+	c.RestoreTicks = defI(c.RestoreTicks, 8)
+	c.ProbationAfter = defF(c.ProbationAfter, 30)
+	c.ProbeEvery = defI(c.ProbeEvery, 8)
+	c.ProbeOK = defI(c.ProbeOK, 4)
+	c.HedgeQuantile = defF(c.HedgeQuantile, 0.95)
+	c.HedgeMin = defF(c.HedgeMin, 4)
+	c.HedgeWarm = defI(c.HedgeWarm, 64)
+	return c
+}
+
+// Validate checks the configuration (after defaults).
+func (c HealthConfig) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case !(d.Alpha > 0 && d.Alpha <= 1):
+		return fmt.Errorf("%w: health alpha %v", ErrBadCluster, d.Alpha)
+	case d.Window < 4 || d.Window > 4096:
+		return fmt.Errorf("%w: health window %d", ErrBadCluster, d.Window)
+	case !(d.Quantile > 0 && d.Quantile < 1) || !(d.HedgeQuantile > 0 && d.HedgeQuantile < 1):
+		return fmt.Errorf("%w: health quantile %v / hedge quantile %v", ErrBadCluster, d.Quantile, d.HedgeQuantile)
+	case !(d.QuarantineBelow > 0) || !(d.SuspectBelow >= d.QuarantineBelow) || !(d.RestoreAbove > d.SuspectBelow) || d.RestoreAbove > 1:
+		return fmt.Errorf("%w: health thresholds want 0 < quarantine %v <= suspect %v < restore %v <= 1",
+			ErrBadCluster, d.QuarantineBelow, d.SuspectBelow, d.RestoreAbove)
+	case d.SuspectAfter < 1 || d.QuarantineAfter < 1 || d.RestoreTicks < 1 || d.ProbeEvery < 1 || d.ProbeOK < 1:
+		return fmt.Errorf("%w: health streaks must be >= 1", ErrBadCluster)
+	case !(d.ProbationAfter > 0) || math.IsInf(d.ProbationAfter, 0):
+		return fmt.Errorf("%w: probation dwell %v", ErrBadCluster, d.ProbationAfter)
+	case !(d.HedgeMin > 0) || math.IsInf(d.HedgeMin, 0) || d.HedgeWarm < 1:
+		return fmt.Errorf("%w: hedge floor %v / warm %d", ErrBadCluster, d.HedgeMin, d.HedgeWarm)
+	}
+	return nil
+}
+
+// healthWarmMin is how many samples a node's tracker needs before its
+// score can drop below 1 — unwarmed trackers don't accuse.
+const healthWarmMin = 8
+
+// nodeHealth is one node's latency tracker plus quarantine state.
+type nodeHealth struct {
+	n      uint64
+	ewma   float64
+	ring   []float64
+	ringN  int // filled entries
+	ringI  int // next write index
+	state  HealthState
+	since  float64 // state entry time
+	bad    int     // consecutive below-threshold observations
+	good   int     // consecutive above-threshold observations
+	probes int     // eligible requests seen while in Probation
+}
+
+func (nh *nodeHealth) observe(alpha, wait float64) {
+	nh.n++
+	if nh.n == 1 {
+		nh.ewma = wait
+	} else {
+		nh.ewma += alpha * (wait - nh.ewma)
+	}
+	if len(nh.ring) > 0 {
+		nh.ring[nh.ringI] = wait
+		nh.ringI = (nh.ringI + 1) % len(nh.ring)
+		if nh.ringN < len(nh.ring) {
+			nh.ringN++
+		}
+	}
+}
+
+// reset clears the tracker (entering Probation: probes are judged on
+// fresh evidence, not on the samples that caused the quarantine).
+func (nh *nodeHealth) reset() {
+	nh.n, nh.ewma = 0, 0
+	nh.ringN, nh.ringI = 0, 0
+	nh.bad, nh.good = 0, 0
+}
+
+// quantile returns the ring's q-quantile using scratch as the sort
+// buffer (no allocation once scratch is sized).
+func (nh *nodeHealth) quantile(q float64, scratch []float64) float64 {
+	if nh.ringN == 0 {
+		return 0
+	}
+	s := scratch[:nh.ringN]
+	copy(s, nh.ring[:nh.ringN])
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(nh.ringN))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}
+
+// NodeHealthInfo is one node's health snapshot for results and APIs.
+type NodeHealthInfo struct {
+	Node    string  `json:"node"`
+	State   string  `json:"state"`
+	Score   float64 `json:"score"`
+	EWMA    float64 `json:"ewmaWait"`
+	Samples uint64  `json:"samples"`
+}
+
+// GrayRouterStats counts the gray-resilience machinery's activity.
+type GrayRouterStats struct {
+	// Hedges counts hedged dispatches issued; HedgeWins the hedges whose
+	// backup finished first; HedgeCancels the typed cancellations of
+	// hedge losers (always equal to Hedges — every hedge cancels one
+	// side).
+	Hedges, HedgeWins, HedgeCancels uint64
+	// Probes counts probation probe requests.
+	Probes uint64
+	// Suspects/Quarantines/Restores count state-machine transitions into
+	// Suspect, into Quarantined, and back to Healthy.
+	Suspects, Quarantines, Restores uint64
+}

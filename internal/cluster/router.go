@@ -52,6 +52,21 @@ type Router struct {
 	liveBy map[string]int
 
 	stats RouterStats
+
+	// Gray-failure resilience (see health.go): per-node latency trackers
+	// and quarantine states, the routing policy, and the global observed-
+	// wait ring that sets the hedging deadline. A Quarantined node is
+	// excluded from every routing path — Route and RouteLoad included —
+	// never just from the gray path.
+	policy      RoutePolicy
+	hcfg        HealthConfig
+	health      []nodeHealth
+	qScratch    []float64 // node-ring quantile sort buffer
+	refScratch  []float64 // cluster reference median buffer
+	waitRing    []float64 // recent experienced waits, all nodes
+	waitN, wI   int
+	waitScratch []float64
+	gray        GrayRouterStats
 }
 
 // NewRouter builds a router over the placement, seeded for
@@ -71,6 +86,8 @@ func NewRouter(p Placement, seed int64) (*Router, error) {
 		maxStreams: make([]int, len(p.Nodes)),
 		liveBy:     make(map[string]int),
 	}
+	r.hcfg = HealthConfig{}.withDefaults()
+	r.health = make([]nodeHealth, len(p.Nodes))
 	for i, n := range p.Nodes {
 		r.ids[i] = n.ID
 		r.node[n.ID] = i
@@ -117,7 +134,7 @@ func (r *Router) Route(movie string) (Decision, error) {
 		total float64
 	)
 	for k, n := range hosts {
-		if r.down[n] {
+		if r.down[n] || r.health[n].state == Quarantined {
 			continue
 		}
 		w := float64(r.cap[movie][k]) / float64(1+r.live[n])
@@ -308,7 +325,10 @@ func (r *Router) RouteLoad(movie string) (LoadDecision, error) {
 		alive bool
 	)
 	for k, n := range hosts {
-		if r.down[n] {
+		// A Quarantined host is deliberately out of service: it neither
+		// takes traffic nor counts as alive (shedding with no routable
+		// host is typed ErrUnavailable, not ErrSaturated).
+		if r.down[n] || r.health[n].state == Quarantined {
 			continue
 		}
 		alive = true
@@ -401,4 +421,5 @@ func (r *Router) digest(h func(uint64)) {
 	h(r.stats.Routed)
 	h(r.stats.Failovers)
 	h(r.stats.Sheds)
+	r.grayDigest(h)
 }

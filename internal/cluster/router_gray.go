@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Health-weighted routing, hedged dispatch, and quarantine for the
+// churn simulator. The Router owns all detection and reaction state
+// (trackers, state machine, hedge deadline); the caller owns the
+// physical latency model and hands it in as a waitFn, so the router
+// only ever learns what a real request would have taught it.
+
+// RoutePolicy selects the router's gray-failure posture.
+type RoutePolicy int8
+
+// The routing policies.
+const (
+	// PolicyBlind is the pre-gray router: capacity/load weighting only.
+	// Latency is measured but never acted on.
+	PolicyBlind RoutePolicy = iota
+	// PolicyHealth weights replica selection by health score squared and
+	// runs the quarantine state machine.
+	PolicyHealth
+	// PolicyHedge is PolicyHealth plus hedged dispatch: a request whose
+	// primary would blow the deadline percentile is re-issued to the
+	// next-best replica, first answer wins, the loser is canceled.
+	PolicyHedge
+)
+
+// String names the policy as in ParseRoutePolicy.
+func (p RoutePolicy) String() string {
+	switch p {
+	case PolicyBlind:
+		return "blind"
+	case PolicyHealth:
+		return "health"
+	case PolicyHedge:
+		return "hedge"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseRoutePolicy parses "blind", "health", or "hedge".
+func ParseRoutePolicy(s string) (RoutePolicy, error) {
+	switch s {
+	case "", "blind":
+		return PolicyBlind, nil
+	case "health":
+		return PolicyHealth, nil
+	case "hedge":
+		return PolicyHedge, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown routing policy %q (want blind|health|hedge)", ErrBadCluster, s)
+	}
+}
+
+// SetGrayPolicy arms the gray-resilience machinery: the routing policy
+// and the health/hedging tuning. Call before traffic flows.
+func (r *Router) SetGrayPolicy(p RoutePolicy, hc HealthConfig) error {
+	if p < PolicyBlind || p > PolicyHedge {
+		return fmt.Errorf("%w: routing policy %d", ErrBadCluster, int(p))
+	}
+	if err := hc.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+	r.hcfg = hc.withDefaults()
+	for i := range r.health {
+		r.health[i].ring = make([]float64, r.hcfg.Window)
+	}
+	r.qScratch = make([]float64, r.hcfg.Window)
+	r.refScratch = make([]float64, len(r.ids))
+	// The deadline ring holds 4× the node window so the hedge percentile
+	// reflects cluster-wide recent history, not one node's.
+	r.waitRing = make([]float64, 4*r.hcfg.Window)
+	r.waitScratch = make([]float64, 4*r.hcfg.Window)
+	return nil
+}
+
+// SetHealthState forces a node's quarantine state (an operator
+// override; tests and drills use it to pin states).
+func (r *Router) SetHealthState(node string, st HealthState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrBadCluster, node)
+	}
+	if st < Healthy || st > Probation {
+		return fmt.Errorf("%w: health state %d", ErrBadCluster, int(st))
+	}
+	r.health[i].state = st
+	r.health[i].bad, r.health[i].good, r.health[i].probes = 0, 0, 0
+	return nil
+}
+
+// HealthState reports a node's current quarantine state.
+func (r *Router) HealthState(node string) (HealthState, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok {
+		return 0, fmt.Errorf("%w: unknown node %q", ErrBadCluster, node)
+	}
+	return r.health[i].state, nil
+}
+
+// GrayStats returns a snapshot of the gray-resilience counters.
+func (r *Router) GrayStats() GrayRouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gray
+}
+
+// HealthSnapshot reports every node's health, in node order.
+func (r *Router) HealthSnapshot() []NodeHealthInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeHealthInfo, len(r.ids))
+	for i := range r.ids {
+		nh := &r.health[i]
+		out[i] = NodeHealthInfo{
+			Node:    r.ids[i],
+			State:   nh.state.String(),
+			Score:   r.scoreLocked(i),
+			EWMA:    nh.ewma,
+			Samples: nh.n,
+		}
+	}
+	return out
+}
+
+// refLocked is the cluster latency reference: the median EWMA over
+// warmed, up, non-quarantined nodes, clamped to at least the nominal
+// unit. Scoring against the cluster median means uniform load swings
+// move everyone together and accuse no one, while a single gray node
+// stands out.
+func (r *Router) refLocked() float64 {
+	s := r.refScratch[:0]
+	for i := range r.ids {
+		nh := &r.health[i]
+		if r.down[i] || nh.state == Quarantined || nh.n < healthWarmMin {
+			continue
+		}
+		s = append(s, nh.ewma)
+	}
+	if len(s) == 0 {
+		return 1
+	}
+	sort.Float64s(s)
+	// Lower median: with an even count the healthier half sets the
+	// reference, so in a two-host set one slow node cannot become its
+	// own yardstick.
+	ref := s[(len(s)-1)/2]
+	if ref < 1 {
+		ref = 1
+	}
+	return ref
+}
+
+// scoreLocked is node i's health score in (0, 1]: reference latency
+// over the worse of its EWMA and its ring quantile. Unwarmed trackers
+// score 1 — they don't accuse.
+func (r *Router) scoreLocked(i int) float64 {
+	nh := &r.health[i]
+	if nh.n < healthWarmMin {
+		return 1
+	}
+	sig := nh.ewma
+	if len(nh.ring) > 0 {
+		if q := nh.quantile(r.hcfg.Quantile, r.qScratch); q > sig {
+			sig = q
+		}
+	}
+	ref := r.refLocked()
+	if sig <= ref {
+		return 1
+	}
+	return ref / sig
+}
+
+// instScoreLocked scores a single wait sample against the reference —
+// the judgment used for probation probes, where the tracker was reset
+// and each probe must stand on its own.
+func (r *Router) instScoreLocked(wait float64) float64 {
+	ref := r.refLocked()
+	if wait <= ref {
+		return 1
+	}
+	return ref / wait
+}
+
+// canQuarantineLocked guards availability: quarantining node i must not
+// leave any movie it hosts without at least one up, routable replica.
+func (r *Router) canQuarantineLocked(i int) bool {
+	for _, hosts := range r.host {
+		mine, others := false, 0
+		for _, n := range hosts {
+			if n == i {
+				mine = true
+				continue
+			}
+			if !r.down[n] && r.health[n].state != Quarantined {
+				others++
+			}
+		}
+		if mine && others == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tickHealthLocked advances the quarantine state machine for every
+// node, scored on its current tracker. Running the machine per routing
+// decision — not per observation of the node itself — matters: once a
+// slow node's score collapses, health-weighted routing starves it of
+// observations, and a per-observation machine would freeze mid-streak,
+// leaving the node formally Healthy while trickling it traffic forever.
+func (r *Router) tickHealthLocked(now float64) {
+	for i := range r.health {
+		nh := &r.health[i]
+		if r.down[i] {
+			continue
+		}
+		switch nh.state {
+		case Healthy:
+			if nh.n >= healthWarmMin && r.scoreLocked(i) < r.hcfg.SuspectBelow {
+				nh.bad++
+			} else {
+				nh.bad = 0
+			}
+			if nh.bad >= r.hcfg.SuspectAfter {
+				nh.state, nh.since = Suspect, now
+				nh.bad, nh.good = 0, 0
+				r.gray.Suspects++
+			}
+		case Suspect:
+			sc := r.scoreLocked(i)
+			if sc < r.hcfg.QuarantineBelow {
+				nh.bad++
+			} else {
+				nh.bad = 0
+			}
+			if sc >= r.hcfg.RestoreAbove {
+				nh.good++
+			} else {
+				nh.good = 0
+			}
+			switch {
+			case nh.good >= r.hcfg.RestoreTicks:
+				nh.state, nh.since = Healthy, now
+				nh.bad, nh.good = 0, 0
+				r.gray.Restores++
+			case nh.bad >= r.hcfg.QuarantineAfter && r.canQuarantineLocked(i):
+				nh.state, nh.since = Quarantined, now
+				nh.bad, nh.good = 0, 0
+				r.gray.Quarantines++
+			}
+		case Quarantined:
+			if now-nh.since >= r.hcfg.ProbationAfter {
+				nh.state, nh.since = Probation, now
+				nh.probes = 0
+				nh.reset()
+			}
+		}
+	}
+}
+
+// observeLocked feeds one measured wait into node i's tracker. A
+// probation probe (probe=true) is additionally judged on the sample
+// alone — the tracker was reset on probation entry, so each probe
+// stands on fresh evidence.
+func (r *Router) observeLocked(i int, wait, now float64, probe bool) {
+	nh := &r.health[i]
+	nh.observe(r.hcfg.Alpha, wait)
+	if r.policy == PolicyBlind || nh.state != Probation || !probe {
+		return
+	}
+	switch sc := r.instScoreLocked(wait); {
+	case sc >= r.hcfg.RestoreAbove:
+		nh.good++
+		if nh.good >= r.hcfg.ProbeOK {
+			nh.state, nh.since = Healthy, now
+			nh.bad, nh.good = 0, 0
+			r.gray.Restores++
+		}
+	case sc < r.hcfg.QuarantineBelow:
+		// One bad probe sends it back; the full dwell restarts —
+		// that is the hysteresis bounding flap frequency. The
+		// availability guard applies to relapses too: if quarantining
+		// would strand a movie, the node stays on probation instead.
+		if r.canQuarantineLocked(i) {
+			nh.state, nh.since = Quarantined, now
+		}
+		nh.bad, nh.good = 0, 0
+	default:
+		nh.good = 0
+	}
+}
+
+// recordWaitLocked feeds one experienced wait into the cluster-wide
+// deadline ring.
+func (r *Router) recordWaitLocked(wait float64) {
+	if len(r.waitRing) == 0 {
+		return
+	}
+	r.waitRing[r.wI] = wait
+	r.wI = (r.wI + 1) % len(r.waitRing)
+	if r.waitN < len(r.waitRing) {
+		r.waitN++
+	}
+}
+
+// hedgeDeadlineLocked is the current hedging deadline: the configured
+// percentile of recently observed waits, floored at HedgeMin. Unarmed
+// (not enough history) until HedgeWarm waits have been seen.
+func (r *Router) hedgeDeadlineLocked() (float64, bool) {
+	if r.waitN < r.hcfg.HedgeWarm {
+		return 0, false
+	}
+	s := r.waitScratch[:r.waitN]
+	copy(s, r.waitRing[:r.waitN])
+	sort.Float64s(s)
+	i := int(math.Ceil(r.hcfg.HedgeQuantile*float64(r.waitN))) - 1
+	if i < 0 {
+		i = 0
+	}
+	dl := s[i]
+	if dl < r.hcfg.HedgeMin {
+		dl = r.hcfg.HedgeMin
+	}
+	return dl, true
+}
+
+// GrayDecision is RouteGray's outcome: the winning replica plus what
+// the viewer experienced.
+type GrayDecision struct {
+	LoadDecision
+	// Wait is the service wait the viewer experienced, after any hedge.
+	Wait float64
+	// Probe marks a probation probe.
+	Probe bool
+	// Hedged marks a hedged dispatch; HedgeWin marks the backup winning.
+	Hedged, HedgeWin bool
+}
+
+// RouteGray is the gray-aware routing path: RouteLoad semantics plus
+// health-weighted selection, probation probes, and (under PolicyHedge)
+// hedged dispatch. waitFn draws the physical service wait of landing
+// one request on node index i with liveAfter in-flight streams; it is
+// called once, or twice when a hedge is issued.
+//
+// Hedging models real first-wins dispatch: the primary is issued at
+// t=0; if its wait exceeds the deadline D — exactly the condition "no
+// answer by D" — a backup is issued at D and the request completes at
+// min(wait1, D+wait2). The loser's reservation is released immediately
+// with a typed cancellation (HedgeCancels).
+func (r *Router) RouteGray(movie string, now float64, waitFn func(node, liveAfter int) float64) (GrayDecision, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.policy != PolicyBlind {
+		r.tickHealthLocked(now)
+	}
+	hosts, ok := r.host[movie]
+	if !ok {
+		return GrayDecision{}, fmt.Errorf("%w: %q", ErrUnknownMovie, movie)
+	}
+
+	// Probation probes: every ProbeEvery-th eligible request for a
+	// probation host routes there deterministically (a counter, not a
+	// draw, so replay stays exact).
+	if r.policy != PolicyBlind {
+		for k, n := range hosts {
+			nh := &r.health[n]
+			if nh.state != Probation || r.down[n] {
+				continue
+			}
+			if r.maxStreams[n] > 0 && r.live[n] >= r.maxStreams[n] {
+				continue
+			}
+			nh.probes++
+			if nh.probes%r.hcfg.ProbeEvery != 0 {
+				continue
+			}
+			d := r.commitLocked(movie, k)
+			wait := waitFn(n, r.live[n])
+			r.gray.Probes++
+			r.observeLocked(n, wait, now, true)
+			r.recordWaitLocked(wait)
+			return GrayDecision{LoadDecision: d, Wait: wait, Probe: true}, nil
+		}
+	}
+
+	var (
+		up, upP     []int // indexes into hosts
+		wts, wtsP   []float64
+		total, totP float64
+		alive       bool
+	)
+	for k, n := range hosts {
+		if r.down[n] || r.health[n].state == Quarantined {
+			continue
+		}
+		alive = true
+		if r.maxStreams[n] > 0 && r.live[n] >= r.maxStreams[n] {
+			continue
+		}
+		w := float64(r.cap[movie][k]) / float64(1+r.live[n])
+		if r.policy != PolicyBlind {
+			s := r.scoreLocked(n)
+			w *= s * s
+		}
+		if r.health[n].state == Probation {
+			// Probation hosts normally take probes only, but they do
+			// serve as a fallback when nothing healthier is routable.
+			upP = append(upP, k)
+			wtsP = append(wtsP, w)
+			totP += w
+			continue
+		}
+		up = append(up, k)
+		wts = append(wts, w)
+		total += w
+	}
+	if len(up) == 0 && len(upP) > 0 {
+		up, wts, total = upP, wtsP, totP
+	}
+	if len(up) == 0 {
+		r.stats.Sheds++
+		if alive {
+			return GrayDecision{}, fmt.Errorf("%w: %q", ErrSaturated, movie)
+		}
+		return GrayDecision{}, fmt.Errorf("%w: %q", ErrUnavailable, movie)
+	}
+	choice := up[0]
+	if len(up) > 1 {
+		// Same single-draw discipline as Route/RouteLoad: one Float64
+		// per multi-candidate decision keeps the stream aligned.
+		u := r.rng.Float64() * total
+		for k, w := range wts {
+			if u < w || k == len(up)-1 {
+				choice = up[k]
+				break
+			}
+			u -= w
+		}
+	}
+
+	d := r.commitLocked(movie, choice)
+	primary := hosts[choice]
+	wait1 := waitFn(primary, r.live[primary])
+	out := GrayDecision{LoadDecision: d, Wait: wait1}
+
+	if r.policy == PolicyHedge && len(up) > 1 {
+		if dl, armed := r.hedgeDeadlineLocked(); armed && wait1 > dl {
+			// Next-best replica by health score, then weight, then
+			// replica order — deterministic, no extra draw.
+			bk := -1
+			var bs, bw float64
+			for j, k := range up {
+				if k == choice {
+					continue
+				}
+				s := r.scoreLocked(hosts[k])
+				if bk < 0 || s > bs || (s == bs && wts[j] > bw) {
+					bk, bs, bw = k, s, wts[j]
+				}
+			}
+			if bk >= 0 {
+				backup := hosts[bk]
+				bd := r.commitLocked(movie, bk)
+				// One request, not two: back out the double count.
+				r.stats.Routed--
+				if bd.Failover {
+					r.stats.Failovers--
+				}
+				wait2 := waitFn(backup, r.live[backup])
+				r.gray.Hedges++
+				out.Hedged = true
+				if dl+wait2 < wait1 {
+					// Backup wins: cancel the primary (typed).
+					r.cancelLocked(movie, primary)
+					r.gray.HedgeWins++
+					out.LoadDecision = bd
+					out.Wait = dl + wait2
+					out.HedgeWin = true
+				} else {
+					r.cancelLocked(movie, backup)
+				}
+				r.gray.HedgeCancels++
+				r.observeLocked(backup, wait2, now, false)
+			}
+		}
+	}
+	r.observeLocked(primary, wait1, now, false)
+	r.recordWaitLocked(out.Wait)
+	return out, nil
+}
+
+// commitLocked books one request onto hosts[choice] of the movie and
+// builds its LoadDecision. Lock held.
+func (r *Router) commitLocked(movie string, choice int) LoadDecision {
+	hosts := r.host[movie]
+	node := hosts[choice]
+	r.live[node]++
+	key := movie + "\x00" + r.ids[node]
+	r.liveBy[key]++
+	r.stats.Routed++
+	d := LoadDecision{
+		Node:     r.ids[node],
+		Failover: r.down[hosts[0]],
+		AllocN:   r.cap[movie][choice],
+		Live:     r.liveBy[key],
+	}
+	if d.Failover {
+		r.stats.Failovers++
+	}
+	return d
+}
+
+// cancelLocked releases a hedge loser's reservation: the typed
+// cancellation of the slower dispatch. Lock held.
+func (r *Router) cancelLocked(movie string, node int) {
+	if r.live[node] > 0 {
+		r.live[node]--
+	}
+	key := movie + "\x00" + r.ids[node]
+	if r.liveBy[key] > 0 {
+		r.liveBy[key]--
+	}
+}
+
+// grayDigest folds the gray-resilience state into the checkpoint
+// digest: quarantine states and dwell clocks, tracker contents, the
+// deadline ring, and every counter — so a SIGKILL-resume mid-quarantine
+// verifies bit-identical. Lock held by the caller (Router.digest).
+func (r *Router) grayDigest(h func(uint64)) {
+	f := func(v float64) { h(math.Float64bits(v)) }
+	h(uint64(r.policy))
+	for i := range r.health {
+		nh := &r.health[i]
+		h(uint64(nh.state))
+		f(nh.since)
+		h(nh.n)
+		f(nh.ewma)
+		h(uint64(nh.bad))
+		h(uint64(nh.good))
+		h(uint64(nh.probes))
+		h(uint64(nh.ringN))
+		h(uint64(nh.ringI))
+		for _, w := range nh.ring[:nh.ringN] {
+			f(w)
+		}
+	}
+	h(uint64(r.waitN))
+	h(uint64(r.wI))
+	for _, w := range r.waitRing[:r.waitN] {
+		f(w)
+	}
+	h(r.gray.Hedges)
+	h(r.gray.HedgeWins)
+	h(r.gray.HedgeCancels)
+	h(r.gray.Probes)
+	h(r.gray.Suspects)
+	h(r.gray.Quarantines)
+	h(r.gray.Restores)
+}

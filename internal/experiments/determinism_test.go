@@ -84,6 +84,14 @@ var renderers = []struct {
 		PrintChurn(w, r)
 		return nil
 	}},
+	{"gray", func(o Options, w io.Writer) error {
+		r, err := Gray(o)
+		if err != nil {
+			return err
+		}
+		PrintGray(w, r)
+		return nil
+	}},
 	{"verify", func(o Options, w io.Writer) error {
 		r, err := VerifyTable(o)
 		if err != nil {

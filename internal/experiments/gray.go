@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"vodalloc/internal/cluster"
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/workload"
+)
+
+// The gray experiment measures routing resilience under gray failures:
+// nodes that stay "up" but degrade — a 12× slow disk and a 0.4-capacity
+// brownout overlapping mid-run. The same seeded timeline runs under
+// three routing policies, so every difference between rows is the
+// policy: blind (the pre-health router), health-aware (EWMA/quantile
+// scores weight replica choice and quarantine slow nodes), and hedged
+// (health-aware plus deadline-percentile duplicate dispatch). The
+// placement is frozen so the router alone explains the table.
+
+// GrayRow is one routing policy's measurements under the timeline.
+type GrayRow struct {
+	Policy       string
+	Availability float64
+	Floor        float64
+	Starved      uint64
+	WaitP50      float64
+	WaitP99      float64
+	WaitMax      float64
+	Hedges       uint64
+	HedgeWins    uint64
+	Quarantines  uint64
+	Restores     uint64
+}
+
+// grayPolicies are the table rows, in escalation order.
+var grayPolicies = []cluster.RoutePolicy{
+	cluster.PolicyBlind,
+	cluster.PolicyHealth,
+	cluster.PolicyHedge,
+}
+
+// grayScenario builds the shared configuration: the churn experiment's
+// 6-movie catalog fully replicated twice across 4 nodes sized with
+// enough headroom (60 streams each) that the survivors can absorb a
+// quarantined node's load. The controller is off — placement is frozen
+// — so the comparison isolates the router.
+func grayScenario(o Options, pol cluster.RoutePolicy) (cluster.ChurnConfig, error) {
+	movies, err := workload.ZipfCatalog(churnCatalogSize, 0.8)
+	if err != nil {
+		return cluster.ChurnConfig{}, err
+	}
+	allocs := make([]cluster.MovieAlloc, len(movies))
+	for i, m := range movies {
+		allocs[i] = cluster.MovieAlloc{Movie: m.Name, N: 10, B: 8, Hit: 0.7, Wait: 0.3, Weight: m.Popularity}
+	}
+	p, err := cluster.PackAllocs(allocs, cluster.UniformNodes(4, 60, 60), cluster.Options{Replicas: 2})
+	if err != nil {
+		return cluster.ChurnConfig{}, err
+	}
+	horizon, warmup := 2000.0, 200.0
+	grayFrom, grayTo := 600.0, 1400.0
+	brownFrom, brownTo := 800.0, 1600.0
+	if o.Quick {
+		horizon, warmup = 1000, 100
+		grayFrom, grayTo = 300, 700
+		brownFrom, brownTo = 400, 800
+	}
+	return cluster.ChurnConfig{
+		Placement: p,
+		Workload: workload.DynamicWorkload{
+			Movies:   movies,
+			BaseRate: 0.8,
+		},
+		Horizon:       horizon,
+		Warmup:        warmup,
+		Seed:          o.seed(),
+		ControllerOff: true,
+		Controller: cluster.ControllerConfig{
+			Interval:    10,
+			Cooldown:    15,
+			BudgetBytes: churnBudgetBytes,
+		},
+		Window: 60,
+		Gray: []cluster.GrayFault{
+			{Kind: cluster.GraySlow, Node: "node0", At: grayFrom, Until: grayTo, Factor: 12},
+			{Kind: cluster.GrayBrownout, Node: "node2", At: brownFrom, Until: brownTo, Factor: 0.4},
+		},
+		Policy: pol,
+	}, nil
+}
+
+// Gray compares blind, health-aware, and hedged routing under the same
+// slow-disk + brownout timeline.
+func Gray(o Options) ([]GrayRow, error) {
+	return GrayCtx(context.Background(), o)
+}
+
+// GrayCtx is Gray with cancellation checkpoints.
+func GrayCtx(ctx context.Context, o Options) ([]GrayRow, error) {
+	rows, err := mapResumable(ctx, o, "gray", len(grayPolicies),
+		func(ctx context.Context, i int) (GrayRow, error) {
+			pol := grayPolicies[i]
+			cfg, err := grayScenario(o, pol)
+			if err != nil {
+				return GrayRow{}, err
+			}
+			res, err := cluster.RunChurn(ctx, cfg)
+			if err != nil {
+				return GrayRow{}, err
+			}
+			return GrayRow{
+				Policy:       pol.String(),
+				Availability: res.Availability,
+				Floor:        res.FloorAvailability,
+				Starved:      res.Starved,
+				WaitP50:      res.WaitP50,
+				WaitP99:      res.WaitP99,
+				WaitMax:      res.WaitMax,
+				Hedges:       res.Gray.Hedges,
+				HedgeWins:    res.Gray.HedgeWins,
+				Quarantines:  res.Gray.Quarantines,
+				Restores:     res.Gray.Restores,
+			}, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return rows, nil
+}
+
+// PrintGray renders the gray-failure policy comparison.
+func PrintGray(w io.Writer, rows []GrayRow) {
+	fmt.Fprintln(w, "Gray-failure resilience: routing policy vs a slow disk and a brownout")
+	fmt.Fprintf(w, "(%d movies replicated twice on 4 nodes; node0 serves 12x slow,\n"+
+		" node2 browns out to 0.4 capacity; placement frozen, same seed per row)\n\n",
+		churnCatalogSize)
+	fmt.Fprintf(w, "%-8s %7s %7s %8s %7s %7s %8s %7s %7s %6s %5s\n",
+		"policy", "avail", "floor", "starved", "waitP50", "waitP99", "waitMax",
+		"hedges", "wins", "quar", "rest")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %7.4f %7.4f %8d %7.2f %7.2f %8.2f %7d %7d %6d %5d\n",
+			r.Policy, r.Availability, r.Floor, r.Starved,
+			r.WaitP50, r.WaitP99, r.WaitMax,
+			r.Hedges, r.HedgeWins, r.Quarantines, r.Restores)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGrayPolicyOrdering pins the tentpole acceptance: under the same
+// gray timeline, health-aware routing strictly improves the
+// availability floor over blind routing, and hedging additionally
+// improves tail wait.
+func TestGrayPolicyOrdering(t *testing.T) {
+	rows, err := Gray(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]GrayRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	blind, okB := byName["blind"]
+	health, okH := byName["health"]
+	hedge, okE := byName["hedge"]
+	if !okB || !okH || !okE {
+		t.Fatalf("missing policy rows: %+v", rows)
+	}
+	if blind.Starved == 0 {
+		t.Fatalf("blind row starved nobody — the timeline is not biting: %+v", blind)
+	}
+	if blind.Quarantines != 0 || blind.Hedges != 0 {
+		t.Fatalf("blind row acted on health: %+v", blind)
+	}
+	if health.Quarantines == 0 {
+		t.Fatalf("health row never quarantined: %+v", health)
+	}
+	if hedge.Hedges == 0 {
+		t.Fatalf("hedge row never hedged: %+v", hedge)
+	}
+	if !(health.Floor > blind.Floor) {
+		t.Errorf("health floor %.4f not above blind %.4f", health.Floor, blind.Floor)
+	}
+	if !(hedge.Floor > blind.Floor) {
+		t.Errorf("hedge floor %.4f not above blind %.4f", hedge.Floor, blind.Floor)
+	}
+	if !(hedge.WaitP99 < blind.WaitP99) {
+		t.Errorf("hedge P99 %.2f not below blind %.2f", hedge.WaitP99, blind.WaitP99)
+	}
+	if !(hedge.Starved < blind.Starved) {
+		t.Errorf("hedge starved %d not below blind %d", hedge.Starved, blind.Starved)
+	}
+}
+
+// TestPrintGrayRenders smoke-tests the table renderer.
+func TestPrintGrayRenders(t *testing.T) {
+	rows := []GrayRow{
+		{Policy: "blind", Availability: 0.9, Floor: 0.5, Starved: 120, WaitP50: 1, WaitP99: 30, WaitMax: 60},
+		{Policy: "hedge", Availability: 0.99, Floor: 0.9, Starved: 3, WaitP50: 1, WaitP99: 6, WaitMax: 12, Hedges: 40, HedgeWins: 30, Quarantines: 1, Restores: 1},
+	}
+	var buf bytes.Buffer
+	PrintGray(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"blind", "hedge", "waitP99", "quar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

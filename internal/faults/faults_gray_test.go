@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseGrayKinds(t *testing.T) {
+	s, err := Parse("slow@300-700:d0:12,jitter@50:d1:0.8,brownout@400-800:d2:0.4")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := Schedule{
+		{At: 50, Kind: DiskJitter, Disk: 1, Factor: 0.8},
+		{At: 300, Until: 700, Kind: SlowDisk, Disk: 0, Factor: 12},
+		{At: 400, Until: 800, Kind: Brownout, Disk: 2, Factor: 0.4},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, s[i], want[i])
+		}
+		if !s[i].Kind.Gray() {
+			t.Errorf("event %d: kind %v not Gray()", i, s[i].Kind)
+		}
+	}
+	if DiskFail.Gray() || BufferLoss.Gray() {
+		t.Error("non-gray kinds report Gray()")
+	}
+	back, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Errorf("round-trip event %d = %+v, want %+v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestParseGrayRejects(t *testing.T) {
+	for _, spec := range []string{
+		"slow@300:d0",          // missing factor
+		"slow@300:12",          // missing disk
+		"slow@300-:d0:12",      // empty end time
+		"slow@x-700:d0:12",     // bad start
+		"slow@300-y:d0:12",     // bad end
+		"slow@700-300:d0:12",   // empty interval
+		"slow@300:d0:0",        // zero factor
+		"slow@300:d0:-3",       // negative factor
+		"slow@300:d0:NaN",      // NaN factor
+		"slow@300:d0:+Inf",     // infinite factor
+		"jitter@300:dx:0.5",    // bad disk
+		"brownout@300:d0:1.5",  // fraction > 1
+		"brownout@300:d-1:0.5", // negative disk
+		"slow@300--50:d0:2",    // negative until
+	} {
+		if s, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = %+v, want rejection", spec, s)
+		} else if !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("Parse(%q) error %v is not ErrBadSchedule", spec, err)
+		}
+	}
+}
+
+func TestGrayExponentTimesRoundTrip(t *testing.T) {
+	e := Event{At: 1e-05, Until: 2.5, Kind: SlowDisk, Disk: 3, Factor: 1e-05}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	back, err := Parse(e.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", e.String(), err)
+	}
+	if len(back) != 1 || back[0] != e {
+		t.Fatalf("round-trip %q = %+v, want %+v", e.String(), back, e)
+	}
+}
+
+// FuzzParseFaultSpec is the satellite fuzz target: Parse never panics,
+// rejects NaN/negative factors with ErrBadSchedule, and everything it
+// accepts survives a String round-trip (sorted order included).
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("fail@300:d0,repair@500:d0")
+	f.Add("glitch@600:5,bufloss@700:movie")
+	f.Add("slow@300-700:d0:12")
+	f.Add("jitter@50:d1:0.8,brownout@400-800:d2:0.4")
+	f.Add("slow@1e-05-2.5:d3:1e-05")
+	f.Add("bufloss@700")
+	f.Add("slow@300:d0:NaN")
+	f.Add("brownout@300:d0:1.5")
+	f.Add("")
+	f.Add(strings.Repeat("fail@1:d0,", 30))
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			if !errors.Is(err, ErrBadSchedule) {
+				t.Fatalf("error %v is not ErrBadSchedule", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed schedule fails validation: %v", err)
+		}
+		for _, e := range s {
+			if e.Kind.Gray() && (math.IsNaN(e.Factor) || e.Factor <= 0 || math.IsInf(e.Factor, 0)) {
+				t.Fatalf("accepted gray event with bad factor: %+v", e)
+			}
+		}
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q (%q) failed: %v", spec, s.String(), err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round-trip length %d != %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("round-trip event %d: %+v != %+v", i, back[i], s[i])
+			}
+		}
+	})
+}

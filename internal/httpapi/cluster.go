@@ -99,6 +99,10 @@ type ChurnLastRun struct {
 	MigrationMB       float64 `json:"migrationMB"`
 	TimeToConverge    float64 `json:"timeToConverge"`
 	PeakLevel         string  `json:"peakLevel"`
+	// Quarantines and Hedges carry the gray-resilience counters of the
+	// latest run (zero when it ran without gray faults).
+	Quarantines uint64 `json:"quarantines"`
+	Hedges      uint64 `json:"hedges"`
 }
 
 // ClusterPlanRequest asks for a multi-node placement. The catalog is
@@ -220,6 +224,16 @@ type ClusterChurnRequest struct {
 	Frozen bool `json:"frozen,omitempty"`
 	// Window is the availability-floor window in minutes (0 = 60).
 	Window float64 `json:"window,omitempty"`
+	// Gray schedules gray faults:
+	// "slow:node0@300-700:12,brownout:node2@400-800:0.4"
+	// (kind:node@start[-end]:factor; kinds slow|jitter|brownout).
+	Gray string `json:"gray,omitempty"`
+	// Policy picks the routing policy under gray faults:
+	// blind|health|hedge (default blind).
+	Policy string `json:"policy,omitempty"`
+	// StarveWait counts admitted waits above this many minutes as
+	// starved (0 = default 8).
+	StarveWait float64 `json:"starveWait,omitempty"`
 }
 
 // ClusterChurnResponse reports the run's availability, typed sheds and
@@ -243,6 +257,18 @@ type ClusterChurnResponse struct {
 	// TimeToConverge is minutes from the last flash's end to controller
 	// quiescence (-1 when not measured).
 	TimeToConverge float64 `json:"timeToConverge"`
+	// Gray-resilience measurements, present only when the run had gray
+	// faults or a non-blind routing policy.
+	Starved     uint64                   `json:"starved,omitempty"`
+	WaitP50     float64                  `json:"waitP50,omitempty"`
+	WaitP99     float64                  `json:"waitP99,omitempty"`
+	WaitMax     float64                  `json:"waitMax,omitempty"`
+	Hedges      uint64                   `json:"hedges,omitempty"`
+	HedgeWins   uint64                   `json:"hedgeWins,omitempty"`
+	Probes      uint64                   `json:"probes,omitempty"`
+	Quarantines uint64                   `json:"quarantines,omitempty"`
+	Restores    uint64                   `json:"restores,omitempty"`
+	NodeHealth  []cluster.NodeHealthInfo `json:"nodeHealth,omitempty"`
 }
 
 // clusterCatalog materializes the request's movie source.
@@ -402,6 +428,14 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 	if err != nil {
 		return ClusterChurnResponse{}, err
 	}
+	grayFaults, err := cluster.ParseGrayFaults(req.Gray)
+	if err != nil {
+		return ClusterChurnResponse{}, err
+	}
+	policy, err := cluster.ParseRoutePolicy(req.Policy)
+	if err != nil {
+		return ClusterChurnResponse{}, err
+	}
 	dyn := workload.DynamicWorkload{
 		Movies:   movies,
 		BaseRate: req.Lambda,
@@ -427,6 +461,9 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 		ControllerOff: req.Frozen,
 		Faults:        nodeFaults,
 		Window:        req.Window,
+		Gray:          grayFaults,
+		Policy:        policy,
+		StarveWait:    req.StarveWait,
 	})
 	if err != nil {
 		return ClusterChurnResponse{}, err
@@ -437,6 +474,8 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 		MigrationMB:       res.Controller.SpentBytes / 1e6,
 		TimeToConverge:    res.TimeToConverge,
 		PeakLevel:         res.Controller.PeakLevel.String(),
+		Quarantines:       res.Gray.Quarantines,
+		Hedges:            res.Gray.Hedges,
 	})
 	return ClusterChurnResponse{
 		Arrivals:          res.Arrivals,
@@ -455,5 +494,15 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 		BudgetExhausted:   res.Controller.BudgetExhausted,
 		PeakLevel:         res.Controller.PeakLevel.String(),
 		TimeToConverge:    res.TimeToConverge,
+		Starved:           res.Starved,
+		WaitP50:           res.WaitP50,
+		WaitP99:           res.WaitP99,
+		WaitMax:           res.WaitMax,
+		Hedges:            res.Gray.Hedges,
+		HedgeWins:         res.Gray.HedgeWins,
+		Probes:            res.Gray.Probes,
+		Quarantines:       res.Gray.Quarantines,
+		Restores:          res.Gray.Restores,
+		NodeHealth:        res.NodeHealth,
 	}, nil
 }

@@ -242,3 +242,75 @@ func TestStatuszCountsClusterRequests(t *testing.T) {
 		t.Errorf("simulateRequests = %d, want 1", after.SimulateRequests)
 	}
 }
+
+func TestClusterChurnGray(t *testing.T) {
+	srv := clusterServer(t)
+	resp, body := postJSON(t, srv, "/v1/cluster/churn", `{
+		"zipfMovies": 3, "nodes": 2, "replicas": 2, "headroom": 1.6,
+		"lambda": 0.5, "horizon": 600, "warmup": 60, "seed": 7, "frozen": true,
+		"gray": "slow:node0@100-500:15", "policy": "hedge"
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var churn ClusterChurnResponse
+	if err := json.Unmarshal(body, &churn); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(churn.NodeHealth) != 2 {
+		t.Fatalf("nodeHealth has %d entries, want 2: %+v", len(churn.NodeHealth), churn.NodeHealth)
+	}
+	for _, nh := range churn.NodeHealth {
+		if nh.Node == "" || nh.State == "" || nh.Score <= 0 || nh.Score > 1 {
+			t.Errorf("bad node health entry: %+v", nh)
+		}
+	}
+	if churn.WaitP99 < churn.WaitP50 || churn.WaitMax < churn.WaitP99 {
+		t.Errorf("wait quantiles inconsistent: %+v", churn)
+	}
+	if churn.HedgeWins > churn.Hedges {
+		t.Errorf("hedge wins %d exceed hedges %d", churn.HedgeWins, churn.Hedges)
+	}
+
+	// The gray counters reach the /statusz gauges.
+	st := getStatus(t, srv).Cluster
+	if st.LastChurn == nil {
+		t.Fatal("no lastChurn gauges after the gray run")
+	}
+	if st.LastChurn.Hedges != churn.Hedges || st.LastChurn.Quarantines != churn.Quarantines {
+		t.Errorf("statusz gauges %+v do not match the run %+v", st.LastChurn, churn)
+	}
+
+	// A non-gray run reports no gray measurements at all.
+	resp, body = postJSON(t, srv, "/v1/cluster/churn", `{
+		"zipfMovies": 2, "nodes": 2, "lambda": 0.5, "horizon": 300, "warmup": 30, "frozen": true
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain run status %d: %s", resp.StatusCode, body)
+	}
+	var plain ClusterChurnResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatalf("decode plain: %v", err)
+	}
+	if plain.NodeHealth != nil || plain.Starved != 0 || plain.WaitP99 != 0 || plain.Hedges != 0 {
+		t.Errorf("non-gray run reports gray measurements: %+v", plain)
+	}
+}
+
+func TestClusterChurnGrayErrors(t *testing.T) {
+	srv := clusterServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"bad gray spec", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "gray": "bogus"}`},
+		{"unknown gray node", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "gray": "slow:node9@100:4"}`},
+		{"bad policy", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "policy": "psychic"}`},
+		{"bad brownout fraction", `{"zipfMovies": 3, "nodes": 2, "lambda": 0.5, "horizon": 500, "gray": "brownout:node0@100:1.5"}`},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, srv, "/v1/cluster/churn", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", c.name, resp.StatusCode, body)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vodalloc/internal/faults"
+)
+
+// grayConfig is faultConfig with a gray schedule attached.
+func grayConfig(spec string) (Config, error) {
+	c := faultConfig()
+	sched, err := faults.Parse(spec)
+	if err != nil {
+		return Config{}, err
+	}
+	c.Faults = sched
+	return c, nil
+}
+
+func runGray(t *testing.T, spec string) *Result {
+	t.Helper()
+	c, err := grayConfig(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	return runFaulted(t, c)
+}
+
+// TestGrayRunBitForBitReproducible pins replay: a run with every gray
+// kind active is deterministic, disk-latency trackers included.
+func TestGrayRunBitForBitReproducible(t *testing.T) {
+	const spec = "slow@300-900:d0:12,jitter@400-1000:d1:0.8,brownout@500-1100:d2:0.4"
+	a, b := runGray(t, spec), runGray(t, spec)
+	if a.Summary() != b.Summary() {
+		t.Errorf("same seed and gray schedule diverged:\n--- a ---\n%s--- b ---\n%s", a.Summary(), b.Summary())
+	}
+	if len(a.DiskLatency) != len(b.DiskLatency) {
+		t.Fatalf("disk latency row counts diverged: %d vs %d", len(a.DiskLatency), len(b.DiskLatency))
+	}
+	for i := range a.DiskLatency {
+		if a.DiskLatency[i] != b.DiskLatency[i] {
+			t.Errorf("disk %d latency diverged: %+v vs %+v", i, a.DiskLatency[i], b.DiskLatency[i])
+		}
+	}
+}
+
+// TestGrayLatencyInflation pins each kind's effect on the per-disk
+// trackers: a slow disk's latency multiplies, a brownout divides by the
+// capacity fraction, jitter spreads around a mean-one draw — and disks
+// with no gray fault stay at exactly nominal.
+func TestGrayLatencyInflation(t *testing.T) {
+	r := runGray(t, "slow@200-1400:d0:12,brownout@200-1400:d1:0.4,jitter@200-1400:d2:0.8")
+	if r.Faults.GrayEvents != 3 {
+		t.Errorf("grayEvents = %d, want 3", r.Faults.GrayEvents)
+	}
+	byDisk := map[int]DiskLatency{}
+	for _, d := range r.DiskLatency {
+		byDisk[d.Disk] = d
+	}
+	slow, ok := byDisk[0]
+	if !ok || slow.Max != 12 {
+		t.Errorf("slow disk max latency %+v, want max=12", slow)
+	}
+	brown, ok := byDisk[1]
+	if !ok || math.Abs(brown.Max-1/0.4) > 1e-9 {
+		t.Errorf("browned-out disk max latency %+v, want max=2.5", brown)
+	}
+	jit, ok := byDisk[2]
+	if !ok || jit.Max <= 1 {
+		t.Errorf("jittered disk never exceeded nominal: %+v", jit)
+	}
+	// The degraded window covers most of the horizon, so the means sit
+	// clearly above nominal too — and a mean-one lognormal keeps the
+	// jittered mean far below the deterministically-slow disk's.
+	if slow.Mean <= brown.Mean || brown.Mean <= 1 {
+		t.Errorf("mean ordering violated: slow=%.2f brown=%.2f", slow.Mean, brown.Mean)
+	}
+	if jit.Mean >= slow.Mean {
+		t.Errorf("jitter mean %.2f at or above the 12x slow mean %.2f", jit.Mean, slow.Mean)
+	}
+	// Disks 3..5 never degraded: every op at exactly nominal.
+	for d := 3; d < 6; d++ {
+		if a, ok := byDisk[d]; ok && (a.Max != 1 || a.EWMA != 1) {
+			t.Errorf("undegraded disk %d deviates from nominal: %+v", d, a)
+		}
+	}
+	if !strings.Contains(r.Summary(), "grayEvents=3") {
+		t.Errorf("summary missing gray events:\n%s", r.Summary())
+	}
+	if !strings.Contains(r.Summary(), "disk 0:") {
+		t.Errorf("summary missing disk latency lines:\n%s", r.Summary())
+	}
+}
+
+// TestGrayClearsAfterUntil pins the interval semantics: once the window
+// closes, new ops record nominal latency again, so a short window's
+// mean sits below a run-length window's.
+func TestGrayClearsAfterUntil(t *testing.T) {
+	short := runGray(t, "slow@200-400:d0:12")
+	long := runGray(t, "slow@200-1400:d0:12")
+	var shortLat, longLat DiskLatency
+	for _, d := range short.DiskLatency {
+		if d.Disk == 0 {
+			shortLat = d
+		}
+	}
+	for _, d := range long.DiskLatency {
+		if d.Disk == 0 {
+			longLat = d
+		}
+	}
+	if shortLat.Ops == 0 || longLat.Ops == 0 {
+		t.Fatalf("disk 0 recorded no ops: short=%+v long=%+v", shortLat, longLat)
+	}
+	if shortLat.Max != 12 || longLat.Max != 12 {
+		t.Errorf("max latency should hit the multiplier in both runs: short=%+v long=%+v", shortLat, longLat)
+	}
+	if !(shortLat.Mean < longLat.Mean) {
+		t.Errorf("short-window mean %.2f not below long-window mean %.2f", shortLat.Mean, longLat.Mean)
+	}
+}
+
+// TestGrayDoesNotPerturbTraffic pins the RNG decorrelation: gray jitter
+// draws come from a dedicated stream, so adding a gray fault changes
+// latency accounting but not one arrival, hit or departure.
+func TestGrayDoesNotPerturbTraffic(t *testing.T) {
+	base := runFaulted(t, faultConfig())
+	gray := runGray(t, "jitter@200-1400:d0:0.8,slow@300-900:d1:6")
+	if base.Arrivals != gray.Arrivals || base.Hits != gray.Hits || base.Departures != gray.Departures {
+		t.Errorf("gray fault perturbed traffic: base arrivals=%d hits=%d departures=%d, gray arrivals=%d hits=%d departures=%d",
+			base.Arrivals, base.Hits, base.Departures, gray.Arrivals, gray.Hits, gray.Departures)
+	}
+	if base.Faults.Availability != 1 || gray.Faults.Availability != 1 {
+		t.Errorf("gray faults must not count as outages: base=%v gray=%v",
+			base.Faults.Availability, gray.Faults.Availability)
+	}
+}
+
+// TestGrayBaselineSilent pins the baseline render: with no gray faults
+// the summary carries no gray or disk-latency lines, and every recorded
+// op is exactly nominal.
+func TestGrayBaselineSilent(t *testing.T) {
+	r := runFaulted(t, faultConfig())
+	if r.Faults.GrayEvents != 0 {
+		t.Errorf("baseline run has gray events: %d", r.Faults.GrayEvents)
+	}
+	for _, d := range r.DiskLatency {
+		if d.Max != 1 || d.EWMA != 1 || math.Abs(d.Mean-1) > 1e-12 {
+			t.Errorf("baseline disk %d deviates from nominal: %+v", d.Disk, d)
+		}
+	}
+	s := r.Summary()
+	if strings.Contains(s, "gray") || strings.Contains(s, "disk 0:") {
+		t.Errorf("baseline summary mentions gray state:\n%s", s)
+	}
+}

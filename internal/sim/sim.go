@@ -69,5 +69,6 @@ func singleResult(sr *ServerResult) *Result {
 		PeakViewers:   sr.PeakViewers,
 		BufferPeak:    sr.BufferPeak,
 		Faults:        sr.Faults,
+		DiskLatency:   sr.DiskLatency,
 	}
 }

@@ -59,6 +59,9 @@ const (
 	Shed
 	// Recovered: a degraded viewer regained a dedicated stream.
 	Recovered
+	// Gray: a gray fault (slow disk, jitter, brownout) was applied or
+	// cleared on a disk.
+	Gray
 )
 
 // String names the kind.
@@ -104,6 +107,8 @@ func (k Kind) String() string {
 		return "shed"
 	case Recovered:
 		return "recovered"
+	case Gray:
+		return "gray"
 	default:
 		return "unknown"
 	}

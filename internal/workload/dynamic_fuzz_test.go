@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFlashCrowds is the satellite fuzz target: arbitrary specs
+// never panic, every rejection is typed ErrBadParam, and every
+// accepted burst is fully validated — finite non-negative shape, peak
+// at least 1, and a sane end time.
+func FuzzParseFlashCrowds(f *testing.F) {
+	f.Add("m05@800:8")
+	f.Add("m05@800:8:5:30:60")
+	f.Add("m01@40000:4,m02@50000:2:1")
+	f.Add("hot@0:1")
+	f.Add("m1@1e3:2.5")
+	f.Add("")
+	f.Add("m@NaN:2")
+	f.Add("m@5:Inf")
+	f.Add("m@5:0.5")
+	f.Add(strings.Repeat("m@1:2,", 20))
+	f.Fuzz(func(t *testing.T, spec string) {
+		fs, err := ParseFlashCrowds(spec)
+		if err != nil {
+			if !errors.Is(err, ErrBadParam) {
+				t.Fatalf("error %v is not ErrBadParam", err)
+			}
+			return
+		}
+		for _, fc := range fs {
+			if err := fc.Validate(nil); err != nil {
+				t.Fatalf("accepted burst fails validation: %+v: %v", fc, err)
+			}
+			if math.IsNaN(fc.End()) || math.IsInf(fc.End(), 0) || fc.End() < fc.At {
+				t.Fatalf("accepted burst has bad end: %+v end=%v", fc, fc.End())
+			}
+			if !(fc.Peak >= 1) {
+				t.Fatalf("accepted burst with peak < 1: %+v", fc)
+			}
+		}
+	})
+}

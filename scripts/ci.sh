@@ -1,5 +1,6 @@
 #!/bin/sh
-# Tier-1 verification: vet, build, tests, the race detector, and a
+# Tier-1 verification: vet, build, tests, a shuffled race pass, a
+# pinned-staticcheck stage (skipped gracefully offline), and a
 # benchmark smoke pass (one iteration each, so broken benchmarks fail CI
 # without paying for measurement). The race pass covers the parallel
 # sweep engine (internal/parallel) and every fan-out built on it.
@@ -8,7 +9,8 @@
 # after a pass over the checkpoint decoder's fuzz corpus. A cluster
 # smoke plans Example 1 onto three nodes and runs a short failover
 # simulation; a churn smoke drives a flash crowd through the live
-# rebalancing controller; a bench-regression stage replays the quick
+# rebalancing controller; a gray smoke drives a slow disk and a
+# brownout through the hedged router; a bench-regression stage replays the quick
 # experiment sweep against the recorded BENCH_sweeps.json baseline and
 # warns on >15% slowdown. A final chaos
 # smoke boots vodserverd on an ephemeral port, soaks it with vodchaos
@@ -21,8 +23,21 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./...
+# Shuffled race pass: -shuffle=on randomizes test order so ordering
+# dependencies between tests surface alongside data races.
+go test -race -shuffle=on ./...
 go test -run='^$' -bench=. -benchtime=1x -benchmem ./...
+
+# --- static analysis: a pinned staticcheck via the module proxy; a
+# hermetic or offline environment (no proxy reachable, tool not cached)
+# skips with a notice instead of failing the run ---
+staticcheck_cmd="go run honnef.co/go/tools/cmd/staticcheck@2024.1.1"
+if $staticcheck_cmd -version >/dev/null 2>&1; then
+    $staticcheck_cmd ./...
+    echo "ci: staticcheck passed"
+else
+    echo "ci: staticcheck unavailable (offline?); stage skipped"
+fi
 
 # --- checkpoint fuzz corpus + crash-resume smoke ---
 go test -run='^FuzzCheckpointDecode$' ./internal/checkpoint
@@ -41,6 +56,15 @@ go run ./cmd/vodcluster churn -nodes 4 -movies 6 -node-streams 300 \
     -node-buffer 200 -lambda 0.5 -flash "m01@300:4" -budget-mb 20000 \
     -horizon 900 -warmup 100 -seed 7 -interval 10 >/dev/null
 echo "ci: churn smoke passed"
+
+# --- gray smoke: a slow disk and a brownout under the hedged routing
+# policy on a frozen placement; the health/quarantine/hedge pipeline
+# end to end through the CLI ---
+go run ./cmd/vodcluster churn -nodes 4 -movies 6 -node-streams 300 \
+    -node-buffer 200 -lambda 0.5 -replicas 2 -controller=false \
+    -gray "slow:node0@200-600:12,brownout:node2@300-700:0.4" \
+    -policy hedge -horizon 900 -warmup 100 -seed 7 >/dev/null
+echo "ci: gray smoke passed"
 
 # --- bench regression: the quick experiment sweep against the latest
 # recorded entry in BENCH_sweeps.json; a >15% slowdown warns on the CI

@@ -112,5 +112,14 @@ run_stage churn 0.4 1.4 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
     -node-streams 400 -node-buffer 200 -lambda 6 -flash "m01@40000:4" \
     -budget-mb 40000 -horizon 120000 -warmup 500 -seed 7 -interval 10 \
     -checkpoint-every 2000
+# The gray run (~2.1s: ~0.85s sizing, then ~15000 sim-minutes/s) keeps
+# node0 slow and node2 browned out from t=5000 to t=16000 of 20000, so
+# a kill in [1.2, 1.8]s lands while the hedged router holds live
+# quarantine state — resume must reconstruct health scores, hedge
+# counters and quarantine streaks bit-identically.
+run_stage gray 1.2 1.8 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
+    -node-streams 400 -node-buffer 200 -lambda 6 -replicas 2 \
+    -controller=false -gray "slow:node0@5000-15000:12,brownout:node2@7000-16000:0.4" \
+    -policy hedge -horizon 20000 -warmup 500 -seed 7 -checkpoint-every 2000
 
 echo "killresume: all stages passed"
