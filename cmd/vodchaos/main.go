@@ -126,6 +126,7 @@ func run() error {
 	}
 
 	h.grayPhase()
+	h.brownoutPhase()
 
 	if *sigtermPid != 0 {
 		h.sigtermPhase(*sigtermPid, *exitWait)
@@ -422,41 +423,8 @@ func (h *harness) grayPhase() {
 	body := []byte(`{"zipfMovies":3,"nodes":2,"replicas":2,"headroom":1.6,` +
 		`"lambda":0.5,"horizon":600,"warmup":60,"seed":7,"frozen":true,` +
 		`"gray":"slow:node0@100-500:15","policy":"hedge"}`)
-	var resp *http.Response
-	for attempt := 0; attempt < 5; attempt++ {
-		req, err := http.NewRequest(http.MethodPost, "http://"+h.addr+"/v1/cluster/churn", bytes.NewReader(body))
-		if err != nil {
-			h.violate("gray: build request: %v", err)
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err = h.client.Do(req)
-		if err != nil {
-			h.violate("gray: transport error: %v", err)
-			return
-		}
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			break
-		}
-		// A lingering shed from the soak; give the server a beat.
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		resp = nil
-		time.Sleep(500 * time.Millisecond)
-	}
-	if resp == nil {
-		h.violate("gray: churn request shed on every attempt")
-		return
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		h.violate("gray: churn status %d: %s", resp.StatusCode, raw)
-		return
-	}
-	var churn httpapi.ClusterChurnResponse
-	if err := json.Unmarshal(raw, &churn); err != nil {
-		h.violate("gray: decode churn response: %v", err)
+	churn, raw, ok := h.churnRun("gray", body)
+	if !ok {
 		return
 	}
 	if len(churn.NodeHealth) == 0 {
@@ -477,6 +445,100 @@ func (h *harness) grayPhase() {
 	h.count("gray-phase:ok")
 	log.Printf("gray phase: single slow node absorbed, breaker=%s quarantines=%d hedges=%d",
 		after.Breaker, churn.Quarantines, churn.Hedges)
+}
+
+// churnRun posts one churn request, retrying a lingering shed from the
+// soak, and decodes the response. Violations are recorded under phase.
+func (h *harness) churnRun(phase string, body []byte) (httpapi.ClusterChurnResponse, []byte, bool) {
+	var resp *http.Response
+	for attempt := 0; attempt < 5; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, "http://"+h.addr+"/v1/cluster/churn", bytes.NewReader(body))
+		if err != nil {
+			h.violate("%s: build request: %v", phase, err)
+			return httpapi.ClusterChurnResponse{}, nil, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = h.client.Do(req)
+		if err != nil {
+			h.violate("%s: transport error: %v", phase, err)
+			return httpapi.ClusterChurnResponse{}, nil, false
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			break
+		}
+		// A lingering shed from the soak; give the server a beat.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp = nil
+		time.Sleep(500 * time.Millisecond)
+	}
+	if resp == nil {
+		h.violate("%s: churn request shed on every attempt", phase)
+		return httpapi.ClusterChurnResponse{}, nil, false
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		h.violate("%s: churn status %d: %s", phase, resp.StatusCode, raw)
+		return httpapi.ClusterChurnResponse{}, nil, false
+	}
+	var churn httpapi.ClusterChurnResponse
+	if err := json.Unmarshal(raw, &churn); err != nil {
+		h.violate("%s: decode churn response: %v", phase, err)
+		return httpapi.ClusterChurnResponse{}, nil, false
+	}
+	return churn, raw, true
+}
+
+// brownoutPhase browns out the WHOLE fleet — every node at 0.5 capacity
+// — under hedged routing with a small hedge token bucket, and asserts
+// the budget actually bounds hedging: when everyone is slow, hedging is
+// pure amplification, so total hedges must stay within the bucket's
+// burst plus its refill over the run (refill is at most 0.25 per
+// arrival, scaled down by fleet health). The breaker must stay closed —
+// a fleet-wide brownout is degraded service, not an outage — and the
+// drain phase that follows must still complete.
+func (h *harness) brownoutPhase() {
+	const hedgeBudget = 4
+	before, err := h.status()
+	if err != nil {
+		h.violate("brownout: /statusz before run: %v", err)
+		return
+	}
+	if before.Breaker == "open" {
+		h.violate("brownout: breaker already open before the brownout run")
+		return
+	}
+	body := []byte(fmt.Sprintf(`{"zipfMovies":3,"nodes":2,"replicas":2,"headroom":1.6,`+
+		`"lambda":0.5,"horizon":600,"warmup":60,"seed":11,"frozen":true,`+
+		`"gray":"brownout:node0@100-500:0.5,brownout:node1@100-500:0.5",`+
+		`"policy":"hedge","hedgeBudget":%d}`, hedgeBudget))
+	churn, raw, ok := h.churnRun("brownout", body)
+	if !ok {
+		return
+	}
+	// Token-bucket ceiling: the bucket starts full and refills at most
+	// 0.25 tokens per arrival, so hedges can never exceed this.
+	ceiling := hedgeBudget + 0.25*float64(churn.Arrivals)
+	if float64(churn.Hedges) > ceiling {
+		h.violate("brownout: %d hedges exceed the budget ceiling %.1f (budget %d, arrivals %d): %s",
+			churn.Hedges, ceiling, hedgeBudget, churn.Arrivals, raw)
+	}
+	if churn.HedgeWins > churn.Hedges {
+		h.violate("brownout: hedge wins %d exceed hedges %d", churn.HedgeWins, churn.Hedges)
+	}
+	after, err := h.status()
+	if err != nil {
+		h.violate("brownout: /statusz after run: %v", err)
+		return
+	}
+	if after.Breaker != "closed" {
+		h.violate("brownout: breaker %q after a fleet-wide brownout — degraded capacity must not trip the circuit", after.Breaker)
+		return
+	}
+	h.count("brownout-phase:ok")
+	log.Printf("brownout phase: fleet-wide brownout absorbed, breaker=%s hedges=%d denied=%d ceiling=%.1f",
+		after.Breaker, churn.Hedges, churn.HedgeDenied, ceiling)
 }
 
 // sigtermPhase sends SIGTERM, verifies the drain window sheds new work

@@ -368,6 +368,10 @@ func runChurn(args []string) error {
 	graySpec := fs.String("gray", "", `gray faults: "slow:node0@300-700:12,brownout:node2@400-800:0.4" (kind:node@start[-end]:factor)`)
 	policy := fs.String("policy", "", "routing policy under gray faults: blind|health|hedge (default blind)")
 	starveWait := fs.Float64("starve-wait", 0, "admitted waits above this count as starved, minutes (0 = default 8)")
+	evacuateDwell := fs.Float64("evacuate-dwell", 0, "drain replicas off nodes quarantined longer than this, minutes (0 = off; needs the controller)")
+	hedgeBudget := fs.Float64("hedge-budget", 0, "token-bucket burst cap on hedged dispatch (0 = unlimited)")
+	diskHealth := fs.Bool("disk-health", false, "track health and quarantine at disk granularity")
+	nodeDisks := fs.Int("node-disks", 0, `disks per node, addressable in -gray as "slow:node0:d1@..." (0 = 1)`)
 	flashSpec := fs.String("flash", "", `flash crowds: "m01@300:4" or "m01@300:4:10:60:30" (movie@at:peak[:ramp[:hold[:decay]]])`)
 	diurnalPeriod := fs.Float64("diurnal-period", 0, "diurnal cycle length, minutes (0 = no diurnal swing)")
 	diurnalAmp := fs.Float64("diurnal-amp", 0.3, "diurnal amplitude in [0,1), with -diurnal-period")
@@ -392,6 +396,11 @@ func runChurn(args []string) error {
 	p, _, err := cf.plan(ctx, movies, *cf.nodes)
 	if err != nil {
 		return err
+	}
+	if *nodeDisks > 1 {
+		for i := range p.Nodes {
+			p.Nodes[i].Disks = *nodeDisks
+		}
 	}
 	faults, err := cluster.ParseNodeFaults(*failSpec)
 	if err != nil {
@@ -437,6 +446,7 @@ func runChurn(args []string) error {
 			Interval:      *interval,
 			BudgetBytes:   *budgetMB * 1e6,
 			MaxConcurrent: *migrations,
+			EvacuateDwell: *evacuateDwell,
 		},
 		ControllerOff: !*controller,
 		Faults:        faults,
@@ -444,6 +454,10 @@ func runChurn(args []string) error {
 		Gray:          gray,
 		Policy:        pol,
 		StarveWait:    *starveWait,
+		Health: cluster.HealthConfig{
+			HedgeBudget: *hedgeBudget,
+			DiskHealth:  *diskHealth,
+		},
 	}
 	var res *cluster.ChurnResult
 	if *sf.resume != "" {

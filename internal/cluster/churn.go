@@ -135,8 +135,12 @@ func (c ChurnConfig) Validate() error {
 			return err
 		}
 	}
+	disks := make(map[string]int, len(c.Placement.Nodes))
+	for _, n := range c.Placement.Nodes {
+		disks[n.ID] = n.disks()
+	}
 	for _, g := range c.Gray {
-		if err := g.Validate(known); err != nil {
+		if err := g.Validate(disks); err != nil {
 			return err
 		}
 	}
@@ -163,6 +167,11 @@ func (c ChurnConfig) Identity() uint64 {
 	parts = append(parts, cc.Interval, cc.BudgetBytes, cc.MaxConcurrent,
 		cc.MigrationRate, cc.BytesPerMinute, cc.TargetUtil, cc.DropUtil,
 		cc.DegradeAt, cc.RestoreAt, cc.RestoreTicks, cc.Cooldown, cc.Alpha, cc.AlphaSlow)
+	// Evacuation is opt-in; the part is appended only when armed so every
+	// pre-evacuation snapshot identity is unchanged.
+	if cc.EvacuateDwell > 0 {
+		parts = append(parts, "evacuate", cc.EvacuateDwell)
+	}
 	if w.Diurnal != nil {
 		parts = append(parts, *w.Diurnal)
 	}
@@ -173,7 +182,7 @@ func (c ChurnConfig) Identity() uint64 {
 		parts = append(parts, f)
 	}
 	for _, n := range c.Placement.Nodes {
-		parts = append(parts, n)
+		parts = append(parts, n.identityPart())
 	}
 	for _, a := range c.Placement.Assignments {
 		parts = append(parts, a.Movie, a.Node, a.Replica, a.N, a.B)
@@ -194,8 +203,20 @@ func (c ChurnConfig) Identity() uint64 {
 			hc.SuspectAfter, hc.QuarantineAfter, hc.RestoreTicks,
 			hc.ProbationAfter, hc.ProbeEvery, hc.ProbeOK,
 			hc.HedgeQuantile, hc.HedgeMin, hc.HedgeWarm)
+		// The hedge budget and disk-granular health are opt-in; their
+		// parts appear only when engaged, so gray snapshots from before
+		// these knobs existed keep their identities.
+		if hc.HedgeBudget > 0 {
+			parts = append(parts, "hedgebudget", hc.HedgeBudget, hc.HedgeRefill)
+		}
+		if hc.DiskHealth {
+			parts = append(parts, "diskhealth")
+		}
 		for _, g := range c.Gray {
 			parts = append(parts, int(g.Kind), g.Node, g.At, g.Until, g.Factor)
+			if g.Disk != 0 {
+				parts = append(parts, "disk", g.Disk)
+			}
 		}
 	}
 	return checkpoint.Identity(parts...)
@@ -266,6 +287,10 @@ func (r *ChurnResult) Summary() string {
 		b.WriteString(" BUDGET-EXHAUSTED")
 	}
 	fmt.Fprintf(&b, " peak-level=%s\n", c.PeakLevel)
+	if c.Evacuations > 0 || c.EvacuationsBlocked > 0 {
+		fmt.Fprintf(&b, "  controller: evacuations=%d/%d (started/completed) blocked=%d\n",
+			c.Evacuations, c.EvacuationsCompleted, c.EvacuationsBlocked)
+	}
 	if r.TimeToConverge >= 0 {
 		fmt.Fprintf(&b, "  reconverged %.1f min after the last flash (t=%.1f)\n", r.TimeToConverge, r.ConvergedAt)
 	}
@@ -273,11 +298,19 @@ func (r *ChurnResult) Summary() string {
 		fmt.Fprintf(&b, "  gray: starved=%d wait mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 			r.Starved, r.WaitMean, r.WaitP50, r.WaitP95, r.WaitP99, r.WaitMax)
 		g := r.Gray
-		fmt.Fprintf(&b, "  gray: hedges=%d wins=%d cancels=%d probes=%d suspects=%d quarantines=%d restores=%d\n",
-			g.Hedges, g.HedgeWins, g.HedgeCancels, g.Probes, g.Suspects, g.Quarantines, g.Restores)
+		fmt.Fprintf(&b, "  gray: hedges=%d wins=%d cancels=%d denied=%d probes=%d suspects=%d quarantines=%d restores=%d\n",
+			g.Hedges, g.HedgeWins, g.HedgeCancels, g.HedgeDenied, g.Probes, g.Suspects, g.Quarantines, g.Restores)
+		if g.DiskSuspects > 0 || g.DiskQuarantines > 0 || g.DiskRestores > 0 || g.DiskProbes > 0 {
+			fmt.Fprintf(&b, "  gray: disk suspects=%d quarantines=%d restores=%d probes=%d\n",
+				g.DiskSuspects, g.DiskQuarantines, g.DiskRestores, g.DiskProbes)
+		}
 		for _, nh := range r.NodeHealth {
 			fmt.Fprintf(&b, "  node %-8s %-11s score=%.3f ewma=%.2f samples=%d\n",
 				nh.Node, nh.State, nh.Score, nh.EWMA, nh.Samples)
+			for _, dh := range nh.Disks {
+				fmt.Fprintf(&b, "    disk %-6d %-11s score=%.3f ewma=%.2f samples=%d\n",
+					dh.Disk, dh.State, dh.Score, dh.EWMA, dh.Samples)
+			}
 		}
 	}
 	for _, w := range r.Windows {
@@ -310,6 +343,7 @@ type churnEvent struct {
 	seq   uint64
 	movie int
 	node  string
+	disk  int // serving disk of a gray-run cevDeparture
 	epoch int
 	gray  int // index into cfg.Gray for cevGraySet/cevGrayClear
 	mig   Migration
@@ -357,12 +391,14 @@ type churnRun struct {
 	convergedAt        float64
 
 	// Gray-run state (nil/zero on non-gray runs). graySlow/graySigma/
-	// grayFrac are the per-node multipliers currently in force; grayRNG
-	// is the dedicated jitter stream; waits holds every post-warmup
-	// admitted wait for result-time quantiles (its sum/max/len — not the
-	// slice — feed the digest).
+	// grayFrac are the per-[node][disk] multipliers currently in force
+	// (a whole-node fault sets every disk; single-disk nodes have one
+	// entry, matching the pre-disk model exactly); grayRNG is the
+	// dedicated jitter stream; waits holds every post-warmup admitted
+	// wait for result-time quantiles (its sum/max/len — not the slice —
+	// feed the digest).
 	grayOn                        bool
-	graySlow, graySigma, grayFrac []float64
+	graySlow, graySigma, grayFrac [][]float64
 	grayRNG                       *rand.Rand
 	waits                         []float64
 	waitSum, waitMax              float64
@@ -416,11 +452,17 @@ func newChurnRun(cfg ChurnConfig) (*churnRun, error) {
 			return nil, err
 		}
 		n := len(cfg.Placement.Nodes)
-		r.graySlow = make([]float64, n)
-		r.graySigma = make([]float64, n)
-		r.grayFrac = make([]float64, n)
+		r.graySlow = make([][]float64, n)
+		r.graySigma = make([][]float64, n)
+		r.grayFrac = make([][]float64, n)
 		for i := 0; i < n; i++ {
-			r.graySlow[i], r.grayFrac[i] = 1, 1
+			nd := router.disks[i]
+			r.graySlow[i] = make([]float64, nd)
+			r.graySigma[i] = make([]float64, nd)
+			r.grayFrac[i] = make([]float64, nd)
+			for d := 0; d < nd; d++ {
+				r.graySlow[i][d], r.grayFrac[i][d] = 1, 1
+			}
 		}
 		r.grayRNG = rand.New(rand.NewSource(cfg.Seed ^ churnGraySalt))
 		for gi, g := range cfg.Gray {
@@ -534,7 +576,13 @@ func (r *churnRun) step() (bool, error) {
 			r.push(churnEvent{t: next, kind: cevTick})
 		}
 	case cevDeparture:
-		r.router.Release(r.movies[e.movie].Name, e.node)
+		if r.grayOn {
+			// Gray departures drain the exact disk that served the stream,
+			// recorded at admission — replay-exact per-disk occupancy.
+			r.router.ReleaseDisk(r.movies[e.movie].Name, e.node, e.disk)
+		} else {
+			r.router.Release(r.movies[e.movie].Name, e.node)
+		}
 	case cevArrival:
 		if e.epoch != r.epoch {
 			return true, nil // stale pre-boundary draw
@@ -560,12 +608,13 @@ func (r *churnRun) step() (bool, error) {
 		var (
 			d    LoadDecision
 			wait float64
+			disk int
 			err  error
 		)
 		if r.grayOn {
 			var gd GrayDecision
 			gd, err = r.router.RouteGray(r.movies[i].Name, e.t, r.nodeWait)
-			d, wait = gd.LoadDecision, gd.Wait
+			d, wait, disk = gd.LoadDecision, gd.Wait, gd.Disk
 		} else {
 			d, err = r.router.RouteLoad(r.movies[i].Name)
 		}
@@ -584,7 +633,7 @@ func (r *churnRun) step() (bool, error) {
 			}
 			return true, nil
 		}
-		r.push(churnEvent{t: e.t + r.movies[i].Length, kind: cevDeparture, movie: i, node: d.Node})
+		r.push(churnEvent{t: e.t + r.movies[i].Length, kind: cevDeparture, movie: i, node: d.Node, disk: disk})
 		if measured {
 			r.admitted++
 			win.admitted++
@@ -621,44 +670,56 @@ func (r *churnRun) step() (bool, error) {
 const churnGraySalt = 0x677261796368726e
 
 // applyGray installs (set) or lifts (clear) one gray fault's multiplier
-// on its node. Overlapping same-kind faults don't stack: the event
-// applying last wins, and clearing restores nominal.
+// on its node — every disk for a whole-node fault, exactly one for a
+// ":dN"-scoped fault. Overlapping same-kind faults don't stack: the
+// event applying last wins, and clearing restores nominal.
 func (r *churnRun) applyGray(g GrayFault, set bool) {
 	ni, ok := r.router.node[g.Node]
 	if !ok {
 		return // validated at config time; defensive
 	}
-	switch g.Kind {
-	case GraySlow:
-		if set {
-			r.graySlow[ni] = g.Factor
-		} else {
-			r.graySlow[ni] = 1
+	lo, hi := 0, len(r.graySlow[ni])
+	if d, onDisk := g.DiskIndex(); onDisk {
+		if d >= hi {
+			return // validated at config time; defensive
 		}
-	case GrayJitter:
-		if set {
-			r.graySigma[ni] = g.Factor
-		} else {
-			r.graySigma[ni] = 0
-		}
-	case GrayBrownout:
-		if set {
-			r.grayFrac[ni] = g.Factor
-		} else {
-			r.grayFrac[ni] = 1
+		lo, hi = d, d+1
+	}
+	for d := lo; d < hi; d++ {
+		switch g.Kind {
+		case GraySlow:
+			if set {
+				r.graySlow[ni][d] = g.Factor
+			} else {
+				r.graySlow[ni][d] = 1
+			}
+		case GrayJitter:
+			if set {
+				r.graySigma[ni][d] = g.Factor
+			} else {
+				r.graySigma[ni][d] = 0
+			}
+		case GrayBrownout:
+			if set {
+				r.grayFrac[ni][d] = g.Factor
+			} else {
+				r.grayFrac[ni][d] = 1
+			}
 		}
 	}
 }
 
 // nodeWait is the physical service-wait model the router routes
-// against but never sees directly: the node's slow-disk multiplier,
-// amplified by queueing congestion against its *browned-out* capacity
-// (the router still believes nominal capacity — that gap is what makes
-// the failure gray), stretched by mean-one lognormal jitter.
-func (r *churnRun) nodeWait(node, liveAfter int) float64 {
-	w := r.graySlow[node]
-	eff := float64(r.router.maxStreams[node])
-	if frac := r.grayFrac[node]; frac > 0 && frac < 1 {
+// against but never sees directly: the serving disk's slow multiplier,
+// amplified by queueing congestion against the disk's share of the
+// node's *browned-out* capacity (the router still believes nominal
+// capacity — that gap is what makes the failure gray), stretched by
+// mean-one lognormal jitter. On single-disk nodes this reduces exactly
+// to the node-level model.
+func (r *churnRun) nodeWait(node, disk, liveAfter int) float64 {
+	w := r.graySlow[node][disk]
+	eff := float64(r.router.maxStreams[node]) / float64(r.router.disks[node])
+	if frac := r.grayFrac[node][disk]; frac > 0 && frac < 1 {
 		eff *= frac
 	}
 	if eff > 0 {
@@ -668,7 +729,7 @@ func (r *churnRun) nodeWait(node, liveAfter int) float64 {
 		}
 		w *= 1 + rho/(1-rho)
 	}
-	if sg := r.graySigma[node]; sg > 0 {
+	if sg := r.graySigma[node][disk]; sg > 0 {
 		w *= math.Exp(sg*r.grayRNG.NormFloat64() - sg*sg/2)
 	}
 	return w
@@ -712,9 +773,11 @@ func (r *churnRun) digest() uint64 {
 	u64(uint64(len(r.waits)))
 	u64(r.starved)
 	for i := range r.graySlow {
-		f64(r.graySlow[i])
-		f64(r.graySigma[i])
-		f64(r.grayFrac[i])
+		for d := range r.graySlow[i] {
+			f64(r.graySlow[i][d])
+			f64(r.graySigma[i][d])
+			f64(r.grayFrac[i][d])
+		}
 	}
 	r.router.digest(u64)
 	if r.ctrl != nil {

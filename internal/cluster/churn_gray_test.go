@@ -222,6 +222,193 @@ func TestChurnGrayResumeMidQuarantine(t *testing.T) {
 	}
 }
 
+// evacuateScenario arms the full health-aware control plane on the
+// gray timeline: controller on with proactive evacuation (dwell 10,
+// shorter than the health machine's 30-minute probation dwell) and a
+// byte budget with headroom past the warmup's demand-driven adds, so
+// the drains themselves are what the budget meters.
+func evacuateScenario(t *testing.T) ChurnConfig {
+	t.Helper()
+	cfg := grayScenario(t, PolicyHedge)
+	cfg.ControllerOff = false
+	cfg.Controller.BudgetBytes = 60e9
+	cfg.Controller.EvacuateDwell = 10
+	return cfg
+}
+
+// TestChurnResumeMidEvacuation is the satellite resume check for the
+// evacuation machinery: a checkpoint captured while the controller is
+// mid-drain — quarantined node dwelling, evacuation migrations in
+// flight — restores to bit-identical results, evacuation ledger
+// included, and a config with a different dwell refuses the snapshot.
+func TestChurnResumeMidEvacuation(t *testing.T) {
+	ctx := context.Background()
+	cfg := evacuateScenario(t)
+
+	var mid sim.Checkpoint
+	golden, err := RunChurnCheckpointed(ctx, cfg, 64, func(cp sim.Checkpoint) error {
+		// t≈500: node0 has quarantined (fault lands at 300) and sat past
+		// the 10-minute dwell, so the drain is underway or done.
+		if cp.Now >= 500 && mid.Fired == 0 {
+			mid = cp
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if mid.Fired == 0 {
+		t.Fatal("no checkpoint captured at t>=500")
+	}
+	if golden.Controller.Evacuations == 0 {
+		t.Fatalf("scenario never evacuated — the checkpoint window is empty\n%s", golden.Summary())
+	}
+
+	resumed, err := ResumeChurnCheckpointed(ctx, cfg, mid, 0, nil)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(golden, resumed) {
+		t.Fatalf("resumed result diverged from golden:\n%s\nvs\n%s", golden.Summary(), resumed.Summary())
+	}
+
+	other := evacuateScenario(t)
+	other.Controller.EvacuateDwell = 20
+	if _, err := ResumeChurnCheckpointed(ctx, other, mid, 0, nil); err == nil {
+		t.Fatal("checkpoint restored under a different evacuation dwell")
+	}
+}
+
+// TestChurnDiskQuarantine pins per-disk health: a 12× slowdown scoped
+// to ONE of node0's four disks quarantines that disk (DiskQuarantines
+// fires) while the node itself keeps serving from the healthy
+// siblings — so the same fault hurts strictly less than it would
+// spread across the whole node.
+func TestChurnDiskQuarantine(t *testing.T) {
+	ctx := context.Background()
+	diskCfg := grayScenario(t, PolicyHealth)
+	for i := range diskCfg.Placement.Nodes {
+		diskCfg.Placement.Nodes[i].Disks = 4
+	}
+	diskCfg.Gray = []GrayFault{{Kind: GraySlow, Node: "node0", Disk: 1, At: 300, Until: 700, Factor: 12}}
+	diskCfg.Health.DiskHealth = true
+	diskRes, err := RunChurn(ctx, diskCfg)
+	if err != nil {
+		t.Fatalf("disk-scoped run: %v", err)
+	}
+	if diskRes.Gray.DiskQuarantines == 0 {
+		t.Fatalf("slow disk never quarantined: %+v\n%s", diskRes.Gray, diskRes.Summary())
+	}
+	if diskRes.Gray.DiskSuspects == 0 {
+		t.Fatalf("slow disk never suspected: %+v", diskRes.Gray)
+	}
+
+	// The same fault across the whole node (all four disks) must hurt at
+	// least as much: one sick disk out of four leaves three serving.
+	nodeCfg := grayScenario(t, PolicyHealth)
+	for i := range nodeCfg.Placement.Nodes {
+		nodeCfg.Placement.Nodes[i].Disks = 4
+	}
+	nodeCfg.Gray = []GrayFault{{Kind: GraySlow, Node: "node0", At: 300, Until: 700, Factor: 12}}
+	nodeCfg.Health.DiskHealth = true
+	nodeRes, err := RunChurn(ctx, nodeCfg)
+	if err != nil {
+		t.Fatalf("node-scoped run: %v", err)
+	}
+	if diskRes.Starved > nodeRes.Starved {
+		t.Errorf("disk-scoped fault starved %d, whole-node %d — one sick disk hurt more than four",
+			diskRes.Starved, nodeRes.Starved)
+	}
+	if diskRes.Availability < nodeRes.Availability {
+		t.Errorf("disk-scoped availability %.4f below whole-node %.4f",
+			diskRes.Availability, nodeRes.Availability)
+	}
+}
+
+// TestChurnDiskHealthSingleDiskNeutral pins the compatibility claim:
+// with one disk per node (the default), turning DiskHealth on changes
+// nothing observable — every headline number and gray counter matches
+// the DiskHealth-off run exactly, because a single-disk node's disk IS
+// the node and the disk machine stands down.
+func TestChurnDiskHealthSingleDiskNeutral(t *testing.T) {
+	ctx := context.Background()
+	off, err := RunChurn(ctx, grayScenario(t, PolicyHedge))
+	if err != nil {
+		t.Fatalf("off run: %v", err)
+	}
+	onCfg := grayScenario(t, PolicyHedge)
+	onCfg.Health.DiskHealth = true
+	on, err := RunChurn(ctx, onCfg)
+	if err != nil {
+		t.Fatalf("on run: %v", err)
+	}
+	if off.Availability != on.Availability || off.FloorAvailability != on.FloorAvailability ||
+		off.Starved != on.Starved || off.WaitP99 != on.WaitP99 || off.WaitMax != on.WaitMax {
+		t.Errorf("single-disk DiskHealth changed headline numbers:\noff:\n%s\non:\n%s",
+			off.Summary(), on.Summary())
+	}
+	offGray, onGray := off.Gray, on.Gray
+	// The disk counters themselves are allowed to differ (probes may be
+	// attributed); everything node-level must match exactly.
+	offGray.DiskSuspects, offGray.DiskQuarantines, offGray.DiskRestores, offGray.DiskProbes = 0, 0, 0, 0
+	onGray.DiskSuspects, onGray.DiskQuarantines, onGray.DiskRestores, onGray.DiskProbes = 0, 0, 0, 0
+	if offGray != onGray {
+		t.Errorf("single-disk DiskHealth changed node-level gray counters:\noff %+v\non  %+v", offGray, onGray)
+	}
+}
+
+// TestChurnHedgeBudget pins the adaptive hedge budget: under a
+// fleet-wide brownout (hedging is pure amplification — everyone is
+// slow), a small token bucket holds total hedges under burst + refill
+// and counts the refusals, while the unlimited run hedges far more.
+func TestChurnHedgeBudget(t *testing.T) {
+	ctx := context.Background()
+	brownout := func(budget float64) ChurnConfig {
+		cfg := grayScenario(t, PolicyHedge)
+		cfg.Gray = []GrayFault{
+			{Kind: GrayBrownout, Node: "node0", At: 300, Until: 800, Factor: 0.4},
+			{Kind: GrayBrownout, Node: "node1", At: 300, Until: 800, Factor: 0.4},
+			{Kind: GrayBrownout, Node: "node2", At: 300, Until: 800, Factor: 0.4},
+			{Kind: GrayBrownout, Node: "node3", At: 300, Until: 800, Factor: 0.4},
+		}
+		cfg.Health.HedgeBudget = budget
+		return cfg
+	}
+	unlimited, err := RunChurn(ctx, brownout(0))
+	if err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	if unlimited.Gray.Hedges == 0 {
+		t.Fatalf("fleet-wide brownout never hedged — budget has nothing to bound\n%s", unlimited.Summary())
+	}
+	if unlimited.Gray.HedgeDenied != 0 {
+		t.Fatalf("unlimited run denied hedges: %+v", unlimited.Gray)
+	}
+
+	const budget = 3
+	capped, err := RunChurn(ctx, brownout(budget))
+	if err != nil {
+		t.Fatalf("capped run: %v", err)
+	}
+	// Token-bucket ceiling: the bucket starts full and refills at most
+	// HedgeRefill (0.25) per routed arrival, health-scaled downward.
+	ceiling := budget + 0.25*float64(capped.Arrivals)
+	if float64(capped.Gray.Hedges) > ceiling {
+		t.Errorf("capped run hedged %d times, past the bucket ceiling %.1f (arrivals %d)",
+			capped.Gray.Hedges, ceiling, capped.Arrivals)
+	}
+	if capped.Gray.Hedges >= unlimited.Gray.Hedges {
+		t.Errorf("budget %d did not reduce hedging: capped %d vs unlimited %d",
+			budget, capped.Gray.Hedges, unlimited.Gray.Hedges)
+	}
+	if capped.Gray.HedgeDenied == 0 {
+		t.Errorf("capped run under fleet-wide brownout denied nothing: %+v", capped.Gray)
+	}
+	if capped.Gray.HedgeWins > capped.Gray.Hedges {
+		t.Errorf("hedge wins %d exceed hedges %d", capped.Gray.HedgeWins, capped.Gray.Hedges)
+	}
+}
+
 // TestChurnGrayValidate pins the config-level typed rejections.
 func TestChurnGrayValidate(t *testing.T) {
 	bad := grayScenario(t, PolicyHedge)

@@ -47,6 +47,37 @@ type NodeSpec struct {
 	MaxStreams int
 	// MaxBuffer is B_s: the node's buffer budget in movie-minutes.
 	MaxBuffer float64
+	// Disks is how many disks the node's stream budget is spread over
+	// (0 = 1). The paper's §5 pre-allocates buffers and streams per
+	// disk; disk-granular gray faults (`slow:node0:d1@...`) and per-disk
+	// health tracking address individual disks of a node.
+	Disks int
+}
+
+// disks is the effective disk count (the zero value means one disk).
+func (n NodeSpec) disks() int {
+	if n.Disks < 1 {
+		return 1
+	}
+	return n.Disks
+}
+
+// nodeIdentV0 is NodeSpec's pre-disk field set, used for snapshot
+// identities: a node with the default single disk renders exactly as it
+// did before the Disks field existed, so old checkpoint identities are
+// preserved.
+type nodeIdentV0 struct {
+	ID         string
+	MaxStreams int
+	MaxBuffer  float64
+}
+
+// identityPart is the node's contribution to a snapshot identity.
+func (n NodeSpec) identityPart() any {
+	if n.disks() <= 1 {
+		return nodeIdentV0{n.ID, n.MaxStreams, n.MaxBuffer}
+	}
+	return n
 }
 
 // Validate checks the node's fields.
@@ -58,6 +89,8 @@ func (n NodeSpec) Validate() error {
 		return fmt.Errorf("%w: node %q stream budget %d", ErrBadCluster, n.ID, n.MaxStreams)
 	case !(n.MaxBuffer > 0) || math.IsInf(n.MaxBuffer, 0):
 		return fmt.Errorf("%w: node %q buffer budget %v", ErrBadCluster, n.ID, n.MaxBuffer)
+	case n.Disks < 0 || n.Disks > 4096:
+		return fmt.Errorf("%w: node %q disk count %d", ErrBadCluster, n.ID, n.Disks)
 	}
 	return nil
 }

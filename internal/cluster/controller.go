@@ -131,6 +131,16 @@ type ControllerConfig struct {
 	// keeps the loop oscillation-free on a noisy but stationary
 	// workload.
 	Alpha, AlphaSlow float64
+	// EvacuateDwell arms proactive evacuation: a node stuck in
+	// Quarantine longer than this many simulated minutes gets its
+	// replicas drained — each is copied to a healthy node (charged
+	// against the byte budget like any migration) and the quarantined
+	// copy is dropped when the new one lands, guarded so the last
+	// routable replica of a movie is never evacuated. 0 (the default)
+	// disables evacuation. Must be shorter than the health machine's
+	// ProbationAfter dwell to ever fire — past that the node exits
+	// Quarantine into Probation on its own.
+	EvacuateDwell float64
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -184,6 +194,7 @@ func (c ControllerConfig) Validate() error {
 		{"target util", c.TargetUtil}, {"drop util", c.DropUtil},
 		{"degrade at", c.DegradeAt}, {"restore at", c.RestoreAt},
 		{"cooldown", c.Cooldown}, {"alpha", c.Alpha}, {"alpha slow", c.AlphaSlow},
+		{"evacuate dwell", c.EvacuateDwell},
 	} {
 		if v.v < 0 || math.IsNaN(v.v) || math.IsInf(v.v, 0) {
 			return fmt.Errorf("%w: controller %s %v", ErrBadCluster, v.name, v.v)
@@ -197,10 +208,14 @@ func (c ControllerConfig) Validate() error {
 
 // Migration is one in-flight replica copy: Bytes move from the source
 // replica on From to the new replica on To between Start and Done; at
-// Done the router switches flows to include the new replica.
+// Done the router switches flows to include the new replica. A
+// non-empty Drain marks an evacuation: once the new replica lands, the
+// copy on Drain is dropped (guarded — never the movie's last routable
+// replica).
 type Migration struct {
 	Movie    string
 	From, To string
+	Drain    string
 	N        int
 	B        float64
 	Bytes    float64
@@ -220,6 +235,11 @@ type ControllerStats struct {
 	// BudgetExhausted reports that at least one wanted move was blocked
 	// by the byte budget.
 	BudgetExhausted bool
+	// Evacuations / EvacuationsCompleted count evacuation migrations
+	// started and fully landed (copy done AND quarantined replica
+	// dropped); EvacuationsBlocked counts drains the availability guard
+	// refused — the copy landed but the quarantined replica stayed.
+	Evacuations, EvacuationsCompleted, EvacuationsBlocked int
 	// Level and PeakLevel are the current and worst degradation rungs.
 	Level, PeakLevel DegradeLevel
 	// LastMoveAt is the time of the most recent started migration or
@@ -370,18 +390,43 @@ func (c *Controller) SetNodeDown(node string, isDown bool) []Migration {
 }
 
 // Complete lands a finished migration: the destination replica goes
-// live and the router atomically switches flows onto it. A migration
-// aborted earlier (node outage) is no longer tracked and is ignored.
+// live and the router atomically switches flows onto it. An evacuation
+// (Drain set) then drops the quarantined copy — unless the guard finds
+// no other routable replica, in which case the copy stays and the
+// evacuation counts as blocked. A migration aborted earlier (node
+// outage) is no longer tracked and is ignored.
 func (c *Controller) Complete(m Migration) error {
 	for k, f := range c.inflight {
-		if f == m {
-			c.inflight = append(c.inflight[:k:k], c.inflight[k+1:]...)
-			c.pendingTo[m.Movie]--
-			c.stats.MigrationsCompleted++
-			c.stats.ReplicaAdds++
-			c.replicas[m.Movie] = append(c.replicas[m.Movie], m.To)
-			return c.router.AddReplica(m.Movie, m.To, m.N)
+		if f != m {
+			continue
 		}
+		c.inflight = append(c.inflight[:k:k], c.inflight[k+1:]...)
+		c.pendingTo[m.Movie]--
+		c.stats.MigrationsCompleted++
+		c.stats.ReplicaAdds++
+		c.replicas[m.Movie] = append(c.replicas[m.Movie], m.To)
+		if err := c.router.AddReplica(m.Movie, m.To, m.N); err != nil {
+			return err
+		}
+		if m.Drain == "" {
+			return nil
+		}
+		if c.router.EvacuateReplica(m.Movie, m.Drain) != nil {
+			c.stats.EvacuationsBlocked++
+			return nil
+		}
+		hosts := c.replicas[m.Movie]
+		for j, hn := range hosts {
+			if hn == m.Drain {
+				c.replicas[m.Movie] = append(hosts[:j:j], hosts[j+1:]...)
+				break
+			}
+		}
+		di := c.nodeID[m.Drain]
+		c.used[di].streams -= m.N
+		c.used[di].buffer -= m.B
+		c.stats.EvacuationsCompleted++
+		return nil
 	}
 	return nil
 }
@@ -420,8 +465,71 @@ func (c *Controller) Tick(now float64) []Migration {
 	c.haveRate = true
 
 	moved := false
+	var started []Migration
 
-	// 2. Replica sizing per movie: Little's law concurrency estimate
+	// 2. Proactive evacuation: a node stuck in Quarantine past the
+	// configured dwell gets its replicas drained, hottest node order not
+	// needed — node index then catalog order keeps it deterministic.
+	// Each drain is an ordinary budget-charged migration whose Complete
+	// additionally drops the quarantined copy (guarded). Evacuations
+	// compete with demand adds for the same concurrency slots and byte
+	// budget; they run first because a quarantined node's replicas serve
+	// nothing at all.
+	if c.cfg.EvacuateDwell > 0 {
+	evac:
+		for i, n := range c.nodes {
+			if c.down[i] {
+				continue
+			}
+			st, _, since := c.router.healthStateSince(n.ID)
+			if st != Quarantined || now-since < c.cfg.EvacuateDwell {
+				continue
+			}
+			for _, m := range c.movies {
+				if len(c.inflight) >= c.cfg.MaxConcurrent {
+					break evac
+				}
+				if !c.hostsReplica(m.Name, n.ID) || c.pendingTo[m.Name] > 0 {
+					continue
+				}
+				if now-c.lastAction[m.Name] < c.cfg.Cooldown && c.lastAction[m.Name] > 0 {
+					continue
+				}
+				bytes := c.bytesFor(m)
+				if c.budgetCap > 0 && c.stats.SpentBytes+bytes > c.budgetCap {
+					c.stats.BudgetExhausted = true
+					continue
+				}
+				dest := c.pickDest(m.Name)
+				if dest < 0 {
+					continue
+				}
+				src := c.pickSource(m.Name)
+				if src == "" {
+					continue
+				}
+				a := c.alloc[m.Name]
+				mig := Migration{
+					Movie: m.Name, From: src, To: c.nodes[dest].ID, Drain: n.ID,
+					N: a.N, B: a.B, Bytes: bytes,
+					Start: now, Done: now + bytes/c.cfg.MigrationRate,
+				}
+				c.used[dest].streams += a.N
+				c.used[dest].buffer += a.B
+				c.inflight = append(c.inflight, mig)
+				c.pendingTo[m.Name]++
+				c.lastAction[m.Name] = now
+				c.stats.MigrationsStarted++
+				c.stats.Evacuations++
+				c.stats.SpentBytes += bytes
+				c.stats.LastMoveAt = now
+				started = append(started, mig)
+				moved = true
+			}
+		}
+	}
+
+	// 3. Replica sizing per movie: Little's law concurrency estimate
 	// against the per-copy stream allocation. Only up replicas count as
 	// serving capacity — a replica on a downed node relieves nothing.
 	type want struct {
@@ -449,7 +557,6 @@ func (c *Controller) Tick(now float64) []Migration {
 		return wants[a].idx < wants[b].idx
 	})
 
-	var started []Migration
 	for _, w := range wants {
 		if len(c.inflight) >= c.cfg.MaxConcurrent {
 			break
@@ -489,7 +596,7 @@ func (c *Controller) Tick(now float64) []Migration {
 		moved = true
 	}
 
-	// 3. Drops: a movie whose surviving replicas would still sit below
+	// 4. Drops: a movie whose surviving replicas would still sit below
 	// DropUtil sheds its newest replica. Free (no bytes move), but three
 	// guards rule out add/drop churn: the DropUtil < TargetUtil
 	// hysteresis gap, the per-movie cooldown, and the requirement that
@@ -525,7 +632,7 @@ func (c *Controller) Tick(now float64) []Migration {
 		moved = true
 	}
 
-	// 4. Degradation ladder: escalate when the cluster runs hot and
+	// 5. Degradation ladder: escalate when the cluster runs hot and
 	// this tick could not relieve it with a migration; descend after
 	// RestoreTicks consecutive cool ticks.
 	live, capacity := c.router.Load()
@@ -603,8 +710,14 @@ func (c *Controller) refreshAdmit() {
 }
 
 // pickDest chooses the destination node for a new replica of the
-// movie: the feasible up-node with the lowest committed stream
-// utilization (index tie-break). Returns -1 when none fits.
+// movie: the feasible up-node with the lowest health-weighted committed
+// stream utilization (index tie-break). Health awareness is twofold: a
+// node whose state is Suspect or worse is never a destination, and
+// among the healthy the utilization is divided by score² so a node
+// whose latency is drifting looks fuller than its stream count says.
+// On a blind router every state reads Healthy and every score 1, so
+// the choice is byte-identical to the health-blind controller. Returns
+// -1 when none fits.
 func (c *Controller) pickDest(movie string) int {
 	hosts := make(map[string]bool, 4)
 	for _, n := range c.replicas[movie] {
@@ -621,16 +734,34 @@ func (c *Controller) pickDest(movie string) int {
 		if c.down[i] || hosts[n.ID] {
 			continue
 		}
+		st, score, _ := c.router.healthStateSince(n.ID)
+		if st != Healthy {
+			continue
+		}
 		if c.used[i].streams+a.N > n.MaxStreams ||
 			c.used[i].buffer+a.B > n.MaxBuffer+bufferSlack {
 			continue
 		}
 		u := float64(c.used[i].streams+a.N) / float64(n.MaxStreams)
+		if score > 0 && score < 1 {
+			u /= score * score
+		}
 		if u < bestUtil {
 			best, bestUtil = i, u
 		}
 	}
 	return best
+}
+
+// hostsReplica reports whether the movie currently has a replica on the
+// node.
+func (c *Controller) hostsReplica(movie, node string) bool {
+	for _, n := range c.replicas[movie] {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 // upReplicas counts the movie's replicas on up nodes.
@@ -644,14 +775,31 @@ func (c *Controller) upReplicas(movie string) int {
 	return n
 }
 
-// pickSource chooses the copy source: the first up replica host.
+// pickSource chooses the copy source: the healthiest up replica host —
+// highest score, with Suspect and Quarantined hosts demoted below any
+// healthy one so a copy reads from a sick node only when no other
+// replica exists. Strictly-better comparison keeps replica order as
+// the tie-break, so on a blind router (every score 1) this is exactly
+// the old first-up-replica choice.
 func (c *Controller) pickSource(movie string) string {
+	best, bestKey := "", math.Inf(-1)
 	for _, n := range c.replicas[movie] {
-		if !c.down[c.nodeID[n]] {
-			return n
+		if c.down[c.nodeID[n]] {
+			continue
+		}
+		st, score, _ := c.router.healthStateSince(n)
+		key := score
+		switch st {
+		case Suspect:
+			key -= 2
+		case Quarantined:
+			key -= 4
+		}
+		if key > bestKey {
+			best, bestKey = n, key
 		}
 	}
-	return ""
+	return best
 }
 
 // digest folds the controller's mutable state into h for checkpoint
@@ -667,10 +815,18 @@ func (c *Controller) digest(h func(uint64)) {
 	h(uint64(c.stats.Level))
 	h(uint64(c.stats.PeakLevel))
 	f64(c.stats.LastMoveAt)
+	h(uint64(c.stats.Evacuations))
+	h(uint64(c.stats.EvacuationsCompleted))
+	h(uint64(c.stats.EvacuationsBlocked))
 	h(uint64(len(c.inflight)))
 	for _, m := range c.inflight {
 		f64(m.Start)
 		f64(m.Done)
+		if m.Drain != "" {
+			h(1)
+		} else {
+			h(0)
+		}
 	}
 	for i := range c.movies {
 		h(c.win[i])

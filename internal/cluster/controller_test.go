@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"math"
+	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -110,6 +112,181 @@ func TestControllerQuickBudgetAndFixedPoint(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestControllerHealthPlacementQuick is the satellite property test for
+// the health-aware control plane, run with -race: over randomized
+// health timelines (nodes flipped Healthy/Suspect/Quarantined between
+// ticks via the operator override) and with a goroutine concurrently
+// churning a replica on the router, the controller (a) never starts a
+// migration INTO a node that is not Healthy, (b) reads its copy FROM a
+// Quarantined replica only when every other up host of the movie is
+// also Quarantined, and (c) never evacuates a movie's last replica.
+// Health states only change between ticks, so the post-Tick checks are
+// exact, not racy; the concurrent mutator exercises the router's
+// locking on a node the controller is barred from (pinned Suspect).
+func TestControllerHealthPlacementQuick(t *testing.T) {
+	const ticks = 40
+	evacTotal := 0
+	prop := func(seed int64, flipSalt uint16) bool {
+		movies, err := workload.ZipfCatalog(3, 0.8)
+		if err != nil {
+			t.Logf("ZipfCatalog: %v", err)
+			return false
+		}
+		allocs := make([]MovieAlloc, len(movies))
+		for i, m := range movies {
+			allocs[i] = MovieAlloc{Movie: m.Name, N: 10, B: 8, Hit: 0.7, Wait: 0.3, Weight: m.Popularity}
+		}
+		p, err := PackAllocs(allocs, UniformNodes(6, 60, 60), Options{Replicas: 2})
+		if err != nil {
+			t.Logf("PackAllocs: %v", err)
+			return false
+		}
+		router, err := NewRouter(p, seed)
+		if err != nil {
+			t.Logf("NewRouter: %v", err)
+			return false
+		}
+		if err := router.SetGrayPolicy(PolicyHealth, HealthConfig{}); err != nil {
+			t.Logf("SetGrayPolicy: %v", err)
+			return false
+		}
+		ctrl, err := NewController(ControllerConfig{
+			Interval:      10,
+			Cooldown:      10,
+			EvacuateDwell: 5, // < ProbationAfter, and < one tick past the flip
+		}, p, movies, router)
+		if err != nil {
+			t.Logf("NewController: %v", err)
+			return false
+		}
+		// The spare: a node with no replica of movies[0]; pinned Suspect so
+		// pickDest never chooses it, which makes it safe for the concurrent
+		// mutator to own outright.
+		spare := ""
+		hosts := map[string]bool{}
+		for _, a := range p.Replicas(movies[0].Name) {
+			hosts[a.Node] = true
+		}
+		for _, n := range p.Nodes {
+			if !hosts[n.ID] {
+				spare = n.ID
+				break
+			}
+		}
+		if spare == "" {
+			t.Log("no spare node")
+			return false
+		}
+		if err := router.SetHealthState(spare, Suspect); err != nil {
+			t.Logf("SetHealthState: %v", err)
+			return false
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() { // mutator: churns movies[0]'s replica on the spare
+			defer wg.Done()
+			on := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if on {
+					_ = router.RemoveReplica(movies[0].Name, spare)
+				} else {
+					_ = router.AddReplica(movies[0].Name, spare, 6)
+				}
+				on = !on
+			}
+		}()
+		defer func() { close(stop); wg.Wait() }()
+
+		rng := rand.New(rand.NewSource(seed ^ int64(flipSalt)))
+		states := []HealthState{Healthy, Healthy, Suspect, Quarantined, Quarantined}
+		checkNoStrand := func(when string) bool {
+			for _, m := range movies {
+				if ctrl.upReplicas(m.Name) < 1 {
+					t.Logf("seed=%d: movie %s stranded %s", seed, m.Name, when)
+					return false
+				}
+			}
+			return true
+		}
+		var pending []Migration
+		for k := 1; k <= ticks; k++ {
+			now := float64(k) * 10
+			// Randomized health timeline: flip up to 2 nodes, never the spare.
+			for j := 0; j < rng.Intn(3); j++ {
+				n := p.Nodes[rng.Intn(len(p.Nodes))].ID
+				if n == spare {
+					continue
+				}
+				if err := router.SetHealthState(n, states[rng.Intn(len(states))]); err != nil {
+					t.Logf("SetHealthState: %v", err)
+					return false
+				}
+			}
+			sort.SliceStable(pending, func(a, b int) bool { return pending[a].Done < pending[b].Done })
+			for len(pending) > 0 && pending[0].Done <= now {
+				m := pending[0]
+				pending = pending[1:]
+				if err := ctrl.Complete(m); err != nil {
+					t.Logf("seed=%d: Complete(%+v): %v", seed, m, err)
+					return false
+				}
+				if m.Drain != "" && !checkNoStrand("after draining "+m.Drain) {
+					return false
+				}
+			}
+			for i := range movies {
+				for a := 0; a < 2; a++ {
+					ctrl.ObserveArrival(i)
+				}
+			}
+			started := ctrl.Tick(now)
+			for _, m := range started {
+				if st, _, _ := router.healthStateSince(m.To); st != Healthy {
+					t.Logf("seed=%d tick %d: migration into %s in state %v: %+v", seed, k, m.To, st, m)
+					return false
+				}
+				if st, _, _ := router.healthStateSince(m.From); st == Quarantined {
+					for _, h := range ctrl.replicas[m.Movie] {
+						if h == m.From || ctrl.down[ctrl.nodeID[h]] {
+							continue
+						}
+						if hs, _, _ := router.healthStateSince(h); hs != Quarantined {
+							t.Logf("seed=%d tick %d: copy of %s read from quarantined %s while %s is %v",
+								seed, k, m.Movie, m.From, h, hs)
+							return false
+						}
+					}
+				}
+				if m.Drain != "" {
+					evacTotal++
+				}
+			}
+			pending = append(pending, started...)
+			if !checkNoStrand("after tick") {
+				return false
+			}
+		}
+		s := ctrl.Stats()
+		if s.EvacuationsCompleted+s.EvacuationsBlocked > s.Evacuations {
+			t.Logf("seed=%d: evacuation ledger inconsistent: %+v", seed, s)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if evacTotal == 0 {
+		t.Fatal("no evacuation ever started across all runs — the property is vacuous")
 	}
 }
 

@@ -46,31 +46,57 @@ func (k GrayKind) String() string {
 	}
 }
 
-// GrayFault degrades one node over [At, Until) (Until 0 = permanent).
+// GrayFault degrades one node — or one disk of a node — over
+// [At, Until) (Until 0 = permanent).
 type GrayFault struct {
 	Kind   GrayKind
 	Node   string
 	At     float64
 	Until  float64
 	Factor float64
+	// Disk selects a single disk of the node: 0 targets the whole node
+	// (every disk), d+1 targets disk d. The spec syntax writes disk d as
+	// a ":dN" suffix on the node, e.g. "slow:node0:d1@300-700:12".
+	Disk int
+}
+
+// DiskIndex reports the targeted disk (and true), or false when the
+// fault targets the whole node.
+func (f GrayFault) DiskIndex() (int, bool) {
+	if f.Disk > 0 {
+		return f.Disk - 1, true
+	}
+	return 0, false
 }
 
 // String renders the fault in the ParseGrayFaults syntax.
 func (f GrayFault) String() string {
-	if f.Until > 0 {
-		return fmt.Sprintf("%s:%s@%g-%g:%g", f.Kind, f.Node, f.At, f.Until, f.Factor)
+	node := f.Node
+	if d, ok := f.DiskIndex(); ok {
+		node = fmt.Sprintf("%s:d%d", f.Node, d)
 	}
-	return fmt.Sprintf("%s:%s@%g:%g", f.Kind, f.Node, f.At, f.Factor)
+	if f.Until > 0 {
+		return fmt.Sprintf("%s:%s@%g-%g:%g", f.Kind, node, f.At, f.Until, f.Factor)
+	}
+	return fmt.Sprintf("%s:%s@%g:%g", f.Kind, node, f.At, f.Factor)
 }
 
-// Validate checks the fault against a set of known node IDs. NaN,
-// infinite, and non-positive factors are rejected with typed errors.
-func (f GrayFault) Validate(known map[string]bool) error {
+// Validate checks the fault against the cluster's node IDs and their
+// disk counts (disks maps node ID → disk count; presence means the node
+// exists). NaN, infinite, and non-positive factors are rejected with
+// typed errors, as are disk selectors outside the node's disk range.
+func (f GrayFault) Validate(disks map[string]int) error {
+	nd, knownNode := disks[f.Node]
 	switch {
 	case f.Kind < GraySlow || f.Kind > GrayBrownout:
 		return fmt.Errorf("%w: gray kind %d", ErrBadCluster, int(f.Kind))
-	case !known[f.Node]:
+	case !knownNode:
 		return fmt.Errorf("%w: gray fault targets unknown node %q", ErrBadCluster, f.Node)
+	case f.Disk < 0:
+		return fmt.Errorf("%w: gray fault disk selector %d", ErrBadCluster, f.Disk)
+	case f.Disk > max(nd, 1):
+		return fmt.Errorf("%w: gray fault targets disk %d of node %q (%d disks)",
+			ErrBadCluster, f.Disk-1, f.Node, max(nd, 1))
 	case math.IsNaN(f.At) || math.IsInf(f.At, 0) || f.At < 0:
 		return fmt.Errorf("%w: gray fault time %v", ErrBadCluster, f.At)
 	case math.IsNaN(f.Until) || math.IsInf(f.Until, 0) || f.Until < 0:
@@ -91,8 +117,11 @@ func (f GrayFault) Validate(known map[string]bool) error {
 //	jitter:NODE@T[-T2]:S    latency jitters (lognormal sigma S)
 //	brownout:NODE@T[-T2]:F  throughput browns out to fraction F
 //
-// Omitting -T2 holds the fault to the end of the run. An empty spec is
-// an empty schedule. ParseGrayFaults(GrayFault.String()) round-trips.
+// NODE may carry a ":dN" suffix addressing a single disk of the node
+// (slow:node0:d1@300-700:12 slows only disk 1); without it the fault
+// covers every disk. Omitting -T2 holds the fault to the end of the
+// run. An empty spec is an empty schedule.
+// ParseGrayFaults(GrayFault.String()) round-trips.
 func ParseGrayFaults(spec string) ([]GrayFault, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -120,7 +149,18 @@ func ParseGrayFaults(spec string) ([]GrayFault, error) {
 		}
 		node, timesFactor, ok := strings.Cut(rest, "@")
 		if !ok || node == "" {
-			return nil, fmt.Errorf("%w: gray fault %q wants kind:node@start[-end]:factor", ErrBadCluster, tok)
+			return nil, fmt.Errorf("%w: gray fault %q wants kind:node[:dN]@start[-end]:factor", ErrBadCluster, tok)
+		}
+		if base, dStr, hasDisk := cutDiskSuffix(node); hasDisk {
+			d, err := strconv.Atoi(dStr)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("%w: gray fault %q: bad disk selector %q", ErrBadCluster, tok, "d"+dStr)
+			}
+			node = base
+			f.Disk = d + 1
+		}
+		if node == "" {
+			return nil, fmt.Errorf("%w: gray fault %q wants kind:node[:dN]@start[-end]:factor", ErrBadCluster, tok)
 		}
 		f.Node = node
 		times, factorStr, ok := strings.Cut(timesFactor, ":")
@@ -148,6 +188,23 @@ func ParseGrayFaults(spec string) ([]GrayFault, error) {
 		out = append(out, f)
 	}
 	return out, nil
+}
+
+// cutDiskSuffix splits a ":dN" disk selector off a node spec. Only a
+// suffix whose tail is all digits counts, so a node literally named with
+// a ":d" infix that is not a selector stays intact.
+func cutDiskSuffix(node string) (base, digits string, ok bool) {
+	i := strings.LastIndex(node, ":d")
+	if i < 0 || i+2 >= len(node) {
+		return node, "", false
+	}
+	digits = node[i+2:]
+	for j := 0; j < len(digits); j++ {
+		if digits[j] < '0' || digits[j] > '9' {
+			return node, "", false
+		}
+	}
+	return node[:i], digits, true
 }
 
 // cutTimeRange splits "T-T2" into its endpoints, leaving exponent

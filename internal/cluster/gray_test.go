@@ -33,6 +33,45 @@ func TestParseGrayFaults(t *testing.T) {
 	}
 }
 
+// TestParseGrayFaultsDisk pins the disk-scoped spec form: ":dN" after
+// the node name targets one disk, survives a String round-trip, and
+// validates only against nodes that actually have that many disks.
+func TestParseGrayFaultsDisk(t *testing.T) {
+	got, err := ParseGrayFaults("slow:node1:d1@300-700:12, brownout:node2:d0@400:0.4")
+	if err != nil {
+		t.Fatalf("ParseGrayFaults: %v", err)
+	}
+	want := []GrayFault{
+		{Kind: GraySlow, Node: "node1", Disk: 2, At: 300, Until: 700, Factor: 12},
+		{Kind: GrayBrownout, Node: "node2", Disk: 1, At: 400, Factor: 0.4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if d, ok := got[i].DiskIndex(); !ok || d != want[i].Disk-1 {
+			t.Errorf("fault %d DiskIndex = %d, %v", i, d, ok)
+		}
+	}
+	if s := got[0].String(); s != "slow:node1:d1@300-700:12" {
+		t.Errorf("String = %q", s)
+	}
+	known := map[string]int{"node1": 2, "node2": 4}
+	for i, g := range got {
+		if err := g.Validate(known); err != nil {
+			t.Errorf("fault %d: Validate: %v", i, err)
+		}
+	}
+	// Whole-node faults still report no disk.
+	whole := GrayFault{Kind: GraySlow, Node: "node1", At: 5, Factor: 2}
+	if _, ok := whole.DiskIndex(); ok {
+		t.Errorf("whole-node fault claims a disk")
+	}
+}
+
 func TestParseGrayFaultsRoundTrip(t *testing.T) {
 	faults := []GrayFault{
 		{Kind: GraySlow, Node: "n-a", At: 1e-05, Until: 2.5, Factor: 3},
@@ -71,10 +110,14 @@ func TestParseGrayFaultsRejects(t *testing.T) {
 		"slow:node0@5:+Inf",        // Inf factor (Validate)
 		"slow:node0@-3:2",          // negative time (Validate)
 		"brownout:node0@5--10:0.5", // negative end time (Validate)
+		"slow:node0:d1@5:2",        // disk beyond the node's 1 disk (Validate)
+		"slow:node0:d4096@5:2",     // disk index over the spec cap (Validate)
+		"slow:node0:dx@5:2",        // non-numeric disk → unknown node (Validate)
+		"slow::d0@5:2",             // disk on an empty node name
 	} {
 		fs, err := ParseGrayFaults(spec)
 		if err == nil {
-			known := map[string]bool{"node0": true}
+			known := map[string]int{"node0": 1}
 			for _, f := range fs {
 				if verr := f.Validate(known); verr != nil {
 					err = verr
@@ -112,9 +155,9 @@ func TestHealthConfigValidate(t *testing.T) {
 		{Window: 1 << 20},
 		{Quantile: 1.5},
 		{HedgeQuantile: -0.5},
-		{SuspectBelow: 0.3, QuarantineBelow: 0.5},                   // quarantine > suspect
-		{SuspectBelow: 0.9, RestoreAbove: 0.8},                      // restore <= suspect
-		{SuspectBelow: 0.6, QuarantineBelow: 0.4, RestoreAbove: 2},  // restore > 1
+		{SuspectBelow: 0.3, QuarantineBelow: 0.5},                  // quarantine > suspect
+		{SuspectBelow: 0.9, RestoreAbove: 0.8},                     // restore <= suspect
+		{SuspectBelow: 0.6, QuarantineBelow: 0.4, RestoreAbove: 2}, // restore > 1
 		{SuspectAfter: -1},
 		{ProbeEvery: -2},
 		{ProbationAfter: math.Inf(1)},
@@ -161,7 +204,11 @@ func FuzzParseGrayFaults(f *testing.F) {
 	f.Add("slow:node0@NaN:2")
 	f.Add("jitter:node0@5:-1")
 	f.Add(strings.Repeat("slow:node0@1:2,", 20))
-	known := map[string]bool{"node0": true, "node1": true, "node2": true, "n": true}
+	f.Add("slow:node1:d1@300-700:12")
+	f.Add("slow:node0:d9@5:2,brownout:node2:d3@400-800:0.4")
+	f.Add("jitter:node2:d0@50:0.8,slow:node1@10:3")
+	f.Add("slow:node0:dx@5:2,slow:node0:d@5:2,slow:node0:d00@5:2")
+	known := map[string]int{"node0": 1, "node1": 2, "node2": 4, "n": 1}
 	f.Fuzz(func(t *testing.T, spec string) {
 		fs, err := ParseGrayFaults(spec)
 		if err != nil {
@@ -179,6 +226,9 @@ func FuzzParseGrayFaults(f *testing.F) {
 			}
 			if math.IsNaN(g.Factor) || g.Factor <= 0 || math.IsInf(g.Factor, 0) {
 				t.Fatalf("validated fault has bad factor: %+v", g)
+			}
+			if d, onDisk := g.DiskIndex(); onDisk && (d < 0 || d >= known[g.Node]) {
+				t.Fatalf("validated fault targets disk %d outside node %s's %d disks", d, g.Node, known[g.Node])
 			}
 			back, err := ParseGrayFaults(g.String())
 			if err != nil || len(back) != 1 || back[0] != g {

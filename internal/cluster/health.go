@@ -99,6 +99,22 @@ type HealthConfig struct {
 	HedgeQuantile float64
 	HedgeMin      float64
 	HedgeWarm     int
+	// HedgeBudget caps hedge volume with a token bucket of this burst
+	// capacity (0 = unlimited, the pre-budget behavior). Each hedge
+	// spends one token; the bucket refills by HedgeRefill tokens per
+	// routing decision (0 = 0.25), scaled by fleet-wide median health —
+	// full rate against one sick node, near zero under a cluster-wide
+	// brownout, where duplicate dispatch would add load exactly when
+	// capacity is scarcest. A hedge wanted but denied for lack of tokens
+	// counts as HedgeDenied.
+	HedgeBudget float64
+	HedgeRefill float64
+	// DiskHealth extends the latency trackers and the quarantine state
+	// machine to disk granularity: each disk of a node gets its own
+	// tracker and Suspect→Quarantined→Probation machine, so one slow
+	// disk is quarantined (new streams re-point to its siblings) while
+	// the node's other disks keep serving. Off by default.
+	DiskHealth bool
 }
 
 func defF(v, d float64) float64 {
@@ -131,6 +147,7 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	c.HedgeQuantile = defF(c.HedgeQuantile, 0.95)
 	c.HedgeMin = defF(c.HedgeMin, 4)
 	c.HedgeWarm = defI(c.HedgeWarm, 64)
+	c.HedgeRefill = defF(c.HedgeRefill, 0.25)
 	return c
 }
 
@@ -153,6 +170,10 @@ func (c HealthConfig) Validate() error {
 		return fmt.Errorf("%w: probation dwell %v", ErrBadCluster, d.ProbationAfter)
 	case !(d.HedgeMin > 0) || math.IsInf(d.HedgeMin, 0) || d.HedgeWarm < 1:
 		return fmt.Errorf("%w: hedge floor %v / warm %d", ErrBadCluster, d.HedgeMin, d.HedgeWarm)
+	case d.HedgeBudget < 0 || math.IsNaN(d.HedgeBudget) || math.IsInf(d.HedgeBudget, 0):
+		return fmt.Errorf("%w: hedge budget %v", ErrBadCluster, d.HedgeBudget)
+	case !(d.HedgeRefill > 0) || math.IsInf(d.HedgeRefill, 0):
+		return fmt.Errorf("%w: hedge refill %v", ErrBadCluster, d.HedgeRefill)
 	}
 	return nil
 }
@@ -215,6 +236,15 @@ func (nh *nodeHealth) quantile(q float64, scratch []float64) float64 {
 	return s[i]
 }
 
+// DiskHealthInfo is one disk's health snapshot within a node.
+type DiskHealthInfo struct {
+	Disk    int     `json:"disk"`
+	State   string  `json:"state"`
+	Score   float64 `json:"score"`
+	EWMA    float64 `json:"ewmaWait"`
+	Samples uint64  `json:"samples"`
+}
+
 // NodeHealthInfo is one node's health snapshot for results and APIs.
 type NodeHealthInfo struct {
 	Node    string  `json:"node"`
@@ -222,6 +252,9 @@ type NodeHealthInfo struct {
 	Score   float64 `json:"score"`
 	EWMA    float64 `json:"ewmaWait"`
 	Samples uint64  `json:"samples"`
+	// Disks is the per-disk breakdown, present only when disk-granular
+	// health tracking is enabled.
+	Disks []DiskHealthInfo `json:"disks,omitempty"`
 }
 
 // GrayRouterStats counts the gray-resilience machinery's activity.
@@ -231,9 +264,16 @@ type GrayRouterStats struct {
 	// hedge losers (always equal to Hedges — every hedge cancels one
 	// side).
 	Hedges, HedgeWins, HedgeCancels uint64
+	// HedgeDenied counts hedges wanted but blocked by the token-bucket
+	// hedge budget (HealthConfig.HedgeBudget).
+	HedgeDenied uint64
 	// Probes counts probation probe requests.
 	Probes uint64
 	// Suspects/Quarantines/Restores count state-machine transitions into
 	// Suspect, into Quarantined, and back to Healthy.
 	Suspects, Quarantines, Restores uint64
+	// DiskSuspects/DiskQuarantines/DiskRestores/DiskProbes are the same
+	// transitions and probes at disk granularity (zero unless
+	// HealthConfig.DiskHealth is on).
+	DiskSuspects, DiskQuarantines, DiskRestores, DiskProbes uint64
 }

@@ -67,6 +67,20 @@ type Router struct {
 	waitN, wI   int
 	waitScratch []float64
 	gray        GrayRouterStats
+
+	// Disk granularity (armed by SetGrayPolicy): disks is each node's
+	// disk count, diskLive the per-disk in-flight streams (summing to
+	// live), and diskHealth — allocated only under HealthConfig.
+	// DiskHealth — the per-disk trackers and quarantine machines. A
+	// quarantined disk takes no new streams; ones already playing drain
+	// naturally, exactly like a removed replica.
+	disks      []int
+	diskLive   [][]int
+	diskHealth [][]nodeHealth
+
+	// hedgeTokens is the hedge budget token bucket (meaningful only when
+	// hcfg.HedgeBudget > 0; see HealthConfig.HedgeBudget).
+	hedgeTokens float64
 }
 
 // NewRouter builds a router over the placement, seeded for
@@ -88,10 +102,12 @@ func NewRouter(p Placement, seed int64) (*Router, error) {
 	}
 	r.hcfg = HealthConfig{}.withDefaults()
 	r.health = make([]nodeHealth, len(p.Nodes))
+	r.disks = make([]int, len(p.Nodes))
 	for i, n := range p.Nodes {
 		r.ids[i] = n.ID
 		r.node[n.ID] = i
 		r.maxStreams[i] = n.MaxStreams
+		r.disks[i] = n.disks()
 	}
 	seenMovie := map[string]bool{}
 	for _, a := range p.Assignments {
@@ -255,6 +271,46 @@ func (r *Router) RemoveReplica(movie, node string) error {
 	return fmt.Errorf("%w: movie %q has no replica on node %q", ErrBadCluster, movie, node)
 }
 
+// EvacuateReplica removes the movie's replica on the node like
+// RemoveReplica, but for the drain half of a controller evacuation: it
+// may remove the primary (the next replica is promoted), and it refuses
+// — the availability guard — only when no other up, non-quarantined
+// replica would remain to route to. Viewers already streaming from the
+// evacuated replica play out.
+func (r *Router) EvacuateReplica(movie, node string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrBadCluster, node)
+	}
+	hosts, ok := r.host[movie]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMovie, movie)
+	}
+	at := -1
+	routable := 0
+	for k, h := range hosts {
+		if h == i {
+			at = k
+			continue
+		}
+		if !r.down[h] && r.health[h].state != Quarantined {
+			routable++
+		}
+	}
+	switch {
+	case at < 0:
+		return fmt.Errorf("%w: movie %q has no replica on node %q", ErrBadCluster, movie, node)
+	case routable == 0:
+		return fmt.Errorf("%w: evacuating %q off %q would strand it", ErrUnavailable, movie, node)
+	}
+	r.host[movie] = append(hosts[:at:at], hosts[at+1:]...)
+	caps := r.cap[movie]
+	r.cap[movie] = append(caps[:at:at], caps[at+1:]...)
+	return nil
+}
+
 // Replicas reports the movie's current replica count.
 func (r *Router) Replicas(movie string) int {
 	r.mu.Lock()
@@ -362,6 +418,9 @@ func (r *Router) RouteLoad(movie string) (LoadDecision, error) {
 	}
 	node := hosts[choice]
 	r.live[node]++
+	if r.diskLive != nil {
+		r.diskLive[node][r.pickDiskLocked(node)]++
+	}
 	key := movie + "\x00" + r.ids[node]
 	r.liveBy[key]++
 	r.stats.Routed++
@@ -378,10 +437,31 @@ func (r *Router) RouteLoad(movie string) (LoadDecision, error) {
 }
 
 // Release balances one RouteLoad: the viewer routed to the movie's
-// replica on the node has departed.
+// replica on the node has departed. On a gray-armed router the stream
+// is drained from the node's most-loaded disk; callers that know the
+// serving disk (the churn DES) use ReleaseDisk instead.
 func (r *Router) Release(movie, node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if ok && r.diskLive != nil {
+		r.releaseDiskLocked(i, r.fullestDiskLocked(i))
+	}
+	r.releaseLocked(movie, node)
+}
+
+// ReleaseDisk balances one RouteGray: the viewer served from the given
+// disk of the node has departed.
+func (r *Router) ReleaseDisk(movie, node string, disk int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.node[node]; ok {
+		r.releaseDiskLocked(i, disk)
+	}
+	r.releaseLocked(movie, node)
+}
+
+func (r *Router) releaseLocked(movie, node string) {
 	if i, ok := r.node[node]; ok && r.live[i] > 0 {
 		r.live[i]--
 	}
@@ -389,6 +469,27 @@ func (r *Router) Release(movie, node string) {
 	if r.liveBy[key] > 0 {
 		r.liveBy[key]--
 	}
+}
+
+func (r *Router) releaseDiskLocked(i, disk int) {
+	if r.diskLive == nil || disk < 0 || disk >= len(r.diskLive[i]) {
+		return
+	}
+	if r.diskLive[i][disk] > 0 {
+		r.diskLive[i][disk]--
+	}
+}
+
+// fullestDiskLocked is the node's most-loaded disk (lowest index wins
+// ties) — where a disk-blind Release drains from.
+func (r *Router) fullestDiskLocked(i int) int {
+	best, bestLive := 0, -1
+	for d, l := range r.diskLive[i] {
+		if l > bestLive {
+			best, bestLive = d, l
+		}
+	}
+	return best
 }
 
 // digest folds the router's mutable state into h (a 64-bit FNV-1a

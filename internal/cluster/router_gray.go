@@ -79,6 +79,22 @@ func (r *Router) SetGrayPolicy(p RoutePolicy, hc HealthConfig) error {
 	// reflects cluster-wide recent history, not one node's.
 	r.waitRing = make([]float64, 4*r.hcfg.Window)
 	r.waitScratch = make([]float64, 4*r.hcfg.Window)
+	r.diskLive = make([][]int, len(r.ids))
+	for i := range r.ids {
+		r.diskLive[i] = make([]int, r.disks[i])
+	}
+	if r.hcfg.DiskHealth {
+		r.diskHealth = make([][]nodeHealth, len(r.ids))
+		for i := range r.ids {
+			r.diskHealth[i] = make([]nodeHealth, r.disks[i])
+			for d := range r.diskHealth[i] {
+				r.diskHealth[i][d].ring = make([]float64, r.hcfg.Window)
+			}
+		}
+	}
+	// The hedge bucket starts full: a burst against a fresh fault is the
+	// budget's whole point.
+	r.hedgeTokens = r.hcfg.HedgeBudget
 	return nil
 }
 
@@ -110,6 +126,22 @@ func (r *Router) HealthState(node string) (HealthState, error) {
 	return r.health[i].state, nil
 }
 
+// healthStateSince reports a node's quarantine state, its score, and
+// when the state was entered — the controller's view for health-aware
+// placement and evacuation dwell. Unknown nodes read as Healthy, and so
+// does everything under PolicyBlind: a blind router measures latency
+// but never acts on it, and the controller riding on top must stay
+// byte-identical to the health-blind control plane.
+func (r *Router) healthStateSince(node string) (st HealthState, score, since float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.node[node]
+	if !ok || r.policy == PolicyBlind {
+		return Healthy, 1, 0
+	}
+	return r.health[i].state, r.scoreLocked(i), r.health[i].since
+}
+
 // GrayStats returns a snapshot of the gray-resilience counters.
 func (r *Router) GrayStats() GrayRouterStats {
 	r.mu.Lock()
@@ -130,6 +162,18 @@ func (r *Router) HealthSnapshot() []NodeHealthInfo {
 			Score:   r.scoreLocked(i),
 			EWMA:    nh.ewma,
 			Samples: nh.n,
+		}
+		if r.diskHealth != nil {
+			for d := range r.diskHealth[i] {
+				dh := &r.diskHealth[i][d]
+				out[i].Disks = append(out[i].Disks, DiskHealthInfo{
+					Disk:    d,
+					State:   dh.state.String(),
+					Score:   r.diskScoreLocked(i, d),
+					EWMA:    dh.ewma,
+					Samples: dh.n,
+				})
+			}
 		}
 	}
 	return out
@@ -193,6 +237,162 @@ func (r *Router) instScoreLocked(wait float64) float64 {
 		return 1
 	}
 	return ref / wait
+}
+
+// diskScoreLocked is disk d of node i's health score, judged against
+// the same cluster reference as node scores: a disk is sick relative to
+// the fleet's nominal latency, not relative to its own siblings.
+func (r *Router) diskScoreLocked(i, d int) float64 {
+	if r.diskHealth == nil {
+		return 1
+	}
+	dh := &r.diskHealth[i][d]
+	if dh.n < healthWarmMin {
+		return 1
+	}
+	sig := dh.ewma
+	if len(dh.ring) > 0 {
+		if q := dh.quantile(r.hcfg.Quantile, r.qScratch); q > sig {
+			sig = q
+		}
+	}
+	ref := r.refLocked()
+	if sig <= ref {
+		return 1
+	}
+	return ref / sig
+}
+
+// activeDisksLocked counts node i's non-quarantined disks.
+func (r *Router) activeDisksLocked(i int) int {
+	if r.diskHealth == nil {
+		return r.disks[i]
+	}
+	n := 0
+	for d := range r.diskHealth[i] {
+		if r.diskHealth[i][d].state != Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// nodeFullLocked reports whether node i can take no further stream: its
+// live load has reached its stream budget, pro-rated down when some of
+// its disks are quarantined (a node serving on half its disks offers
+// half its streams; the live count still includes streams draining off
+// the quarantined disks, so capacity recovers only as they play out).
+func (r *Router) nodeFullLocked(i int) bool {
+	if r.maxStreams[i] <= 0 {
+		return false
+	}
+	eff := r.maxStreams[i]
+	if r.diskHealth != nil {
+		eff = r.maxStreams[i] * r.activeDisksLocked(i) / r.disks[i]
+	}
+	return r.live[i] >= eff
+}
+
+// pickDiskLocked chooses the serving disk for one stream landing on
+// node i: the least-loaded non-quarantined disk, lowest index on ties —
+// deterministic, no draw, so the gray path stays RNG-neutral. With
+// every disk quarantined (possible only via operator override; the
+// machine's guard keeps one disk active) it falls back to disk 0.
+func (r *Router) pickDiskLocked(i int) int {
+	if r.disks[i] <= 1 {
+		return 0
+	}
+	best, bestLive := -1, 0
+	for d := 0; d < r.disks[i]; d++ {
+		if r.diskHealth != nil && r.diskHealth[i][d].state == Quarantined {
+			continue
+		}
+		if best < 0 || r.diskLive[i][d] < bestLive {
+			best, bestLive = d, r.diskLive[i][d]
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// probeDiskLocked picks a Probation disk of node i due for a probe:
+// every ProbeEvery-th stream the node admits while a disk waits in
+// Probation routes to that disk (a counter, not a draw). Returns -1
+// when no disk probe is due.
+func (r *Router) probeDiskLocked(i int) int {
+	if r.diskHealth == nil {
+		return -1
+	}
+	for d := range r.diskHealth[i] {
+		dh := &r.diskHealth[i][d]
+		if dh.state != Probation {
+			continue
+		}
+		dh.probes++
+		if dh.probes%r.hcfg.ProbeEvery == 0 {
+			return d
+		}
+	}
+	return -1
+}
+
+// observeDiskLocked feeds one measured wait into disk d of node i, and
+// judges probation probes on the sample alone, mirroring the node
+// machine. Disk relapse needs no availability guard — the node still
+// routes on its other disks.
+func (r *Router) observeDiskLocked(i, d int, wait, now float64, probe bool) {
+	if r.diskHealth == nil {
+		return
+	}
+	dh := &r.diskHealth[i][d]
+	dh.observe(r.hcfg.Alpha, wait)
+	if r.policy == PolicyBlind || dh.state != Probation || !probe {
+		return
+	}
+	switch sc := r.instScoreLocked(wait); {
+	case sc >= r.hcfg.RestoreAbove:
+		dh.good++
+		if dh.good >= r.hcfg.ProbeOK {
+			dh.state, dh.since = Healthy, now
+			dh.bad, dh.good = 0, 0
+			r.gray.DiskRestores++
+		}
+	case sc < r.hcfg.QuarantineBelow:
+		if r.diskCanQuarantineLocked(i, d) {
+			dh.state, dh.since = Quarantined, now
+		}
+		dh.bad, dh.good = 0, 0
+	default:
+		dh.good = 0
+	}
+}
+
+// diskCanQuarantineLocked guards a node's service: quarantining disk d
+// must leave at least one active disk on node i — losing the last disk
+// is a node-level event, the node machine's call to make.
+func (r *Router) diskCanQuarantineLocked(i, d int) bool {
+	for x := range r.diskHealth[i] {
+		if x != d && r.diskHealth[i][x].state != Quarantined {
+			return true
+		}
+	}
+	return false
+}
+
+// fleetHealthLocked is the cluster-wide health factor scaling the hedge
+// budget refill: the inverse of the fleet's median latency reference.
+// One sick node barely moves the median — refill stays at full rate —
+// while a cluster-wide brownout inflates every tracker and throttles
+// refill toward zero, exactly when duplicate dispatch would amplify the
+// overload.
+func (r *Router) fleetHealthLocked() float64 {
+	ref := r.refLocked()
+	if ref <= 1 {
+		return 1
+	}
+	return 1 / ref
 }
 
 // canQuarantineLocked guards availability: quarantining node i must not
@@ -270,6 +470,61 @@ func (r *Router) tickHealthLocked(now float64) {
 			}
 		}
 	}
+	if r.diskHealth == nil {
+		return
+	}
+	// The disk machines mirror the node machine one level down. A
+	// quarantined node's disks hold still — no traffic reaches them, so
+	// their scores are stale and their fate rides the node's.
+	for i := range r.diskHealth {
+		if r.down[i] || r.health[i].state == Quarantined || r.disks[i] <= 1 {
+			continue
+		}
+		for d := range r.diskHealth[i] {
+			dh := &r.diskHealth[i][d]
+			switch dh.state {
+			case Healthy:
+				if dh.n >= healthWarmMin && r.diskScoreLocked(i, d) < r.hcfg.SuspectBelow {
+					dh.bad++
+				} else {
+					dh.bad = 0
+				}
+				if dh.bad >= r.hcfg.SuspectAfter {
+					dh.state, dh.since = Suspect, now
+					dh.bad, dh.good = 0, 0
+					r.gray.DiskSuspects++
+				}
+			case Suspect:
+				sc := r.diskScoreLocked(i, d)
+				if sc < r.hcfg.QuarantineBelow {
+					dh.bad++
+				} else {
+					dh.bad = 0
+				}
+				if sc >= r.hcfg.RestoreAbove {
+					dh.good++
+				} else {
+					dh.good = 0
+				}
+				switch {
+				case dh.good >= r.hcfg.RestoreTicks:
+					dh.state, dh.since = Healthy, now
+					dh.bad, dh.good = 0, 0
+					r.gray.DiskRestores++
+				case dh.bad >= r.hcfg.QuarantineAfter && r.diskCanQuarantineLocked(i, d):
+					dh.state, dh.since = Quarantined, now
+					dh.bad, dh.good = 0, 0
+					r.gray.DiskQuarantines++
+				}
+			case Quarantined:
+				if now-dh.since >= r.hcfg.ProbationAfter {
+					dh.state, dh.since = Probation, now
+					dh.probes = 0
+					dh.reset()
+				}
+			}
+		}
+	}
 }
 
 // observeLocked feeds one measured wait into node i's tracker. A
@@ -344,7 +599,9 @@ type GrayDecision struct {
 	LoadDecision
 	// Wait is the service wait the viewer experienced, after any hedge.
 	Wait float64
-	// Probe marks a probation probe.
+	// Disk is the serving disk index on the winning node.
+	Disk int
+	// Probe marks a probation probe (node- or disk-level).
 	Probe bool
 	// Hedged marks a hedged dispatch; HedgeWin marks the backup winning.
 	Hedged, HedgeWin bool
@@ -361,11 +618,20 @@ type GrayDecision struct {
 // answer by D" — a backup is issued at D and the request completes at
 // min(wait1, D+wait2). The loser's reservation is released immediately
 // with a typed cancellation (HedgeCancels).
-func (r *Router) RouteGray(movie string, now float64, waitFn func(node, liveAfter int) float64) (GrayDecision, error) {
+func (r *Router) RouteGray(movie string, now float64, waitFn func(node, disk, liveAfter int) float64) (GrayDecision, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.policy != PolicyBlind {
 		r.tickHealthLocked(now)
+	}
+	// Hedge budget refill, one step per routing decision: the base rate
+	// scaled by fleet-wide median health, capped at the burst size. No
+	// draw, no clock — replay-exact.
+	if r.policy == PolicyHedge && r.hcfg.HedgeBudget > 0 {
+		r.hedgeTokens += r.hcfg.HedgeRefill * r.fleetHealthLocked()
+		if r.hedgeTokens > r.hcfg.HedgeBudget {
+			r.hedgeTokens = r.hcfg.HedgeBudget
+		}
 	}
 	hosts, ok := r.host[movie]
 	if !ok {
@@ -381,19 +647,20 @@ func (r *Router) RouteGray(movie string, now float64, waitFn func(node, liveAfte
 			if nh.state != Probation || r.down[n] {
 				continue
 			}
-			if r.maxStreams[n] > 0 && r.live[n] >= r.maxStreams[n] {
+			if r.nodeFullLocked(n) {
 				continue
 			}
 			nh.probes++
 			if nh.probes%r.hcfg.ProbeEvery != 0 {
 				continue
 			}
-			d := r.commitLocked(movie, k)
-			wait := waitFn(n, r.live[n])
+			d, disk, diskProbe := r.commitLocked(movie, k)
+			wait := waitFn(n, disk, r.diskLiveLocked(n, disk))
 			r.gray.Probes++
 			r.observeLocked(n, wait, now, true)
+			r.observeDiskLocked(n, disk, wait, now, diskProbe)
 			r.recordWaitLocked(wait)
-			return GrayDecision{LoadDecision: d, Wait: wait, Probe: true}, nil
+			return GrayDecision{LoadDecision: d, Wait: wait, Disk: disk, Probe: true}, nil
 		}
 	}
 
@@ -408,7 +675,7 @@ func (r *Router) RouteGray(movie string, now float64, waitFn func(node, liveAfte
 			continue
 		}
 		alive = true
-		if r.maxStreams[n] > 0 && r.live[n] >= r.maxStreams[n] {
+		if r.nodeFullLocked(n) {
 			continue
 		}
 		w := float64(r.cap[movie][k]) / float64(1+r.live[n])
@@ -452,10 +719,10 @@ func (r *Router) RouteGray(movie string, now float64, waitFn func(node, liveAfte
 		}
 	}
 
-	d := r.commitLocked(movie, choice)
+	d, disk1, diskProbe1 := r.commitLocked(movie, choice)
 	primary := hosts[choice]
-	wait1 := waitFn(primary, r.live[primary])
-	out := GrayDecision{LoadDecision: d, Wait: wait1}
+	wait1 := waitFn(primary, disk1, r.diskLiveLocked(primary, disk1))
+	out := GrayDecision{LoadDecision: d, Wait: wait1, Disk: disk1, Probe: diskProbe1}
 
 	if r.policy == PolicyHedge && len(up) > 1 {
 		if dl, armed := r.hedgeDeadlineLocked(); armed && wait1 > dl {
@@ -472,42 +739,72 @@ func (r *Router) RouteGray(movie string, now float64, waitFn func(node, liveAfte
 					bk, bs, bw = k, s, wts[j]
 				}
 			}
+			if bk >= 0 && r.hcfg.HedgeBudget > 0 && r.hedgeTokens < 1 {
+				// A hedge was wanted — deadline blown, backup available —
+				// but the budget is dry: the request rides out its primary.
+				r.gray.HedgeDenied++
+				bk = -1
+			}
 			if bk >= 0 {
+				r.hedgeTokens--
 				backup := hosts[bk]
-				bd := r.commitLocked(movie, bk)
+				bd, disk2, diskProbe2 := r.commitLocked(movie, bk)
 				// One request, not two: back out the double count.
 				r.stats.Routed--
 				if bd.Failover {
 					r.stats.Failovers--
 				}
-				wait2 := waitFn(backup, r.live[backup])
+				wait2 := waitFn(backup, disk2, r.diskLiveLocked(backup, disk2))
 				r.gray.Hedges++
 				out.Hedged = true
 				if dl+wait2 < wait1 {
 					// Backup wins: cancel the primary (typed).
-					r.cancelLocked(movie, primary)
+					r.cancelLocked(movie, primary, disk1)
 					r.gray.HedgeWins++
 					out.LoadDecision = bd
 					out.Wait = dl + wait2
+					out.Disk = disk2
 					out.HedgeWin = true
 				} else {
-					r.cancelLocked(movie, backup)
+					r.cancelLocked(movie, backup, disk2)
 				}
 				r.gray.HedgeCancels++
 				r.observeLocked(backup, wait2, now, false)
+				r.observeDiskLocked(backup, disk2, wait2, now, diskProbe2)
 			}
 		}
 	}
 	r.observeLocked(primary, wait1, now, false)
+	r.observeDiskLocked(primary, disk1, wait1, now, diskProbe1)
 	r.recordWaitLocked(out.Wait)
 	return out, nil
 }
 
-// commitLocked books one request onto hosts[choice] of the movie and
-// builds its LoadDecision. Lock held.
-func (r *Router) commitLocked(movie string, choice int) LoadDecision {
+// diskLiveLocked is the disk's in-flight stream count (the per-disk
+// congestion input of the wait model). Lock held.
+func (r *Router) diskLiveLocked(node, disk int) int {
+	if r.diskLive == nil {
+		return r.live[node]
+	}
+	return r.diskLive[node][disk]
+}
+
+// commitLocked books one request onto hosts[choice] of the movie —
+// choosing the serving disk, probation disks first when a probe is due
+// — and builds its LoadDecision. Lock held.
+func (r *Router) commitLocked(movie string, choice int) (LoadDecision, int, bool) {
 	hosts := r.host[movie]
 	node := hosts[choice]
+	disk, diskProbe := 0, false
+	if r.diskLive != nil {
+		if pd := r.probeDiskLocked(node); pd >= 0 {
+			disk, diskProbe = pd, true
+			r.gray.DiskProbes++
+		} else {
+			disk = r.pickDiskLocked(node)
+		}
+		r.diskLive[node][disk]++
+	}
 	r.live[node]++
 	key := movie + "\x00" + r.ids[node]
 	r.liveBy[key]++
@@ -521,15 +818,16 @@ func (r *Router) commitLocked(movie string, choice int) LoadDecision {
 	if d.Failover {
 		r.stats.Failovers++
 	}
-	return d
+	return d, disk, diskProbe
 }
 
 // cancelLocked releases a hedge loser's reservation: the typed
 // cancellation of the slower dispatch. Lock held.
-func (r *Router) cancelLocked(movie string, node int) {
+func (r *Router) cancelLocked(movie string, node, disk int) {
 	if r.live[node] > 0 {
 		r.live[node]--
 	}
+	r.releaseDiskLocked(node, disk)
 	key := movie + "\x00" + r.ids[node]
 	if r.liveBy[key] > 0 {
 		r.liveBy[key]--
@@ -563,11 +861,43 @@ func (r *Router) grayDigest(h func(uint64)) {
 	for _, w := range r.waitRing[:r.waitN] {
 		f(w)
 	}
+	if r.diskLive != nil {
+		for i := range r.diskLive {
+			for _, l := range r.diskLive[i] {
+				h(uint64(l))
+			}
+		}
+	}
+	if r.diskHealth != nil {
+		for i := range r.diskHealth {
+			for d := range r.diskHealth[i] {
+				dh := &r.diskHealth[i][d]
+				h(uint64(dh.state))
+				f(dh.since)
+				h(dh.n)
+				f(dh.ewma)
+				h(uint64(dh.bad))
+				h(uint64(dh.good))
+				h(uint64(dh.probes))
+				h(uint64(dh.ringN))
+				h(uint64(dh.ringI))
+				for _, w := range dh.ring[:dh.ringN] {
+					f(w)
+				}
+			}
+		}
+	}
+	f(r.hedgeTokens)
 	h(r.gray.Hedges)
 	h(r.gray.HedgeWins)
 	h(r.gray.HedgeCancels)
+	h(r.gray.HedgeDenied)
 	h(r.gray.Probes)
 	h(r.gray.Suspects)
 	h(r.gray.Quarantines)
 	h(r.gray.Restores)
+	h(r.gray.DiskSuspects)
+	h(r.gray.DiskQuarantines)
+	h(r.gray.DiskRestores)
+	h(r.gray.DiskProbes)
 }

@@ -47,7 +47,7 @@ func grayRouter(t *testing.T, pol RoutePolicy) (*Router, Placement) {
 func driveGray(t *testing.T, r *Router, movie string, n int, now float64, slow map[string]float64) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		gd, err := r.RouteGray(movie, now, func(node, liveAfter int) float64 {
+		gd, err := r.RouteGray(movie, now, func(node, disk, liveAfter int) float64 {
 			if m, ok := slow[r.ids[node]]; ok {
 				return m
 			}
@@ -83,7 +83,7 @@ func TestRouterQuarantineLifecycle(t *testing.T) {
 
 	// While quarantined the node takes no traffic at all.
 	for i := 0; i < 100; i++ {
-		gd, err := r.RouteGray("hot", 5, func(int, int) float64 { return 1 })
+		gd, err := r.RouteGray("hot", 5, func(int, int, int) float64 { return 1 })
 		if err != nil {
 			t.Fatalf("RouteGray: %v", err)
 		}
@@ -134,7 +134,7 @@ func TestRouterHedgeFirstWins(t *testing.T) {
 	driveGray(t, r, "hot", 64, 0, nil)
 	wins, hedged := 0, 0
 	for i := 0; i < 40; i++ {
-		gd, err := r.RouteGray("hot", 1, func(node, liveAfter int) float64 {
+		gd, err := r.RouteGray("hot", 1, func(node, disk, liveAfter int) float64 {
 			if r.ids[node] == slowNode {
 				return 100
 			}
@@ -193,7 +193,7 @@ func TestRouterQuarantineGuard(t *testing.T) {
 		t.Fatalf("quarantined the last routable replica of hot\n%+v", r.HealthSnapshot())
 	}
 	// Traffic still flows.
-	if _, err := r.RouteGray("hot", 1, func(int, int) float64 { return 50 }); err != nil {
+	if _, err := r.RouteGray("hot", 1, func(int, int, int) float64 { return 50 }); err != nil {
 		t.Fatalf("RouteGray on the guarded node: %v", err)
 	}
 }
@@ -315,7 +315,7 @@ func TestRouterGrayDeterminism(t *testing.T) {
 			if i > 100 && i < 400 {
 				mul = 12
 			}
-			gd, err := r.RouteGray("hot", now, func(node, liveAfter int) float64 {
+			gd, err := r.RouteGray("hot", now, func(node, disk, liveAfter int) float64 {
 				w := 1 + float64(liveAfter)*0.01
 				if r.ids[node] == slow {
 					w *= mul

@@ -307,7 +307,7 @@ func SimulateResumable(ctx context.Context, cfg SimConfig, path string) (*Result
 func (c SimConfig) identity() uint64 {
 	parts := []any{"cluster.simulate", c.TotalRate, c.Horizon, c.Warmup, c.Seed, c.spd(), c.Rates}
 	for _, n := range c.Placement.Nodes {
-		parts = append(parts, n)
+		parts = append(parts, n.identityPart())
 	}
 	for _, a := range c.Placement.Assignments {
 		parts = append(parts, a.Movie, a.Node, a.Replica, a.N, a.B)

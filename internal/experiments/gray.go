@@ -13,13 +13,17 @@ import (
 // The gray experiment measures routing resilience under gray failures:
 // nodes that stay "up" but degrade — a 12× slow disk and a 0.4-capacity
 // brownout overlapping mid-run. The same seeded timeline runs under
-// three routing policies, so every difference between rows is the
-// policy: blind (the pre-health router), health-aware (EWMA/quantile
-// scores weight replica choice and quarantine slow nodes), and hedged
-// (health-aware plus deadline-percentile duplicate dispatch). The
-// placement is frozen so the router alone explains the table.
+// four postures, so every difference between rows is the posture:
+// blind (the pre-health router), health-aware (EWMA/quantile scores
+// weight replica choice and quarantine slow nodes), hedged
+// (health-aware plus deadline-percentile duplicate dispatch), and
+// evacuate (hedged routing plus the rebalancing controller with
+// proactive evacuation armed: replicas are drained off nodes stuck in
+// quarantine, so the cluster recovers capacity instead of merely
+// avoiding the sick node). The first three rows freeze the placement
+// so the router alone explains them.
 
-// GrayRow is one routing policy's measurements under the timeline.
+// GrayRow is one posture's measurements under the timeline.
 type GrayRow struct {
 	Policy       string
 	Availability float64
@@ -30,23 +34,48 @@ type GrayRow struct {
 	WaitMax      float64
 	Hedges       uint64
 	HedgeWins    uint64
+	HedgeDenied  uint64
 	Quarantines  uint64
 	Restores     uint64
+	Evacuations  int
 }
 
-// grayPolicies are the table rows, in escalation order.
-var grayPolicies = []cluster.RoutePolicy{
-	cluster.PolicyBlind,
-	cluster.PolicyHealth,
-	cluster.PolicyHedge,
+// grayVariant is one table row's posture: the routing policy, plus
+// whether the rebalancing controller runs with evacuation armed.
+type grayVariant struct {
+	name       string
+	policy     cluster.RoutePolicy
+	controller bool
 }
+
+// grayVariants are the table rows, in escalation order.
+var grayVariants = []grayVariant{
+	{"blind", cluster.PolicyBlind, false},
+	{"health", cluster.PolicyHealth, false},
+	{"hedge", cluster.PolicyHedge, false},
+	{"evacuate", cluster.PolicyHedge, true},
+}
+
+// grayEvacuateDwell is the evacuate row's quarantine dwell before
+// draining starts — deliberately shorter than the health machine's
+// 30-minute probation dwell, or evacuation would never fire.
+const grayEvacuateDwell = 10
+
+// grayBudgetBytes is the evacuate row's migration byte budget: the
+// churn experiment's budget plus headroom for the drains themselves,
+// because the demand-driven adds of the warmup period spend most of
+// the base budget before the fault ever lands. Evacuations are charged
+// against this same budget — the mechanism under test — it is only the
+// ceiling that is scenario-specific.
+const grayBudgetBytes = 3 * churnBudgetBytes
 
 // grayScenario builds the shared configuration: the churn experiment's
 // 6-movie catalog fully replicated twice across 4 nodes sized with
 // enough headroom (60 streams each) that the survivors can absorb a
-// quarantined node's load. The controller is off — placement is frozen
-// — so the comparison isolates the router.
-func grayScenario(o Options, pol cluster.RoutePolicy) (cluster.ChurnConfig, error) {
+// quarantined node's load. For the router-only rows the controller is
+// off — placement frozen — so the comparison isolates the router; the
+// evacuate row turns it on with proactive evacuation armed.
+func grayScenario(o Options, v grayVariant) (cluster.ChurnConfig, error) {
 	movies, err := workload.ZipfCatalog(churnCatalogSize, 0.8)
 	if err != nil {
 		return cluster.ChurnConfig{}, err
@@ -76,33 +105,34 @@ func grayScenario(o Options, pol cluster.RoutePolicy) (cluster.ChurnConfig, erro
 		Horizon:       horizon,
 		Warmup:        warmup,
 		Seed:          o.seed(),
-		ControllerOff: true,
+		ControllerOff: !v.controller,
 		Controller: cluster.ControllerConfig{
-			Interval:    10,
-			Cooldown:    15,
-			BudgetBytes: churnBudgetBytes,
+			Interval:      10,
+			Cooldown:      15,
+			BudgetBytes:   grayBudgetBytes,
+			EvacuateDwell: grayEvacuateDwell,
 		},
 		Window: 60,
 		Gray: []cluster.GrayFault{
 			{Kind: cluster.GraySlow, Node: "node0", At: grayFrom, Until: grayTo, Factor: 12},
 			{Kind: cluster.GrayBrownout, Node: "node2", At: brownFrom, Until: brownTo, Factor: 0.4},
 		},
-		Policy: pol,
+		Policy: v.policy,
 	}, nil
 }
 
-// Gray compares blind, health-aware, and hedged routing under the same
-// slow-disk + brownout timeline.
+// Gray compares blind, health-aware, hedged, and evacuating postures
+// under the same slow-disk + brownout timeline.
 func Gray(o Options) ([]GrayRow, error) {
 	return GrayCtx(context.Background(), o)
 }
 
 // GrayCtx is Gray with cancellation checkpoints.
 func GrayCtx(ctx context.Context, o Options) ([]GrayRow, error) {
-	rows, err := mapResumable(ctx, o, "gray", len(grayPolicies),
+	rows, err := mapResumable(ctx, o, "gray", len(grayVariants),
 		func(ctx context.Context, i int) (GrayRow, error) {
-			pol := grayPolicies[i]
-			cfg, err := grayScenario(o, pol)
+			v := grayVariants[i]
+			cfg, err := grayScenario(o, v)
 			if err != nil {
 				return GrayRow{}, err
 			}
@@ -111,7 +141,7 @@ func GrayCtx(ctx context.Context, o Options) ([]GrayRow, error) {
 				return GrayRow{}, err
 			}
 			return GrayRow{
-				Policy:       pol.String(),
+				Policy:       v.name,
 				Availability: res.Availability,
 				Floor:        res.FloorAvailability,
 				Starved:      res.Starved,
@@ -120,8 +150,10 @@ func GrayCtx(ctx context.Context, o Options) ([]GrayRow, error) {
 				WaitMax:      res.WaitMax,
 				Hedges:       res.Gray.Hedges,
 				HedgeWins:    res.Gray.HedgeWins,
+				HedgeDenied:  res.Gray.HedgeDenied,
 				Quarantines:  res.Gray.Quarantines,
 				Restores:     res.Gray.Restores,
+				Evacuations:  res.Controller.EvacuationsCompleted,
 			}, nil
 		})
 	if err != nil {
@@ -132,18 +164,19 @@ func GrayCtx(ctx context.Context, o Options) ([]GrayRow, error) {
 
 // PrintGray renders the gray-failure policy comparison.
 func PrintGray(w io.Writer, rows []GrayRow) {
-	fmt.Fprintln(w, "Gray-failure resilience: routing policy vs a slow disk and a brownout")
+	fmt.Fprintln(w, "Gray-failure resilience: routing posture vs a slow disk and a brownout")
 	fmt.Fprintf(w, "(%d movies replicated twice on 4 nodes; node0 serves 12x slow,\n"+
-		" node2 browns out to 0.4 capacity; placement frozen, same seed per row)\n\n",
+		" node2 browns out to 0.4 capacity; same seed per row. The evacuate\n"+
+		" row adds the rebalancing controller draining quarantined nodes)\n\n",
 		churnCatalogSize)
-	fmt.Fprintf(w, "%-8s %7s %7s %8s %7s %7s %8s %7s %7s %6s %5s\n",
-		"policy", "avail", "floor", "starved", "waitP50", "waitP99", "waitMax",
-		"hedges", "wins", "quar", "rest")
+	fmt.Fprintf(w, "%-8s %7s %7s %8s %7s %7s %8s %7s %7s %6s %6s %5s %5s\n",
+		"posture", "avail", "floor", "starved", "waitP50", "waitP99", "waitMax",
+		"hedges", "wins", "denied", "quar", "rest", "evac")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %7.4f %7.4f %8d %7.2f %7.2f %8.2f %7d %7d %6d %5d\n",
+		fmt.Fprintf(w, "%-8s %7.4f %7.4f %8d %7.2f %7.2f %8.2f %7d %7d %6d %6d %5d %5d\n",
 			r.Policy, r.Availability, r.Floor, r.Starved,
 			r.WaitP50, r.WaitP99, r.WaitMax,
-			r.Hedges, r.HedgeWins, r.Quarantines, r.Restores)
+			r.Hedges, r.HedgeWins, r.HedgeDenied, r.Quarantines, r.Restores, r.Evacuations)
 	}
 	fmt.Fprintln(w)
 }

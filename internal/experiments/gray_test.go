@@ -15,8 +15,8 @@ func TestGrayPolicyOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
 	}
 	byName := map[string]GrayRow{}
 	for _, r := range rows {
@@ -25,7 +25,8 @@ func TestGrayPolicyOrdering(t *testing.T) {
 	blind, okB := byName["blind"]
 	health, okH := byName["health"]
 	hedge, okE := byName["hedge"]
-	if !okB || !okH || !okE {
+	evac, okV := byName["evacuate"]
+	if !okB || !okH || !okE || !okV {
 		t.Fatalf("missing policy rows: %+v", rows)
 	}
 	if blind.Starved == 0 {
@@ -51,6 +52,15 @@ func TestGrayPolicyOrdering(t *testing.T) {
 	}
 	if !(hedge.Starved < blind.Starved) {
 		t.Errorf("hedge starved %d not below blind %d", hedge.Starved, blind.Starved)
+	}
+	if evac.Evacuations == 0 {
+		t.Errorf("evacuate row never completed an evacuation: %+v", evac)
+	}
+	if !(evac.Floor > blind.Floor) {
+		t.Errorf("evacuate floor %.4f not above blind %.4f", evac.Floor, blind.Floor)
+	}
+	if evac.Starved > hedge.Starved {
+		t.Errorf("evacuate starved %d above hedge %d — draining made things worse", evac.Starved, hedge.Starved)
 	}
 }
 

@@ -18,6 +18,9 @@ const maxClusterNodes = 64
 // maxZipfMovies bounds a generated catalog: sizing is per-movie work.
 const maxZipfMovies = 256
 
+// maxNodeDisks bounds the per-node disk count of a churn request.
+const maxNodeDisks = 64
+
 // ClusterCounters tallies the cluster endpoints' request counts for
 // /statusz, so the new routes are observable from day one. Safe for
 // concurrent use.
@@ -103,6 +106,12 @@ type ChurnLastRun struct {
 	// latest run (zero when it ran without gray faults).
 	Quarantines uint64 `json:"quarantines"`
 	Hedges      uint64 `json:"hedges"`
+	// Health-aware control-plane counters of the latest run: completed
+	// evacuations off dwelling quarantined nodes, hedges refused by the
+	// token bucket, and disk-granular quarantines.
+	Evacuations     int    `json:"evacuations"`
+	HedgeDenied     uint64 `json:"hedgeDenied"`
+	DiskQuarantines uint64 `json:"diskQuarantines"`
 }
 
 // ClusterPlanRequest asks for a multi-node placement. The catalog is
@@ -234,6 +243,18 @@ type ClusterChurnRequest struct {
 	// StarveWait counts admitted waits above this many minutes as
 	// starved (0 = default 8).
 	StarveWait float64 `json:"starveWait,omitempty"`
+	// EvacuateDwell drains replicas off nodes stuck in Quarantine
+	// longer than this many minutes (0 = off; needs the controller).
+	EvacuateDwell float64 `json:"evacuateDwell,omitempty"`
+	// HedgeBudget caps hedged dispatch with a token bucket of this
+	// burst size, refilled at a rate scaled by fleet-wide health
+	// (0 = unlimited).
+	HedgeBudget float64 `json:"hedgeBudget,omitempty"`
+	// DiskHealth tracks health and quarantines at disk granularity.
+	DiskHealth bool `json:"diskHealth,omitempty"`
+	// NodeDisks gives every planned node this many disks, addressable
+	// in gray specs as "slow:node0:d1@..." (0 = 1 disk).
+	NodeDisks int `json:"nodeDisks,omitempty"`
 }
 
 // ClusterChurnResponse reports the run's availability, typed sheds and
@@ -259,16 +280,25 @@ type ClusterChurnResponse struct {
 	TimeToConverge float64 `json:"timeToConverge"`
 	// Gray-resilience measurements, present only when the run had gray
 	// faults or a non-blind routing policy.
-	Starved     uint64                   `json:"starved,omitempty"`
-	WaitP50     float64                  `json:"waitP50,omitempty"`
-	WaitP99     float64                  `json:"waitP99,omitempty"`
-	WaitMax     float64                  `json:"waitMax,omitempty"`
-	Hedges      uint64                   `json:"hedges,omitempty"`
-	HedgeWins   uint64                   `json:"hedgeWins,omitempty"`
-	Probes      uint64                   `json:"probes,omitempty"`
-	Quarantines uint64                   `json:"quarantines,omitempty"`
-	Restores    uint64                   `json:"restores,omitempty"`
-	NodeHealth  []cluster.NodeHealthInfo `json:"nodeHealth,omitempty"`
+	Starved     uint64  `json:"starved,omitempty"`
+	WaitP50     float64 `json:"waitP50,omitempty"`
+	WaitP99     float64 `json:"waitP99,omitempty"`
+	WaitMax     float64 `json:"waitMax,omitempty"`
+	Hedges      uint64  `json:"hedges,omitempty"`
+	HedgeWins   uint64  `json:"hedgeWins,omitempty"`
+	HedgeDenied uint64  `json:"hedgeDenied,omitempty"`
+	Probes      uint64  `json:"probes,omitempty"`
+	Quarantines uint64  `json:"quarantines,omitempty"`
+	Restores    uint64  `json:"restores,omitempty"`
+	// Disk-granular health counters (present only with diskHealth).
+	DiskQuarantines uint64 `json:"diskQuarantines,omitempty"`
+	DiskRestores    uint64 `json:"diskRestores,omitempty"`
+	// Evacuations counts replicas the controller drained off nodes that
+	// dwelled in quarantine past evacuateDwell; EvacuationsBlocked are
+	// drains refused because they would strand a movie.
+	Evacuations        int                      `json:"evacuations,omitempty"`
+	EvacuationsBlocked int                      `json:"evacuationsBlocked,omitempty"`
+	NodeHealth         []cluster.NodeHealthInfo `json:"nodeHealth,omitempty"`
 }
 
 // clusterCatalog materializes the request's movie source.
@@ -420,6 +450,14 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 	if err != nil {
 		return ClusterChurnResponse{}, err
 	}
+	if req.NodeDisks < 0 || req.NodeDisks > maxNodeDisks {
+		return ClusterChurnResponse{}, fmt.Errorf("nodeDisks %d outside [0, %d]", req.NodeDisks, maxNodeDisks)
+	}
+	if req.NodeDisks > 1 {
+		for i := range p.Nodes {
+			p.Nodes[i].Disks = req.NodeDisks
+		}
+	}
 	nodeFaults, err := cluster.ParseNodeFaults(req.Fail)
 	if err != nil {
 		return ClusterChurnResponse{}, err
@@ -455,8 +493,9 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 		Warmup:    warmup,
 		Seed:      req.Seed,
 		Controller: cluster.ControllerConfig{
-			Interval:    req.Interval,
-			BudgetBytes: req.BudgetMB * 1e6,
+			Interval:      req.Interval,
+			BudgetBytes:   req.BudgetMB * 1e6,
+			EvacuateDwell: req.EvacuateDwell,
 		},
 		ControllerOff: req.Frozen,
 		Faults:        nodeFaults,
@@ -464,6 +503,10 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 		Gray:          grayFaults,
 		Policy:        policy,
 		StarveWait:    req.StarveWait,
+		Health: cluster.HealthConfig{
+			HedgeBudget: req.HedgeBudget,
+			DiskHealth:  req.DiskHealth,
+		},
 	})
 	if err != nil {
 		return ClusterChurnResponse{}, err
@@ -476,33 +519,41 @@ func handleClusterChurn(ctx context.Context, eval *sizing.Evaluator, cc *Cluster
 		PeakLevel:         res.Controller.PeakLevel.String(),
 		Quarantines:       res.Gray.Quarantines,
 		Hedges:            res.Gray.Hedges,
+		Evacuations:       res.Controller.EvacuationsCompleted,
+		HedgeDenied:       res.Gray.HedgeDenied,
+		DiskQuarantines:   res.Gray.DiskQuarantines,
 	})
 	return ClusterChurnResponse{
-		Arrivals:          res.Arrivals,
-		Admitted:          res.Admitted,
-		Availability:      res.Availability,
-		FloorAvailability: res.FloorAvailability,
-		Hit:               res.Hit,
-		ShedNoReplica:     res.ShedNoReplica,
-		ShedSaturated:     res.ShedSaturated,
-		ShedDegraded:      res.ShedDegraded,
-		Failovers:         res.Failovers,
-		ReplicaAdds:       res.Controller.ReplicaAdds,
-		ReplicaDrops:      res.Controller.ReplicaDrops,
-		MigrationsStarted: res.Controller.MigrationsStarted,
-		MigrationMB:       res.Controller.SpentBytes / 1e6,
-		BudgetExhausted:   res.Controller.BudgetExhausted,
-		PeakLevel:         res.Controller.PeakLevel.String(),
-		TimeToConverge:    res.TimeToConverge,
-		Starved:           res.Starved,
-		WaitP50:           res.WaitP50,
-		WaitP99:           res.WaitP99,
-		WaitMax:           res.WaitMax,
-		Hedges:            res.Gray.Hedges,
-		HedgeWins:         res.Gray.HedgeWins,
-		Probes:            res.Gray.Probes,
-		Quarantines:       res.Gray.Quarantines,
-		Restores:          res.Gray.Restores,
-		NodeHealth:        res.NodeHealth,
+		Arrivals:           res.Arrivals,
+		Admitted:           res.Admitted,
+		Availability:       res.Availability,
+		FloorAvailability:  res.FloorAvailability,
+		Hit:                res.Hit,
+		ShedNoReplica:      res.ShedNoReplica,
+		ShedSaturated:      res.ShedSaturated,
+		ShedDegraded:       res.ShedDegraded,
+		Failovers:          res.Failovers,
+		ReplicaAdds:        res.Controller.ReplicaAdds,
+		ReplicaDrops:       res.Controller.ReplicaDrops,
+		MigrationsStarted:  res.Controller.MigrationsStarted,
+		MigrationMB:        res.Controller.SpentBytes / 1e6,
+		BudgetExhausted:    res.Controller.BudgetExhausted,
+		PeakLevel:          res.Controller.PeakLevel.String(),
+		TimeToConverge:     res.TimeToConverge,
+		Starved:            res.Starved,
+		WaitP50:            res.WaitP50,
+		WaitP99:            res.WaitP99,
+		WaitMax:            res.WaitMax,
+		Hedges:             res.Gray.Hedges,
+		HedgeWins:          res.Gray.HedgeWins,
+		HedgeDenied:        res.Gray.HedgeDenied,
+		Probes:             res.Gray.Probes,
+		Quarantines:        res.Gray.Quarantines,
+		Restores:           res.Gray.Restores,
+		DiskQuarantines:    res.Gray.DiskQuarantines,
+		DiskRestores:       res.Gray.DiskRestores,
+		Evacuations:        res.Controller.EvacuationsCompleted,
+		EvacuationsBlocked: res.Controller.EvacuationsBlocked,
+		NodeHealth:         res.NodeHealth,
 	}, nil
 }

@@ -121,5 +121,16 @@ run_stage gray 1.2 1.8 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
     -node-streams 400 -node-buffer 200 -lambda 6 -replicas 2 \
     -controller=false -gray "slow:node0@5000-15000:12,brownout:node2@7000-16000:0.4" \
     -policy hedge -horizon 20000 -warmup 500 -seed 7 -checkpoint-every 2000
+# The evacuate run (~2.3s, same sizing/throughput profile as gray) arms
+# the controller with a 10-minute evacuation dwell: node0 quarantines
+# just past t=5000 and its replicas drain shortly after, so a kill in
+# [1.2, 1.8]s lands inside the quarantine-dwell-drain window — resume
+# must reconstruct the evacuation ledger, in-flight drain migrations
+# and health state bit-identically.
+run_stage evacuate 1.2 1.8 "$tmp/vodcluster" churn -nodes 4 -movies 6 \
+    -node-streams 400 -node-buffer 200 -lambda 6 -replicas 2 \
+    -gray "slow:node0@5000-15000:12" -policy hedge -evacuate-dwell 10 \
+    -interval 10 -budget-mb 200000 -horizon 20000 -warmup 500 -seed 7 \
+    -checkpoint-every 2000
 
 echo "killresume: all stages passed"
