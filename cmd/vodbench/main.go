@@ -3,7 +3,7 @@
 // Usage:
 //
 //	vodbench -exp all                    # every experiment
-//	vodbench -exp fig7a                  # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e, faults, cluster, churn, gray)
+//	vodbench -exp fig7a                  # one panel (fig7a..fig7d, fig8, fig9, ex1, ex2, verify, sens, piggyback, e2e, faults, cluster, churn, gray, scale)
 //	vodbench -exp fig7d -quick           # smaller simulation horizons
 //	vodbench -exp all -parallel 8        # cap sweep workers (0 = all CPUs, 1 = sequential)
 //	vodbench -exp all -json bench.json   # append per-experiment wall-clock to a JSON artifact
@@ -48,7 +48,7 @@ type benchRun struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig7a|fig7b|fig7c|fig7d|fig8|fig9|ex1|ex2|verify|sens|piggyback|e2e|faults|cluster|churn|gray|all")
+	exp := flag.String("exp", "all", "experiment to run: fig7a|fig7b|fig7c|fig7d|fig8|fig9|ex1|ex2|verify|sens|piggyback|e2e|faults|cluster|churn|gray|scale|all")
 	quick := flag.Bool("quick", false, "shrink simulation horizons for a fast pass")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 0, "worker cap for experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
@@ -201,6 +201,14 @@ func main() {
 				return err
 			}
 			experiments.PrintGray(w, rows)
+			return nil
+		}},
+		{"scale", func(o experiments.Options, w io.Writer) error {
+			rows, err := experiments.Scale(o)
+			if err != nil {
+				return err
+			}
+			experiments.PrintScale(w, rows)
 			return nil
 		}},
 		{"verify", func(o experiments.Options, w io.Writer) error {

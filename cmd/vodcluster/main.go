@@ -209,11 +209,14 @@ func printPlan(p cluster.Placement, movies []workload.Movie) {
 
 // simFlags are the load/horizon knobs shared by simulate and sweep.
 type simFlags struct {
-	lambda  *float64
-	horizon *float64
-	warmup  *float64
-	seed    *int64
-	resume  *string
+	lambda         *float64
+	horizon        *float64
+	warmup         *float64
+	seed           *int64
+	resume         *string
+	engine         *string
+	fluidThreshold *float64
+	particleRate   *float64
 }
 
 func addSimFlags(fs *flag.FlagSet) simFlags {
@@ -223,6 +226,10 @@ func addSimFlags(fs *flag.FlagSet) simFlags {
 		warmup:  fs.Float64("warmup", -1, "measurement warmup, minutes (-1 = horizon/10)"),
 		seed:    fs.Int64("seed", 1, "random seed"),
 		resume:  fs.String("resume", "", "checkpoint directory: journal per-node rows there and resume a killed run"),
+		engine:  fs.String("engine", "des", "per-node simulation backend: des|fluid|hybrid"),
+		fluidThreshold: fs.Float64("fluid-threshold", 0,
+			"hybrid mode: per-movie arrival rate at or above which a copy runs fluid"),
+		particleRate: fs.Float64("particle-rate", 0, "fluid shadow-viewer rate per minute (0 = default)"),
 	}
 }
 
@@ -235,15 +242,18 @@ func (s simFlags) warmupVal() float64 {
 
 func (s simFlags) config(p cluster.Placement, movies []workload.Movie, workers int, faults []cluster.NodeFault) cluster.SimConfig {
 	return cluster.SimConfig{
-		Placement: p,
-		Movies:    movies,
-		Rates:     paperRates,
-		TotalRate: *s.lambda,
-		Horizon:   *s.horizon,
-		Warmup:    s.warmupVal(),
-		Seed:      *s.seed,
-		Workers:   workers,
-		Faults:    faults,
+		Placement:      p,
+		Movies:         movies,
+		Rates:          paperRates,
+		TotalRate:      *s.lambda,
+		Horizon:        *s.horizon,
+		Warmup:         s.warmupVal(),
+		Seed:           *s.seed,
+		Workers:        workers,
+		Faults:         faults,
+		Engine:         sim.Engine(*s.engine),
+		FluidThreshold: *s.fluidThreshold,
+		ParticleRate:   *s.particleRate,
 	}
 }
 

@@ -8,6 +8,7 @@
 //	vodsim -l 120 -w 1 -n 60 -dur gamma:2:4 -piggyback -compare
 //	vodsim -l 120 -b 60 -n 30 -streams 60 -faults "fail@1000:d0,repair@2000:d0"
 //	vodsim -l 120 -b 60 -n 30 -streams 60 -faults "rand:7:2000:200:6"
+//	vodsim -l 120 -b 30 -n 30 -lambda 50000 -engine fluid -compare=false
 package main
 
 import (
@@ -54,6 +55,9 @@ func main() {
 	compare := flag.Bool("compare", true, "print the analytic model prediction alongside")
 	tracePath := flag.String("trace", "", "write a structured event trace to this file (\"-\" for stdout)")
 	reps := flag.Int("replications", 1, "independent replications (seeds seed..seed+R-1, run concurrently)")
+	engine := flag.String("engine", "des", "simulation backend: des|fluid|hybrid")
+	fluidThreshold := flag.Float64("fluid-threshold", 0, "hybrid mode: arrival rate at or above which a movie runs fluid")
+	particleRate := flag.Float64("particle-rate", 0, "fluid shadow-viewer rate per minute (0 = default)")
 	resumeDir := flag.String("resume", "", "checkpoint directory: journal progress there and resume a killed run")
 	ckptEvery := flag.Int("checkpoint-every", 250000, "events between single-run checkpoints with -resume")
 	flag.Parse()
@@ -126,9 +130,12 @@ func main() {
 		},
 		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
 		Piggyback: *piggyback, Slew: *slew,
-		MaxDedicated: *maxDed,
-		TotalStreams: *streams,
-		Faults:       sched,
+		MaxDedicated:   *maxDed,
+		TotalStreams:   *streams,
+		Faults:         sched,
+		Engine:         sim.Engine(*engine),
+		FluidThreshold: *fluidThreshold,
+		ParticleRate:   *particleRate,
 	}
 	if *resumeDir != "" {
 		if cfg.Tracer != nil {
@@ -200,7 +207,7 @@ func main() {
 // before any replay happens. On success the checkpoint is removed — a
 // finished run has nothing left to resume.
 func runResumable(s *sim.Simulator, cfg sim.Config, dir string, every int) (*sim.Result, error) {
-	identity := checkpoint.Identity("vodsim.run", fmt.Sprintf("%+v", cfg))
+	identity := checkpoint.Identity("vodsim.run", cfg.IdentityString())
 	path := filepath.Join(dir, "sim.ckpt")
 	sink := func(cp sim.Checkpoint) error {
 		b, err := cp.MarshalBinary()

@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"vodalloc/internal/dist"
-	"vodalloc/internal/quad"
 )
 
 // This file holds the context-aware model entry points. The serving
@@ -85,7 +84,7 @@ func (m *Model) HitPAUCtx(ctx context.Context, d dist.Distribution) (float64, er
 		}
 		return sum
 	}
-	v, err := quad.GaussPanelsCtx(ctx, integrand, 0, span, m.uPanels)
+	v, err := m.uIntegralCtx(ctx, integrand, span)
 	if err != nil {
 		return 0, err
 	}
@@ -167,7 +166,7 @@ func (m *Model) clippedSumCtx(ctx context.Context, f durFn, iv ivSpec) (float64,
 		}
 		return sum
 	}
-	v, err := quad.GaussPanelsCtx(ctx, integrand, 0, span, m.uPanels)
+	v, err := m.uIntegralCtx(ctx, integrand, span)
 	if err != nil {
 		return 0, err
 	}

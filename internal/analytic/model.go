@@ -64,6 +64,32 @@ func (m *Model) WithUPanels(p int) *Model {
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// uAutoTol is the absolute convergence tolerance of the adaptive
+// u-integral. The integrals are probability masses (O(1) or smaller),
+// so agreement to 1e-10 between successive panel doublings leaves the
+// quadrature error far below the model's own approximation error.
+const uAutoTol = 1e-10
+
+// uIntegral evaluates one u-integral over [0, span]. At the default
+// panel count it uses the adaptive doubling rule: partitions far from
+// the 0/L clip have analytic integrands that converge at 4-vs-8 panels
+// (most of every scan), while near-clip partitions refine up to
+// 2×DefaultUPanels. An explicit WithUPanels choice is honored exactly.
+func (m *Model) uIntegral(f quad.Func, span float64) float64 {
+	v, _ := m.uIntegralCtx(context.Background(), f, span)
+	return v
+}
+
+// uIntegralCtx is uIntegral with cancellation checkpoints; both paths
+// share one implementation so plain and ctx-aware evaluations stay
+// bit-identical.
+func (m *Model) uIntegralCtx(ctx context.Context, f quad.Func, span float64) (float64, error) {
+	if m.uPanels == DefaultUPanels {
+		return quad.AutoPanelsCtx(ctx, f, 0, span, uAutoTol, 2*DefaultUPanels)
+	}
+	return quad.GaussPanelsCtx(ctx, f, 0, span, m.uPanels)
+}
+
 // Op identifies a VCR operation type.
 type Op int
 
@@ -349,19 +375,19 @@ func (m *Model) BreakdownOf(op Op, d dist.Distribution) Breakdown {
 		for i := 0; i <= pauExactScan; i++ {
 			var contrib float64
 			if i == pauExactScan {
-				contrib = scale * quad.GaussPanels(func(u float64) float64 {
+				contrib = scale * m.uIntegral(func(u float64) float64 {
 					a := math.Max(0, float64(i)*period-u)
 					return (1 - f.F(a)) * coverage
-				}, 0, span, m.uPanels)
+				}, span)
 			} else {
-				contrib = scale * quad.GaussPanels(func(u float64) float64 {
+				contrib = scale * m.uIntegral(func(u float64) float64 {
 					a := float64(i)*period - u
 					b := a + span
 					if a < 0 {
 						a = 0
 					}
 					return f.mass(a, b)
-				}, 0, span, m.uPanels)
+				}, span)
 			}
 			if i == 0 {
 				bd.Within = contrib
@@ -386,13 +412,13 @@ func (m *Model) BreakdownOf(op Op, d dist.Distribution) Breakdown {
 	// Hit intervals move strictly right as i grows, so once a partition
 	// index contributes nothing the remainder cannot contribute either.
 	for i := 0; i <= maxPartitionScan; i++ {
-		contrib := scale * quad.GaussPanels(func(u float64) float64 {
+		contrib := scale * m.uIntegral(func(u float64) float64 {
 			a, b, ok := iv.at(i, u)
 			if !ok || 1-f.F(a) < pauTailEps {
 				return 0
 			}
 			return f.clippedMass(a, b, c.L)
-		}, 0, span, m.uPanels)
+		}, span)
 		if i == 0 {
 			bd.Within = contrib
 		} else if contrib == 0 {

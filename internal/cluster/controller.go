@@ -468,13 +468,17 @@ func (c *Controller) Tick(now float64) []Migration {
 	var started []Migration
 
 	// 2. Proactive evacuation: a node stuck in Quarantine past the
-	// configured dwell gets its replicas drained, hottest node order not
-	// needed — node index then catalog order keeps it deterministic.
-	// Each drain is an ordinary budget-charged migration whose Complete
-	// additionally drops the quarantined copy (guarded). Evacuations
-	// compete with demand adds for the same concurrency slots and byte
-	// budget; they run first because a quarantined node's replicas serve
-	// nothing at all.
+	// configured dwell gets its replicas drained in descending demand
+	// order — EWMA rate × movie length, the expected concurrent viewers
+	// stranded on the dead copy — so when the byte budget or the
+	// concurrency cap cuts the evacuation short, the replicas that
+	// relieve the most demand have already moved. Catalog index breaks
+	// ties deterministically (the same pattern as step 3's pressure
+	// sort). Each drain is an ordinary budget-charged migration whose
+	// Complete additionally drops the quarantined copy (guarded).
+	// Evacuations compete with demand adds for the same concurrency
+	// slots and byte budget; they run first because a quarantined node's
+	// replicas serve nothing at all.
 	if c.cfg.EvacuateDwell > 0 {
 	evac:
 		for i, n := range c.nodes {
@@ -485,11 +489,28 @@ func (c *Controller) Tick(now float64) []Migration {
 			if st != Quarantined || now-since < c.cfg.EvacuateDwell {
 				continue
 			}
-			for _, m := range c.movies {
+			type cand struct {
+				idx    int
+				demand float64
+			}
+			var cands []cand
+			for j, m := range c.movies {
+				if c.hostsReplica(m.Name, n.ID) {
+					cands = append(cands, cand{idx: j, demand: c.ewma[j] * m.Length})
+				}
+			}
+			sort.SliceStable(cands, func(a, b int) bool {
+				if cands[a].demand != cands[b].demand {
+					return cands[a].demand > cands[b].demand
+				}
+				return cands[a].idx < cands[b].idx
+			})
+			for _, cd := range cands {
+				m := c.movies[cd.idx]
 				if len(c.inflight) >= c.cfg.MaxConcurrent {
 					break evac
 				}
-				if !c.hostsReplica(m.Name, n.ID) || c.pendingTo[m.Name] > 0 {
+				if c.pendingTo[m.Name] > 0 {
 					continue
 				}
 				if now-c.lastAction[m.Name] < c.cfg.Cooldown && c.lastAction[m.Name] > 0 {

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"sync"
 	"testing"
@@ -417,5 +419,76 @@ func TestControllerDegradationLadder(t *testing.T) {
 		if !ctrl.Admit(i) {
 			t.Fatalf("movie %d still shed after restore", i)
 		}
+	}
+}
+
+// TestControllerEvacuatesHottestFirst pins the evacuation drain order:
+// replicas leave a quarantined node in descending demand (EWMA arrival
+// rate × movie length, catalog index on ties), so an evacuation cut
+// short by the concurrency cap or the byte budget has already rescued
+// the replicas serving the most viewers.
+func TestControllerEvacuatesHottestFirst(t *testing.T) {
+	build := func(maxConcurrent int) (*Controller, *Router) {
+		t.Helper()
+		movies := make([]workload.Movie, 4)
+		var asg []Assignment
+		for i := range movies {
+			name := fmt.Sprintf("m%d", i)
+			movies[i] = workload.Movie{Name: name, Length: 120, Wait: 1, Popularity: 1}
+			for r, node := range []string{"node0", "node1"} {
+				asg = append(asg, Assignment{
+					MovieAlloc: MovieAlloc{Movie: name, N: 10, B: 8, Hit: 0.7, Wait: 0.3, Weight: 1},
+					Node:       node, Replica: r,
+				})
+			}
+		}
+		p := Placement{Nodes: UniformNodes(6, 80, 80), Assignments: asg}
+		router, err := NewRouter(p, 1)
+		if err != nil {
+			t.Fatalf("NewRouter: %v", err)
+		}
+		if err := router.SetGrayPolicy(PolicyHealth, HealthConfig{}); err != nil {
+			t.Fatalf("SetGrayPolicy: %v", err)
+		}
+		if err := router.SetHealthState("node0", Quarantined); err != nil {
+			t.Fatalf("SetHealthState: %v", err)
+		}
+		ctrl, err := NewController(ControllerConfig{
+			Interval: 10, EvacuateDwell: 5, MaxConcurrent: maxConcurrent,
+		}, p, movies, router)
+		if err != nil {
+			t.Fatalf("NewController: %v", err)
+		}
+		// Distinct per-movie demand: m2 > m0 > m3 > m1.
+		for i, n := range []int{6, 2, 8, 4} {
+			for j := 0; j < n; j++ {
+				ctrl.ObserveArrival(i)
+			}
+		}
+		return ctrl, router
+	}
+
+	ctrl, _ := build(4)
+	var order []string
+	for _, mg := range ctrl.Tick(10) {
+		if mg.Drain == "node0" {
+			order = append(order, mg.Movie)
+		}
+	}
+	want := []string{"m2", "m0", "m3", "m1"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("drain order = %v, want %v", order, want)
+	}
+
+	// Capped at one migration, only the hottest replica drains.
+	ctrl, _ = build(1)
+	var capped []string
+	for _, mg := range ctrl.Tick(10) {
+		if mg.Drain == "node0" {
+			capped = append(capped, mg.Movie)
+		}
+	}
+	if !reflect.DeepEqual(capped, []string{"m2"}) {
+		t.Errorf("capped drain order = %v, want [m2]", capped)
 	}
 }

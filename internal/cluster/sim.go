@@ -105,6 +105,13 @@ type SimConfig struct {
 	StreamsPerDisk int
 	// Faults are the node outages to inject.
 	Faults []NodeFault
+	// Engine selects every node simulation's backend (des when empty);
+	// FluidThreshold and ParticleRate parameterize the hybrid and fluid
+	// modes (see sim.ServerConfig). Nodes with injected outages always
+	// run DES regardless — fault schedules need the discrete backend.
+	Engine         sim.Engine
+	FluidThreshold float64
+	ParticleRate   float64
 }
 
 func (c SimConfig) spd() int {
@@ -128,6 +135,13 @@ func (c SimConfig) Validate() error {
 		return fmt.Errorf("%w: warmup %v outside [0, horizon)", ErrBadCluster, c.Warmup)
 	case c.StreamsPerDisk < 0:
 		return fmt.Errorf("%w: streams per disk %d", ErrBadCluster, c.StreamsPerDisk)
+	case c.FluidThreshold < 0 || math.IsNaN(c.FluidThreshold):
+		return fmt.Errorf("%w: fluid threshold %v", ErrBadCluster, c.FluidThreshold)
+	case c.ParticleRate < 0 || math.IsNaN(c.ParticleRate):
+		return fmt.Errorf("%w: particle rate %v", ErrBadCluster, c.ParticleRate)
+	}
+	if _, err := sim.ParseEngine(string(c.Engine)); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCluster, err)
 	}
 	catalog := make(map[string]bool, len(c.Movies))
 	for _, m := range c.Movies {
@@ -317,6 +331,11 @@ func (c SimConfig) identity() uint64 {
 	}
 	for _, f := range c.Faults {
 		parts = append(parts, f)
+	}
+	// Engine parts only when set, so journals from before the fluid
+	// backend keep their identity under the default DES engine.
+	if c.Engine != "" || c.FluidThreshold != 0 || c.ParticleRate != 0 {
+		parts = append(parts, "engine", string(c.Engine), c.FluidThreshold, c.ParticleRate)
 	}
 	return checkpoint.Identity(parts...)
 }
@@ -571,6 +590,9 @@ func simulateNodes(ctx context.Context, cfg SimConfig, movieRates []float64, swe
 			Warmup:         cfg.Warmup,
 			Seed:           cfg.Seed + int64(i+1)*1000003,
 			StreamsPerDisk: cfg.spd(),
+			Engine:         cfg.Engine,
+			FluidThreshold: cfg.FluidThreshold,
+			ParticleRate:   cfg.ParticleRate,
 		}
 		sort.Slice(placed, func(a, b int) bool { return placed[a].Movie < placed[b].Movie })
 		for _, a := range placed {
@@ -586,6 +608,11 @@ func simulateNodes(ctx context.Context, cfg SimConfig, movieRates []float64, swe
 		// fault schedule has disks to kill); healthy nodes stay
 		// elastic, preserving exact parity with standalone runs.
 		if nf := faultsFor[node.ID]; len(nf) > 0 {
+			// Fault schedules need the discrete backend: a capped, failing
+			// array violates the fluid model's elastic-resource assumption,
+			// so the outage-carrying node falls back to full DES while the
+			// healthy nodes keep the configured engine.
+			sc.Engine = sim.EngineDES
 			sc.TotalStreams = node.MaxStreams
 			disks := (node.MaxStreams + cfg.spd() - 1) / cfg.spd()
 			var sched faults.Schedule

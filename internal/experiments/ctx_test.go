@@ -30,6 +30,7 @@ func TestExperimentsCtxPreCanceled(t *testing.T) {
 		{"EndToEndCtx", func() error { _, err := EndToEndCtx(dead, o); return err }},
 		{"ChurnCtx", func() error { _, err := ChurnCtx(dead, o); return err }},
 		{"GrayCtx", func() error { _, err := GrayCtx(dead, o); return err }},
+		{"ScaleCtx", func() error { _, err := ScaleCtx(dead, o); return err }},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

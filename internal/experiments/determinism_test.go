@@ -92,6 +92,19 @@ var renderers = []struct {
 		PrintGray(w, r)
 		return nil
 	}},
+	{"scale", func(o Options, w io.Writer) error {
+		r, err := Scale(o)
+		if err != nil {
+			return err
+		}
+		// Wall-clock columns measure the host, not the simulation; zero
+		// them so the determinism check covers the simulated statistics.
+		for i := range r {
+			r[i].Wall = 0
+		}
+		PrintScale(w, r)
+		return nil
+	}},
 	{"verify", func(o Options, w io.Writer) error {
 		r, err := VerifyTable(o)
 		if err != nil {

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"vodalloc/internal/dist"
+	"vodalloc/internal/parallel"
+	"vodalloc/internal/sim"
+	"vodalloc/internal/workload"
+)
+
+// The scale experiment demonstrates the fluid/hybrid backend's reach:
+// the same §4 reference movie is driven from the paper's λ = 0.5/min up
+// to arrival rates that put ten million concurrent viewers in one
+// node-sim. At every rung where the full DES is still affordable both
+// backends run and the hit probabilities are compared; past that the
+// fluid backend runs alone, and the row reports the simulated
+// viewer-minutes per wall-clock second — the throughput claim of the
+// ROADMAP's "millions of users" north star. Event counts make the
+// mechanism visible: fluid events grow with the restart grid and the
+// particle budget, not with λ.
+
+// scaleDESCutoff is the largest arrival rate the DES rung runs at; past
+// this the comparison column is dropped rather than spending minutes
+// per row.
+const scaleDESCutoff = 5.0
+
+// ScaleRow is one arrival-rate rung of the scale sweep.
+type ScaleRow struct {
+	Lambda     float64
+	Viewers    float64 // time-average concurrent viewers (fluid)
+	FluidHit   float64
+	DESHit     float64 // NaN when the DES rung was skipped
+	Events     uint64  // kernel events fired (fluid)
+	DESEvents  uint64  // kernel events fired (DES); 0 when skipped
+	Wall       time.Duration
+	ViewerMins float64 // simulated viewer-minutes in the fluid run
+}
+
+// ViewersPerSec returns the fluid throughput in simulated
+// viewer-minutes per wall-clock second.
+func (r ScaleRow) ViewersPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return r.ViewerMins / r.Wall.Seconds()
+}
+
+// scaleLambdas returns the sweep's arrival rates. The top rung carries
+// ~10.2M concurrent viewers (λ·(L + mean wait) with R ≈ 121 min).
+func scaleLambdas(quick bool) []float64 {
+	if quick {
+		return []float64{0.5, 5, 500, 85000}
+	}
+	return []float64{0.5, 5, 50, 500, 5000, 85000}
+}
+
+// Scale sweeps arrival rates on the fluid backend with DES comparison
+// rungs where affordable; see ScaleCtx.
+func Scale(o Options) ([]ScaleRow, error) {
+	return ScaleCtx(context.Background(), o)
+}
+
+// ScaleCtx is Scale with cancellation checkpoints. Rows evaluate in
+// parallel in table order.
+func ScaleCtx(ctx context.Context, o Options) ([]ScaleRow, error) {
+	lambdas := scaleLambdas(o.Quick)
+	base := sim.Config{
+		L: movieLen, B: 30, N: 30,
+		Rates:   paperRates,
+		Profile: workload.MixedProfile(gammaDur(), dist.MustExponential(thinkMean)),
+		Horizon: o.horizon(),
+		Warmup:  o.warmup(),
+		Seed:    o.seed(),
+	}
+	run := func(ctx context.Context, cfg sim.Config) (*sim.Result, uint64, time.Duration, error) {
+		s, err := sim.New(cfg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		t0 := time.Now()
+		res, err := s.RunCtx(ctx)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res, s.EventsFired(), time.Since(t0), nil
+	}
+	rows, err := parallel.Map(ctx, o.par(), len(lambdas),
+		func(ctx context.Context, i int) (ScaleRow, error) {
+			cfg := base
+			cfg.ArrivalRate = lambdas[i]
+			cfg.Engine = sim.EngineFluid
+			res, events, wall, err := run(ctx, cfg)
+			if err != nil {
+				return ScaleRow{}, err
+			}
+			row := ScaleRow{
+				Lambda:     lambdas[i],
+				Viewers:    res.AvgViewers,
+				FluidHit:   res.HitProbability(),
+				DESHit:     math.NaN(),
+				Events:     events,
+				Wall:       wall,
+				ViewerMins: res.AvgViewers * cfg.Horizon,
+			}
+			if lambdas[i] <= scaleDESCutoff {
+				dcfg := base
+				dcfg.ArrivalRate = lambdas[i]
+				dres, devents, _, err := run(ctx, dcfg)
+				if err != nil {
+					return ScaleRow{}, err
+				}
+				row.DESHit = dres.HitProbability()
+				row.DESEvents = devents
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return rows, nil
+}
+
+// PrintScale renders the table. Wall-clock columns are measurements of
+// the host machine, not of the simulation; everything else is
+// deterministic per seed.
+func PrintScale(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintln(w, "scale — fluid backend vs arrival rate (l=120, B=30, n=30, mixed VCR workload)")
+	fmt.Fprintf(w, "  %10s %12s %9s %9s %7s %12s %12s %14s\n",
+		"λ/min", "avg viewers", "fluidHit", "desHit", "|Δ|", "fluid evts", "des evts", "viewer-min/s")
+	for _, r := range rows {
+		desHit, delta, desEv := "—", "—", "—"
+		if !math.IsNaN(r.DESHit) {
+			desHit = fmt.Sprintf("%.4f", r.DESHit)
+			delta = fmt.Sprintf("%.4f", math.Abs(r.DESHit-r.FluidHit))
+			desEv = fmt.Sprintf("%d", r.DESEvents)
+		}
+		vps := "—"
+		if v := r.ViewersPerSec(); v > 0 {
+			vps = fmt.Sprintf("%.3g", v)
+		}
+		fmt.Fprintf(w, "  %10.4g %12.0f %9.4f %9s %7s %12d %12s %14s\n",
+			r.Lambda, r.Viewers, r.FluidHit, desHit, delta, r.Events, desEv, vps)
+	}
+}

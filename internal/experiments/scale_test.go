@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScaleQuick runs the quick sweep and checks its structural claims:
+// DES comparison rungs agree within the verify-table band, the top rung
+// carries millions of concurrent viewers, and fluid event counts do not
+// grow with λ the way DES counts do.
+func TestScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Scale(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	if len(rows) != len(scaleLambdas(true)) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(scaleLambdas(true)))
+	}
+	for _, r := range rows {
+		if r.Lambda <= scaleDESCutoff {
+			if math.IsNaN(r.DESHit) {
+				t.Errorf("λ=%v: missing DES comparison rung", r.Lambda)
+				continue
+			}
+			if d := math.Abs(r.DESHit - r.FluidHit); d > 0.08 {
+				t.Errorf("λ=%v: |desHit − fluidHit| = %.3f, want ≤ 0.08", r.Lambda, d)
+			}
+		} else if !math.IsNaN(r.DESHit) {
+			t.Errorf("λ=%v: DES rung ran past the cutoff", r.Lambda)
+		}
+		if r.Wall <= 0 || r.ViewersPerSec() <= 0 {
+			t.Errorf("λ=%v: no throughput measured (wall %v)", r.Lambda, r.Wall)
+		}
+	}
+	top := rows[len(rows)-1]
+	if top.Viewers < 5e6 {
+		t.Errorf("top rung carries %.0f concurrent viewers, want millions", top.Viewers)
+	}
+	// The fluid event count must stay within a small factor across a
+	// 170000× spread in λ — that is the whole point of the backend.
+	if lo, hi := rows[0].Events, top.Events; hi > 10*lo {
+		t.Errorf("fluid events grew with λ: %d at λ=%v vs %d at λ=%v",
+			lo, rows[0].Lambda, hi, top.Lambda)
+	}
+}

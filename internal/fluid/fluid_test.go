@@ -1,0 +1,301 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vodalloc/internal/buffer"
+	"vodalloc/internal/des"
+	"vodalloc/internal/disk"
+	"vodalloc/internal/dist"
+	"vodalloc/internal/metrics"
+	"vodalloc/internal/vcr"
+	"vodalloc/internal/workload"
+)
+
+// TestPoissonMoments checks both sampler regimes (Knuth inversion below
+// the cutoff, moment-matched normal above) against the analytic mean
+// and variance within 4σ of the sampling error.
+func TestPoissonMoments(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	for _, mean := range []float64{0.3, 4, 25, 80, 4000} {
+		var w metrics.Welford
+		for i := 0; i < n; i++ {
+			w.Add(float64(Poisson(rng, mean)))
+		}
+		seMean := math.Sqrt(mean / n)
+		if got := w.Mean(); math.Abs(got-mean) > 4*seMean {
+			t.Errorf("mean %v: sample mean %v (4σ band ±%v)", mean, got, 4*seMean)
+		}
+		// Var[S²] ≈ (μ4 − σ⁴)/n; for Poisson μ4 = λ(1+3λ), σ² = λ.
+		seVar := math.Sqrt((mean*(1+3*mean) - mean*mean) / n)
+		if got := w.Variance(); math.Abs(got-mean) > 4*seVar {
+			t.Errorf("mean %v: sample variance %v (4σ band ±%v)", mean, got, 4*seVar)
+		}
+	}
+	if Poisson(rng, 0) != 0 {
+		t.Errorf("Poisson(0) != 0")
+	}
+}
+
+// TestCoveredMatchesPartitionOracle cross-checks the closed-form hit
+// condition against the DES ground truth: a brute-force scan over every
+// buffer.Partition the restart grid would have created.
+func TestCoveredMatchesPartitionOracle(t *testing.T) {
+	t.Parallel()
+	const horizon = 500.0
+	cases := []struct {
+		L, B float64
+		N    int
+	}{
+		{120, 30, 30},  // gap 3, span 1
+		{120, 90, 30},  // gap 1, span 3
+		{120, 120, 20}, // span ≥ period: always open
+		{90, 0, 10},    // no buffer: never covered
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range cases {
+		m, err := New(Config{
+			Name: "m", L: c.L, B: c.B, N: c.N, Lambda: 1,
+			Rates: vcr.Rates{PB: 1, FF: 3, RW: 3},
+		}, &Env{Horizon: horizon})
+		if err != nil {
+			t.Fatalf("New(%+v): %v", c, err)
+		}
+		// The oracle: all partitions restarted at k·T ≤ horizon.
+		var parts []*buffer.Partition
+		for k := 0; ; k++ {
+			start := float64(k) * m.period
+			if start > horizon {
+				break
+			}
+			if c.B <= 0 {
+				continue
+			}
+			p, err := buffer.NewPartition(start, m.span, 0, c.L)
+			if err != nil {
+				t.Fatalf("NewPartition: %v", err)
+			}
+			parts = append(parts, p)
+		}
+		for i := 0; i < 5000; i++ {
+			now := rng.Float64() * (horizon + c.L)
+			pos := rng.Float64() * c.L
+			want := false
+			for _, p := range parts {
+				if p.Covers(now, pos) {
+					want = true
+					break
+				}
+			}
+			if got := m.covered(now, pos); got != want {
+				t.Fatalf("L=%v B=%v N=%d covered(%v, %v) = %v, oracle %v",
+					c.L, c.B, c.N, now, pos, got, want)
+			}
+			openWant := false
+			for _, p := range parts {
+				if p.Head(now) >= 0 && p.EnrollmentOpen(now) {
+					openWant = true
+					break
+				}
+			}
+			if now <= horizon {
+				if got := m.enrollmentOpen(now); got != openWant {
+					t.Fatalf("L=%v B=%v N=%d enrollmentOpen(%v) = %v, oracle %v",
+						c.L, c.B, c.N, now, got, openWant)
+				}
+			}
+		}
+	}
+}
+
+// mustElastic builds an elastic disk array for tests.
+func mustElastic(t *testing.T) *disk.Array {
+	t.Helper()
+	a, err := disk.NewElastic(10)
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	return a
+}
+
+// fluidRun drives one movie on a private kernel to the horizon and
+// returns it along with its environment.
+func fluidRun(t *testing.T, cfg Config, horizon, warmup float64, seed int64) (*Movie, *Env) {
+	t.Helper()
+	var k des.Kernel
+	var viewers, ded metrics.TimeWeighted
+	viewers.Set(0, 0)
+	ded.Set(0, 0)
+	env := &Env{
+		K:         &k,
+		RNG:       rand.New(rand.NewSource(seed)),
+		Pool:      buffer.NewElasticPool(),
+		Disks:     mustElastic(t),
+		ViewersTW: &viewers,
+		DedTW:     &ded,
+		Horizon:   horizon,
+		Warmup:    warmup,
+		Fail:      func(err error) { t.Fatalf("fluid failure: %v", err) },
+	}
+	m, err := New(cfg, env)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Start()
+	k.RunUntil(horizon)
+	return m, env
+}
+
+// TestLevelUnbiased checks the aggregate flow alone (non-interactive
+// profile, so no particles run): the time-average concurrent-viewer
+// level must come out at λ·R within sampling noise, where R is the
+// movie length plus the mean batching wait.
+func TestLevelUnbiased(t *testing.T) {
+	t.Parallel()
+	const (
+		lam     = 50.0
+		horizon = 4000.0
+		L       = 120.0
+	)
+	m, env := fluidRun(t, Config{
+		Name: "m", L: L, B: 30, N: 30, Lambda: lam,
+		Rates: vcr.Rates{PB: 1, FF: 3, RW: 3},
+	}, horizon, 0, 3)
+
+	// gap 3 of period 4: mean wait (gap/T)·(gap/2), residency R = wait+L,
+	// and the time average over [0, horizon] loses the startup ramp.
+	R := L + (3.0/4.0)*1.5
+	want := lam * R * (1 - R/(2*horizon))
+	got := env.ViewersTW.Average(horizon)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("average level %v, want %v ±5%%", got, want)
+	}
+	if m.level != float64(m.arrivals-m.departures) {
+		t.Errorf("level %v != arrivals−departures %d", m.level, m.arrivals-m.departures)
+	}
+	if m.lambdaP != 0 {
+		t.Errorf("non-interactive profile ran particles (λ_p = %v)", m.lambdaP)
+	}
+	st := m.Collect(horizon)
+	if math.Abs(st.WaitP50-1.0) > 1e-9 { // (0.50−0.25)/0.75·3
+		t.Errorf("WaitP50 = %v, want 1", st.WaitP50)
+	}
+	if math.Abs(st.WaitP95-2.8) > 1e-9 { // (0.95−0.25)/0.75·3
+		t.Errorf("WaitP95 = %v, want 2.8", st.WaitP95)
+	}
+	if math.Abs(st.Waits.Mean()-(3.0/4.0)*1.5) > 0.05 {
+		t.Errorf("mean wait %v, want %v", st.Waits.Mean(), (3.0/4.0)*1.5)
+	}
+}
+
+// TestParticlesMeasureHits runs an interactive profile and checks the
+// particle machinery produces hit trials, operation positions and a
+// residency estimate decoupled from the movie length.
+func TestParticlesMeasureHits(t *testing.T) {
+	t.Parallel()
+	prof := workload.MixedProfile(dist.MustGamma(2, 4), dist.MustExponential(15))
+	m, env := fluidRun(t, Config{
+		Name: "m", L: 120, B: 30, N: 30, Lambda: 40,
+		Profile: prof, Rates: vcr.Rates{PB: 1, FF: 3, RW: 3},
+		ParticleRate: 2,
+	}, 3000, 200, 4)
+
+	st := m.Collect(3000)
+	if st.Hits.N() == 0 {
+		t.Fatalf("no hit trials recorded")
+	}
+	p := st.Hits.Estimate()
+	if !(p > 0 && p < 1) {
+		t.Errorf("hit probability %v not in (0, 1)", p)
+	}
+	var byKind uint64
+	for _, pr := range st.HitsByKind {
+		byKind += pr.N()
+	}
+	if byKind != st.Hits.N() {
+		t.Errorf("per-kind trials %d != total %d", byKind, st.Hits.N())
+	}
+	if st.OpPositions.Count() == 0 {
+		t.Errorf("no operation positions observed")
+	}
+	if st.Residency == 120 {
+		t.Errorf("residency EWMA never updated from particle departures")
+	}
+	// Dedicated occupancy is scaled by λ/λ_p = 20 per particle, so the
+	// average must be a plausible fraction of the viewer level.
+	if avg := env.DedTW.Average(3000); !(avg > 0) {
+		t.Errorf("dedicated-stream average %v, want > 0", avg)
+	}
+}
+
+// TestDigestDeterminism runs the same configuration twice and once with
+// a different seed, requiring identical and differing digests
+// respectively.
+func TestDigestDeterminism(t *testing.T) {
+	t.Parallel()
+	prof := workload.MixedProfile(dist.MustGamma(2, 4), dist.MustExponential(15))
+	cfg := Config{
+		Name: "m", L: 120, B: 30, N: 30, Lambda: 10,
+		Profile: prof, Rates: vcr.Rates{PB: 1, FF: 3, RW: 3},
+	}
+	digest := func(seed int64) []uint64 {
+		m, _ := fluidRun(t, cfg, 1000, 100, seed)
+		var out []uint64
+		m.Digest(
+			func(v uint64) { out = append(out, v) },
+			func(v float64) { out = append(out, math.Float64bits(v)) },
+		)
+		return out
+	}
+	a, b, c := digest(7), digest(7), digest(8)
+	if len(a) == 0 {
+		t.Fatalf("empty digest")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("digest field %d differs across identical runs: %x vs %x", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("digest identical across different seeds")
+	}
+}
+
+// TestConfigValidate spot-checks rejection of invalid configurations.
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	good := Config{Name: "m", L: 120, B: 30, N: 30, Lambda: 1, Rates: vcr.Rates{PB: 1, FF: 3, RW: 3}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.L = 0 },
+		func(c *Config) { c.B = -1 },
+		func(c *Config) { c.B = c.L + 1 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.Delta = -1 },
+		func(c *Config) { c.Lambda = 0 },
+		func(c *Config) { c.ParticleRate = math.NaN() },
+		func(c *Config) { c.Rates = vcr.Rates{} },
+	}
+	for i, mut := range bad {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}

@@ -160,6 +160,12 @@ type SimulateRequest struct {
 	// "rand:seed:mtbf:mttr:disks" for a seeded random schedule.
 	TotalStreams int    `json:"totalStreams,omitempty"`
 	Faults       string `json:"faults,omitempty"`
+	// Engine selects the simulation backend ("des", "fluid" or "hybrid";
+	// empty = des); FluidThreshold is the hybrid popularity cut and
+	// ParticleRate the fluid shadow-viewer sampling rate.
+	Engine         string  `json:"engine,omitempty"`
+	FluidThreshold float64 `json:"fluidThreshold,omitempty"`
+	ParticleRate   float64 `json:"particleRate,omitempty"`
 }
 
 // SimulateResponse summarizes the run.

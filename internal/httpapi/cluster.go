@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"vodalloc/internal/cluster"
+	"vodalloc/internal/sim"
 	"vodalloc/internal/sizing"
 	"vodalloc/internal/vcr"
 	"vodalloc/internal/workload"
@@ -175,6 +176,11 @@ type ClusterSimulateRequest struct {
 	// Fail schedules node outages: "node0@400,node2@500-1500"
 	// (permanent without an end time).
 	Fail string `json:"fail,omitempty"`
+	// Engine selects every node simulation's backend ("des", "fluid" or
+	// "hybrid"; empty = des); FluidThreshold is the hybrid popularity
+	// cut. Outage-carrying nodes always run DES.
+	Engine         string  `json:"engine,omitempty"`
+	FluidThreshold float64 `json:"fluidThreshold,omitempty"`
 }
 
 // ClusterSimNodeJSON is one node's simulated outcome.
@@ -396,14 +402,16 @@ func handleClusterSimulate(ctx context.Context, eval *sizing.Evaluator, req Clus
 		return ClusterSimulateResponse{}, err
 	}
 	res, err := cluster.Simulate(ctx, cluster.SimConfig{
-		Placement: p,
-		Movies:    movies,
-		Rates:     vcr.Rates{PB: 1, FF: 3, RW: 3},
-		TotalRate: req.Lambda,
-		Horizon:   horizon,
-		Warmup:    warmup,
-		Seed:      req.Seed,
-		Faults:    nodeFaults,
+		Placement:      p,
+		Movies:         movies,
+		Rates:          vcr.Rates{PB: 1, FF: 3, RW: 3},
+		TotalRate:      req.Lambda,
+		Horizon:        horizon,
+		Warmup:         warmup,
+		Seed:           req.Seed,
+		Faults:         nodeFaults,
+		Engine:         sim.Engine(req.Engine),
+		FluidThreshold: req.FluidThreshold,
 	})
 	if err != nil {
 		return ClusterSimulateResponse{}, err

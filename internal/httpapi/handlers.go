@@ -412,16 +412,19 @@ func handleSimulate(ctx context.Context, req SimulateRequest) (SimulateResponse,
 	}
 	s, err := sim.New(sim.Config{
 		L: cfg.L, B: cfg.B, N: cfg.N,
-		Rates:        vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
-		ArrivalRate:  req.Lambda,
-		Profile:      profile,
-		Horizon:      horizon,
-		Warmup:       warmup,
-		Seed:         req.Seed,
-		Piggyback:    req.Piggyback,
-		Slew:         req.Slew,
-		TotalStreams: req.TotalStreams,
-		Faults:       sched,
+		Rates:          vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
+		ArrivalRate:    req.Lambda,
+		Profile:        profile,
+		Horizon:        horizon,
+		Warmup:         warmup,
+		Seed:           req.Seed,
+		Piggyback:      req.Piggyback,
+		Slew:           req.Slew,
+		TotalStreams:   req.TotalStreams,
+		Faults:         sched,
+		Engine:         sim.Engine(req.Engine),
+		FluidThreshold: req.FluidThreshold,
+		ParticleRate:   req.ParticleRate,
 	})
 	if err != nil {
 		return SimulateResponse{}, err
@@ -494,16 +497,19 @@ func handleReplicate(ctx context.Context, req ReplicateRequest) (ReplicateRespon
 	}
 	rep, err := sim.ReplicateCtx(ctx, sim.Config{
 		L: cfg.L, B: cfg.B, N: cfg.N,
-		Rates:        vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
-		ArrivalRate:  req.Lambda,
-		Profile:      profile,
-		Horizon:      horizon,
-		Warmup:       warmup,
-		Seed:         req.Seed,
-		Piggyback:    req.Piggyback,
-		Slew:         req.Slew,
-		TotalStreams: req.TotalStreams,
-		Faults:       sched,
+		Rates:          vcr.Rates{PB: cfg.RatePB, FF: cfg.RateFF, RW: cfg.RateRW},
+		ArrivalRate:    req.Lambda,
+		Profile:        profile,
+		Horizon:        horizon,
+		Warmup:         warmup,
+		Seed:           req.Seed,
+		Piggyback:      req.Piggyback,
+		Slew:           req.Slew,
+		TotalStreams:   req.TotalStreams,
+		Faults:         sched,
+		Engine:         sim.Engine(req.Engine),
+		FluidThreshold: req.FluidThreshold,
+		ParticleRate:   req.ParticleRate,
 	}, req.Replications)
 	if err != nil {
 		return ReplicateResponse{}, err

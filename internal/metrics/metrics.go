@@ -75,6 +75,15 @@ func (w *Welford) Merge(o Welford) {
 	w.n += o.n
 }
 
+// AddBatch folds a pre-aggregated batch of n observations with the
+// given mean and centered sum of squares (n·variance) into the
+// accumulator, as if each had been Added individually. The fluid
+// engine uses it to account whole Poisson cohorts of waits — the
+// batch moments are closed-form — without touching per-sample loops.
+func (w *Welford) AddBatch(n uint64, mean, m2 float64) {
+	w.Merge(Welford{n: n, mean: mean, m2: m2})
+}
+
 // Proportion estimates a Bernoulli success probability with a Wilson
 // score confidence interval (robust near 0 and 1, where the simulator's
 // hit probabilities often live).

@@ -44,6 +44,36 @@ func GaussPanelsCtx(ctx context.Context, f Func, a, b float64, panels int) (floa
 	return sum * w, nil
 }
 
+// AutoPanelsCtx is AutoPanels with a cancellation checkpoint before
+// each panel of each refinement pass. The doubling schedule and
+// summation order match AutoPanels exactly, so results are bit-for-bit
+// equal when the context never fires.
+func AutoPanelsCtx(ctx context.Context, f Func, a, b, tol float64, maxPanels int) (float64, error) {
+	if a == b {
+		return 0, ctx.Err()
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxPanels < 8 {
+		maxPanels = 8
+	}
+	prev, err := GaussPanelsCtx(ctx, f, a, b, 4)
+	if err != nil {
+		return 0, err
+	}
+	for p := 8; ; p *= 2 {
+		cur, err := GaussPanelsCtx(ctx, f, a, b, p)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(cur-prev) <= tol || p >= maxPanels {
+			return cur, nil
+		}
+		prev = cur
+	}
+}
+
 // Tensor2Ctx is Tensor2 with cancellation checkpoints on the outer
 // panels: a done context stops the integration within one outer panel
 // (py inner integrals).

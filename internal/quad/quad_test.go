@@ -286,3 +286,60 @@ func TestPropertyRombergMatchesGaussOnPolynomials(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPropertyAutoPanelsMatchesFixed16 pins the adaptive rule against
+// the fixed-16-panel oracle it replaces: over random smooth integrands
+// (damped oscillators with random frequency, phase and decay — the
+// shape of the model's u-integrands away from the clip), AutoPanels
+// must agree with GaussPanels(…, 16) to well under the model's own
+// approximation error.
+func TestPropertyAutoPanelsMatchesFixed16(t *testing.T) {
+	prop := func(freqSeed, phaseSeed, decaySeed uint8, spanSeed uint16) bool {
+		freq := 0.1 + float64(freqSeed)/32 // up to ~8 rad over the interval
+		phase := float64(phaseSeed) / 40
+		decay := float64(decaySeed) / 512
+		span := 0.5 + float64(spanSeed%2000)/100 // [0.5, 20.5]
+		f := func(x float64) float64 {
+			return math.Exp(-decay*x) * (1 + 0.5*math.Sin(freq*x+phase))
+		}
+		got := AutoPanels(f, 0, span, 1e-10, 32)
+		want := GaussPanels(f, 0, span, 16)
+		return almostEqual(got, want, 1e-8*math.Max(1, math.Abs(want)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoPanelsRefinesOnlyOnFailure verifies the cost contract: a
+// smooth integrand stops at the first 4-vs-8 comparison (12 panels =
+// 240 evaluations, cheaper than the fixed 16 = 320), while a kinked
+// integrand under a tight tolerance keeps doubling to the cap.
+func TestAutoPanelsRefinesOnlyOnFailure(t *testing.T) {
+	count := 0
+	smooth := func(x float64) float64 { count++; return math.Exp(-x * x) }
+	AutoPanels(smooth, 0, 3, 1e-10, 32)
+	if count != (4+8)*20 {
+		t.Errorf("smooth integrand used %d evaluations, want %d (4+8 panels)", count, (4+8)*20)
+	}
+	count = 0
+	kinked := func(x float64) float64 { count++; return math.Abs(x - math.Sqrt2) }
+	AutoPanels(kinked, 0, 3, 1e-14, 32)
+	if count != (4+8+16+32)*20 {
+		t.Errorf("kinked integrand used %d evaluations, want %d (doubling to the cap)", count, (4+8+16+32)*20)
+	}
+}
+
+// TestAutoPanelsDegenerateAndClamps covers the edges: an empty
+// interval is exactly zero, and a sub-8 cap is clamped so the rule
+// always has one refinement to compare against.
+func TestAutoPanelsDegenerateAndClamps(t *testing.T) {
+	if v := AutoPanels(math.Sin, 2, 2, 0, 32); v != 0 {
+		t.Errorf("empty interval: got %v, want 0", v)
+	}
+	got := AutoPanels(math.Cos, 0, 1, 0, 1)
+	want := GaussPanels(math.Cos, 0, 1, 8)
+	if got != want {
+		t.Errorf("clamped cap: got %v, want the 8-panel value %v", got, want)
+	}
+}

@@ -83,6 +83,13 @@ type Config struct {
 	// degraded-mode policy: bounded retries with exponential backoff,
 	// batch-over-VCR preemption, and forced-miss fallback.
 	Faults faults.Schedule
+	// Engine selects the simulation backend (des, fluid or hybrid; ""
+	// means des), FluidThreshold the hybrid popularity cut, and
+	// ParticleRate the fluid shadow-viewer sampling rate. See
+	// ServerConfig for the full semantics.
+	Engine         Engine
+	FluidThreshold float64
+	ParticleRate   float64
 }
 
 // Validate checks the configuration.
@@ -110,6 +117,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: abandon mean %v", ErrBadConfig, c.AbandonMean)
 	case c.TotalStreams < 0:
 		return fmt.Errorf("%w: total streams %d", ErrBadConfig, c.TotalStreams)
+	case c.FluidThreshold < 0 || math.IsNaN(c.FluidThreshold):
+		return fmt.Errorf("%w: fluid threshold %v", ErrBadConfig, c.FluidThreshold)
+	case c.ParticleRate < 0 || math.IsNaN(c.ParticleRate):
+		return fmt.Errorf("%w: particle rate %v", ErrBadConfig, c.ParticleRate)
+	}
+	if _, err := ParseEngine(string(c.Engine)); err != nil {
+		return err
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
@@ -145,4 +159,49 @@ func (c Config) streamsPerDisk() int {
 		return 10
 	}
 	return c.StreamsPerDisk
+}
+
+// configIdentityV0 mirrors the Config field set that predates the
+// engine selection, in declaration order, so IdentityString can render
+// the historical %+v layout for configurations that do not use the new
+// fields — keeping checkpoint journals written before the fluid
+// backend resumable.
+type configIdentityV0 struct {
+	L, B            float64
+	N               int
+	Delta           float64
+	Rates           vcr.Rates
+	ArrivalRate     float64
+	Profile         vcr.Profile
+	Horizon, Warmup float64
+	Seed            int64
+	Piggyback       bool
+	Slew            float64
+	MaxDedicated    int
+	StreamsPerDisk  int
+	Tracer          trace.Tracer
+	AbandonMean     float64
+	TotalStreams    int
+	Faults          faults.Schedule
+}
+
+// IdentityString renders the configuration for sweep-journal identity
+// checks. Zero-valued engine fields reproduce the pre-engine rendering
+// byte for byte; engine runs append a suffix, so a journal written by
+// one backend never resumes under another.
+func (c Config) IdentityString() string {
+	s := fmt.Sprintf("%+v", configIdentityV0{
+		L: c.L, B: c.B, N: c.N, Delta: c.Delta, Rates: c.Rates,
+		ArrivalRate: c.ArrivalRate, Profile: c.Profile,
+		Horizon: c.Horizon, Warmup: c.Warmup, Seed: c.Seed,
+		Piggyback: c.Piggyback, Slew: c.Slew,
+		MaxDedicated: c.MaxDedicated, StreamsPerDisk: c.StreamsPerDisk,
+		Tracer: c.Tracer, AbandonMean: c.AbandonMean,
+		TotalStreams: c.TotalStreams, Faults: c.Faults,
+	})
+	if c.Engine != "" || c.FluidThreshold != 0 || c.ParticleRate != 0 {
+		s += fmt.Sprintf(" engine{Engine:%s FluidThreshold:%v ParticleRate:%v}",
+			c.Engine, c.FluidThreshold, c.ParticleRate)
+	}
+	return s
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"vodalloc/internal/metrics"
@@ -300,8 +301,8 @@ func (s *Server) collectServer() *ServerResult {
 	now := s.k.Now()
 	sr := &ServerResult{
 		Movies:        map[string]*MovieResult{},
-		AvgDedicated:  s.dedicatedTW.Average(now),
-		PeakDedicated: s.dedPeak,
+		AvgDedicated:  s.dedicatedTW.Average(now) + s.fluidDedTW.Average(now),
+		PeakDedicated: s.dedPeak + int(math.Round(s.fluidDedTW.Max())),
 		AvgViewers:    s.viewersTW.Average(now),
 		PeakViewers:   s.viewersTW.Max(),
 		BufferPeak:    s.pool.Peak(),
@@ -314,14 +315,18 @@ func (s *Server) collectServer() *ServerResult {
 		Preempted:       s.preempted,
 	}
 	var arrivals uint64
-	for _, mv := range s.movies {
-		sr.Order = append(sr.Order, mv.setup.Name)
-		sr.Movies[mv.setup.Name] = collectMovie(mv, now)
-		fs.Recovered += mv.recovered
-		fs.ForcedMisses += mv.forcedMisses
-		fs.Shed += mv.sheds
-		fs.Retries += mv.retries
-		arrivals += mv.arrivals
+	for _, b := range s.backends {
+		r := b.collect(s, now)
+		sr.Order = append(sr.Order, b.name())
+		sr.Movies[b.name()] = r
+		fs.Recovered += r.Recovered
+		fs.ForcedMisses += r.ForcedMisses
+		fs.Shed += r.Sheds
+		fs.Retries += r.Retries
+		arrivals += r.Arrivals
+	}
+	for _, fm := range s.fluids {
+		fs.SkippedRestarts += fm.Skipped()
 	}
 	fs.DegradedFraction = s.degradedTW.Average(now)
 	fs.Availability = 1 - fs.DegradedFraction

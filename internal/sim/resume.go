@@ -109,7 +109,7 @@ func ReplicateResumableCtx(ctx context.Context, cfg Config, runs int, dir string
 		return nil, ResumeInfo{}, fmt.Errorf("%w: tracing is per-run; replicate without a Tracer", ErrBadConfig)
 	}
 
-	identity := checkpoint.Identity("sim.replicate", runs, fmt.Sprintf("%+v", cfg))
+	identity := checkpoint.Identity("sim.replicate", runs, cfg.IdentityString())
 	sweep, err := checkpoint.OpenSweep(filepath.Join(dir, "replications.wal"), identity)
 	if err != nil {
 		return nil, ResumeInfo{}, err

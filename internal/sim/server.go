@@ -11,6 +11,7 @@ import (
 	"vodalloc/internal/des"
 	"vodalloc/internal/disk"
 	"vodalloc/internal/faults"
+	"vodalloc/internal/fluid"
 	"vodalloc/internal/metrics"
 	"vodalloc/internal/stream"
 	"vodalloc/internal/trace"
@@ -102,6 +103,16 @@ type ServerConfig struct {
 	// Faults is a deterministic fault schedule injected into the run as
 	// DES events (see internal/faults).
 	Faults faults.Schedule
+	// Engine selects the per-movie simulation backend: EngineDES (the
+	// default, also selected by ""), EngineFluid, or EngineHybrid (see
+	// engine.go). FluidThreshold is the hybrid popularity cut: movies
+	// with ArrivalRate at or above it run on the fluid backend when
+	// eligible; 0 disables fluid entirely, reproducing the DES engine
+	// exactly. ParticleRate tunes the fluid backend's shadow-viewer
+	// sampling rate (0 = fluid.DefaultParticleRate).
+	Engine         Engine
+	FluidThreshold float64
+	ParticleRate   float64
 }
 
 // Validate checks the configuration.
@@ -139,7 +150,7 @@ func (c ServerConfig) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	return nil
+	return c.validateEngine()
 }
 
 // degraded reports whether the run uses the degraded-mode policy:
@@ -172,8 +183,18 @@ type Server struct {
 	disks  *disk.Array // shared by batch and dedicated streams
 	pool   *buffer.Pool
 	movies []*movieState
-	nextID uint64
-	tr     trace.Tracer
+	// backends lists every movie's backend in configuration order (DES
+	// movieStates plus fluid adapters); fluids holds just the
+	// fluid-backed movies. For a pure DES run, backends mirrors movies
+	// and fluids is empty.
+	backends []movieBackend
+	fluids   []*fluid.Movie
+	fluidEnv *fluid.Env
+	// fluidDedTW accumulates the fluid backends' scaled dedicated-stream
+	// level, kept apart from dedicatedTW so DES digests stay unchanged.
+	fluidDedTW metrics.TimeWeighted
+	nextID     uint64
+	tr         trace.Tracer
 	// tracing is false when the tracer is the Nop default; hot paths
 	// skip building fmt.Sprintf details behind it.
 	tracing bool
@@ -330,6 +351,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tracing: cfg.Tracer != nil,
 	}
 	for _, ms := range cfg.Movies {
+		if cfg.wantsFluid(ms) {
+			fm, err := srv.newFluidMovie(ms)
+			if err != nil {
+				return nil, err
+			}
+			srv.fluids = append(srv.fluids, fm)
+			srv.backends = append(srv.backends, fluidBackend{m: fm})
+			continue
+		}
 		sched, err := stream.NewSchedule(ms.period())
 		if err != nil {
 			return nil, fmt.Errorf("%w: movie %q: %v", ErrBadConfig, ms.Name, err)
@@ -342,7 +372,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: movie %q: %v", ErrBadConfig, ms.Name, err)
 		}
-		srv.movies = append(srv.movies, &movieState{
+		mv := &movieState{
 			setup:   ms,
 			sched:   sched,
 			opPos:   opPos,
@@ -350,7 +380,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			hitsByKind: map[vcr.Kind]*metrics.Proportion{
 				vcr.FF: {}, vcr.RW: {}, vcr.PAU: {},
 			},
-		})
+		}
+		srv.movies = append(srv.movies, mv)
+		srv.backends = append(srv.backends, mv)
 	}
 	return srv, nil
 }
@@ -398,11 +430,12 @@ func (s *Server) begin(ctx context.Context) error {
 	s.dedicatedTW.Set(0, 0)
 	s.viewersTW.Set(0, 0)
 	s.degradedTW.Set(0, 0)
+	if len(s.fluids) > 0 {
+		s.fluidDedTW.Set(0, 0)
+	}
 	s.scheduleFaults()
-	for _, mv := range s.movies {
-		mv.batchTW.Set(0, 0)
-		s.scheduleRestart(mv, 0)
-		s.scheduleArrival(mv, s.expGap(mv))
+	for _, b := range s.backends {
+		b.start(s)
 	}
 	return nil
 }

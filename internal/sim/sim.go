@@ -31,6 +31,9 @@ func New(cfg Config) (*Simulator, error) {
 		Tracer:         cfg.Tracer,
 		TotalStreams:   cfg.TotalStreams,
 		Faults:         cfg.Faults,
+		Engine:         cfg.Engine,
+		FluidThreshold: cfg.FluidThreshold,
+		ParticleRate:   cfg.ParticleRate,
 	})
 	if err != nil {
 		return nil, err
@@ -52,6 +55,10 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	}
 	return singleResult(sr), nil
 }
+
+// EventsFired returns how many kernel events the run executed — the
+// cost measure the scale experiment reports alongside wall time.
+func (s *Simulator) EventsFired() uint64 { return s.srv.k.State().Fired }
 
 // releaseScratch forwards to the underlying server; see
 // Server.releaseScratch for the (strict) lifetime contract.

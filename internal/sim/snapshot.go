@@ -122,6 +122,14 @@ func (s *Server) digest() uint64 {
 		u64(uint64(len(mv.waitq)))
 		u64(uint64(len(mv.viewers)))
 	}
+	// Fluid backend state, folded only when fluid movies exist so
+	// DES-only digests stay byte-identical to their pre-engine values.
+	if len(s.fluids) > 0 {
+		f64(s.fluidDedTW.Value())
+		for _, fm := range s.fluids {
+			fm.Digest(u64, f64)
+		}
+	}
 	return h.Sum64()
 }
 

@@ -10,7 +10,9 @@
 # smoke plans Example 1 onto three nodes and runs a short failover
 # simulation; a churn smoke drives a flash crowd through the live
 # rebalancing controller; a gray smoke drives a slow disk and a
-# brownout through the hedged router; a bench-regression stage replays the quick
+# brownout through the hedged router; a fluid smoke sweeps the scale
+# experiment (fluid backend up to ~12M concurrent viewers with DES
+# comparison rungs); a bench-regression stage replays the quick
 # experiment sweep against the recorded BENCH_sweeps.json baseline and
 # warns on >15% slowdown. A final chaos
 # smoke boots vodserverd on an ephemeral port, soaks it with vodchaos
@@ -65,6 +67,13 @@ go run ./cmd/vodcluster churn -nodes 4 -movies 6 -node-streams 300 \
     -gray "slow:node0@200-600:12,brownout:node2@300-700:0.4" \
     -policy hedge -horizon 900 -warmup 100 -seed 7 >/dev/null
 echo "ci: gray smoke passed"
+
+# --- fluid smoke: the scale sweep runs the fluid backend from the
+# paper's λ=0.5/min up to ten-million-viewer rungs, with DES comparison
+# columns on the affordable rungs — the fluid/hybrid accuracy and
+# throughput claims end to end through the CLI ---
+go run ./cmd/vodbench -exp scale -quick >/dev/null
+echo "ci: fluid smoke passed"
 
 # --- bench regression: the quick experiment sweep against the latest
 # recorded entry in BENCH_sweeps.json; a >15% slowdown warns on the CI

@@ -9,6 +9,9 @@
 #   cluster  a vodcluster node-count sweep journaling per-node sim rows
 #   churn    a vodcluster churn run (live rebalancing controller) with
 #            replay checkpoints — the kill may land mid-rebalance
+#   fluid    a vodsim run on the fluid backend at λ=20000/min, so the
+#            checkpoints carry fluid per-movie state (cohort ledgers,
+#            particle census, residency EWMA) alongside the kernel
 #
 # A kill that lands before any progress was journaled (or after the run
 # finished) proves nothing, so each stage retries with a fresh random
@@ -99,6 +102,14 @@ run_stage single 0.15 0.5 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
     -horizon 100000 -warmup 500 -seed 7 -compare=false -checkpoint-every 10000
 run_stage sweep 0.25 0.9 "$tmp/vodsim" -l 120 -b 60 -n 30 -lambda 0.5 \
     -horizon 15000 -warmup 500 -seed 7 -compare=false -replications 16
+# The fluid run (~1.5s, ~2.4M particle/restart events) carries ~2.4M
+# concurrent viewers on the fluid backend; checkpoints land every
+# ~0.05s from the start, so any kill inside the window finds one.
+# Resume must rebuild cohort ledgers, the particle census and the
+# residency EWMA bit-identically through event replay.
+run_stage fluid 0.3 1.1 "$tmp/vodsim" -l 120 -b 30 -n 30 -lambda 20000 \
+    -engine fluid -horizon 150000 -warmup 500 -seed 7 -compare=false \
+    -checkpoint-every 150000
 # -parallel 1 serializes the per-node sims so journaled rows spread
 # over ~1.4s of wall clock instead of landing nearly at once; the kill
 # window sits past the ~0.8s sizing phase that precedes the first row
